@@ -1,0 +1,76 @@
+//! Ablation — equal opportunism vs §4's naive greedy allocation.
+//!
+//! Prints both policies' ipt and imbalance (the quality comparison),
+//! then times them (naive greedy skips the rationed auction, so it is
+//! marginally faster — the quality gap is the point).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_core::graph::{datasets, DatasetKind, GraphStream, Scale, StreamOrder};
+use loom_core::partition::{
+    partition_stream, AllocationPolicy, EoParams, LoomConfig, LoomPartitioner, PartitionMetrics,
+};
+use loom_core::prelude::*;
+use loom_core::ExperimentConfig;
+
+fn loom_config(cfg: &ExperimentConfig, policy: AllocationPolicy) -> LoomConfig {
+    LoomConfig {
+        k: cfg.k,
+        window_size: cfg.window_size,
+        support_threshold: cfg.support_threshold,
+        prime: loom_core::motif::DEFAULT_PRIME,
+        eo: EoParams::default(),
+        capacity_slack: 1.1,
+        seed: cfg.seed,
+        allocation: policy,
+    }
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let dataset = DatasetKind::Dblp;
+    let cfg = ExperimentConfig::evaluation_defaults(dataset, scale, StreamOrder::BreadthFirst);
+    let graph = datasets::generate(dataset, scale, cfg.seed);
+    let workload = workload_for(dataset);
+    let stream = GraphStream::from_graph(&graph, cfg.order, cfg.seed);
+
+    for policy in [AllocationPolicy::EqualOpportunism, AllocationPolicy::NaiveGreedy] {
+        let lc = loom_config(&cfg, policy);
+        let mut p =
+            LoomPartitioner::new(&lc, &workload, stream.num_vertices(), stream.num_labels());
+        partition_stream(&mut p, &stream);
+        let a = Box::new(p).into_assignment();
+        let m = PartitionMetrics::measure(&graph, &a);
+        let r = count_ipt(&graph, &a, &workload, cfg.limit_per_query);
+        eprintln!(
+            "ablation[{policy:?}]: ipt {:.0}, imbalance {:.1}%",
+            r.weighted_ipt,
+            m.imbalance * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_allocation");
+    group.sample_size(10);
+    for policy in [AllocationPolicy::EqualOpportunism, AllocationPolicy::NaiveGreedy] {
+        let lc = loom_config(&cfg, policy);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &lc,
+            |b, lc| {
+                b.iter(|| {
+                    let mut p = LoomPartitioner::new(
+                        lc,
+                        &workload,
+                        stream.num_vertices(),
+                        stream.num_labels(),
+                    );
+                    partition_stream(&mut p, &stream);
+                    p.stats().auctions
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 4 — signature collision probabilities.
+//!
+//! Prints the analytic acceptance-probability series (the figure's
+//! curves) and times the two operations behind it: the empirical
+//! collision measurement and raw signature computation at several
+//! primes (small primes mean smaller factor ranges but identical
+//! multiset sizes, so time should be flat — the *accuracy* is what
+//! changes, which the printed series shows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_core::motif::collision;
+use loom_core::motif::{pattern_signature, LabelRandomizer};
+use rand::SeedableRng;
+
+fn bench_collisions(c: &mut Criterion) {
+    // The figure's series, printed once.
+    for tolerance in [0.05, 0.10, 0.20] {
+        for factors in [24usize, 36, 48] {
+            let at_251 = collision::acceptance_probability(factors, 251, tolerance);
+            eprintln!(
+                "fig4[tol {:.0}% factors {}]: acceptance at p=251 = {:.4}",
+                tolerance * 100.0,
+                factors,
+                at_251
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("fig4_signatures");
+    for &p in &[31u64, 251] {
+        group.bench_with_input(BenchmarkId::new("measure_collisions", p), &p, |b, &p| {
+            b.iter(|| collision::measure_collisions(200, 8, 4, p, 7))
+        });
+        group.bench_with_input(BenchmarkId::new("pattern_signature", p), &p, |b, &p| {
+            let rand = LabelRandomizer::new(4, p, 9);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            let patterns: Vec<_> = (0..64)
+                .map(|i| collision::random_connected_pattern(&mut rng, 10, 4, i))
+                .collect();
+            b.iter(|| {
+                patterns
+                    .iter()
+                    .map(|q| pattern_signature(q, &rand).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collisions);
+criterion_main!(benches);

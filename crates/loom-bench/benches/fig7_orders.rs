@@ -1,0 +1,55 @@
+//! Fig. 7 — the stream-order sensitivity experiment.
+//!
+//! Before timing, prints the figure's actual series (ipt as % of Hash
+//! per system per order); criterion then times the Loom pipeline on
+//! each order, since arrival order changes how much matching work the
+//! window performs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_core::graph::{datasets, DatasetKind, GraphStream, Scale, StreamOrder};
+use loom_core::prelude::*;
+use loom_core::{make_partitioner, ExperimentConfig, System};
+
+fn bench_orders(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let dataset = DatasetKind::MusicBrainz; // the most heterogeneous graph
+
+    // Print the Fig. 7 series for this dataset once.
+    for order in StreamOrder::EVALUATED {
+        let mut cfg = ExperimentConfig::evaluation_defaults(dataset, scale, order);
+        cfg.limit_per_query = 100_000;
+        let r = loom_core::run_experiment(&cfg);
+        eprintln!(
+            "fig7[{} {}]: LDG {:.1}% Fennel {:.1}% Loom {:.1}% of Hash",
+            dataset.name(),
+            order.name(),
+            r.ipt_vs_hash(System::Ldg).unwrap(),
+            r.ipt_vs_hash(System::Fennel).unwrap(),
+            r.ipt_vs_hash(System::Loom).unwrap(),
+        );
+    }
+
+    let mut group = c.benchmark_group("fig7_loom_by_order");
+    group.sample_size(10);
+    for order in StreamOrder::EVALUATED {
+        let cfg = ExperimentConfig::evaluation_defaults(dataset, scale, order);
+        let graph = datasets::generate(dataset, scale, cfg.seed);
+        let workload = workload_for(dataset);
+        let stream = GraphStream::from_graph(&graph, order, cfg.seed);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(order.name()),
+            &(&cfg, &stream, &workload),
+            |b, (cfg, stream, workload)| {
+                b.iter(|| {
+                    let mut p = make_partitioner(System::Loom, cfg, stream, workload);
+                    loom_core::partition::partition_stream(p.as_mut(), stream);
+                    p.into_assignment()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orders);
+criterion_main!(benches);

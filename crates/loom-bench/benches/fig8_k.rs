@@ -1,0 +1,56 @@
+//! Fig. 8 — robustness across partition counts k ∈ {2, 8, 32}.
+//!
+//! Prints the figure's ipt series per k, then times the Loom pipeline
+//! at each k (partition count affects bid computation per auction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_core::graph::{datasets, DatasetKind, GraphStream, Scale, StreamOrder};
+use loom_core::prelude::*;
+use loom_core::{make_partitioner, ExperimentConfig, System};
+
+fn bench_k(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let dataset = DatasetKind::Dblp;
+
+    for k in [2usize, 8, 32] {
+        let mut cfg =
+            ExperimentConfig::evaluation_defaults(dataset, scale, StreamOrder::BreadthFirst);
+        cfg.k = k;
+        cfg.limit_per_query = 100_000;
+        let r = loom_core::run_experiment(&cfg);
+        eprintln!(
+            "fig8[{} k={}]: LDG {:.1}% Fennel {:.1}% Loom {:.1}% of Hash",
+            dataset.name(),
+            k,
+            r.ipt_vs_hash(System::Ldg).unwrap(),
+            r.ipt_vs_hash(System::Fennel).unwrap(),
+            r.ipt_vs_hash(System::Loom).unwrap(),
+        );
+    }
+
+    let mut group = c.benchmark_group("fig8_loom_by_k");
+    group.sample_size(10);
+    for k in [2usize, 8, 32] {
+        let mut cfg =
+            ExperimentConfig::evaluation_defaults(dataset, scale, StreamOrder::BreadthFirst);
+        cfg.k = k;
+        let graph = datasets::generate(dataset, scale, cfg.seed);
+        let workload = workload_for(dataset);
+        let stream = GraphStream::from_graph(&graph, cfg.order, cfg.seed);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(k),
+            &(&cfg, &stream, &workload),
+            |b, (cfg, stream, workload)| {
+                b.iter(|| {
+                    let mut p = make_partitioner(System::Loom, cfg, stream, workload);
+                    loom_core::partition::partition_stream(p.as_mut(), stream);
+                    p.into_assignment()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_k);
+criterion_main!(benches);

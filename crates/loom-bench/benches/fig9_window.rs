@@ -1,0 +1,59 @@
+//! Fig. 9 — window-size sensitivity.
+//!
+//! Prints Loom's ipt at each window size (the figure's series), then
+//! times the pipeline per window size: bigger windows mean more live
+//! matches per auction, so time grows with t as §5.3 discusses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_core::graph::{datasets, DatasetKind, GraphStream, Scale, StreamOrder};
+use loom_core::prelude::*;
+use loom_core::{make_partitioner, ExperimentConfig, System};
+
+fn bench_window(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let dataset = DatasetKind::ProvGen;
+    let cfg0 = ExperimentConfig::evaluation_defaults(dataset, scale, StreamOrder::BreadthFirst);
+    let graph = datasets::generate(dataset, scale, cfg0.seed);
+    let workload = workload_for(dataset);
+    let stream = GraphStream::from_graph(&graph, cfg0.order, cfg0.seed);
+    let windows: Vec<usize> = [600usize, 200, 50, 12]
+        .iter()
+        .map(|d| (stream.len() / d).max(16))
+        .collect();
+
+    for &w in &windows {
+        let mut cfg = cfg0.clone();
+        cfg.window_size = w;
+        let (assignment, _) =
+            loom_core::partition_timed(System::Loom, &cfg, &stream, &workload);
+        let report = count_ipt(&graph, &assignment, &workload, cfg.limit_per_query);
+        eprintln!(
+            "fig9[{} t={}]: weighted ipt {:.0}",
+            dataset.name(),
+            w,
+            report.weighted_ipt
+        );
+    }
+
+    let mut group = c.benchmark_group("fig9_loom_by_window");
+    group.sample_size(10);
+    for &w in &windows {
+        let mut cfg = cfg0.clone();
+        cfg.window_size = w;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(w),
+            &(&cfg, &stream, &workload),
+            |b, (cfg, stream, workload)| {
+                b.iter(|| {
+                    let mut p = make_partitioner(System::Loom, cfg, stream, workload);
+                    loom_core::partition::partition_stream(p.as_mut(), stream);
+                    p.into_assignment()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window);
+criterion_main!(benches);

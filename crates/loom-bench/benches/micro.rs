@@ -1,0 +1,94 @@
+//! Microbenchmarks of the hot paths behind every experiment: trie
+//! construction, streaming match maintenance, the query executor, and
+//! the dataset generators themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_core::graph::{datasets, DatasetKind, GraphStream, Scale, StreamOrder, Workload};
+use loom_core::matcher::MotifMatcher;
+use loom_core::motif::{LabelRandomizer, TpsTrie, DEFAULT_PRIME};
+use loom_core::prelude::*;
+
+fn bench_trie_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_trie_build");
+    for dataset in DatasetKind::IPT_EVALUATED {
+        let workload = workload_for(dataset);
+        let rand = LabelRandomizer::new(dataset.num_labels(), DEFAULT_PRIME, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dataset.name()),
+            &workload,
+            |b, w: &Workload| b.iter(|| TpsTrie::build(w, &rand).len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_matcher_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_matcher_on_edge");
+    group.sample_size(10);
+    let dataset = DatasetKind::ProvGen;
+    let graph = datasets::generate(dataset, Scale::Tiny, 1);
+    let stream = GraphStream::from_graph(&graph, StreamOrder::BreadthFirst, 1);
+    let workload = workload_for(dataset);
+    let rand = LabelRandomizer::new(graph.num_labels(), DEFAULT_PRIME, 1);
+    let trie = TpsTrie::build(&workload, &rand);
+    let motifs = trie.motifs(0.4);
+    group.bench_function("provgen_tiny_stream", |b| {
+        b.iter(|| {
+            let mut m = MotifMatcher::new(motifs.clone(), rand.clone());
+            let mut buffered = 0usize;
+            for e in stream.iter() {
+                if m.on_edge(*e) == loom_core::matcher::EdgeFate::Buffered {
+                    buffered += 1;
+                }
+            }
+            buffered
+        })
+    });
+    group.finish();
+}
+
+fn bench_query_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_query_executor");
+    group.sample_size(10);
+    for dataset in [DatasetKind::Dblp, DatasetKind::MusicBrainz] {
+        let graph = datasets::generate(dataset, Scale::Tiny, 1);
+        let workload = workload_for(dataset);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dataset.name()),
+            &(&graph, &workload),
+            |b, (graph, workload)| {
+                b.iter(|| {
+                    let ex = QueryExecutor::new(graph);
+                    workload
+                        .queries()
+                        .iter()
+                        .map(|(q, _)| ex.count_matches(q, 50_000))
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_generators");
+    group.sample_size(10);
+    for dataset in DatasetKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dataset.name()),
+            &dataset,
+            |b, &d| b.iter(|| datasets::generate(d, Scale::Tiny, 3).num_edges()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trie_build,
+    bench_matcher_stream,
+    bench_query_executor,
+    bench_generators
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table 2 — time to partition 10k edges, per system per dataset.
+//!
+//! Criterion times one full partitioning pass per (dataset, system)
+//! cell; the per-10k-edge normalisation the paper reports is
+//! `elapsed * 10_000 / |E|`. The shape to reproduce: Hash fastest,
+//! LDG ≈ Fennel, Loom slower by ~1.5-7x (§5.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_core::graph::{datasets, DatasetKind, GraphStream, Scale, StreamOrder};
+use loom_core::prelude::*;
+use loom_core::{make_partitioner, ExperimentConfig, System};
+
+fn bench_throughput(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let mut group = c.benchmark_group("table2_partition_10k_edges");
+    group.sample_size(10);
+    for dataset in DatasetKind::ALL {
+        let cfg = ExperimentConfig::evaluation_defaults(dataset, scale, StreamOrder::BreadthFirst);
+        let graph = datasets::generate(dataset, scale, cfg.seed);
+        let workload = workload_for(dataset);
+        let stream = GraphStream::from_graph(&graph, cfg.order, cfg.seed);
+        // Criterion reports per-iteration time over the whole stream;
+        // normalise offline: ms/10k = time * 1e4 / stream.len().
+        for system in System::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(system.name(), dataset.name()),
+                &(&cfg, &stream, &workload),
+                |b, (cfg, stream, workload)| {
+                    b.iter(|| {
+                        let mut p = make_partitioner(system, cfg, stream, workload);
+                        loom_core::partition::partition_stream(p.as_mut(), stream);
+                        p.into_assignment()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations]
+//!       [--scale tiny|small|medium|large] [--seed N] [--jsonl PATH]
+//! ```
+//!
+//! Prints paper-style markdown tables to stdout; with `--jsonl` also
+//! writes machine-readable result rows for the ipt experiments.
+
+use loom_bench::suites::{self, SuiteOptions};
+use loom_core::graph::Scale;
+use std::io::Write as _;
+
+struct Args {
+    experiment: String,
+    options: SuiteOptions,
+    jsonl: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiment = "all".to_string();
+    let mut options = SuiteOptions::default();
+    let mut jsonl = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--experiment" | "-e" => experiment = take_value(&mut i)?,
+            "--scale" | "-s" => {
+                options.scale = match take_value(&mut i)?.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    "large" => Scale::Large,
+                    other => return Err(format!("unknown scale {other}")),
+                }
+            }
+            "--seed" => {
+                options.seed = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--jsonl" => jsonl = Some(take_value(&mut i)?),
+            "--help" | "-h" => {
+                println!(
+                    "repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations]\n      [--scale tiny|small|medium|large] [--seed N] [--jsonl PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    Ok(Args {
+        experiment,
+        options,
+        jsonl,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let opts = args.options;
+    println!(
+        "# Loom reproduction — scale `{}`, seed {}\n",
+        opts.scale.name(),
+        opts.seed
+    );
+
+    let mut all_results = Vec::new();
+    let want = |name: &str| args.experiment == "all" || args.experiment == name;
+
+    if want("table1") {
+        println!("{}\n", suites::table1(&opts));
+    }
+    if want("fig4") {
+        println!("{}\n", suites::fig4());
+    }
+    if want("fig7") {
+        let (text, results) = suites::fig7(&opts);
+        println!("{text}\n");
+        all_results.extend(results);
+    }
+    if want("fig8") {
+        let (text, results) = suites::fig8(&opts);
+        println!("{text}\n");
+        all_results.extend(results);
+    }
+    if want("fig9") {
+        println!("{}\n", suites::fig9(&opts));
+    }
+    if want("table2") {
+        println!("{}\n", suites::table2(&opts));
+    }
+    if want("ablations") {
+        println!("{}\n", suites::ablations(&opts));
+    }
+
+    if let Some(path) = args.jsonl {
+        let mut f = std::fs::File::create(&path).expect("create jsonl file");
+        f.write_all(suites::jsonl(&all_results).as_bytes())
+            .expect("write jsonl");
+        eprintln!("wrote {} result rows to {path}", all_results.len() * 4);
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal dependency-free argument parsing for the `loom` binary.
+//!
+//! Grammar: `loom <command> [--flag value]...`. Flags are collected
+//! into a map; each command validates the ones it needs, so typos are
+//! reported rather than silently ignored.
+
+use std::collections::HashMap;
+
+/// A parsed command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: HashMap<String, String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse from an iterator of arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ArgError> {
+        let mut it = argv.into_iter().peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing command; try `loom help`".into()))?;
+        let mut flags = HashMap::new();
+        while let Some(tok) = it.next() {
+            let name = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError(format!("expected a --flag, got '{tok}'")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(ArgError(format!("--{name} given twice")));
+            }
+        }
+        Ok(Args {
+            command,
+            flags,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<String, ArgError> {
+        self.consumed.borrow_mut().push(name.to_string());
+        self.flags
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ArgError(format!("missing required --{name}")))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<String> {
+        self.consumed.borrow_mut().push(name.to_string());
+        self.flags.get(name).cloned()
+    }
+
+    /// An optional flag parsed to `T`, with a default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.optional(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| ArgError(format!("bad value for --{name}: {e}"))),
+        }
+    }
+
+    /// Error out if any flag was supplied that no command consumed —
+    /// catches typos like `--window`.
+    pub fn finish(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        for name in self.flags.keys() {
+            if !consumed.iter().any(|c| c == name) {
+                return Err(ArgError(format!("unknown flag --{name}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = args("partition --graph g.lg --k 8").unwrap();
+        assert_eq!(a.command, "partition");
+        assert_eq!(a.required("graph").unwrap(), "g.lg");
+        assert_eq!(a.parsed_or("k", 2usize).unwrap(), 8);
+        assert_eq!(a.parsed_or("window", 100usize).unwrap(), 100);
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        let a = args("partition").unwrap();
+        assert!(a.required("graph").is_err());
+    }
+
+    #[test]
+    fn unknown_flag_detected() {
+        let a = args("partition --graph g --bogus 1").unwrap();
+        let _ = a.required("graph");
+        assert!(a.finish().is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_rejected() {
+        assert!(args("x --k 1 --k 2").is_err());
+    }
+
+    #[test]
+    fn flag_without_value_rejected() {
+        assert!(args("x --k").is_err());
+    }
+
+    #[test]
+    fn bad_parse_reports_flag_name() {
+        let a = args("x --k nope").unwrap();
+        let err = a.parsed_or("k", 0usize).unwrap_err();
+        assert!(err.0.contains("--k"));
+    }
+}

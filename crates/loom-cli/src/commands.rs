@@ -1,0 +1,393 @@
+//! The `loom` subcommands.
+
+use crate::args::Args;
+use loom_core::graph::io;
+use loom_core::graph::{datasets, DatasetKind, GraphStream, LabeledGraph, Scale, StreamOrder};
+use loom_core::partition::{
+    partition_stream, Assignment, EoParams, FennelParams, FennelPartitioner, HashPartitioner,
+    LdgPartitioner, LoomConfig, LoomPartitioner, PartitionMetrics, StreamPartitioner,
+};
+use loom_core::prelude::*;
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+loom <command> [--flag value]...
+
+commands:
+  generate   --dataset dblp|provgen|musicbrainz|lubm100|lubm4000
+             [--scale tiny|small|medium|large] [--seed N] [--out FILE]
+  workload   --dataset ... [--out FILE]
+  motifs     --workload FILE [--threshold 0.4] [--prime 251] [--seed N]
+  partition  --graph FILE --k N [--system hash|ldg|fennel|loom]
+             [--workload FILE] [--order generated|random|bfs|dfs]
+             [--window N] [--threshold 0.4] [--seed N] [--out FILE]
+             [--restream N] [--refine N]
+  evaluate   --graph FILE --workload FILE --assignment FILE [--limit N]
+  help";
+
+type Result<T> = std::result::Result<T, Box<dyn Error>>;
+
+/// Dispatch a parsed command line.
+pub fn run(args: &Args) -> Result<()> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "workload" => workload_cmd(args),
+        "motifs" => motifs(args),
+        "partition" => partition(args),
+        "evaluate" => evaluate(args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'; try `loom help`").into()),
+    }
+}
+
+fn parse_dataset(name: &str) -> Result<DatasetKind> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "dblp" => DatasetKind::Dblp,
+        "provgen" => DatasetKind::ProvGen,
+        "musicbrainz" => DatasetKind::MusicBrainz,
+        "lubm100" | "lubm-100" => DatasetKind::Lubm100,
+        "lubm4000" | "lubm-4000" => DatasetKind::Lubm4000,
+        other => return Err(format!("unknown dataset '{other}'").into()),
+    })
+}
+
+fn parse_scale(name: &str) -> Result<Scale> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "medium" => Scale::Medium,
+        "large" => Scale::Large,
+        other => return Err(format!("unknown scale '{other}'").into()),
+    })
+}
+
+fn parse_order(name: &str) -> Result<StreamOrder> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "generated" | "as-generated" => StreamOrder::AsGenerated,
+        "random" => StreamOrder::Random,
+        "bfs" | "breadth-first" => StreamOrder::BreadthFirst,
+        "dfs" | "depth-first" => StreamOrder::DepthFirst,
+        other => return Err(format!("unknown order '{other}'").into()),
+    })
+}
+
+fn out_writer(path: Option<String>) -> Result<Box<dyn Write>> {
+    Ok(match path {
+        Some(p) => Box::new(BufWriter::new(File::create(p)?)),
+        None => Box::new(std::io::stdout().lock()),
+    })
+}
+
+fn read_graph_file(path: &str) -> Result<LabeledGraph> {
+    Ok(io::read_graph(BufReader::new(File::open(path)?))?)
+}
+
+fn read_workload_file(path: &str) -> Result<(Workload, Vec<String>)> {
+    Ok(io::read_workload(BufReader::new(File::open(path)?))?)
+}
+
+fn generate(args: &Args) -> Result<()> {
+    let dataset = parse_dataset(&args.required("dataset")?)?;
+    let scale = parse_scale(&args.optional("scale").unwrap_or_else(|| "small".into()))?;
+    let seed = args.parsed_or("seed", 42u64)?;
+    let out = args.optional("out");
+    args.finish()?;
+    let g = datasets::generate(dataset, scale, seed);
+    io::write_graph(&g, out_writer(out)?)?;
+    eprintln!(
+        "generated {}: {} vertices, {} edges, {} labels",
+        dataset.name(),
+        g.num_vertices(),
+        g.num_edges(),
+        g.num_labels()
+    );
+    Ok(())
+}
+
+fn workload_cmd(args: &Args) -> Result<()> {
+    let dataset = parse_dataset(&args.required("dataset")?)?;
+    let out = args.optional("out");
+    args.finish()?;
+    let w = workload_for(dataset);
+    // The generators' label names give the header.
+    let g = datasets::generate(dataset, Scale::Tiny, 0);
+    io::write_workload(&w, g.label_names(), out_writer(out)?)?;
+    eprintln!("wrote the {} workload ({} queries)", dataset.name(), w.len());
+    Ok(())
+}
+
+fn motifs(args: &Args) -> Result<()> {
+    let (workload, names) = read_workload_file(&args.required("workload")?)?;
+    let threshold = args.parsed_or("threshold", 0.4f64)?;
+    let prime = args.parsed_or("prime", loom_core::motif::DEFAULT_PRIME)?;
+    let seed = args.parsed_or("seed", 42u64)?;
+    args.finish()?;
+
+    let num_labels = workload
+        .queries()
+        .iter()
+        .flat_map(|(q, _)| q.labels().iter().map(|l| l.index() + 1))
+        .max()
+        .unwrap_or(1)
+        .max(names.len());
+    let rand = LabelRandomizer::new(num_labels, prime, seed);
+    let trie = TpsTrie::build(&workload, &rand);
+    let index = trie.motifs(threshold);
+    println!(
+        "TPSTry++: {} nodes; {} motifs at threshold {:.0}%",
+        trie.len(),
+        index.len(),
+        threshold * 100.0
+    );
+    for (_, m) in index.iter() {
+        let shape = m
+            .example
+            .as_ref()
+            .map(|p| {
+                p.labels()
+                    .iter()
+                    .map(|l| {
+                        names
+                            .get(l.index())
+                            .cloned()
+                            .unwrap_or_else(|| format!("l{}", l.0))
+                    })
+                    .collect::<Vec<_>>()
+                    .join("-")
+            })
+            .unwrap_or_default();
+        println!(
+            "  {} edges  supp {:5.1}%  {}",
+            m.num_edges,
+            m.support * 100.0,
+            shape
+        );
+    }
+    Ok(())
+}
+
+fn partition(args: &Args) -> Result<()> {
+    let graph = read_graph_file(&args.required("graph")?)?;
+    let k = args.parsed_or("k", 0usize)?;
+    if k == 0 {
+        return Err("--k is required and must be positive".into());
+    }
+    let system = args.optional("system").unwrap_or_else(|| "loom".into());
+    let order = parse_order(&args.optional("order").unwrap_or_else(|| "generated".into()))?;
+    let seed = args.parsed_or("seed", 42u64)?;
+    let window = args.parsed_or("window", (graph.num_edges() / 50).clamp(64, 10_000))?;
+    let threshold = args.parsed_or("threshold", 0.4f64)?;
+    let restream = args.parsed_or("restream", 0usize)?;
+    let refine = args.parsed_or("refine", 0usize)?;
+    let workload_path = args.optional("workload");
+    let workload_path_for_refine = workload_path.clone();
+    let out = args.optional("out");
+    args.finish()?;
+
+    let stream = GraphStream::from_graph(&graph, order, seed);
+    let mut assignment = match system.to_ascii_lowercase().as_str() {
+        "hash" => run_partitioner_boxed(
+            Box::new(HashPartitioner::new(k, graph.num_vertices(), seed)),
+            &stream,
+        ),
+        "ldg" => run_partitioner_boxed(
+            Box::new(LdgPartitioner::new(k, graph.num_vertices())),
+            &stream,
+        ),
+        "fennel" => run_partitioner_boxed(
+            Box::new(FennelPartitioner::new(
+                k,
+                graph.num_vertices(),
+                graph.num_edges(),
+                FennelParams::default(),
+            )),
+            &stream,
+        ),
+        "loom" => {
+            let path = workload_path
+                .ok_or("--system loom needs --workload (the query patterns to optimise for)")?;
+            let (workload, _) = read_workload_file(&path)?;
+            let config = LoomConfig {
+                k,
+                window_size: window,
+                support_threshold: threshold,
+                prime: loom_core::motif::DEFAULT_PRIME,
+                eo: EoParams::default(),
+                capacity_slack: 1.1,
+                seed,
+                allocation: Default::default(),
+            };
+            let loom = LoomPartitioner::new(
+                &config,
+                &workload,
+                graph.num_vertices(),
+                graph.num_labels(),
+            );
+            run_partitioner_boxed(Box::new(loom), &stream)
+        }
+        other => return Err(format!("unknown system '{other}'").into()),
+    };
+    for _ in 0..restream {
+        assignment = loom_core::partition::restream_pass(&stream, &assignment, 1.1);
+    }
+    if refine > 0 {
+        let path = workload_path_for_refine
+            .as_deref()
+            .ok_or("--refine needs --workload (it optimises for the query patterns)")?;
+        let (workload, _) = read_workload_file(path)?;
+        let weights = loom_core::partition::TraversalWeights::from_workload(&workload);
+        let result =
+            loom_core::partition::taper_refine(&graph, &assignment, &weights, refine, 1.1);
+        eprintln!(
+            "taper refine: {} moves over {} rounds",
+            result.moves, result.rounds
+        );
+        assignment = result.assignment;
+    }
+
+    let metrics = PartitionMetrics::measure(&graph, &assignment);
+    eprintln!(
+        "{system} over {} edges ({} order): cut {:.1}%, imbalance {:.1}%, sizes {:?}",
+        graph.num_edges(),
+        order.name(),
+        metrics.cut_fraction * 100.0,
+        metrics.imbalance * 100.0,
+        metrics.sizes
+    );
+    let mut w = out_writer(out)?;
+    write_assignment(&assignment, &graph, &mut w)?;
+    Ok(())
+}
+
+fn run_partitioner_boxed(mut p: Box<dyn StreamPartitioner>, stream: &GraphStream) -> Assignment {
+    partition_stream(p.as_mut(), stream);
+    p.into_assignment()
+}
+
+/// Write `vertex<TAB>partition` rows.
+fn write_assignment<W: Write>(a: &Assignment, g: &LabeledGraph, w: &mut W) -> Result<()> {
+    for v in g.vertices() {
+        if let Some(p) = a.partition_of(v) {
+            writeln!(w, "{}\t{}", v.0, p.0)?;
+        }
+    }
+    Ok(())
+}
+
+/// Read an assignment back (the `evaluate` input).
+fn read_assignment<R: BufRead>(r: R, num_vertices: usize) -> Result<Assignment> {
+    use loom_core::graph::{PartitionId, VertexId};
+    let mut rows: Vec<(u32, u32)> = Vec::new();
+    let mut max_p = 0u32;
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let v: u32 = parts
+            .next()
+            .ok_or_else(|| format!("line {}: empty row", i + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad vertex: {e}", i + 1))?;
+        let p: u32 = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing partition", i + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad partition: {e}", i + 1))?;
+        if (v as usize) >= num_vertices {
+            return Err(format!("line {}: vertex {v} outside graph", i + 1).into());
+        }
+        max_p = max_p.max(p);
+        rows.push((v, p));
+    }
+    let mut state =
+        loom_core::partition::PartitionState::new((max_p + 1).max(1) as usize, num_vertices, 2.0);
+    for (v, p) in rows {
+        state.assign(VertexId(v), PartitionId(p));
+    }
+    Ok(state.into_assignment())
+}
+
+fn evaluate(args: &Args) -> Result<()> {
+    let graph = read_graph_file(&args.required("graph")?)?;
+    let (workload, _) = read_workload_file(&args.required("workload")?)?;
+    let assignment_path = args.required("assignment")?;
+    let limit = args.parsed_or("limit", 500_000usize)?;
+    args.finish()?;
+
+    let assignment = read_assignment(
+        BufReader::new(File::open(assignment_path)?),
+        graph.num_vertices(),
+    )?;
+    let metrics = PartitionMetrics::measure(&graph, &assignment);
+    let report = count_ipt(&graph, &assignment, &workload, limit);
+    println!(
+        "weighted ipt {:.1} over {} matches; cut {:.1}%, imbalance {:.1}%",
+        report.weighted_ipt,
+        report.total_matches(),
+        metrics.cut_fraction * 100.0,
+        metrics.imbalance * 100.0
+    );
+    for q in &report.per_query {
+        println!(
+            "  {:<20} freq {:4.0}%  matches {:>8}  ipt {:>8}  traversals {:>9}",
+            q.name,
+            q.frequency * 100.0,
+            q.matches,
+            q.ipt,
+            q.traversals
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_and_scale_parsing() {
+        assert_eq!(parse_dataset("DBLP").unwrap(), DatasetKind::Dblp);
+        assert_eq!(parse_dataset("lubm-4000").unwrap(), DatasetKind::Lubm4000);
+        assert!(parse_dataset("nope").is_err());
+        assert_eq!(parse_scale("tiny").unwrap(), Scale::Tiny);
+        assert!(parse_scale("huge").is_err());
+        assert_eq!(parse_order("bfs").unwrap(), StreamOrder::BreadthFirst);
+        assert!(parse_order("sideways").is_err());
+    }
+
+    #[test]
+    fn assignment_roundtrip() {
+        use loom_core::graph::{Label, PartitionId, VertexId};
+        let mut g = LabeledGraph::with_anonymous_labels(1);
+        for _ in 0..4 {
+            g.add_vertex(Label(0));
+        }
+        let mut s = loom_core::partition::PartitionState::new(2, 4, 2.0);
+        s.assign(VertexId(0), PartitionId(0));
+        s.assign(VertexId(1), PartitionId(1));
+        s.assign(VertexId(3), PartitionId(1));
+        let a = s.into_assignment();
+        let mut buf = Vec::new();
+        write_assignment(&a, &g, &mut buf).unwrap();
+        let back = read_assignment(&buf[..], 4).unwrap();
+        for v in g.vertices() {
+            assert_eq!(back.partition_of(v), a.partition_of(v));
+        }
+    }
+
+    #[test]
+    fn assignment_rejects_bad_rows() {
+        assert!(read_assignment("abc\t0\n".as_bytes(), 4).is_err());
+        assert!(read_assignment("9\t0\n".as_bytes(), 4).is_err(), "vertex range");
+        assert!(read_assignment("1\n".as_bytes(), 4).is_err(), "missing partition");
+    }
+}

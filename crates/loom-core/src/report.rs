@@ -1,0 +1,164 @@
+//! Paper-style report formatting for experiment results.
+//!
+//! The `repro` binary prints each table and figure of §5 in the same
+//! rows/series the paper reports; these helpers render the markdown
+//! tables and serialisable result rows it uses.
+
+use crate::config::System;
+use crate::pipeline::ExperimentResult;
+
+/// A flat, serialisable row for one (experiment, system) pair —
+/// emitted as JSON lines alongside the human-readable tables.
+#[derive(Clone, Debug)]
+pub struct ResultRow {
+    /// Dataset name as in Table 1.
+    pub dataset: String,
+    /// Scale preset name.
+    pub scale: String,
+    /// Stream order name.
+    pub order: String,
+    /// Number of partitions.
+    pub k: usize,
+    /// Loom window size used for this cell.
+    pub window: usize,
+    /// System name.
+    pub system: String,
+    /// Weighted ipt.
+    pub weighted_ipt: f64,
+    /// ipt as % of Hash on the same cell.
+    pub ipt_vs_hash_pct: f64,
+    /// Vertex imbalance (0 = perfect).
+    pub imbalance: f64,
+    /// Fraction of edges cut.
+    pub cut_fraction: f64,
+    /// Milliseconds per 10k edges partitioned.
+    pub ms_per_10k_edges: f64,
+}
+
+impl ResultRow {
+    /// Render as one JSON object (hand-rolled: the row is flat and the
+    /// only strings are controlled names, so no escaping is needed).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"dataset\":\"{}\",\"scale\":\"{}\",\"order\":\"{}\",",
+                "\"k\":{},\"window\":{},\"system\":\"{}\",",
+                "\"weighted_ipt\":{:.4},\"ipt_vs_hash_pct\":{:.3},",
+                "\"imbalance\":{:.5},\"cut_fraction\":{:.5},",
+                "\"ms_per_10k_edges\":{:.3}}}"
+            ),
+            self.dataset,
+            self.scale,
+            self.order,
+            self.k,
+            self.window,
+            self.system,
+            self.weighted_ipt,
+            self.ipt_vs_hash_pct,
+            self.imbalance,
+            self.cut_fraction,
+            self.ms_per_10k_edges,
+        )
+    }
+}
+
+/// Flatten an experiment into rows.
+pub fn rows(result: &ExperimentResult) -> Vec<ResultRow> {
+    result
+        .systems
+        .iter()
+        .map(|s| ResultRow {
+            dataset: result.config.dataset.name().to_string(),
+            scale: result.config.scale.name().to_string(),
+            order: result.config.order.name().to_string(),
+            k: result.config.k,
+            window: result.config.window_size,
+            system: s.system.name().to_string(),
+            weighted_ipt: s.weighted_ipt,
+            ipt_vs_hash_pct: result.ipt_vs_hash(s.system).unwrap_or(f64::NAN),
+            imbalance: s.metrics.imbalance,
+            cut_fraction: s.metrics.cut_fraction,
+            ms_per_10k_edges: s.ms_per_10k_edges(),
+        })
+        .collect()
+}
+
+/// Render a markdown table: header row + alignment row + data rows.
+pub fn markdown_table(header: &[&str], body: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in header {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in body {
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// `ipt vs Hash` cells for one experiment, one per non-Hash system —
+/// the unit of Figs. 7 and 8.
+pub fn ipt_pct_cells(result: &ExperimentResult) -> Vec<(System, f64)> {
+    [System::Ldg, System::Fennel, System::Loom]
+        .into_iter()
+        .filter_map(|s| result.ipt_vs_hash(s).map(|pct| (s, pct)))
+        .collect()
+}
+
+/// Format a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use crate::pipeline::run_experiment;
+    use loom_graph::{DatasetKind, Scale, StreamOrder};
+
+    #[test]
+    fn rows_and_table_render() {
+        let mut cfg = ExperimentConfig::evaluation_defaults(
+            DatasetKind::ProvGen,
+            Scale::Tiny,
+            StreamOrder::BreadthFirst,
+        );
+        cfg.k = 2;
+        cfg.limit_per_query = 5_000;
+        let r = run_experiment(&cfg);
+        let rows = rows(&r);
+        assert_eq!(rows.len(), 4);
+        let hash_row = rows.iter().find(|x| x.system == "Hash").unwrap();
+        assert!((hash_row.ipt_vs_hash_pct - 100.0).abs() < 1e-9);
+
+        let table = markdown_table(
+            &["system", "ipt%"],
+            &rows
+                .iter()
+                .map(|x| vec![x.system.clone(), pct(x.ipt_vs_hash_pct)])
+                .collect::<Vec<_>>(),
+        );
+        assert!(table.contains("| system | ipt% |"));
+        assert!(table.lines().count() == 2 + 4);
+
+        let json = rows[0].to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"system\":\"Hash\""));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(61.234), "61.2%");
+    }
+}

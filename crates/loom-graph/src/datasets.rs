@@ -1,0 +1,176 @@
+//! Named datasets with scale presets, mirroring Table 1.
+//!
+//! Every experiment in the benchmark harness addresses its input as a
+//! `(DatasetKind, Scale)` pair so the paper's tables can name datasets
+//! the way the paper does while tests run on miniatures of the same
+//! distributions.
+
+use crate::generators::{dblp, lubm, musicbrainz, provgen};
+use crate::labeled::LabeledGraph;
+
+/// The five evaluation datasets of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Publications & citations; 8 labels; real in the paper.
+    Dblp,
+    /// Wiki page provenance; 3 labels; synthetic in the paper too.
+    ProvGen,
+    /// Music records metadata; 12 labels; real in the paper.
+    MusicBrainz,
+    /// University records; 15 labels; LUBM-100.
+    Lubm100,
+    /// University records at 40x scale; LUBM-4000 (throughput runs only).
+    Lubm4000,
+}
+
+impl DatasetKind {
+    /// The four datasets whose ipt is measured in Figs. 7-9 (LUBM-4000 is
+    /// excluded there, exactly as in the paper).
+    pub const IPT_EVALUATED: [DatasetKind; 4] = [
+        DatasetKind::Dblp,
+        DatasetKind::ProvGen,
+        DatasetKind::MusicBrainz,
+        DatasetKind::Lubm100,
+    ];
+
+    /// All five datasets (Table 1, Table 2).
+    pub const ALL: [DatasetKind; 5] = [
+        DatasetKind::Dblp,
+        DatasetKind::ProvGen,
+        DatasetKind::MusicBrainz,
+        DatasetKind::Lubm100,
+        DatasetKind::Lubm4000,
+    ];
+
+    /// Name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Dblp => "DBLP",
+            DatasetKind::ProvGen => "ProvGen",
+            DatasetKind::MusicBrainz => "MusicBrainz",
+            DatasetKind::Lubm100 => "LUBM-100",
+            DatasetKind::Lubm4000 => "LUBM-4000",
+        }
+    }
+
+    /// `|L_V|` of the schema (Table 1).
+    pub fn num_labels(self) -> usize {
+        match self {
+            DatasetKind::Dblp => 8,
+            DatasetKind::ProvGen => 3,
+            DatasetKind::MusicBrainz => 12,
+            DatasetKind::Lubm100 | DatasetKind::Lubm4000 => 15,
+        }
+    }
+
+    /// Whether the paper's original dataset was real-world data.
+    pub fn paper_dataset_was_real(self) -> bool {
+        matches!(self, DatasetKind::Dblp | DatasetKind::MusicBrainz)
+    }
+}
+
+/// Scale presets. The paper's absolute sizes (up to 534M edges) are out
+/// of scope for a laptop-budget reproduction; relative sizes between
+/// datasets are preserved (LUBM-4000 is the largest at every scale).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// ~1-3k edges: unit/integration tests.
+    Tiny,
+    /// ~10-20k edges: fast experiments.
+    Small,
+    /// ~40-80k edges: the default for figure regeneration.
+    Medium,
+    /// ~200-400k edges: throughput measurements (Table 2).
+    Large,
+}
+
+impl Scale {
+    /// Rough target edge count for this preset.
+    pub fn target_edges(self) -> usize {
+        match self {
+            Scale::Tiny => 2_000,
+            Scale::Small => 15_000,
+            Scale::Medium => 60_000,
+            Scale::Large => 250_000,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+        }
+    }
+}
+
+/// Generate a dataset at the given scale. Deterministic in
+/// `(kind, scale, seed)`.
+pub fn generate(kind: DatasetKind, scale: Scale, seed: u64) -> LabeledGraph {
+    let edges = scale.target_edges();
+    match kind {
+        DatasetKind::Dblp => dblp::generate(&dblp::DblpConfig::with_target_edges(edges), seed),
+        DatasetKind::ProvGen => {
+            provgen::generate(&provgen::ProvGenConfig::with_target_edges(edges), seed)
+        }
+        DatasetKind::MusicBrainz => musicbrainz::generate(
+            &musicbrainz::MusicBrainzConfig::with_target_edges(edges),
+            seed,
+        ),
+        DatasetKind::Lubm100 => {
+            lubm::generate(&lubm::LubmConfig::with_target_edges(edges), seed)
+        }
+        // LUBM-4000 is 40x LUBM-100 in the paper; keep the ratio bounded
+        // at reproduction scales (4x) so Table 2 stays tractable.
+        DatasetKind::Lubm4000 => {
+            lubm::generate(&lubm::LubmConfig::with_target_edges(edges * 4), seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dataset_generates_at_tiny_scale() {
+        for kind in DatasetKind::ALL {
+            let g = generate(kind, Scale::Tiny, 1);
+            assert!(g.num_edges() > 200, "{}: {}", kind.name(), g.num_edges());
+            assert_eq!(g.num_labels(), kind.num_labels(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let kind = DatasetKind::ProvGen;
+        let tiny = generate(kind, Scale::Tiny, 1).num_edges();
+        let small = generate(kind, Scale::Small, 1).num_edges();
+        let medium = generate(kind, Scale::Medium, 1).num_edges();
+        assert!(tiny < small && small < medium, "{tiny} {small} {medium}");
+    }
+
+    #[test]
+    fn lubm4000_is_larger_than_lubm100() {
+        let a = generate(DatasetKind::Lubm100, Scale::Tiny, 1).num_edges();
+        let b = generate(DatasetKind::Lubm4000, Scale::Tiny, 1).num_edges();
+        assert!(b > 2 * a, "{b} vs {a}");
+    }
+
+    #[test]
+    fn heterogeneity_matches_table1() {
+        assert_eq!(DatasetKind::Dblp.num_labels(), 8);
+        assert_eq!(DatasetKind::ProvGen.num_labels(), 3);
+        assert_eq!(DatasetKind::MusicBrainz.num_labels(), 12);
+        assert_eq!(DatasetKind::Lubm100.num_labels(), 15);
+        assert_eq!(DatasetKind::Lubm4000.num_labels(), 15);
+    }
+
+    #[test]
+    fn ipt_evaluated_excludes_lubm4000() {
+        assert!(!DatasetKind::IPT_EVALUATED.contains(&DatasetKind::Lubm4000));
+        assert_eq!(DatasetKind::IPT_EVALUATED.len(), 4);
+    }
+}

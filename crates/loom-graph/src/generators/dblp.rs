@@ -1,0 +1,244 @@
+//! DBLP-like bibliographic graph generator.
+//!
+//! Stands in for the real DBLP dataset of Table 1 (1.2M vertices, 2.5M
+//! edges, 8 labels). The generator reproduces the properties Loom's
+//! evaluation depends on — an 8-label schema, power-law authorship and
+//! citation counts, hub venues — at a configurable scale.
+//!
+//! Labels: `Paper`, `Author`, `Conference`, `Journal`, `Institution`,
+//! `Topic`, `Year`, `Editor`.
+
+use crate::generators::skew::{PrefAttach, Zipf};
+use crate::labeled::LabeledGraph;
+use crate::types::VertexId;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Label indices of the DBLP-like schema.
+pub mod labels {
+    use crate::types::Label;
+    /// A publication.
+    pub const PAPER: Label = Label(0);
+    /// A person authoring papers.
+    pub const AUTHOR: Label = Label(1);
+    /// A conference venue.
+    pub const CONFERENCE: Label = Label(2);
+    /// A journal venue.
+    pub const JOURNAL: Label = Label(3);
+    /// An author's affiliation.
+    pub const INSTITUTION: Label = Label(4);
+    /// A subject topic.
+    pub const TOPIC: Label = Label(5);
+    /// A publication year.
+    pub const YEAR: Label = Label(6);
+    /// A venue editor.
+    pub const EDITOR: Label = Label(7);
+}
+
+/// Human-readable names of the schema, indexed by label.
+pub fn label_names() -> Vec<String> {
+    ["Paper", "Author", "Conference", "Journal", "Institution", "Topic", "Year", "Editor"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Tuning knobs of the generator. `Default` matches the shape of real
+/// DBLP (mean ~2 authors/paper, ~1 citation/paper retained after
+/// dedup, skewed venue popularity).
+#[derive(Clone, Debug)]
+pub struct DblpConfig {
+    /// Number of papers; every other entity count is derived from it.
+    pub num_papers: usize,
+    /// Mean authors per paper (minimum 1).
+    pub mean_authors_per_paper: f64,
+    /// Mean citations from each paper to earlier papers.
+    pub mean_citations_per_paper: f64,
+    /// Zipf exponent for author productivity.
+    pub author_skew: f64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig {
+            num_papers: 10_000,
+            mean_authors_per_paper: 2.2,
+            mean_citations_per_paper: 1.0,
+            author_skew: 0.9,
+        }
+    }
+}
+
+impl DblpConfig {
+    /// A config targeting roughly `edges` edges.
+    pub fn with_target_edges(edges: usize) -> Self {
+        // Each paper contributes ~6.2 edges under the default means.
+        DblpConfig {
+            num_papers: (edges as f64 / 6.2).ceil().max(8.0) as usize,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generate a DBLP-like graph. Deterministic in `(config, seed)`.
+pub fn generate(config: &DblpConfig, seed: u64) -> LabeledGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n_papers = config.num_papers.max(4);
+    let n_authors = (n_papers as f64 * 0.8).ceil() as usize;
+    let n_confs = (n_papers / 200).max(2);
+    let n_journals = (n_papers / 300).max(2);
+    let n_insts = (n_papers / 100).max(2);
+    let n_topics = (n_papers / 80).clamp(4, 200);
+    let n_years = 40.min(n_papers);
+    let n_editors = (n_confs + n_journals).max(2);
+
+    let mut g = LabeledGraph::new(label_names());
+    g.reserve(
+        n_papers + n_authors + n_confs + n_journals + n_insts + n_topics + n_years + n_editors,
+        (n_papers as f64 * 6.5) as usize,
+    );
+
+    let papers: Vec<VertexId> = (0..n_papers).map(|_| g.add_vertex(labels::PAPER)).collect();
+    let authors: Vec<VertexId> = (0..n_authors).map(|_| g.add_vertex(labels::AUTHOR)).collect();
+    let confs: Vec<VertexId> = (0..n_confs).map(|_| g.add_vertex(labels::CONFERENCE)).collect();
+    let journals: Vec<VertexId> = (0..n_journals).map(|_| g.add_vertex(labels::JOURNAL)).collect();
+    let insts: Vec<VertexId> = (0..n_insts).map(|_| g.add_vertex(labels::INSTITUTION)).collect();
+    let topics: Vec<VertexId> = (0..n_topics).map(|_| g.add_vertex(labels::TOPIC)).collect();
+    let years: Vec<VertexId> = (0..n_years).map(|_| g.add_vertex(labels::YEAR)).collect();
+    let editors: Vec<VertexId> = (0..n_editors).map(|_| g.add_vertex(labels::EDITOR)).collect();
+
+    let author_zipf = Zipf::new(n_authors, config.author_skew);
+    let conf_zipf = Zipf::new(n_confs, 1.0);
+    let journal_zipf = Zipf::new(n_journals, 1.0);
+    let inst_zipf = Zipf::new(n_insts, 0.8);
+    let topic_zipf = Zipf::new(n_topics, 1.1);
+    let mut citation_pool = PrefAttach::empty();
+
+    for (i, &paper) in papers.iter().enumerate() {
+        // Authorship: 1 + Poisson-ish extra authors, Zipf over authors.
+        let n_auth = 1 + sample_extra(&mut rng, config.mean_authors_per_paper - 1.0);
+        for _ in 0..n_auth {
+            let a = authors[author_zipf.sample(&mut rng)];
+            g.add_edge_checked(paper, a);
+        }
+        // Venue: 70% conference, 30% journal (DBLP is conference-heavy).
+        let venue = if rng.gen_bool(0.7) {
+            confs[conf_zipf.sample(&mut rng)]
+        } else {
+            journals[journal_zipf.sample(&mut rng)]
+        };
+        g.add_edge_checked(paper, venue);
+        // Year: later papers get later years.
+        let year = years[(i * n_years) / n_papers];
+        g.add_edge_checked(paper, year);
+        // Topics.
+        g.add_edge_checked(paper, topics[topic_zipf.sample(&mut rng)]);
+        // Citations to earlier papers via preferential attachment.
+        if !citation_pool.is_empty() {
+            let n_cites = sample_extra(&mut rng, config.mean_citations_per_paper);
+            for _ in 0..n_cites {
+                let target = papers[citation_pool.sample(&mut rng) as usize];
+                g.add_edge_checked(paper, target);
+            }
+        }
+        citation_pool.register(i as u32);
+    }
+
+    // Affiliations: each author belongs to one institution.
+    for &a in &authors {
+        g.add_edge_checked(a, insts[inst_zipf.sample(&mut rng)]);
+    }
+
+    // Editors: each venue has 1-2 editors.
+    for (i, &venue) in confs.iter().chain(journals.iter()).enumerate() {
+        g.add_edge_checked(venue, editors[i % n_editors]);
+        if rng.gen_bool(0.4) {
+            g.add_edge_checked(venue, editors[rng.gen_range(0..n_editors)]);
+        }
+    }
+
+    g
+}
+
+/// Sample a small non-negative count with the given mean, capped to keep
+/// pathological draws out of the generated graphs.
+fn sample_extra<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let mut n = 0usize;
+    let p = mean / (1.0 + mean); // geometric with matching mean
+    while n < 8 && rng.gen_bool(p) {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_all_eight_labels() {
+        let g = generate(&DblpConfig { num_papers: 500, ..Default::default() }, 1);
+        assert_eq!(g.num_labels(), 8);
+        let hist = g.label_histogram();
+        for (i, &count) in hist.iter().enumerate() {
+            assert!(count > 0, "label {i} unused");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = DblpConfig { num_papers: 300, ..Default::default() };
+        let a = generate(&cfg, 9);
+        let b = generate(&cfg, 9);
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.num_edges(), b.num_edges());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn edge_vertex_ratio_is_dblp_like() {
+        let g = generate(&DblpConfig { num_papers: 2_000, ..Default::default() }, 2);
+        let ratio = g.num_edges() as f64 / g.num_vertices() as f64;
+        // Real DBLP is ~2.1; the generator lands in [1.5, 4.0].
+        assert!((1.5..4.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn venue_degrees_are_skewed() {
+        let g = generate(&DblpConfig { num_papers: 3_000, ..Default::default() }, 3);
+        let mut conf_degrees: Vec<usize> = g
+            .vertices_with_label(labels::CONFERENCE)
+            .iter()
+            .map(|&v| g.degree(v))
+            .collect();
+        conf_degrees.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(
+            conf_degrees[0] > conf_degrees[conf_degrees.len() - 1] * 3,
+            "expected hub venues: {conf_degrees:?}"
+        );
+    }
+
+    #[test]
+    fn target_edges_is_approximate() {
+        let cfg = DblpConfig::with_target_edges(20_000);
+        let g = generate(&cfg, 4);
+        let e = g.num_edges();
+        assert!((10_000..40_000).contains(&e), "got {e} edges");
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = generate(&DblpConfig { num_papers: 400, ..Default::default() }, 5);
+        let mut seen = std::collections::HashSet::new();
+        for (_, u, v) in g.edges() {
+            assert_ne!(u, v, "self loop");
+            let key = (u.min(v), u.max(v));
+            assert!(seen.insert(key), "duplicate edge {key:?}");
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! LUBM-like university benchmark graph generator.
+//!
+//! Stands in for LUBM-100 (2.6M vertices, 11M edges) and LUBM-4000
+//! (131M/534M) from Table 1. LUBM (the Lehigh University Benchmark) is
+//! itself a synthetic generator, so this module re-implements its shape
+//! directly: universities contain departments, departments employ
+//! faculty and enrol students, students take courses taught by faculty,
+//! faculty and graduate students co-author publications.
+//!
+//! Labels (15): `University`, `Department`, `FullProfessor`,
+//! `AssociateProfessor`, `AssistantProfessor`, `Lecturer`,
+//! `UndergraduateStudent`, `GraduateStudent`, `Course`,
+//! `GraduateCourse`, `ResearchGroup`, `Publication`,
+//! `TeachingAssistant`, `ResearchAssistant`, `Chair`.
+
+use crate::labeled::LabeledGraph;
+use crate::types::VertexId;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Label indices of the LUBM-like schema.
+pub mod labels {
+    use crate::types::Label;
+    /// A university.
+    pub const UNIVERSITY: Label = Label(0);
+    /// A department.
+    pub const DEPARTMENT: Label = Label(1);
+    /// Senior faculty.
+    pub const FULL_PROFESSOR: Label = Label(2);
+    /// Mid-level faculty.
+    pub const ASSOCIATE_PROFESSOR: Label = Label(3);
+    /// Junior faculty.
+    pub const ASSISTANT_PROFESSOR: Label = Label(4);
+    /// Teaching staff.
+    pub const LECTURER: Label = Label(5);
+    /// An undergraduate student.
+    pub const UNDERGRAD: Label = Label(6);
+    /// A graduate student.
+    pub const GRAD: Label = Label(7);
+    /// An undergraduate course.
+    pub const COURSE: Label = Label(8);
+    /// A graduate course.
+    pub const GRAD_COURSE: Label = Label(9);
+    /// A research group.
+    pub const RESEARCH_GROUP: Label = Label(10);
+    /// A publication.
+    pub const PUBLICATION: Label = Label(11);
+    /// A TA appointment.
+    pub const TEACHING_ASSISTANT: Label = Label(12);
+    /// An RA appointment.
+    pub const RESEARCH_ASSISTANT: Label = Label(13);
+    /// A department chair.
+    pub const CHAIR: Label = Label(14);
+}
+
+/// Human-readable names of the schema, indexed by label.
+pub fn label_names() -> Vec<String> {
+    [
+        "University",
+        "Department",
+        "FullProfessor",
+        "AssociateProfessor",
+        "AssistantProfessor",
+        "Lecturer",
+        "UndergraduateStudent",
+        "GraduateStudent",
+        "Course",
+        "GraduateCourse",
+        "ResearchGroup",
+        "Publication",
+        "TeachingAssistant",
+        "ResearchAssistant",
+        "Chair",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// Tuning knobs. LUBM's own defaults are large (15-25 departments of
+/// hundreds of people); `per_department_scale` shrinks each department
+/// proportionally so laptop-scale graphs keep LUBM's *shape*.
+#[derive(Clone, Debug)]
+pub struct LubmConfig {
+    /// Number of universities (LUBM-N).
+    pub num_universities: usize,
+    /// Departments per university.
+    pub departments_per_university: std::ops::Range<usize>,
+    /// Multiplier in (0, 1] applied to within-department entity counts.
+    pub per_department_scale: f64,
+}
+
+impl Default for LubmConfig {
+    fn default() -> Self {
+        LubmConfig {
+            num_universities: 2,
+            departments_per_university: 3..6,
+            per_department_scale: 0.25,
+        }
+    }
+}
+
+impl LubmConfig {
+    /// A config targeting roughly `edges` edges.
+    pub fn with_target_edges(edges: usize) -> Self {
+        // One default-scaled university contributes ~1000 edges.
+        LubmConfig {
+            num_universities: (edges as f64 / 1_000.0).ceil().max(1.0) as usize,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generate a LUBM-like graph. Deterministic in `(config, seed)`.
+pub fn generate(config: &LubmConfig, seed: u64) -> LabeledGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let s = config.per_department_scale.clamp(0.01, 1.0);
+    let scaled = |lo: usize, hi: usize, rng: &mut rand::rngs::StdRng| -> usize {
+        let v = rng.gen_range(lo..=hi);
+        ((v as f64 * s).round() as usize).max(1)
+    };
+
+    let mut g = LabeledGraph::new(label_names());
+
+    for _ in 0..config.num_universities.max(1) {
+        let univ = g.add_vertex(labels::UNIVERSITY);
+        let n_depts = rng
+            .gen_range(config.departments_per_university.start..config.departments_per_university.end.max(config.departments_per_university.start + 1));
+        for _ in 0..n_depts {
+            let dept = g.add_vertex(labels::DEPARTMENT);
+            g.add_edge(dept, univ); // subOrganizationOf
+
+            let chair = g.add_vertex(labels::CHAIR);
+            g.add_edge(chair, dept); // headOf
+
+            // Faculty (LUBM ranges, scaled).
+            let mut faculty: Vec<VertexId> = Vec::new();
+            for _ in 0..scaled(7, 10, &mut rng) {
+                faculty.push(g.add_vertex(labels::FULL_PROFESSOR));
+            }
+            for _ in 0..scaled(10, 14, &mut rng) {
+                faculty.push(g.add_vertex(labels::ASSOCIATE_PROFESSOR));
+            }
+            for _ in 0..scaled(8, 11, &mut rng) {
+                faculty.push(g.add_vertex(labels::ASSISTANT_PROFESSOR));
+            }
+            for _ in 0..scaled(5, 7, &mut rng) {
+                faculty.push(g.add_vertex(labels::LECTURER));
+            }
+            for &f in &faculty {
+                g.add_edge(f, dept); // worksFor
+            }
+
+            // Research groups.
+            let groups: Vec<VertexId> = (0..scaled(10, 20, &mut rng))
+                .map(|_| {
+                    let rg = g.add_vertex(labels::RESEARCH_GROUP);
+                    g.add_edge(rg, dept); // subOrganizationOf
+                    rg
+                })
+                .collect();
+            for &f in &faculty {
+                g.add_edge_checked(f, groups[rng.gen_range(0..groups.len())]);
+            }
+
+            // Courses: each faculty member teaches 1-2 of each kind.
+            let mut courses = Vec::new();
+            let mut grad_courses = Vec::new();
+            for &f in &faculty {
+                for _ in 0..rng.gen_range(1..=2) {
+                    let c = g.add_vertex(labels::COURSE);
+                    g.add_edge(f, c); // teacherOf
+                    courses.push(c);
+                }
+                if rng.gen_bool(0.6) {
+                    let c = g.add_vertex(labels::GRAD_COURSE);
+                    g.add_edge(f, c);
+                    grad_courses.push(c);
+                }
+            }
+
+            // Students.
+            let n_undergrad = scaled(80, 120, &mut rng);
+            let n_grad = scaled(30, 50, &mut rng);
+            for _ in 0..n_undergrad {
+                let u = g.add_vertex(labels::UNDERGRAD);
+                g.add_edge(u, dept); // memberOf
+                for _ in 0..rng.gen_range(2..=4) {
+                    g.add_edge_checked(u, courses[rng.gen_range(0..courses.len())]);
+                }
+            }
+            let mut grads = Vec::with_capacity(n_grad);
+            for _ in 0..n_grad {
+                let gr = g.add_vertex(labels::GRAD);
+                g.add_edge(gr, dept); // memberOf
+                let advisor = faculty[rng.gen_range(0..faculty.len())];
+                g.add_edge(gr, advisor); // advisor
+                if !grad_courses.is_empty() {
+                    for _ in 0..rng.gen_range(1..=3) {
+                        g.add_edge_checked(gr, grad_courses[rng.gen_range(0..grad_courses.len())]);
+                    }
+                }
+                // Assistantships.
+                if rng.gen_bool(0.2) {
+                    let ta = g.add_vertex(labels::TEACHING_ASSISTANT);
+                    g.add_edge(gr, ta);
+                    g.add_edge(ta, courses[rng.gen_range(0..courses.len())]);
+                } else if rng.gen_bool(0.25) {
+                    let ra = g.add_vertex(labels::RESEARCH_ASSISTANT);
+                    g.add_edge(gr, ra);
+                    g.add_edge(ra, groups[rng.gen_range(0..groups.len())]);
+                }
+                grads.push(gr);
+            }
+
+            // Publications: authored by faculty, co-authored by grads.
+            for &f in &faculty {
+                for _ in 0..rng.gen_range(1..=3) {
+                    let p = g.add_vertex(labels::PUBLICATION);
+                    g.add_edge(p, f); // publicationAuthor
+                    if !grads.is_empty() && rng.gen_bool(0.7) {
+                        g.add_edge_checked(p, grads[rng.gen_range(0..grads.len())]);
+                    }
+                }
+            }
+        }
+    }
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_label_schema_all_used() {
+        let g = generate(&LubmConfig::default(), 1);
+        assert_eq!(g.num_labels(), 15);
+        let hist = g.label_histogram();
+        for (i, &c) in hist.iter().enumerate() {
+            assert!(c > 0, "label {} ({}) unused", i, g.label_names()[i]);
+        }
+    }
+
+    #[test]
+    fn graph_is_connected_per_university_and_overall_components() {
+        let cfg = LubmConfig { num_universities: 3, ..Default::default() };
+        let g = generate(&cfg, 2);
+        // Universities are disjoint islands: exactly one component each.
+        assert_eq!(g.connected_components(), 3);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = LubmConfig::default();
+        let a = generate(&cfg, 11);
+        let b = generate(&cfg, 11);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn advisor_edges_exist() {
+        let g = generate(&LubmConfig::default(), 3);
+        let faculty_labels = [
+            labels::FULL_PROFESSOR,
+            labels::ASSOCIATE_PROFESSOR,
+            labels::ASSISTANT_PROFESSOR,
+            labels::LECTURER,
+        ];
+        for gr in g.vertices_with_label(labels::GRAD) {
+            let has_advisor = g
+                .neighbors(gr)
+                .iter()
+                .any(|&(w, _)| faculty_labels.contains(&g.label(w)));
+            assert!(has_advisor, "grad {gr:?} without advisor");
+        }
+    }
+
+    #[test]
+    fn ratio_is_lubm_like() {
+        let g = generate(&LubmConfig { num_universities: 4, ..Default::default() }, 4);
+        let ratio = g.num_edges() as f64 / g.num_vertices() as f64;
+        // Real LUBM-100: 11M / 2.6M ≈ 4.2. Accept a broad band.
+        assert!((1.8..5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn target_edges_scales_university_count() {
+        let small = LubmConfig::with_target_edges(5_000);
+        let large = LubmConfig::with_target_edges(50_000);
+        assert!(large.num_universities > small.num_universities);
+        let g = generate(&large, 5);
+        let e = g.num_edges();
+        assert!((20_000..110_000).contains(&e), "got {e}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Synthetic dataset generators standing in for the evaluation datasets
+//! of Table 1 (§5.1.1).
+//!
+//! The real DBLP and MusicBrainz dumps (and the LUBM generator output
+//! used by the authors) are not shipped with this reproduction; each
+//! generator here reproduces the *properties the evaluation exercises* —
+//! label alphabet size (heterogeneity), degree skew, and schema-shaped
+//! local structure — at configurable scale. See DESIGN.md §4 for the
+//! substitution rationale.
+
+pub mod dblp;
+pub mod lubm;
+pub mod musicbrainz;
+pub mod provgen;
+pub mod skew;

@@ -1,0 +1,192 @@
+//! Skewed sampling primitives shared by the dataset generators.
+//!
+//! Real graph datasets (DBLP, MusicBrainz) have heavy-tailed degree
+//! distributions: a few venues/labels/areas act as hubs while most
+//! entities have low degree. The generators reproduce this with Zipf
+//! sampling and preferential attachment, both seeded and deterministic.
+
+use rand::Rng;
+
+/// Samples indices `0..n` with probability proportional to
+/// `1 / (i + 1)^exponent` — i.e. index 0 is the hottest item.
+///
+/// Implemented with a precomputed cumulative weight table and binary
+/// search, so sampling is `O(log n)` and exact (no rejection).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` items with the given exponent.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the exponent is not finite.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(exponent.is_finite(), "non-finite Zipf exponent");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if the sampler covers no items (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+}
+
+/// Preferential-attachment endpoint pool: items that have received edges
+/// before are proportionally more likely to be drawn again ("rich get
+/// richer"), seeded with one occurrence of each item so no item is
+/// unreachable.
+#[derive(Clone, Debug)]
+pub struct PrefAttach {
+    pool: Vec<u32>,
+}
+
+impl PrefAttach {
+    /// Create a pool over items `0..n`, each seeded with one occurrence.
+    pub fn new(n: usize) -> Self {
+        PrefAttach {
+            pool: (0..n as u32).collect(),
+        }
+    }
+
+    /// Create an empty pool; items must be registered with
+    /// [`PrefAttach::register`] before sampling.
+    pub fn empty() -> Self {
+        PrefAttach { pool: Vec::new() }
+    }
+
+    /// Add an item occurrence, increasing its future sampling weight.
+    pub fn register(&mut self, item: u32) {
+        self.pool.push(item);
+    }
+
+    /// Number of occurrences in the pool.
+    pub fn weight(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// True when no item has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// Draw one item proportionally to its occurrence count.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        assert!(!self.pool.is_empty(), "sampling from empty pool");
+        self.pool[rng.gen_range(0..self.pool.len())]
+    }
+}
+
+/// Draw from a truncated geometric distribution over `lo..=hi` with the
+/// given continuation probability — used for chain lengths (ProvGen
+/// revision histories) and group sizes.
+pub fn geometric_in<R: Rng + ?Sized>(rng: &mut R, lo: usize, hi: usize, p_continue: f64) -> usize {
+    debug_assert!(lo <= hi);
+    let mut v = lo;
+    while v < hi && rng.gen_bool(p_continue) {
+        v += 1;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_heavily_skewed() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Item 0 should be drawn far more often than item 50.
+        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        // Every draw must be in range (guaranteed by counts not panicking).
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform_ish() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "uniform-ish expected, got {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero items")]
+    fn zipf_zero_items_panics() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn pref_attach_rich_get_richer() {
+        let mut pa = PrefAttach::new(50);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        // Heavily register item 7.
+        for _ in 0..500 {
+            pa.register(7);
+        }
+        let mut hits = 0;
+        for _ in 0..1_000 {
+            if pa.sample(&mut rng) == 7 {
+                hits += 1;
+            }
+        }
+        // Item 7 has weight 501 of 550 total: expect ~91% hits.
+        assert!(hits > 800, "expected preferential bias, got {hits}/1000");
+    }
+
+    #[test]
+    fn pref_attach_all_items_reachable() {
+        let pa = PrefAttach::new(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[pa.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn geometric_respects_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let v = geometric_in(&mut rng, 2, 9, 0.6);
+            assert!((2..=9).contains(&v));
+        }
+        // p_continue = 0 always yields lo.
+        assert_eq!(geometric_in(&mut rng, 3, 10, 0.0), 3);
+    }
+}

@@ -1,0 +1,294 @@
+//! The labelled graph `G = (V, E, L_V, f_l)` of the paper (§1.3).
+//!
+//! Undirected, vertex-labelled, with dense vertex and edge identifiers.
+//! This is the substrate every other crate builds on: generators produce
+//! it, streams are derived from it, the query engine matches over it and
+//! partitioners assign its vertices.
+
+use crate::types::{EdgeId, Label, VertexId};
+
+/// An undirected, vertex-labelled graph.
+///
+/// Vertices and edges carry dense `u32` identifiers in insertion order.
+/// Parallel edges and self-loops are permitted by the representation but
+/// the generators never produce them; [`LabeledGraph::add_edge_checked`]
+/// refuses them for callers that want the invariant enforced.
+#[derive(Clone, Debug, Default)]
+pub struct LabeledGraph {
+    labels: Vec<Label>,
+    adj: Vec<Vec<(VertexId, EdgeId)>>,
+    edges: Vec<(VertexId, VertexId)>,
+    label_names: Vec<String>,
+}
+
+impl LabeledGraph {
+    /// Create an empty graph with the given label alphabet.
+    pub fn new(label_names: Vec<String>) -> Self {
+        LabeledGraph {
+            labels: Vec::new(),
+            adj: Vec::new(),
+            edges: Vec::new(),
+            label_names,
+        }
+    }
+
+    /// Create an empty graph with `n` anonymous labels (`"l0"`, `"l1"`, ...).
+    pub fn with_anonymous_labels(n: usize) -> Self {
+        Self::new((0..n).map(|i| format!("l{i}")).collect())
+    }
+
+    /// Reserve capacity for `v` vertices and `e` edges.
+    pub fn reserve(&mut self, v: usize, e: usize) {
+        self.labels.reserve(v);
+        self.adj.reserve(v);
+        self.edges.reserve(e);
+    }
+
+    /// Add a vertex with the given label, returning its id.
+    ///
+    /// # Panics
+    /// Panics if `label` is outside the graph's label alphabet.
+    pub fn add_vertex(&mut self, label: Label) -> VertexId {
+        assert!(
+            label.index() < self.label_names.len(),
+            "label {label:?} outside alphabet of size {}",
+            self.label_names.len()
+        );
+        let id = VertexId(self.labels.len() as u32);
+        self.labels.push(label);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Add an undirected edge between `u` and `v`, returning its id.
+    ///
+    /// # Panics
+    /// Panics if either endpoint does not exist.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> EdgeId {
+        assert!(u.index() < self.adj.len(), "unknown vertex {u:?}");
+        assert!(v.index() < self.adj.len(), "unknown vertex {v:?}");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push((u, v));
+        self.adj[u.index()].push((v, id));
+        if u != v {
+            self.adj[v.index()].push((u, id));
+        }
+        id
+    }
+
+    /// Add an edge unless it is a self-loop or a duplicate of an existing
+    /// edge. Returns the new id, or `None` if refused.
+    ///
+    /// Duplicate detection scans the adjacency list of the lower-degree
+    /// endpoint, which is the right trade-off for the sparse graphs the
+    /// generators produce.
+    pub fn add_edge_checked(&mut self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        if u == v {
+            return None;
+        }
+        let (probe, other) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        if self.adj[probe.index()].iter().any(|&(w, _)| w == other) {
+            return None;
+        }
+        Some(self.add_edge(u, v))
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Size of the label alphabet `|L_V|`.
+    #[inline]
+    pub fn num_labels(&self) -> usize {
+        self.label_names.len()
+    }
+
+    /// Human-readable names of the label alphabet.
+    #[inline]
+    pub fn label_names(&self) -> &[String] {
+        &self.label_names
+    }
+
+    /// The label of a vertex (the surjection `f_l : V -> L_V`).
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// Degree of a vertex.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Neighbours of `v` with the connecting edge ids.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        &self.adj[v.index()]
+    }
+
+    /// Endpoints of an edge, in insertion order.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edges[e.index()]
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.labels.len() as u32).map(VertexId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterator over `(EdgeId, u, v)` triples in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (EdgeId(i as u32), u, v))
+    }
+
+    /// All vertices carrying the given label.
+    pub fn vertices_with_label(&self, l: Label) -> Vec<VertexId> {
+        self.vertices().filter(|&v| self.label(v) == l).collect()
+    }
+
+    /// Histogram of label usage, indexed by label.
+    pub fn label_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.label_names.len()];
+        for &l in &self.labels {
+            h[l.index()] += 1;
+        }
+        h
+    }
+
+    /// Number of connected components (ignoring isolated-vertex trivia is
+    /// up to the caller; isolated vertices each count as a component).
+    pub fn connected_components(&self) -> usize {
+        let n = self.num_vertices();
+        let mut seen = vec![false; n];
+        let mut components = 0;
+        let mut stack = Vec::new();
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            components += 1;
+            seen[s] = true;
+            stack.push(VertexId(s as u32));
+            while let Some(v) = stack.pop() {
+                for &(w, _) in self.neighbors(v) {
+                    if !seen[w.index()] {
+                        seen[w.index()] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Mean vertex degree `2|E| / |V|`.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            return 0.0;
+        }
+        2.0 * self.num_edges() as f64 / self.num_vertices() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> LabeledGraph {
+        let mut g = LabeledGraph::with_anonymous_labels(2);
+        let a = g.add_vertex(Label(0));
+        let b = g.add_vertex(Label(1));
+        let c = g.add_vertex(Label(0));
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a);
+        g
+    }
+
+    #[test]
+    fn build_and_query_triangle() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_labels(), 2);
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.label(VertexId(1)), Label(1));
+        let (u, v) = g.endpoints(EdgeId(0));
+        assert_eq!((u, v), (VertexId(0), VertexId(1)));
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = triangle();
+        for (e, u, v) in g.edges() {
+            assert!(g.neighbors(u).iter().any(|&(w, id)| w == v && id == e));
+            assert!(g.neighbors(v).iter().any(|&(w, id)| w == u && id == e));
+        }
+    }
+
+    #[test]
+    fn checked_add_refuses_duplicates_and_loops() {
+        let mut g = triangle();
+        assert!(g.add_edge_checked(VertexId(0), VertexId(0)).is_none());
+        assert!(g.add_edge_checked(VertexId(0), VertexId(1)).is_none());
+        assert!(g.add_edge_checked(VertexId(1), VertexId(0)).is_none());
+        let before = g.num_edges();
+        let d = g.add_vertex(Label(0));
+        assert!(g.add_edge_checked(VertexId(0), d).is_some());
+        assert_eq!(g.num_edges(), before + 1);
+    }
+
+    #[test]
+    fn label_histogram_counts() {
+        let g = triangle();
+        assert_eq!(g.label_histogram(), vec![2, 1]);
+    }
+
+    #[test]
+    fn components_counts_isolated_vertices() {
+        let mut g = triangle();
+        g.add_vertex(Label(0));
+        assert_eq!(g.connected_components(), 2);
+    }
+
+    #[test]
+    fn mean_degree_triangle_is_two() {
+        assert!((triangle().mean_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside alphabet")]
+    fn label_outside_alphabet_panics() {
+        let mut g = LabeledGraph::with_anonymous_labels(1);
+        g.add_vertex(Label(5));
+    }
+
+    #[test]
+    fn vertices_with_label_filters() {
+        let g = triangle();
+        assert_eq!(g.vertices_with_label(Label(1)), vec![VertexId(1)]);
+        assert_eq!(g.vertices_with_label(Label(0)).len(), 2);
+    }
+}

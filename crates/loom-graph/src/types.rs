@@ -1,0 +1,165 @@
+//! Fundamental identifier types shared across the workspace.
+//!
+//! All identifiers are thin newtypes over small integers so that hot
+//! structures (adjacency lists, window buffers, match arenas) stay compact
+//! and cache-friendly. Indices are `u32`: the paper's largest dataset
+//! (LUBM-4000, 131M vertices) still fits comfortably.
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`crate::LabeledGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The vertex id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+/// Identifier of an (undirected) edge in a [`crate::LabeledGraph`].
+///
+/// Edge ids are dense: the `i`-th edge added to a graph has id `i`. The
+/// sliding window and the match arena rely on this density to keep
+/// per-edge bookkeeping in flat vectors.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+/// A vertex label drawn from the (small) label alphabet `L_V` of a graph.
+///
+/// The paper's datasets have between 3 and 15 labels (Table 1), so a `u16`
+/// is generous. Labels index into [`crate::LabeledGraph::label_names`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u16);
+
+impl Label {
+    /// The label as a usize index into the label alphabet.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<u16> for Label {
+    fn from(v: u16) -> Self {
+        Label(v)
+    }
+}
+
+/// Identifier of a partition in a k-way partitioning.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionId(pub u32);
+
+impl PartitionId {
+    /// The partition id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for PartitionId {
+    fn from(v: u32) -> Self {
+        PartitionId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::from(42u32);
+        assert_eq!(v.index(), 42);
+        assert_eq!(format!("{v:?}"), "v42");
+        assert_eq!(v.to_string(), "42");
+    }
+
+    #[test]
+    fn edge_id_ordering_is_insertion_order() {
+        assert!(EdgeId(3) < EdgeId(10));
+        assert_eq!(EdgeId::from(7u32).index(), 7);
+    }
+
+    #[test]
+    fn label_fits_paper_alphabets() {
+        // Largest alphabet in Table 1 is LUBM's 15 labels.
+        let l = Label::from(14u16);
+        assert_eq!(l.index(), 14);
+        assert_eq!(format!("{l:?}"), "L14");
+    }
+
+    #[test]
+    fn partition_id_display() {
+        assert_eq!(PartitionId(3).to_string(), "3");
+        assert_eq!(format!("{:?}", PartitionId(3)), "P3");
+    }
+
+    #[test]
+    fn ids_are_copy_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(VertexId(1));
+        s.insert(VertexId(1));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the graph substrate.
+
+use loom_graph::{GraphStream, Label, LabeledGraph, StreamOrder, VertexId};
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A random graph: `n` vertices over `l` labels, `m` random edges
+/// (dedup'd), possibly disconnected.
+fn random_graph(n: usize, l: usize, m: usize, seed: u64) -> LabeledGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut g = LabeledGraph::with_anonymous_labels(l);
+    let vs: Vec<VertexId> = (0..n)
+        .map(|_| g.add_vertex(Label(rng.gen_range(0..l) as u16)))
+        .collect();
+    for _ in 0..m {
+        let u = vs[rng.gen_range(0..n)];
+        let v = vs[rng.gen_range(0..n)];
+        g.add_edge_checked(u, v);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every stream order is a permutation of the edge set.
+    #[test]
+    fn orders_are_permutations(
+        n in 2usize..40, l in 1usize..5, m in 1usize..80, seed in any::<u64>()
+    ) {
+        let g = random_graph(n, l, m, seed);
+        let all: Vec<_> = g.edge_ids().collect();
+        for order in [
+            StreamOrder::AsGenerated,
+            StreamOrder::Random,
+            StreamOrder::BreadthFirst,
+            StreamOrder::DepthFirst,
+        ] {
+            let s = GraphStream::from_graph(&g, order, seed);
+            let mut seen: Vec<_> = s.edges().iter().map(|e| e.id).collect();
+            seen.sort_unstable();
+            prop_assert_eq!(&seen, &all, "{} not a permutation", order.name());
+        }
+    }
+
+    /// In a BFS stream, within each connected component the edge
+    /// prefix stays connected: every edge after the first in its
+    /// component touches a previously-seen vertex.
+    #[test]
+    fn bfs_prefix_connectivity(
+        n in 2usize..40, m in 1usize..80, seed in any::<u64>()
+    ) {
+        let g = random_graph(n, 2, m, seed);
+        let s = GraphStream::from_graph(&g, StreamOrder::BreadthFirst, seed);
+        let mut seen: std::collections::HashSet<VertexId> = Default::default();
+        for e in s.edges() {
+            // Either extends the seen set (same component) or starts a
+            // fresh component (neither endpoint seen).
+            let src_seen = seen.contains(&e.src);
+            let dst_seen = seen.contains(&e.dst);
+            let fresh_component = !src_seen && !dst_seen;
+            prop_assert!(
+                src_seen || dst_seen || fresh_component,
+                "edge detached from both prefix and any fresh component"
+            );
+            seen.insert(e.src);
+            seen.insert(e.dst);
+        }
+    }
+
+    /// Degrees always sum to twice the edge count (Handshaking lemma —
+    /// the identity §2.3's factor-count argument relies on).
+    #[test]
+    fn handshaking_lemma(
+        n in 1usize..40, l in 1usize..5, m in 0usize..80, seed in any::<u64>()
+    ) {
+        let g = random_graph(n, l, m, seed);
+        let total: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, 2 * g.num_edges());
+    }
+
+    /// Label histogram sums to the vertex count and respects the
+    /// alphabet size.
+    #[test]
+    fn label_histogram_consistent(
+        n in 1usize..40, l in 1usize..5, seed in any::<u64>()
+    ) {
+        let g = random_graph(n, l, 0, seed);
+        let hist = g.label_histogram();
+        prop_assert_eq!(hist.len(), l);
+        prop_assert_eq!(hist.iter().sum::<usize>(), n);
+    }
+}

@@ -1,0 +1,18 @@
+//! # loom-matcher
+//!
+//! The streaming half of Loom's motif machinery (§3): the sliding
+//! window `Ptemp` over the edge stream, the `matchList` map from
+//! vertices/edges to motif-matching sub-graphs, and the Alg. 2 matcher
+//! that grows matches by trie-guided extension and join as edges
+//! arrive. The allocation step (`loom-partition`) consumes matches as
+//! edges fall out of the window.
+
+#![warn(missing_docs)]
+
+pub mod matcher;
+pub mod matchlist;
+pub mod window;
+
+pub use matcher::{EdgeFate, MotifMatcher};
+pub use matchlist::{MatchId, MatchList, MotifMatch};
+pub use window::SlidingWindow;

@@ -1,0 +1,323 @@
+//! The `matchList` map of §3: vertices → motif-matching sub-graphs.
+//!
+//! Entries take the paper's form `v → {⟨E_i, m_i⟩, ⟨E_j, m_j⟩, ...}`
+//! where `E_i` is a set of window edges forming a sub-graph with the
+//! same signature as motif `m_i`. Matches live in an arena and are
+//! indexed both by vertex (Alg. 2's lookups) and by edge (the
+//! allocation step retrieves `M_e`, all matches containing the edge
+//! being evicted). New matches never replace old ones (§3); matches
+//! die only when one of their edges leaves the window.
+
+use loom_graph::{EdgeId, StreamEdge, VertexId};
+use loom_motif::MotifId;
+use std::collections::{HashMap, HashSet};
+
+/// Identifier of a match in the arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MatchId(pub u32);
+
+impl MatchId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One motif-matching sub-graph `⟨E_k, m_k⟩`.
+#[derive(Clone, Debug)]
+pub struct MotifMatch {
+    /// The window edges of the match, sorted by edge id.
+    pub edges: Vec<StreamEdge>,
+    /// The motif this sub-graph's signature matched.
+    pub motif: MotifId,
+    /// False once any constituent edge left the window.
+    pub alive: bool,
+}
+
+impl MotifMatch {
+    /// Distinct vertices of the match.
+    pub fn vertices(&self) -> Vec<VertexId> {
+        let mut vs: Vec<VertexId> = self
+            .edges
+            .iter()
+            .flat_map(|e| [e.src, e.dst])
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Degree of `v` within the match sub-graph.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.edges.iter().filter(|e| e.touches(v)).count()
+    }
+
+    /// True if the match contains the edge.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges.binary_search_by_key(&e, |x| x.id).is_ok()
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Always false — matches have at least one edge.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// 128-bit fingerprint of a (motif, sorted edge set) pair, used for
+/// duplicate detection without allocating a key per attempted insert.
+/// Collisions would silently drop a legitimate match; at ~2^-100 for
+/// any realistic window population that is far below the signature
+/// scheme's own (accepted) false-positive rate.
+fn fingerprint(motif: MotifId, edges: &[StreamEdge]) -> u128 {
+    let mut h: u128 = 0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c834;
+    h ^= motif.0 as u128;
+    for e in edges {
+        let mut x = (e.id.0 as u128) + 0x9e37_79b9_7f4a_7c15;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9_94d0_49bb_1331_11eb);
+        x ^= x >> 67;
+        h = h.rotate_left(13) ^ x.wrapping_mul(0x2545_f491_4f6c_dd1d_8a5c_d789_635d_2dff);
+    }
+    h
+}
+
+/// Arena + indices for all live matches in the window.
+#[derive(Clone, Debug, Default)]
+pub struct MatchList {
+    arena: Vec<MotifMatch>,
+    by_vertex: HashMap<VertexId, Vec<MatchId>>,
+    by_edge: HashMap<EdgeId, Vec<MatchId>>,
+    dedup: HashSet<u128>,
+    live: usize,
+}
+
+impl MatchList {
+    /// An empty match list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live matches.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no match is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a match over `edges` (any order) for `motif`. Returns
+    /// `None` if an identical match (same edge set and motif) is
+    /// already — or was ever — recorded while those edges were live.
+    pub fn insert(&mut self, mut edges: Vec<StreamEdge>, motif: MotifId) -> Option<MatchId> {
+        debug_assert!(!edges.is_empty());
+        edges.sort_unstable_by_key(|e| e.id);
+        edges.dedup_by_key(|e| e.id);
+        if !self.dedup.insert(fingerprint(motif, &edges)) {
+            return None;
+        }
+        let id = MatchId(self.arena.len() as u32);
+        let m = MotifMatch {
+            edges,
+            motif,
+            alive: true,
+        };
+        for v in m.vertices() {
+            self.by_vertex.entry(v).or_default().push(id);
+        }
+        for e in &m.edges {
+            self.by_edge.entry(e.id).or_default().push(id);
+        }
+        self.arena.push(m);
+        self.live += 1;
+        Some(id)
+    }
+
+    /// Access a match (dead or alive).
+    pub fn get(&self, id: MatchId) -> &MotifMatch {
+        &self.arena[id.index()]
+    }
+
+    /// Live matches containing vertex `v` — `matchList(v)` in Alg. 2.
+    pub fn matches_at_vertex(&self, v: VertexId) -> Vec<MatchId> {
+        self.by_vertex
+            .get(&v)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| self.arena[id.index()].alive)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Like [`MatchList::matches_at_vertex`], but prunes dead ids from
+    /// the index in the same pass — the matcher's hot path uses this so
+    /// hub vertices don't re-scan tombstones on every arriving edge.
+    pub fn matches_at_vertex_pruned(&mut self, v: VertexId) -> Vec<MatchId> {
+        let arena = &self.arena;
+        let Some(ids) = self.by_vertex.get_mut(&v) else {
+            return Vec::new();
+        };
+        ids.retain(|id| arena[id.index()].alive);
+        if ids.is_empty() {
+            self.by_vertex.remove(&v);
+            return Vec::new();
+        }
+        ids.clone()
+    }
+
+    /// Live matches containing edge `e` — the `M_e` of §4.
+    pub fn matches_at_edge(&self, e: EdgeId) -> Vec<MatchId> {
+        self.by_edge
+            .get(&e)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| self.arena[id.index()].alive)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Kill every match containing edge `e` (the edge left the window).
+    /// Returns the number of matches killed.
+    pub fn drop_edge(&mut self, e: EdgeId) -> usize {
+        let Some(ids) = self.by_edge.remove(&e) else {
+            return 0;
+        };
+        let mut killed = 0;
+        for id in ids {
+            let m = &mut self.arena[id.index()];
+            if m.alive {
+                m.alive = false;
+                self.live -= 1;
+                killed += 1;
+                let fp = fingerprint(m.motif, &m.edges);
+                self.dedup.remove(&fp);
+            }
+        }
+        killed
+    }
+
+    /// Kill a single match by id (equal opportunism drops losing
+    /// matches from the map, §4). No-op if already dead.
+    pub fn kill(&mut self, id: MatchId) {
+        let m = &mut self.arena[id.index()];
+        if m.alive {
+            m.alive = false;
+            self.live -= 1;
+            let fp = fingerprint(m.motif, &m.edges);
+            self.dedup.remove(&fp);
+        }
+    }
+
+    /// Prune dead entries from the vertex/edge indices. Called
+    /// periodically by the matcher; correctness never depends on it
+    /// (lookups filter on liveness), only memory usage does.
+    pub fn compact(&mut self) {
+        let arena = &self.arena;
+        self.by_vertex.retain(|_, ids| {
+            ids.retain(|id| arena[id.index()].alive);
+            !ids.is_empty()
+        });
+        self.by_edge.retain(|_, ids| {
+            ids.retain(|id| arena[id.index()].alive);
+            !ids.is_empty()
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::Label;
+
+    fn se(id: u32, src: u32, dst: u32) -> StreamEdge {
+        StreamEdge {
+            id: EdgeId(id),
+            src: VertexId(src),
+            dst: VertexId(dst),
+            src_label: Label(0),
+            dst_label: Label(1),
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup_by_vertex_and_edge() {
+        let mut ml = MatchList::new();
+        let id = ml.insert(vec![se(0, 1, 2)], MotifId(0)).unwrap();
+        assert_eq!(ml.matches_at_vertex(VertexId(1)), vec![id]);
+        assert_eq!(ml.matches_at_vertex(VertexId(2)), vec![id]);
+        assert_eq!(ml.matches_at_edge(EdgeId(0)), vec![id]);
+        assert!(ml.matches_at_vertex(VertexId(3)).is_empty());
+        assert_eq!(ml.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_matches_rejected() {
+        let mut ml = MatchList::new();
+        assert!(ml.insert(vec![se(0, 1, 2), se(1, 2, 3)], MotifId(1)).is_some());
+        // Same edges in a different order: still a duplicate.
+        assert!(ml.insert(vec![se(1, 2, 3), se(0, 1, 2)], MotifId(1)).is_none());
+        // Same edges, different motif: distinct entry (Alg. 2 can map
+        // one sub-graph to several motifs only via collisions, but the
+        // structure must not conflate them).
+        assert!(ml.insert(vec![se(0, 1, 2), se(1, 2, 3)], MotifId(2)).is_some());
+        assert_eq!(ml.len(), 2);
+    }
+
+    #[test]
+    fn drop_edge_kills_all_containing_matches() {
+        let mut ml = MatchList::new();
+        let a = ml.insert(vec![se(0, 1, 2)], MotifId(0)).unwrap();
+        let b = ml.insert(vec![se(0, 1, 2), se(1, 2, 3)], MotifId(1)).unwrap();
+        let c = ml.insert(vec![se(1, 2, 3)], MotifId(0)).unwrap();
+        assert_eq!(ml.drop_edge(EdgeId(0)), 2);
+        assert!(!ml.get(a).alive);
+        assert!(!ml.get(b).alive);
+        assert!(ml.get(c).alive);
+        assert_eq!(ml.matches_at_vertex(VertexId(2)), vec![c]);
+        assert_eq!(ml.len(), 1);
+    }
+
+    #[test]
+    fn kill_then_reinsert_is_allowed() {
+        let mut ml = MatchList::new();
+        let a = ml.insert(vec![se(0, 1, 2)], MotifId(0)).unwrap();
+        ml.kill(a);
+        assert_eq!(ml.len(), 0);
+        // The same sub-graph may legitimately reform later in the stream.
+        assert!(ml.insert(vec![se(0, 1, 2)], MotifId(0)).is_some());
+    }
+
+    #[test]
+    fn match_vertex_and_degree_helpers() {
+        let m = MotifMatch {
+            edges: vec![se(0, 1, 2), se(1, 2, 3)],
+            motif: MotifId(0),
+            alive: true,
+        };
+        assert_eq!(m.vertices(), vec![VertexId(1), VertexId(2), VertexId(3)]);
+        assert_eq!(m.degree(VertexId(2)), 2);
+        assert_eq!(m.degree(VertexId(1)), 1);
+        assert_eq!(m.degree(VertexId(9)), 0);
+        assert!(m.contains_edge(EdgeId(1)));
+        assert!(!m.contains_edge(EdgeId(9)));
+    }
+
+    #[test]
+    fn compact_prunes_indices() {
+        let mut ml = MatchList::new();
+        let a = ml.insert(vec![se(0, 1, 2)], MotifId(0)).unwrap();
+        ml.insert(vec![se(1, 2, 3)], MotifId(0)).unwrap();
+        ml.kill(a);
+        ml.compact();
+        assert!(ml.matches_at_vertex(VertexId(1)).is_empty());
+        assert_eq!(ml.matches_at_vertex(VertexId(2)).len(), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of the sliding window and the matcher's
+//! structural invariants under random streams.
+
+use loom_graph::{EdgeId, Label, PatternGraph, StreamEdge, VertexId, Workload};
+use loom_matcher::{EdgeFate, MotifMatcher, SlidingWindow};
+use loom_motif::{LabelRandomizer, TpsTrie, DEFAULT_PRIME};
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn random_stream(n_vertices: usize, n_edges: usize, labels: usize, seed: u64) -> Vec<StreamEdge> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let vertex_labels: Vec<Label> = (0..n_vertices)
+        .map(|_| Label(rng.gen_range(0..labels) as u16))
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    let mut id = 0u32;
+    while out.len() < n_edges && seen.len() < n_vertices * (n_vertices - 1) / 2 {
+        let u = rng.gen_range(0..n_vertices);
+        let v = rng.gen_range(0..n_vertices);
+        if u == v || !seen.insert((u.min(v), u.max(v))) {
+            continue;
+        }
+        out.push(StreamEdge {
+            id: EdgeId(id),
+            src: VertexId(u as u32),
+            dst: VertexId(v as u32),
+            src_label: vertex_labels[u],
+            dst_label: vertex_labels[v],
+        });
+        id += 1;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Window: len never exceeds capacity; every evicted edge was the
+    /// oldest live edge; degrees stay consistent with content.
+    #[test]
+    fn window_respects_capacity(
+        cap in 1usize..16, n_edges in 1usize..64, seed in any::<u64>()
+    ) {
+        let edges = random_stream(20, n_edges, 2, seed);
+        let mut w = SlidingWindow::new(cap);
+        let mut last_evicted: Option<EdgeId> = None;
+        for e in &edges {
+            if let Some(old) = w.push(*e) {
+                if let Some(prev) = last_evicted {
+                    prop_assert!(old.id > prev, "evictions in FIFO order");
+                }
+                last_evicted = Some(old.id);
+            }
+            prop_assert!(w.len() <= cap);
+            // Degree bookkeeping agrees with an independent recount.
+            let mut recount: std::collections::HashMap<VertexId, usize> = Default::default();
+            for live in w.iter() {
+                *recount.entry(live.src).or_default() += 1;
+                *recount.entry(live.dst).or_default() += 1;
+            }
+            for (&v, &d) in &recount {
+                prop_assert_eq!(w.degree(v), d);
+            }
+        }
+    }
+
+    /// Matcher: every recorded match's edge multiset is connected, has
+    /// no duplicate edges, and its size never exceeds the largest
+    /// motif.
+    #[test]
+    fn matches_are_connected_and_bounded(
+        n_edges in 1usize..48, seed in any::<u64>()
+    ) {
+        let rand = LabelRandomizer::new(3, DEFAULT_PRIME, 3);
+        // Workload whose motifs go up to 3 edges: a-b-a-b path + a-b-c.
+        let workload = Workload::new(vec![
+            (PatternGraph::path("p4", vec![Label(0), Label(1), Label(0), Label(1)]), 60.0),
+            (PatternGraph::path("abc", vec![Label(0), Label(1), Label(2)]), 40.0),
+        ]);
+        let trie = TpsTrie::build(&workload, &rand);
+        let motifs = trie.motifs(0.4);
+        let max_edges = motifs.max_motif_edges();
+        let mut matcher = MotifMatcher::new(motifs, rand);
+
+        let edges = random_stream(12, n_edges, 3, seed);
+        let mut buffered: Vec<StreamEdge> = Vec::new();
+        for e in &edges {
+            if matcher.on_edge(*e) == EdgeFate::Buffered {
+                buffered.push(*e);
+            }
+        }
+        for e in &buffered {
+            for id in matcher.matches_for_edge(e.id) {
+                let m = matcher.get(id);
+                prop_assert!(m.len() <= max_edges, "match larger than any motif");
+                // No duplicate edges.
+                let mut ids: Vec<_> = m.edges.iter().map(|x| x.id).collect();
+                ids.dedup();
+                prop_assert_eq!(ids.len(), m.len());
+                // Connectivity of the match sub-graph.
+                let vs = m.vertices();
+                let mut reached = vec![false; vs.len()];
+                reached[0] = true;
+                let mut changed = true;
+                while changed {
+                    changed = false;
+                    for me in &m.edges {
+                        let i = vs.iter().position(|&v| v == me.src).unwrap();
+                        let j = vs.iter().position(|&v| v == me.dst).unwrap();
+                        if reached[i] != reached[j] {
+                            reached[i] = true;
+                            reached[j] = true;
+                            changed = true;
+                        }
+                    }
+                }
+                prop_assert!(reached.iter().all(|&r| r), "disconnected match");
+            }
+        }
+    }
+
+    /// Dropping an edge removes every match containing it and nothing
+    /// else.
+    #[test]
+    fn drop_edge_is_exact(n_edges in 2usize..32, seed in any::<u64>()) {
+        let rand = LabelRandomizer::new(2, DEFAULT_PRIME, 5);
+        let workload = Workload::new(vec![
+            (PatternGraph::path("p", vec![Label(0), Label(1), Label(0)]), 1.0),
+        ]);
+        let trie = TpsTrie::build(&workload, &rand);
+        let mut matcher = MotifMatcher::new(trie.motifs(0.4), rand);
+        let edges = random_stream(10, n_edges, 2, seed);
+        let mut buffered = Vec::new();
+        for e in &edges {
+            if matcher.on_edge(*e) == EdgeFate::Buffered {
+                buffered.push(*e);
+            }
+        }
+        if let Some(victim) = buffered.first() {
+            let before: Vec<_> = buffered
+                .iter()
+                .flat_map(|e| matcher.matches_for_edge(e.id))
+                .collect();
+            matcher.on_edge_assigned(victim.id);
+            for id in before {
+                let m = matcher.get(id);
+                let contains = m.contains_edge(victim.id);
+                prop_assert_eq!(!m.alive, contains,
+                    "liveness must flip exactly for matches containing the victim");
+            }
+        }
+    }
+}

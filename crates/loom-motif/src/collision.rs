@@ -1,0 +1,249 @@
+//! Factor-collision probability model (§2.3, Fig. 4).
+//!
+//! Each of a signature's `3|E|` factors is a uniform random variable
+//! over `[1, p)`; any given factor collides with probability `2/p`
+//! (two collision scenarios per §2.3). Collisions across factors are
+//! independent, so the number of collisions is
+//! `Binomial(3|E|, 2/p)`; Fig. 4 plots the probability that at most
+//! `C%` of a signature's factors collide, for query sizes of 8/12/16
+//! edges (24/36/48 factors) and tolerances 5/10/20%.
+//!
+//! Alongside the analytic model this module provides an *empirical*
+//! collision measurement: the rate at which random non-isomorphic
+//! pattern pairs receive equal factor-multiset signatures, with the
+//! exact checker of [`crate::isomorphism`] as ground truth. The bench
+//! harness uses both to regenerate Fig. 4 and to validate the paper's
+//! `p = 251` choice.
+
+use crate::isomorphism::are_isomorphic;
+use crate::signature::{pattern_signature, LabelRandomizer};
+use loom_graph::{Label, PatternGraph};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// P(X <= k) for X ~ Binomial(n, q), computed by iterating the pmf
+/// recurrence — exact enough for the n <= a few hundred of Fig. 4.
+pub fn binomial_cdf(n: usize, q: f64, k: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "probability out of range");
+    if q == 0.0 {
+        return 1.0;
+    }
+    if q == 1.0 {
+        return if k >= n { 1.0 } else { 0.0 };
+    }
+    // pmf(0) = (1-q)^n, pmf(i+1) = pmf(i) * (n-i)/(i+1) * q/(1-q)
+    let mut pmf = (1.0 - q).powi(n as i32);
+    let mut cdf = pmf;
+    let ratio = q / (1.0 - q);
+    for i in 0..k.min(n) {
+        pmf *= (n - i) as f64 / (i + 1) as f64 * ratio;
+        cdf += pmf;
+    }
+    cdf.min(1.0)
+}
+
+/// Fig. 4's y-axis: the probability that no more than `tolerance`
+/// (e.g. 0.05) of a signature's factors collide, for a signature of
+/// `num_factors` factors under prime `p`.
+///
+/// `Cmax = tolerance * num_factors` acceptable collisions, each factor
+/// colliding with probability `2/p`.
+pub fn acceptance_probability(num_factors: usize, p: u64, tolerance: f64) -> f64 {
+    assert!(p >= 2, "prime too small");
+    let c_max = (tolerance * num_factors as f64).floor() as usize;
+    binomial_cdf(num_factors, 2.0 / p as f64, c_max)
+}
+
+/// One point series of Fig. 4: acceptance probability for every prime
+/// (or odd candidate) `p` in `[2, p_max]`.
+pub fn acceptance_series(num_factors: usize, p_max: u64, tolerance: f64) -> Vec<(u64, f64)> {
+    (2..=p_max)
+        .map(|p| (p, acceptance_probability(num_factors, p, tolerance)))
+        .collect()
+}
+
+/// Result of an empirical signature-collision trial.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CollisionStats {
+    /// Pairs of random patterns compared.
+    pub pairs: usize,
+    /// Pairs that were genuinely isomorphic (signatures must agree —
+    /// any disagreement would falsify the scheme).
+    pub isomorphic: usize,
+    /// Non-isomorphic pairs with colliding signatures (false positives).
+    pub false_positives: usize,
+    /// Isomorphic pairs whose signatures differed (must stay 0).
+    pub false_negatives: usize,
+}
+
+impl CollisionStats {
+    /// Empirical false-positive rate among non-isomorphic pairs.
+    pub fn false_positive_rate(&self) -> f64 {
+        let non_iso = self.pairs - self.isomorphic;
+        if non_iso == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / non_iso as f64
+        }
+    }
+}
+
+/// Compare signatures of random connected pattern pairs against exact
+/// isomorphism. Patterns have `num_edges` edges over `num_labels`
+/// labels; factors are drawn under prime `p`.
+pub fn measure_collisions(
+    pairs: usize,
+    num_edges: usize,
+    num_labels: usize,
+    p: u64,
+    seed: u64,
+) -> CollisionStats {
+    let rand = LabelRandomizer::new(num_labels, p, seed ^ 0x5eed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut stats = CollisionStats::default();
+    for i in 0..pairs {
+        let a = random_connected_pattern(&mut rng, num_edges, num_labels, i);
+        let b = random_connected_pattern(&mut rng, num_edges, num_labels, i);
+        let sig_eq = pattern_signature(&a, &rand) == pattern_signature(&b, &rand);
+        let iso = are_isomorphic(&a, &b);
+        stats.pairs += 1;
+        if iso {
+            stats.isomorphic += 1;
+            if !sig_eq {
+                stats.false_negatives += 1;
+            }
+        } else if sig_eq {
+            stats.false_positives += 1;
+        }
+    }
+    stats
+}
+
+/// A random connected pattern built edge-by-edge: each new edge either
+/// extends a random existing vertex to a fresh vertex (tree growth) or
+/// closes a cycle between existing vertices.
+pub fn random_connected_pattern<R: Rng + ?Sized>(
+    rng: &mut R,
+    num_edges: usize,
+    num_labels: usize,
+    tag: usize,
+) -> PatternGraph {
+    let mut labels: Vec<Label> = vec![Label(rng.gen_range(0..num_labels) as u16)];
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(num_edges);
+    while edges.len() < num_edges {
+        let u = rng.gen_range(0..labels.len());
+        // 70% grow a new vertex, 30% close a cycle (if possible).
+        if labels.len() >= 2 && rng.gen_bool(0.3) {
+            let v = rng.gen_range(0..labels.len());
+            if v != u && !edges.contains(&(u.min(v), u.max(v))) {
+                edges.push((u.min(v), u.max(v)));
+            }
+            continue;
+        }
+        let v = labels.len();
+        labels.push(Label(rng.gen_range(0..num_labels) as u16));
+        edges.push((u, v));
+    }
+    PatternGraph::new(format!("rand-{tag}"), labels, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_cdf_edge_cases() {
+        assert!((binomial_cdf(10, 0.0, 0) - 1.0).abs() < 1e-12);
+        assert!((binomial_cdf(10, 0.5, 10) - 1.0).abs() < 1e-12);
+        assert!(binomial_cdf(10, 1.0, 9) < 1e-12);
+        // P(X <= 0) for Binomial(4, 0.5) = 1/16.
+        assert!((binomial_cdf(4, 0.5, 0) - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_cdf_monotone_in_k() {
+        let mut prev = 0.0;
+        for k in 0..=20 {
+            let c = binomial_cdf(20, 0.3, k);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        assert!((prev - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn acceptance_grows_with_p() {
+        // Fig. 4's qualitative shape: larger primes -> higher acceptance.
+        let small = acceptance_probability(36, 10, 0.05);
+        let large = acceptance_probability(36, 251, 0.05);
+        assert!(large > small, "{large} <= {small}");
+    }
+
+    #[test]
+    fn paper_choice_of_251_is_negligible_collision() {
+        // §2.3: "a p value of 251 ... gives a negligible probability of
+        // significant factor collisions" — read: acceptance near 1 even
+        // at the tightest tolerance and largest query size.
+        let acc = acceptance_probability(48, 251, 0.05);
+        assert!(acc > 0.93, "acceptance {acc}");
+    }
+
+    #[test]
+    fn acceptance_falls_with_more_factors_at_small_p() {
+        // With a small field, bigger signatures collide more.
+        let f24 = acceptance_probability(24, 31, 0.05);
+        let f48 = acceptance_probability(48, 31, 0.05);
+        assert!(f48 <= f24 + 1e-12, "{f48} > {f24}");
+    }
+
+    #[test]
+    fn series_covers_requested_range() {
+        let s = acceptance_series(24, 317, 0.1);
+        assert_eq!(s.len(), 316);
+        assert_eq!(s[0].0, 2);
+        assert_eq!(s.last().unwrap().0, 317);
+    }
+
+    #[test]
+    fn no_false_negatives_ever() {
+        // The load-bearing guarantee of §2.3: isomorphic graphs always
+        // share a signature.
+        let stats = measure_collisions(400, 5, 3, 251, 99);
+        assert_eq!(stats.false_negatives, 0);
+        assert_eq!(stats.pairs, 400);
+    }
+
+    #[test]
+    fn false_positive_rate_small_at_p251() {
+        let stats = measure_collisions(500, 6, 4, 251, 7);
+        assert!(
+            stats.false_positive_rate() < 0.05,
+            "rate {}",
+            stats.false_positive_rate()
+        );
+    }
+
+    #[test]
+    fn tiny_prime_collides_more() {
+        // Sanity on the trade-off direction: p = 3 must produce
+        // strictly more false positives than p = 251 on the same trial.
+        let small_p = measure_collisions(400, 6, 4, 3, 21);
+        let big_p = measure_collisions(400, 6, 4, 251, 21);
+        assert!(
+            small_p.false_positives > big_p.false_positives,
+            "{} <= {}",
+            small_p.false_positives,
+            big_p.false_positives
+        );
+    }
+
+    #[test]
+    fn random_pattern_is_connected_with_requested_edges() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for i in 0..50 {
+            let p = random_connected_pattern(&mut rng, 8, 4, i);
+            assert_eq!(p.num_edges(), 8);
+            assert!(p.is_connected());
+        }
+    }
+}

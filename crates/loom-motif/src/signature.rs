@@ -1,0 +1,444 @@
+//! Number-theoretic graph signatures (§2.1, §2.3).
+//!
+//! A graph's signature is built from *factors*: one per edge and one per
+//! unit of vertex degree, all values in the finite field `[1, p]` for a
+//! small prime `p`. Song et al. \[29\] multiply the factors into one large
+//! integer; Loom instead keeps the **multiset of factors** (§2.3), which
+//! removes the "two distinct factor sets with the same product"
+//! collision class and — crucially for the streaming matcher — makes the
+//! signature of `g + e` the signature of `g` plus exactly three new
+//! factors (one edge factor, one degree factor per endpoint).
+//!
+//! Guarantees: isomorphic graphs *always* have equal signatures (factors
+//! depend only on labels and degrees, which isomorphism preserves); the
+//! converse holds only probabilistically, with collision probability
+//! governed by `p` (see [`crate::collision`] and Fig. 4).
+
+use loom_graph::{Label, PatternGraph};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// The prime used by Loom's evaluation (§2.3: "we use a p value of 251").
+pub const DEFAULT_PRIME: u64 = 251;
+
+/// Per-label random values `r(l) ∈ [1, p)` shared by every signature
+/// computation in a run (§2.1: "Initially we assign a random value ...
+/// to each possible label from our data graph").
+#[derive(Clone, Debug)]
+pub struct LabelRandomizer {
+    p: u64,
+    r: Vec<u64>,
+}
+
+impl LabelRandomizer {
+    /// Draw `r(l)` for each of `num_labels` labels. Deterministic in
+    /// `seed`.
+    ///
+    /// # Panics
+    /// Panics if `p < 2` (no valid `r` values would exist).
+    pub fn new(num_labels: usize, p: u64, seed: u64) -> Self {
+        assert!(p >= 2, "prime must be at least 2");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let r = (0..num_labels).map(|_| rng.gen_range(1..p)).collect();
+        LabelRandomizer { p, r }
+    }
+
+    /// The exact `r` values from the paper's worked example (§2.1):
+    /// `p = 11`, `r(a) = 3`, `r(b) = 10`; remaining labels get
+    /// deterministic filler. Used by tests that replay the example.
+    pub fn paper_example(num_labels: usize) -> Self {
+        let mut r = vec![3, 10, 5, 7];
+        r.truncate(num_labels.max(2));
+        while r.len() < num_labels {
+            r.push(1 + (r.len() as u64 * 3) % 10);
+        }
+        LabelRandomizer { p: 11, r }
+    }
+
+    /// The finite-field prime `p`.
+    #[inline]
+    pub fn prime(&self) -> u64 {
+        self.p
+    }
+
+    /// Number of labels covered.
+    #[inline]
+    pub fn num_labels(&self) -> usize {
+        self.r.len()
+    }
+
+    /// The random value `r(l)`.
+    ///
+    /// # Panics
+    /// Panics if the label is outside the alphabet.
+    #[inline]
+    pub fn r(&self, l: Label) -> u64 {
+        self.r[l.index()]
+    }
+
+    /// Map a residue into the valid factor range: the paper's footnote 3
+    /// — `0` is not a valid factor and is replaced by `p`.
+    #[inline]
+    fn nonzero(&self, x: u64) -> u32 {
+        let m = x % self.p;
+        (if m == 0 { self.p } else { m }) as u32
+    }
+
+    /// Edge factor `(r(f_l(v_i)) - r(f_l(v_j))) mod p` for an undirected
+    /// edge. The subtraction order must merely be *consistent* (§2.1);
+    /// we order by label index (the "lexicographical" suggestion).
+    #[inline]
+    pub fn edge_factor(&self, a: Label, b: Label) -> u32 {
+        // Subtract the lexicographically-smaller label's value from the
+        // larger's: this reproduces the paper's worked example, where the
+        // a-b factor under p = 11, r(a) = 3, r(b) = 10 comes out as 7.
+        let (hi, lo) = if a.index() <= b.index() {
+            (self.r(b), self.r(a))
+        } else {
+            (self.r(a), self.r(b))
+        };
+        // Work in the field to keep the subtraction non-negative.
+        self.nonzero(hi + self.p - lo % self.p)
+    }
+
+    /// Directed-edge factor: source minus target (§2.1's inline note on
+    /// directed graphs). Provided for the directed extension; the rest
+    /// of the reproduction is undirected.
+    #[inline]
+    pub fn directed_edge_factor(&self, src: Label, dst: Label) -> u32 {
+        self.nonzero(self.r(src) + self.p - self.r(dst) % self.p)
+    }
+
+    /// The *incremental* degree factor `((r(l) + n) mod p)` contributed
+    /// when a vertex labelled `l` reaches degree `n`. The full degree
+    /// factor of §2.1 for degree `n` is the product over `1..=n` of
+    /// these; keeping them separate is what makes signatures composable.
+    #[inline]
+    pub fn degree_factor(&self, l: Label, degree: usize) -> u32 {
+        debug_assert!(degree >= 1, "degree factors start at degree 1");
+        self.nonzero(self.r(l) + degree as u64)
+    }
+}
+
+/// A signature: the sorted multiset of factors of a graph.
+///
+/// Kept sorted so equality, hashing and multiset difference are cheap.
+/// Factors fit `u32` (they live in `[1, p]`, and Fig. 4's sweep tops out
+/// at `p = 317`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct FactorSet {
+    factors: Vec<u32>,
+}
+
+impl FactorSet {
+    /// The empty signature (of the empty graph — the TPSTry++ root).
+    pub fn empty() -> Self {
+        FactorSet::default()
+    }
+
+    /// Build from an arbitrary factor list.
+    pub fn from_factors(mut factors: Vec<u32>) -> Self {
+        factors.sort_unstable();
+        FactorSet { factors }
+    }
+
+    /// Number of factors (`3|E|` for a well-formed graph signature, by
+    /// the Handshaking lemma argument of §2.3).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// True for the empty-graph signature.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// The sorted factors.
+    #[inline]
+    pub fn factors(&self) -> &[u32] {
+        &self.factors
+    }
+
+    /// Insert a single factor, keeping the multiset sorted.
+    pub fn insert(&mut self, f: u32) {
+        let pos = self.factors.partition_point(|&x| x <= f);
+        self.factors.insert(pos, f);
+    }
+
+    /// The signature of `self + delta` (adding one edge's three factors).
+    pub fn with_delta(&self, delta: &Delta) -> FactorSet {
+        let mut out = self.clone();
+        for &f in delta.factors() {
+            out.insert(f);
+        }
+        out
+    }
+
+    /// Multiset difference `self \ other`, or `None` if `other` is not a
+    /// sub-multiset. This is the `c.signatures \ n.signatures` operation
+    /// of Alg. 2's match check.
+    pub fn difference(&self, other: &FactorSet) -> Option<FactorSet> {
+        if other.len() > self.len() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.len() - other.len());
+        let mut i = 0;
+        for &f in &self.factors {
+            if i < other.factors.len() && other.factors[i] == f {
+                i += 1;
+            } else {
+                out.push(f);
+            }
+        }
+        if i == other.factors.len() {
+            Some(FactorSet { factors: out })
+        } else {
+            None
+        }
+    }
+
+    /// The product of the factors, wrapping in `u128` — the *original*
+    /// Song-et-al-style signature, kept for the collision ablation bench
+    /// (product signatures collide strictly more often than factor
+    /// multisets).
+    pub fn product_u128(&self) -> u128 {
+        self.factors
+            .iter()
+            .fold(1u128, |acc, &f| acc.wrapping_mul(f as u128))
+    }
+}
+
+/// The three factors contributed by adding one edge to a graph: the edge
+/// factor plus one degree factor per endpoint (at each endpoint's *new*
+/// degree). Stored sorted so deltas compare structurally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Delta([u32; 3]);
+
+impl Delta {
+    /// Build a delta from its three factors (any order).
+    pub fn new(edge: u32, deg_a: u32, deg_b: u32) -> Self {
+        let mut f = [edge, deg_a, deg_b];
+        f.sort_unstable();
+        Delta(f)
+    }
+
+    /// The sorted factors.
+    #[inline]
+    pub fn factors(&self) -> &[u32; 3] {
+        &self.0
+    }
+
+    /// The delta as a 3-factor [`FactorSet`] (a single-edge graph's
+    /// full signature).
+    pub fn to_factor_set(self) -> FactorSet {
+        FactorSet::from_factors(self.0.to_vec())
+    }
+}
+
+/// Delta for adding an edge between vertices labelled `la`/`lb` whose
+/// *resulting* degrees are `da`/`db`.
+pub fn edge_delta(rand: &LabelRandomizer, la: Label, da: usize, lb: Label, db: usize) -> Delta {
+    Delta::new(
+        rand.edge_factor(la, lb),
+        rand.degree_factor(la, da),
+        rand.degree_factor(lb, db),
+    )
+}
+
+/// Delta for a fresh single edge (both endpoints at degree 1) — what the
+/// matcher computes for every arriving stream edge.
+pub fn single_edge_delta(rand: &LabelRandomizer, la: Label, lb: Label) -> Delta {
+    edge_delta(rand, la, 1, lb, 1)
+}
+
+/// Full signature of a pattern graph, computed from scratch: one edge
+/// factor per edge, degree factors `1..=deg(v)` per vertex.
+pub fn pattern_signature(p: &PatternGraph, rand: &LabelRandomizer) -> FactorSet {
+    let mut factors = Vec::with_capacity(3 * p.num_edges());
+    for &(u, v) in p.edge_list() {
+        factors.push(rand.edge_factor(p.label(u), p.label(v)));
+    }
+    for v in 0..p.num_vertices() {
+        for d in 1..=p.degree(v) {
+            factors.push(rand.degree_factor(p.label(v), d));
+        }
+    }
+    FactorSet::from_factors(factors)
+}
+
+/// Signature of the sub-pattern induced by an edge subset (bitmask over
+/// `p.edge_list()` indices). Vertices outside the subset contribute
+/// nothing; degrees are counted within the subset.
+pub fn subset_signature(p: &PatternGraph, mask: u64, rand: &LabelRandomizer) -> FactorSet {
+    let mut degree = vec![0usize; p.num_vertices()];
+    let mut factors = Vec::new();
+    for (i, &(u, v)) in p.edge_list().iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            factors.push(rand.edge_factor(p.label(u), p.label(v)));
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+    }
+    for (v, &deg) in degree.iter().enumerate() {
+        for d in 1..=deg {
+            factors.push(rand.degree_factor(p.label(v), d));
+        }
+    }
+    FactorSet::from_factors(factors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::Label;
+
+    const A: Label = Label(0);
+    const B: Label = Label(1);
+    const C: Label = Label(2);
+
+    /// §2.1 worked example: p = 11, r(a) = 3, r(b) = 10.
+    #[test]
+    fn paper_example_edge_factor() {
+        let rand = LabelRandomizer::paper_example(2);
+        // edgeFac((a,b)) = (3 - 10) mod 11 = 7 (paper computes exactly 7).
+        assert_eq!(rand.edge_factor(A, B), 7);
+        // Consistency: order of arguments must not matter.
+        assert_eq!(rand.edge_factor(B, A), 7);
+    }
+
+    #[test]
+    fn paper_example_degree_factors() {
+        let rand = LabelRandomizer::paper_example(2);
+        // degFac(b) at degree 2 = ((10+1) mod 11) · ((10+2) mod 11) = 11 · 1.
+        // Our incremental factors: (10+1) mod 11 = 0 -> replaced by p = 11,
+        // (10+2) mod 11 = 1.
+        assert_eq!(rand.degree_factor(B, 1), 11);
+        assert_eq!(rand.degree_factor(B, 2), 1);
+        // degFac(a) at degree 2 = ((3+1) mod 11) · ((3+2) mod 11) = 4 · 5 = 20.
+        assert_eq!(rand.degree_factor(A, 1), 4);
+        assert_eq!(rand.degree_factor(A, 2), 5);
+    }
+
+    /// Replays the full §2.1 computation of sig(q1) = 116_208_400 for the
+    /// a-b-a-b 4-cycle, via the product of our factor multiset.
+    #[test]
+    fn paper_example_q1_signature_product() {
+        let rand = LabelRandomizer::paper_example(2);
+        let q1 = PatternGraph::cycle("q1", vec![A, B, A, B]);
+        let sig = pattern_signature(&q1, &rand);
+        // 4 edges + total degree 8 = 12 factors.
+        assert_eq!(sig.len(), 12);
+        assert_eq!(sig.product_u128(), 116_208_400u128);
+    }
+
+    /// §2.2 worked example: single a-b edge has signature
+    /// 7 · ((3+1) mod 11) · ((10+1) mod 11) = 7 · 4 · 11 = 308.
+    #[test]
+    fn paper_example_single_edge() {
+        let rand = LabelRandomizer::paper_example(2);
+        let d = single_edge_delta(&rand, A, B);
+        assert_eq!(d.to_factor_set().product_u128(), 308);
+    }
+
+    #[test]
+    fn isomorphic_paths_have_equal_signatures() {
+        // a-b-c and c-b-a are the same graph read in opposite directions.
+        let rand = LabelRandomizer::new(3, DEFAULT_PRIME, 7);
+        let p1 = PatternGraph::path("p1", vec![A, B, C]);
+        let p2 = PatternGraph::path("p2", vec![C, B, A]);
+        assert_eq!(pattern_signature(&p1, &rand), pattern_signature(&p2, &rand));
+    }
+
+    #[test]
+    fn different_labels_usually_differ() {
+        let rand = LabelRandomizer::new(3, DEFAULT_PRIME, 7);
+        let p1 = PatternGraph::path("p1", vec![A, B, A]);
+        let p2 = PatternGraph::path("p2", vec![A, B, C]);
+        assert_ne!(pattern_signature(&p1, &rand), pattern_signature(&p2, &rand));
+    }
+
+    #[test]
+    fn factor_set_insert_keeps_sorted() {
+        let mut s = FactorSet::empty();
+        for f in [9, 1, 5, 5, 2] {
+            s.insert(f);
+        }
+        assert_eq!(s.factors(), &[1, 2, 5, 5, 9]);
+    }
+
+    #[test]
+    fn factor_set_difference() {
+        let a = FactorSet::from_factors(vec![1, 2, 2, 5, 9]);
+        let b = FactorSet::from_factors(vec![2, 5]);
+        assert_eq!(
+            a.difference(&b).unwrap().factors(),
+            &[1, 2, 9],
+            "multiset difference removes one occurrence per factor"
+        );
+        let c = FactorSet::from_factors(vec![2, 2, 2]);
+        assert!(a.difference(&c).is_none(), "not a sub-multiset");
+    }
+
+    #[test]
+    fn with_delta_matches_from_scratch() {
+        // Incrementally building a-b-c must equal computing it directly.
+        let rand = LabelRandomizer::new(3, DEFAULT_PRIME, 3);
+        let ab = single_edge_delta(&rand, A, B).to_factor_set();
+        // Adding b-c: edge factor + c at degree 1 + b now at degree 2.
+        let delta = edge_delta(&rand, B, 2, C, 1);
+        let abc_inc = ab.with_delta(&delta);
+        let abc = pattern_signature(&PatternGraph::path("q", vec![A, B, C]), &rand);
+        assert_eq!(abc_inc, abc);
+    }
+
+    #[test]
+    fn subset_signature_full_mask_equals_pattern_signature() {
+        let rand = LabelRandomizer::new(3, DEFAULT_PRIME, 5);
+        let p = PatternGraph::cycle("c", vec![A, B, C]);
+        let full = (1u64 << p.num_edges()) - 1;
+        assert_eq!(subset_signature(&p, full, &rand), pattern_signature(&p, &rand));
+        assert_eq!(subset_signature(&p, 0, &rand), FactorSet::empty());
+    }
+
+    #[test]
+    fn factors_are_in_field_range() {
+        let rand = LabelRandomizer::new(5, DEFAULT_PRIME, 11);
+        for la in 0..5u16 {
+            for lb in 0..5u16 {
+                let f = rand.edge_factor(Label(la), Label(lb));
+                assert!((1..=DEFAULT_PRIME as u32).contains(&f));
+                for d in 1..10 {
+                    let g = rand.degree_factor(Label(la), d);
+                    assert!((1..=DEFAULT_PRIME as u32).contains(&g));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handshake_factor_count() {
+        // 3|E| factors per signature (§2.3).
+        let rand = LabelRandomizer::new(4, DEFAULT_PRIME, 13);
+        let p = PatternGraph::star("s", A, vec![B, C, B, C]);
+        assert_eq!(pattern_signature(&p, &rand).len(), 3 * p.num_edges());
+    }
+
+    #[test]
+    fn directed_factor_is_asymmetric_in_general() {
+        let rand = LabelRandomizer::new(2, DEFAULT_PRIME, 17);
+        let ab = rand.directed_edge_factor(A, B);
+        let ba = rand.directed_edge_factor(B, A);
+        // (r(a)-r(b)) and (r(b)-r(a)) differ mod p unless 2(r(a)-r(b)) ≡ 0.
+        if rand.r(A) != rand.r(B) {
+            assert_ne!(ab, ba);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_prime_rejected() {
+        LabelRandomizer::new(2, 1, 0);
+    }
+}

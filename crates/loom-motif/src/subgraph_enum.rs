@@ -1,0 +1,162 @@
+//! Connected sub-graph enumeration over pattern graphs (§2.2).
+//!
+//! Alg. 1 "rebuilds" a query graph edge-by-edge from every starting
+//! edge; the set of graphs it touches is exactly the set of *connected
+//! edge subsets* of the query. This module enumerates those subsets as
+//! bitmasks over the pattern's edge list (queries have ≤ ~10 edges, so
+//! `u64` masks are ample), which both the TPSTry++ builder and its tests
+//! consume.
+
+use loom_graph::PatternGraph;
+use std::collections::HashSet;
+
+/// All connected, non-empty edge subsets of `p`, as bitmasks over
+/// `p.edge_list()` indices. Output is sorted by (popcount, mask) so
+/// smaller sub-graphs come first — the order the trie wants.
+///
+/// # Panics
+/// Panics if the pattern has more than 63 edges (far beyond the paper's
+/// query sizes).
+pub fn connected_edge_subsets(p: &PatternGraph) -> Vec<u64> {
+    assert!(p.num_edges() <= 63, "pattern too large for mask enumeration");
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut frontier: Vec<u64> = Vec::new();
+    for i in 0..p.num_edges() {
+        let m = 1u64 << i;
+        if seen.insert(m) {
+            frontier.push(m);
+        }
+    }
+    let mut all: Vec<u64> = frontier.clone();
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &mask in &frontier {
+            for e in incident_edges(p, mask) {
+                let m2 = mask | (1u64 << e);
+                if m2 != mask && seen.insert(m2) {
+                    next.push(m2);
+                    all.push(m2);
+                }
+            }
+        }
+        frontier = next;
+    }
+    all.sort_unstable_by_key(|&m| (m.count_ones(), m));
+    all
+}
+
+/// Indices of edges not in `mask` that share a vertex with an edge in
+/// `mask` — the legal single-edge extensions that keep the subset
+/// connected (Alg. 1's `newEdges`).
+pub fn incident_edges(p: &PatternGraph, mask: u64) -> Vec<usize> {
+    let mut in_vertices = vec![false; p.num_vertices()];
+    for (i, &(u, v)) in p.edge_list().iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            in_vertices[u] = true;
+            in_vertices[v] = true;
+        }
+    }
+    let mut out = Vec::new();
+    for (i, &(u, v)) in p.edge_list().iter().enumerate() {
+        if mask & (1 << i) == 0 && (in_vertices[u] || in_vertices[v]) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Materialise the sub-pattern induced by an edge subset as its own
+/// [`PatternGraph`] (used by tests and by the trie's debug views).
+/// Vertices untouched by the subset are dropped and indices compacted.
+pub fn subset_pattern(p: &PatternGraph, mask: u64, name: &str) -> PatternGraph {
+    let mut remap = vec![usize::MAX; p.num_vertices()];
+    let mut labels = Vec::new();
+    let mut edges = Vec::new();
+    for (i, &(u, v)) in p.edge_list().iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            for &x in &[u, v] {
+                if remap[x] == usize::MAX {
+                    remap[x] = labels.len();
+                    labels.push(p.label(x));
+                }
+            }
+            edges.push((remap[u], remap[v]));
+        }
+    }
+    PatternGraph::new(name, labels, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::Label;
+
+    const A: Label = Label(0);
+    const B: Label = Label(1);
+    const C: Label = Label(2);
+
+    #[test]
+    fn path_subsets() {
+        // a-b-c: subsets {e0}, {e1}, {e0,e1} — all connected.
+        let p = PatternGraph::path("p", vec![A, B, C]);
+        let subs = connected_edge_subsets(&p);
+        assert_eq!(subs, vec![0b01, 0b10, 0b11]);
+    }
+
+    #[test]
+    fn long_path_excludes_disconnected_pairs() {
+        // a-b-c-d: {e0, e2} is disconnected and must not appear.
+        let p = PatternGraph::path("p", vec![A, B, C, A]);
+        let subs = connected_edge_subsets(&p);
+        assert!(!subs.contains(&0b101));
+        // 3 singles + 2 adjacent pairs + 1 triple = 6.
+        assert_eq!(subs.len(), 6);
+    }
+
+    #[test]
+    fn cycle_subset_count() {
+        // 4-cycle: 4 singles, 4 adjacent pairs, 4 triples (paths), 1 full.
+        let p = PatternGraph::cycle("c", vec![A, B, A, B]);
+        let subs = connected_edge_subsets(&p);
+        assert_eq!(subs.len(), 13);
+        // Opposite edges are disconnected.
+        assert!(!subs.contains(&0b0101));
+        assert!(!subs.contains(&0b1010));
+    }
+
+    #[test]
+    fn subsets_sorted_by_size() {
+        let p = PatternGraph::cycle("c", vec![A, B, C]);
+        let subs = connected_edge_subsets(&p);
+        for w in subs.windows(2) {
+            assert!(w[0].count_ones() <= w[1].count_ones());
+        }
+    }
+
+    #[test]
+    fn incident_edges_of_middle_edge() {
+        let p = PatternGraph::path("p", vec![A, B, C, A]);
+        // Edge 1 (b-c) touches both edge 0 and edge 2.
+        assert_eq!(incident_edges(&p, 0b010), vec![0, 2]);
+        // Edge 0 only touches edge 1.
+        assert_eq!(incident_edges(&p, 0b001), vec![1]);
+    }
+
+    #[test]
+    fn subset_pattern_compacts_vertices() {
+        let p = PatternGraph::path("p", vec![A, B, C]);
+        let sub = subset_pattern(&p, 0b10, "sub");
+        assert_eq!(sub.num_vertices(), 2);
+        assert_eq!(sub.num_edges(), 1);
+        let mut ls = vec![sub.label(0), sub.label(1)];
+        ls.sort_unstable();
+        assert_eq!(ls, vec![B, C]);
+    }
+
+    #[test]
+    fn star_all_subsets_connected() {
+        // Every edge subset of a star shares the centre: all 2^n - 1.
+        let p = PatternGraph::star("s", A, vec![B, B, C]);
+        assert_eq!(connected_edge_subsets(&p).len(), 7);
+    }
+}

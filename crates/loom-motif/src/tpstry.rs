@@ -1,0 +1,724 @@
+//! The TPSTry++ — Traversal Pattern Summary Trie (§2, Alg. 1).
+//!
+//! A DAG in which every node represents a connected sub-graph of some
+//! query in the workload, identified by its factor-multiset signature;
+//! every parent is a strict sub-graph of its children, and each
+//! parent→child link is annotated with the **delta factors** the added
+//! edge contributes. Node supports track how frequently each sub-graph
+//! occurs across the workload; nodes at or above the support threshold
+//! `T` are *motifs* (§1.3), and the support anti-monotonicity argument
+//! of §3 (a node's support never exceeds its ancestors') makes the
+//! motif set downward-closed.
+//!
+//! Alg. 1 builds the trie by recursively re-adding edges of each query
+//! from every starting edge. The set of graphs that recursion touches
+//! is exactly the connected edge subsets of the query, so this
+//! implementation enumerates those subsets directly (see
+//! [`crate::subgraph_enum`]) and computes each node's signature
+//! incrementally from a parent, as the algorithm does.
+
+use crate::signature::{FactorSet, LabelRandomizer};
+use crate::subgraph_enum::{connected_edge_subsets, subset_pattern};
+use crate::Delta;
+use loom_graph::{PatternGraph, Workload};
+use std::collections::HashMap;
+
+/// Identifier of a TPSTry++ node. Node 0 is the root (the empty graph).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrieNodeId(pub u32);
+
+impl TrieNodeId {
+    /// The root node (empty graph, empty signature).
+    pub const ROOT: TrieNodeId = TrieNodeId(0);
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A node of the TPSTry++: one equivalence class of query sub-graphs
+/// under signature equality.
+#[derive(Clone, Debug)]
+pub struct TrieNode {
+    /// Factor-multiset signature of the represented graph.
+    pub signature: FactorSet,
+    /// Accumulated (raw) workload frequency of queries containing this
+    /// sub-graph.
+    pub support: f64,
+    /// Edge count of the represented graph.
+    pub num_edges: usize,
+    /// Children with the delta factors of the connecting edge addition.
+    pub children: Vec<(Delta, TrieNodeId)>,
+    /// A representative pattern for this node (first one interned);
+    /// used by reports and tests, never by the matcher.
+    pub example: Option<PatternGraph>,
+}
+
+/// The TPSTry++ for a workload.
+#[derive(Clone, Debug)]
+pub struct TpsTrie {
+    nodes: Vec<TrieNode>,
+    by_signature: HashMap<FactorSet, TrieNodeId>,
+    total_frequency: f64,
+    collisions: usize,
+}
+
+impl TpsTrie {
+    /// Build the trie for a whole workload (Fig. 3's progressive merge).
+    pub fn build(workload: &Workload, rand: &LabelRandomizer) -> Self {
+        let mut trie = TpsTrie::new();
+        for (q, f) in workload.queries() {
+            trie.add_query(q, *f, rand);
+        }
+        trie
+    }
+
+    /// An empty trie containing only the root.
+    pub fn new() -> Self {
+        let root = TrieNode {
+            signature: FactorSet::empty(),
+            support: 0.0,
+            num_edges: 0,
+            children: Vec::new(),
+            example: None,
+        };
+        let mut by_signature = HashMap::new();
+        by_signature.insert(FactorSet::empty(), TrieNodeId::ROOT);
+        TpsTrie {
+            nodes: vec![root],
+            by_signature,
+            total_frequency: 0.0,
+            collisions: 0,
+        }
+    }
+
+    /// Add one query with its workload frequency (Alg. 1, plus the
+    /// incremental-update story of §2: "the TPSTry++ may be trivially
+    /// updated" as the workload evolves — call this again with new
+    /// queries or frequency increments).
+    pub fn add_query(&mut self, q: &PatternGraph, frequency: f64, rand: &LabelRandomizer) {
+        assert!(frequency > 0.0, "frequency must be positive");
+        self.total_frequency += frequency;
+        if q.num_edges() == 0 {
+            return;
+        }
+
+        let subsets = connected_edge_subsets(q);
+        // Signature per subset, computed incrementally: subsets are
+        // ordered by popcount, so a parent (mask minus one edge) is
+        // always resolved before its children.
+        let mut sig_of: HashMap<u64, FactorSet> = HashMap::with_capacity(subsets.len());
+        let mut node_of: HashMap<u64, TrieNodeId> = HashMap::with_capacity(subsets.len());
+        // Distinct trie nodes this query supports (count each once per
+        // query — support is "relative frequency with which G_n occurs
+        // in Q", §3).
+        let mut supported: Vec<TrieNodeId> = Vec::new();
+
+        for &mask in &subsets {
+            let (parent_mask, sig, delta) = if mask.count_ones() == 1 {
+                let i = mask.trailing_zeros() as usize;
+                let (u, v) = q.edge_list()[i];
+                let d = crate::signature::single_edge_delta(rand, q.label(u), q.label(v));
+                (0u64, d.to_factor_set(), d)
+            } else {
+                // Remove the highest set bit to find a parent subset; if
+                // that subset is disconnected, fall back to scanning for
+                // any removable edge keeping connectivity. Connected
+                // graphs always have at least one such edge (any leaf
+                // edge of a spanning tree).
+                let parent_mask = removable_parent(q, mask, &sig_of);
+                let added = (mask & !parent_mask).trailing_zeros() as usize;
+                let delta = delta_for_extension(q, parent_mask, added, rand);
+                let sig = sig_of[&parent_mask].with_delta(&delta);
+                (parent_mask, sig, delta)
+            };
+
+            let node = self.intern(sig.clone(), mask.count_ones() as usize, || {
+                subset_pattern(q, mask, "trie-node")
+            });
+            sig_of.insert(mask, sig);
+            node_of.insert(mask, node);
+            if !supported.contains(&node) {
+                supported.push(node);
+            }
+            let parent_node = if parent_mask == 0 {
+                TrieNodeId::ROOT
+            } else {
+                node_of[&parent_mask]
+            };
+            self.link(parent_node, delta, node);
+
+            // Also register links from *every* other parent subset (the
+            // DAG property: a-b-a-b is reachable from both b-a-b and
+            // a-b-a, Fig. 2). The primary parent above is just the one
+            // we compute the signature through.
+            if mask.count_ones() >= 2 {
+                for i in 0..q.num_edges() {
+                    let bit = 1u64 << i;
+                    if mask & bit == 0 || (mask & !bit) == parent_mask {
+                        continue;
+                    }
+                    let other_parent = mask & !bit;
+                    if let Some(&pn) = node_of.get(&other_parent) {
+                        let d = delta_for_extension(q, other_parent, i, rand);
+                        self.link(pn, d, node);
+                    }
+                }
+            }
+        }
+
+        for node in supported {
+            self.nodes[node.index()].support += frequency;
+        }
+    }
+
+    fn intern(
+        &mut self,
+        sig: FactorSet,
+        num_edges: usize,
+        example: impl FnOnce() -> PatternGraph,
+    ) -> TrieNodeId {
+        if let Some(&id) = self.by_signature.get(&sig) {
+            // Collision bookkeeping: if the incoming sub-graph is not
+            // isomorphic to this node's representative, two distinct
+            // graph classes share a signature. The trie still merges
+            // them (the probabilistic scheme tolerates false positives,
+            // §2.3) but the counter lets callers — and the property
+            // tests — know that support anti-monotonicity is no longer
+            // guaranteed on this instance.
+            if let Some(existing) = &self.nodes[id.index()].example {
+                let incoming = example();
+                if !crate::isomorphism::are_isomorphic(existing, &incoming) {
+                    self.collisions += 1;
+                }
+            }
+            return id;
+        }
+        let id = TrieNodeId(self.nodes.len() as u32);
+        self.nodes.push(TrieNode {
+            signature: sig.clone(),
+            support: 0.0,
+            num_edges,
+            children: Vec::new(),
+            example: Some(example()),
+        });
+        self.by_signature.insert(sig, id);
+        id
+    }
+
+    fn link(&mut self, parent: TrieNodeId, delta: Delta, child: TrieNodeId) {
+        let children = &mut self.nodes[parent.index()].children;
+        if !children.iter().any(|&(d, c)| d == delta && c == child) {
+            children.push((delta, child));
+        }
+    }
+
+    /// The node with the given signature, if present.
+    pub fn node_by_signature(&self, sig: &FactorSet) -> Option<TrieNodeId> {
+        self.by_signature.get(sig).copied()
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: TrieNodeId) -> &TrieNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Total number of nodes, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the trie holds only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Sum of workload frequencies added so far.
+    pub fn total_frequency(&self) -> f64 {
+        self.total_frequency
+    }
+
+    /// Number of signature collisions observed during construction:
+    /// occasions where a sub-graph interned into a node whose
+    /// representative it is *not* isomorphic to. Zero for almost all
+    /// workloads at `p = 251`; when non-zero, support values mix the
+    /// colliding classes and the anti-monotonicity guarantee of §3
+    /// weakens to "probably".
+    pub fn collision_count(&self) -> usize {
+        self.collisions
+    }
+
+    /// Normalised support of a node in `[0, 1]`.
+    pub fn relative_support(&self, id: TrieNodeId) -> f64 {
+        if self.total_frequency == 0.0 {
+            0.0
+        } else {
+            self.nodes[id.index()].support / self.total_frequency
+        }
+    }
+
+    /// All node ids except the root.
+    pub fn node_ids(&self) -> impl Iterator<Item = TrieNodeId> + '_ {
+        (1..self.nodes.len() as u32).map(TrieNodeId)
+    }
+
+    /// Filter to the motif sub-DAG: nodes with relative support `>= t`
+    /// (§1.3's threshold `T`; the evaluation uses 40%).
+    pub fn motifs(&self, threshold: f64) -> MotifIndex {
+        MotifIndex::from_trie(self, threshold)
+    }
+
+    /// Exponentially decay every support by `factor ∈ (0, 1]` — the
+    /// sliding-window view of an *evolving* workload (§2 notes the
+    /// trie "may be trivially updated to account for change in the
+    /// frequencies of workload queries"; §6 makes workload change
+    /// future work). Old queries fade; calling [`TpsTrie::add_query`]
+    /// with fresh observations then re-weights the motif set without
+    /// rebuilding.
+    ///
+    /// # Panics
+    /// Panics unless `0 < factor <= 1`.
+    pub fn decay(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "decay factor must be in (0, 1]"
+        );
+        self.total_frequency *= factor;
+        for node in &mut self.nodes {
+            node.support *= factor;
+        }
+    }
+}
+
+impl Default for TpsTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Pick a parent subset of `mask` (one edge removed, still connected,
+/// already resolved in `sig_of`).
+fn removable_parent(
+    q: &PatternGraph,
+    mask: u64,
+    sig_of: &HashMap<u64, FactorSet>,
+) -> u64 {
+    for i in 0..q.num_edges() {
+        let bit = 1u64 << i;
+        if mask & bit != 0 {
+            let parent = mask & !bit;
+            if sig_of.contains_key(&parent) {
+                return parent;
+            }
+        }
+    }
+    unreachable!("connected subset {mask:b} has no resolved parent — enumeration order broken");
+}
+
+/// Delta factors for extending the subset `parent_mask` of `q` with edge
+/// index `added` (Alg. 1's `factors(e, g)`).
+fn delta_for_extension(
+    q: &PatternGraph,
+    parent_mask: u64,
+    added: usize,
+    rand: &LabelRandomizer,
+) -> Delta {
+    let (u, v) = q.edge_list()[added];
+    let mut du = 0usize;
+    let mut dv = 0usize;
+    for (i, &(a, b)) in q.edge_list().iter().enumerate() {
+        if parent_mask & (1 << i) != 0 {
+            if a == u || b == u {
+                du += 1;
+            }
+            if a == v || b == v {
+                dv += 1;
+            }
+        }
+    }
+    crate::signature::edge_delta(rand, q.label(u), du + 1, q.label(v), dv + 1)
+}
+
+/// Identifier of a motif in a [`MotifIndex`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MotifId(pub u32);
+
+impl MotifId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One motif: a frequent traversal pattern the matcher hunts for.
+#[derive(Clone, Debug)]
+pub struct Motif {
+    /// Factor-multiset signature.
+    pub signature: FactorSet,
+    /// Normalised support in `[0, 1]` (the `supp(m_k)` of Eq. 1).
+    pub support: f64,
+    /// Edge count of the motif graph.
+    pub num_edges: usize,
+    /// Children within the motif sub-DAG, keyed by delta factors.
+    pub children: Vec<(Delta, MotifId)>,
+    /// Representative pattern, for reports.
+    pub example: Option<PatternGraph>,
+}
+
+/// The motif sub-DAG of a TPSTry++, pre-filtered at a support threshold
+/// (Alg. 2's "filtered TPSTry++ of motifs"). Single-edge motifs are
+/// indexed by their delta for the O(1) root check the matcher performs
+/// on every arriving edge (§3).
+#[derive(Clone, Debug)]
+pub struct MotifIndex {
+    motifs: Vec<Motif>,
+    single_edge: HashMap<Delta, MotifId>,
+    threshold: f64,
+    max_motif_edges: usize,
+}
+
+impl MotifIndex {
+    fn from_trie(trie: &TpsTrie, threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold is a relative support in [0, 1]"
+        );
+        let mut remap: HashMap<TrieNodeId, MotifId> = HashMap::new();
+        let mut motifs = Vec::new();
+        for id in trie.node_ids() {
+            if trie.relative_support(id) >= threshold {
+                let node = trie.node(id);
+                let mid = MotifId(motifs.len() as u32);
+                remap.insert(id, mid);
+                motifs.push(Motif {
+                    signature: node.signature.clone(),
+                    support: trie.relative_support(id),
+                    num_edges: node.num_edges,
+                    children: Vec::new(),
+                    example: node.example.clone(),
+                });
+            }
+        }
+        // Wire children restricted to motif nodes.
+        for (&tid, &mid) in &remap {
+            for &(delta, child) in &trie.node(tid).children {
+                if let Some(&cm) = remap.get(&child) {
+                    motifs[mid.index()].children.push((delta, cm));
+                }
+            }
+        }
+        let mut single_edge = HashMap::new();
+        for &(delta, child) in &trie.node(TrieNodeId::ROOT).children {
+            if let Some(&cm) = remap.get(&child) {
+                single_edge.insert(delta, cm);
+            }
+        }
+        let max_motif_edges = motifs.iter().map(|m| m.num_edges).max().unwrap_or(0);
+        MotifIndex {
+            motifs,
+            single_edge,
+            threshold,
+            max_motif_edges,
+        }
+    }
+
+    /// Number of motifs.
+    pub fn len(&self) -> usize {
+        self.motifs.len()
+    }
+
+    /// True when no node cleared the threshold.
+    pub fn is_empty(&self) -> bool {
+        self.motifs.is_empty()
+    }
+
+    /// The threshold this index was filtered at.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Edge count of the largest motif — bounds how deep the matcher
+    /// ever grows a match (§2.3: "the largest graph for which we
+    /// calculate a signature is the size of the largest query graph").
+    pub fn max_motif_edges(&self) -> usize {
+        self.max_motif_edges
+    }
+
+    /// Access a motif.
+    pub fn get(&self, id: MotifId) -> &Motif {
+        &self.motifs[id.index()]
+    }
+
+    /// The single-edge motif matching this delta, if any — the root
+    /// check every stream edge passes through (§3).
+    pub fn single_edge_motif(&self, delta: Delta) -> Option<MotifId> {
+        self.single_edge.get(&delta).copied()
+    }
+
+    /// The motif child of `m` whose connecting delta equals `delta`
+    /// (Alg. 2, lines 7 and 15).
+    pub fn child_with_delta(&self, m: MotifId, delta: Delta) -> Option<MotifId> {
+        self.motifs[m.index()]
+            .children
+            .iter()
+            .find(|&&(d, _)| d == delta)
+            .map(|&(_, c)| c)
+    }
+
+    /// Iterate over `(MotifId, &Motif)`.
+    pub fn iter(&self) -> impl Iterator<Item = (MotifId, &Motif)> {
+        self.motifs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MotifId(i as u32), m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::{pattern_signature, DEFAULT_PRIME};
+    use loom_graph::Label;
+
+    const A: Label = Label(0);
+    const B: Label = Label(1);
+    const C: Label = Label(2);
+
+    fn rand4() -> LabelRandomizer {
+        LabelRandomizer::new(4, DEFAULT_PRIME, 42)
+    }
+
+    #[test]
+    fn single_query_path_nodes() {
+        // a-b-c contributes nodes: a-b, b-c, a-b-c.
+        let rand = rand4();
+        let mut trie = TpsTrie::new();
+        trie.add_query(&PatternGraph::path("q", vec![A, B, C]), 1.0, &rand);
+        assert_eq!(trie.len(), 4, "root + 3 sub-graphs");
+    }
+
+    #[test]
+    fn isomorphic_subgraphs_merge() {
+        // q1 = a-b-a-b cycle: its four single edges are all a-b and must
+        // intern to ONE node (Fig. 3's motivation).
+        let rand = rand4();
+        let mut trie = TpsTrie::new();
+        trie.add_query(&PatternGraph::cycle("q1", vec![A, B, A, B]), 1.0, &rand);
+        let root = trie.node(TrieNodeId::ROOT);
+        assert_eq!(root.children.len(), 1, "one single-edge class");
+        // Nodes: a-b, a-b-a, b-a-b, 3-edge path a-b-a-b, 4-cycle = 5 + root.
+        assert_eq!(trie.len(), 6);
+    }
+
+    #[test]
+    fn figure2_motifs_at_40_percent() {
+        // The running example: Q(q1:30, q2:60, q3:10), T = 40% — motifs
+        // must be exactly {a-b, b-c, a-b-c} (the shaded nodes of Fig. 2).
+        let rand = rand4();
+        let workload = Workload::figure1_example();
+        let trie = TpsTrie::build(&workload, &rand);
+        let motifs = trie.motifs(0.4);
+        assert_eq!(motifs.len(), 3, "Fig. 2 shades exactly three nodes");
+
+        let sig_ab = pattern_signature(&PatternGraph::path("ab", vec![A, B]), &rand);
+        let sig_bc = pattern_signature(&PatternGraph::path("bc", vec![B, C]), &rand);
+        let sig_abc = pattern_signature(&PatternGraph::path("abc", vec![A, B, C]), &rand);
+        let mut got: Vec<&FactorSet> = motifs.iter().map(|(_, m)| &m.signature).collect();
+        got.sort();
+        let mut want = vec![&sig_ab, &sig_bc, &sig_abc];
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn figure2_supports() {
+        let rand = rand4();
+        let trie = TpsTrie::build(&Workload::figure1_example(), &rand);
+        let sig_ab = pattern_signature(&PatternGraph::path("ab", vec![A, B]), &rand);
+        let ab = trie.node_by_signature(&sig_ab).unwrap();
+        // a-b occurs in all three queries: support 30 + 60 + 10 = 100%.
+        assert!((trie.relative_support(ab) - 1.0).abs() < 1e-12);
+        let sig_aba = pattern_signature(&PatternGraph::path("aba", vec![A, B, A]), &rand);
+        let aba = trie.node_by_signature(&sig_aba).unwrap();
+        // a-b-a occurs only in q1: 30%.
+        assert!((trie.relative_support(aba) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_is_anti_monotone() {
+        // Every child's support must be <= every parent's (§3's pruning
+        // argument).
+        let rand = rand4();
+        let trie = TpsTrie::build(&Workload::figure1_example(), &rand);
+        for id in trie.node_ids() {
+            let parent_supp = trie.node(id).support;
+            for &(_, child) in &trie.node(id).children {
+                assert!(
+                    trie.node(child).support <= parent_supp + 1e-12,
+                    "child support exceeds parent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dag_node_reachable_via_multiple_parents() {
+        // Fig. 2: a-b-a-b (path) has parents b-a-b AND a-b-a.
+        let rand = rand4();
+        let mut trie = TpsTrie::new();
+        trie.add_query(&PatternGraph::path("q", vec![A, B, A, B]), 1.0, &rand);
+        let sig_aba = pattern_signature(&PatternGraph::path("aba", vec![A, B, A]), &rand);
+        let sig_bab = pattern_signature(&PatternGraph::path("bab", vec![B, A, B]), &rand);
+        let sig_abab = pattern_signature(&PatternGraph::path("abab", vec![A, B, A, B]), &rand);
+        let aba = trie.node_by_signature(&sig_aba).unwrap();
+        let bab = trie.node_by_signature(&sig_bab).unwrap();
+        let abab = trie.node_by_signature(&sig_abab).unwrap();
+        assert!(trie.node(aba).children.iter().any(|&(_, c)| c == abab));
+        assert!(trie.node(bab).children.iter().any(|&(_, c)| c == abab));
+    }
+
+    #[test]
+    fn child_signature_is_parent_plus_delta() {
+        // Structural invariant the matcher depends on: for every link,
+        // child.sig == parent.sig + delta.
+        let rand = rand4();
+        let trie = TpsTrie::build(&Workload::figure1_example(), &rand);
+        let mut checked = 0;
+        for id in std::iter::once(TrieNodeId::ROOT).chain(trie.node_ids()) {
+            let parent = trie.node(id);
+            for &(delta, child) in &parent.children {
+                let expect = parent.signature.with_delta(&delta);
+                assert_eq!(expect, trie.node(child).signature);
+                checked += 1;
+            }
+        }
+        assert!(checked > 5, "expected several links, got {checked}");
+    }
+
+    #[test]
+    fn motif_index_single_edge_lookup() {
+        let rand = rand4();
+        let trie = TpsTrie::build(&Workload::figure1_example(), &rand);
+        let motifs = trie.motifs(0.4);
+        let ab = crate::signature::single_edge_delta(&rand, A, B);
+        let bc = crate::signature::single_edge_delta(&rand, B, C);
+        let cd = crate::signature::single_edge_delta(&rand, C, Label(3));
+        assert!(motifs.single_edge_motif(ab).is_some());
+        assert!(motifs.single_edge_motif(bc).is_some());
+        assert!(motifs.single_edge_motif(cd).is_none(), "c-d is 10% < 40%");
+    }
+
+    #[test]
+    fn motif_child_lookup_follows_delta() {
+        let rand = rand4();
+        let trie = TpsTrie::build(&Workload::figure1_example(), &rand);
+        let motifs = trie.motifs(0.4);
+        let ab = motifs
+            .single_edge_motif(crate::signature::single_edge_delta(&rand, A, B))
+            .unwrap();
+        // Extending a-b with b-c (b reaching degree 2, c fresh) lands on
+        // the a-b-c motif.
+        let delta = crate::signature::edge_delta(&rand, B, 2, C, 1);
+        let abc = motifs.child_with_delta(ab, delta);
+        assert!(abc.is_some());
+        assert_eq!(motifs.get(abc.unwrap()).num_edges, 2);
+    }
+
+    #[test]
+    fn threshold_one_hundred_percent() {
+        let rand = rand4();
+        let trie = TpsTrie::build(&Workload::figure1_example(), &rand);
+        let motifs = trie.motifs(1.0);
+        // Only a-b is in every query.
+        assert_eq!(motifs.len(), 1);
+        assert_eq!(motifs.max_motif_edges(), 1);
+    }
+
+    #[test]
+    fn incremental_workload_update_shifts_motifs() {
+        // §2's evolving-workload claim: adding weight to q3 promotes its
+        // sub-graphs past the threshold.
+        let rand = rand4();
+        let workload = Workload::figure1_example();
+        let mut trie = TpsTrie::build(&workload, &rand);
+        let before = trie.motifs(0.4).len();
+        let (q3, _) = &workload.queries()[2];
+        trie.add_query(q3, 200.0, &rand); // q3 now dominates
+        let after = trie.motifs(0.4).len();
+        assert!(after > before, "{after} <= {before}");
+    }
+
+    #[test]
+    fn empty_trie_has_no_motifs() {
+        let trie = TpsTrie::new();
+        assert!(trie.is_empty());
+        assert!(trie.motifs(0.4).is_empty());
+    }
+
+    #[test]
+    fn decay_preserves_relative_supports() {
+        let rand = rand4();
+        let mut trie = TpsTrie::build(&Workload::figure1_example(), &rand);
+        let before: Vec<f64> = trie.node_ids().map(|id| trie.relative_support(id)).collect();
+        trie.decay(0.5);
+        let after: Vec<f64> = trie.node_ids().map(|id| trie.relative_support(id)).collect();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < 1e-12, "decay must not change ratios");
+        }
+        assert_eq!(trie.motifs(0.4).len(), 3, "motif set unchanged by pure decay");
+    }
+
+    #[test]
+    fn decay_plus_fresh_queries_shifts_motifs() {
+        // A workload drifting from the Fig. 1 mix to pure q3: after a
+        // strong decay and fresh q3 weight, q3's sub-graphs dominate.
+        let rand = rand4();
+        let workload = Workload::figure1_example();
+        let mut trie = TpsTrie::build(&workload, &rand);
+        let sig_cd = pattern_signature(&PatternGraph::path("cd", vec![C, Label(3)]), &rand);
+        let cd = trie.node_by_signature(&sig_cd).unwrap();
+        assert!(trie.relative_support(cd) < 0.4, "c-d starts below threshold");
+        trie.decay(0.1);
+        let (q3, _) = &workload.queries()[2];
+        trie.add_query(q3, 50.0, &rand);
+        assert!(
+            trie.relative_support(cd) >= 0.4,
+            "c-d should clear the threshold after drift: {}",
+            trie.relative_support(cd)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn decay_rejects_bad_factor() {
+        TpsTrie::new().decay(0.0);
+    }
+
+    #[test]
+    fn figure1_workload_is_collision_free() {
+        // The running example — and all evaluation workloads — must
+        // build without signature collisions at p = 251, otherwise the
+        // anti-monotonicity argument of §3 wouldn't apply to them.
+        let rand = rand4();
+        let trie = TpsTrie::build(&Workload::figure1_example(), &rand);
+        assert_eq!(trie.collision_count(), 0);
+    }
+
+    #[test]
+    fn collisions_are_detected_at_tiny_primes() {
+        // At p = 2 every edge factor is forced into {1, 2}: distinct
+        // label pairs collide constantly and the counter must notice.
+        let rand = LabelRandomizer::new(4, 2, 5);
+        let mut trie = TpsTrie::new();
+        // Two structurally different queries over disjoint labels.
+        trie.add_query(&PatternGraph::path("p1", vec![A, B, A, B]), 1.0, &rand);
+        trie.add_query(
+            &PatternGraph::star("p2", C, vec![Label(3), Label(3), Label(3)]),
+            1.0,
+            &rand,
+        );
+        assert!(
+            trie.collision_count() > 0,
+            "p = 2 must produce detectable collisions"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of signatures and the TPSTry++.
+
+use loom_motif::collision::random_connected_pattern;
+use loom_motif::subgraph_enum::{connected_edge_subsets, subset_pattern};
+use loom_motif::{
+    pattern_signature, subset_signature, FactorSet, LabelRandomizer, TpsTrie, DEFAULT_PRIME,
+};
+use loom_graph::Workload;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn pattern(edges: usize, labels: usize, seed: u64) -> loom_graph::PatternGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    random_connected_pattern(&mut rng, edges, labels, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `subset_signature` on a mask equals `pattern_signature` of the
+    /// materialised sub-pattern — the incremental and from-scratch
+    /// paths agree on every connected subset.
+    #[test]
+    fn subset_signature_matches_materialised(
+        edges in 1usize..6, labels in 1usize..4, seed in any::<u64>()
+    ) {
+        let p = pattern(edges, labels, seed);
+        let rand = LabelRandomizer::new(labels, DEFAULT_PRIME, 7);
+        for mask in connected_edge_subsets(&p) {
+            let via_mask = subset_signature(&p, mask, &rand);
+            let sub = subset_pattern(&p, mask, "sub");
+            prop_assert_eq!(via_mask, pattern_signature(&sub, &rand));
+        }
+    }
+
+    /// Multiset difference: (a + delta) \ a == delta's factors, and
+    /// a \ a is empty.
+    #[test]
+    fn factor_set_difference_roundtrip(
+        edges in 1usize..6, labels in 1usize..4, seed in any::<u64>()
+    ) {
+        let p = pattern(edges, labels, seed);
+        let rand = LabelRandomizer::new(labels, DEFAULT_PRIME, 13);
+        let sig = pattern_signature(&p, &rand);
+        prop_assert_eq!(
+            sig.difference(&sig).unwrap(),
+            FactorSet::empty()
+        );
+        let delta = loom_motif::single_edge_delta(
+            &rand,
+            loom_graph::Label(0),
+            loom_graph::Label((labels - 1) as u16),
+        );
+        let grown = sig.with_delta(&delta);
+        let diff = grown.difference(&sig).unwrap();
+        prop_assert_eq!(diff, delta.to_factor_set());
+    }
+
+    /// Every connected subset of every query becomes a trie node, and
+    /// all trie links satisfy child = parent + delta.
+    #[test]
+    fn trie_covers_all_connected_subsets(
+        edges in 1usize..6, labels in 1usize..4, seed in any::<u64>()
+    ) {
+        let p = pattern(edges, labels, seed);
+        let rand = LabelRandomizer::new(labels, DEFAULT_PRIME, 19);
+        let workload = Workload::new(vec![(p.clone(), 1.0)]);
+        let trie = TpsTrie::build(&workload, &rand);
+        for mask in connected_edge_subsets(&p) {
+            let sig = subset_signature(&p, mask, &rand);
+            prop_assert!(
+                trie.node_by_signature(&sig).is_some(),
+                "subset {mask:b} missing from trie"
+            );
+        }
+        for id in std::iter::once(loom_motif::TrieNodeId::ROOT).chain(trie.node_ids()) {
+            let node = trie.node(id);
+            for &(delta, child) in &node.children {
+                prop_assert_eq!(
+                    &node.signature.with_delta(&delta),
+                    &trie.node(child).signature
+                );
+            }
+        }
+    }
+
+    /// Motif count is monotonically non-increasing in the threshold.
+    #[test]
+    fn motifs_monotone_in_threshold(
+        edges in 1usize..5, labels in 1usize..4, seed in any::<u64>()
+    ) {
+        let rand = LabelRandomizer::new(labels, DEFAULT_PRIME, 23);
+        let workload = Workload::new(vec![
+            (pattern(edges, labels, seed), 60.0),
+            (pattern(edges, labels, seed.wrapping_add(1)), 40.0),
+        ]);
+        let trie = TpsTrie::build(&workload, &rand);
+        let mut prev = usize::MAX;
+        for t in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let n = trie.motifs(t).len();
+            prop_assert!(n <= prev);
+            prev = n;
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The equal-opportunism allocation heuristic (§4, Eqs. 1-3).
+//!
+//! When an edge `e` leaves the window, its motif matches `M_e` are
+//! auctioned: every partition bids on each match
+//! (`bid = N(S_i, E_k) · (1 - |V(S_i)|/C) · supp(m_k)`, Eq. 1), but a
+//! *rationing function* `l(S_i) ∈ [0, 1]` (Eq. 2) limits how many of
+//! the support-ordered matches a partition may sum into its total bid —
+//! and how many the winner is allowed to take. Small partitions get
+//! larger rations, which both preserves balance and leaves low-priority
+//! edges in the window for better-informed later decisions (the paper's
+//! `e5`/`e6` walkthrough).
+//!
+//! On the formula: Eq. 2 as printed reads `|V(S_i)| / S_min · α`, but
+//! the paper's worked example computes `l = 1/1.33 · 1/1.5 = 1/2` for a
+//! partition 33% larger than the smallest with `α = 2/3` — i.e. the
+//! *reciprocal* ratio times α. We follow the worked example.
+
+use crate::state::PartitionState;
+use loom_graph::{PartitionId, VertexId};
+
+/// Equal-opportunism parameters (§4 defaults: `α = 2/3`, `b = 1.1`).
+#[derive(Clone, Copy, Debug)]
+pub struct EoParams {
+    /// Aggression of the large-partition penalty, `0 < α ≤ 1`.
+    pub alpha: f64,
+    /// Maximum imbalance `b`: partitions larger than `b · S_min` get a
+    /// zero ration (may still win a single forced match when every bid
+    /// is zero — the evicted edge must be placed somewhere).
+    pub max_imbalance: f64,
+}
+
+impl Default for EoParams {
+    fn default() -> Self {
+        EoParams {
+            alpha: 2.0 / 3.0,
+            max_imbalance: 1.1,
+        }
+    }
+}
+
+/// The rationing function `l(S_i)` of Eq. 2.
+pub fn ration(state: &PartitionState, p: PartitionId, params: &EoParams) -> f64 {
+    let size = state.size(p) as f64;
+    let smin = state.min_size() as f64;
+    if size <= smin {
+        // |V(S_i)| = S_min: coefficient 1, ratio 1.
+        return 1.0;
+    }
+    if size > smin * params.max_imbalance {
+        return 0.0;
+    }
+    (smin / size) * params.alpha
+}
+
+/// One match up for auction: its vertices and its motif's support.
+#[derive(Clone, Debug)]
+pub struct AuctionMatch {
+    /// Distinct vertices of the matching sub-graph.
+    pub vertices: Vec<VertexId>,
+    /// Normalised motif support, `supp(m_k)` of Eq. 1.
+    pub support: f64,
+    /// Edge count (used for the support-then-size ordering).
+    pub num_edges: usize,
+}
+
+/// Eq. 1: a partition's bid on one match.
+pub fn bid(state: &PartitionState, p: PartitionId, m: &AuctionMatch) -> f64 {
+    let n = m
+        .vertices
+        .iter()
+        .filter(|&&v| state.partition_of(v) == Some(p))
+        .count();
+    n as f64 * state.residual(p).max(0.0) * m.support
+}
+
+/// Outcome of one auction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AuctionOutcome {
+    /// The winning partition.
+    pub winner: PartitionId,
+    /// How many of the support-ordered matches the winner takes
+    /// (always ≥ 1 — the evicted edge must be placed).
+    pub take: usize,
+    /// The winner's total bid (0.0 when the fallback fired).
+    pub total_bid: f64,
+}
+
+/// Run the auction of Eq. 3 over support-ordered matches.
+///
+/// `matches` must already be sorted by descending support (ties: fewer
+/// edges first), which [`order_matches`] produces. If every partition's
+/// rationed total bid is zero (e.g. no match vertex is placed yet), the
+/// least-loaded partition wins one match — the paper's balance-keeping
+/// default for information-free placements.
+pub fn auction(
+    state: &PartitionState,
+    params: &EoParams,
+    matches: &[AuctionMatch],
+) -> AuctionOutcome {
+    debug_assert!(!matches.is_empty(), "auction needs at least one match");
+    let mut best: Option<(f64, usize, PartitionId, usize)> = None; // bid, size, winner, take
+    for p in state.partitions() {
+        let l = ration(state, p, params);
+        // A zero ration must not exclude a partition outright: the
+        // partition holding a match's vertices splitting the match on a
+        // technicality costs far more ipt than one extra vertex costs
+        // balance (and the residual term in every bid still throttles
+        // growth at C). It may take exactly one match. This matches the
+        // paper's own observed behaviour — §5.2 reports Loom running at
+        // 7-10% imbalance, i.e. near its cap, not at perfect balance.
+        let take = ((l * matches.len() as f64).ceil() as usize)
+            .clamp(1, matches.len());
+        let total: f64 = matches[..take].iter().map(|m| bid(state, p, m)).sum();
+        let size = state.size(p);
+        let better = match &best {
+            None => total > 0.0,
+            Some((bt, bsize, _, _)) => {
+                total > *bt || (total == *bt && total > 0.0 && size < *bsize)
+            }
+        };
+        if better {
+            best = Some((total, size, p, take));
+        }
+    }
+    match best {
+        Some((total, _, winner, take)) => AuctionOutcome {
+            winner,
+            take: take.max(1),
+            total_bid: total,
+        },
+        None => AuctionOutcome {
+            winner: state.least_loaded(),
+            take: 1,
+            total_bid: 0.0,
+        },
+    }
+}
+
+/// Sort matches the way §4 prescribes: descending support, and among
+/// equal supports the smaller match first ("prioritising the
+/// assignment of the smaller, higher support motif matches").
+pub fn order_matches(matches: &mut [AuctionMatch]) {
+    matches.sort_by(|a, b| {
+        b.support
+            .partial_cmp(&a.support)
+            .unwrap()
+            .then(a.num_edges.cmp(&b.num_edges))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn am(vertices: Vec<u32>, support: f64, num_edges: usize) -> AuctionMatch {
+        AuctionMatch {
+            vertices: vertices.into_iter().map(VertexId).collect(),
+            support,
+            num_edges,
+        }
+    }
+
+    /// The paper's worked ration example: S1 33.3% larger than S2,
+    /// α = 2/3 ("given α = 1.5" — the divisor) → l(S1) = 1/2.
+    #[test]
+    fn ration_matches_paper_example() {
+        let mut state = PartitionState::new(2, 1000, 1.5);
+        // S0: 4 vertices, S1: 3 vertices -> S0 is 33.3% larger.
+        for i in 0..4 {
+            state.assign(VertexId(i), PartitionId(0));
+        }
+        for i in 4..7 {
+            state.assign(VertexId(i), PartitionId(1));
+        }
+        let params = EoParams {
+            alpha: 2.0 / 3.0,
+            max_imbalance: 1.5, // keep S0 inside the b cap for the example
+        };
+        let l = ration(&state, PartitionId(0), &params);
+        assert!((l - 0.5).abs() < 1e-9, "l = {l}");
+        assert!((ration(&state, PartitionId(1), &params) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ration_zero_beyond_b() {
+        let mut state = PartitionState::new(2, 100, 1.1);
+        for i in 0..30 {
+            state.assign(VertexId(i), PartitionId(0));
+        }
+        for i in 30..40 {
+            state.assign(VertexId(i), PartitionId(1));
+        }
+        // S0 = 30 > 1.1 * 10: ration 0.
+        assert_eq!(ration(&state, PartitionId(0), &EoParams::default()), 0.0);
+    }
+
+    #[test]
+    fn bid_counts_resident_vertices() {
+        let mut state = PartitionState::new(2, 100, 1.0); // C = 50
+        state.assign(VertexId(1), PartitionId(0));
+        state.assign(VertexId(2), PartitionId(0));
+        let m = am(vec![1, 2, 3], 0.7, 2);
+        // N = 2, residual = 1 - 2/50 = 0.96, supp = 0.7.
+        let b = bid(&state, PartitionId(0), &m);
+        assert!((b - 2.0 * 0.96 * 0.7).abs() < 1e-12);
+        assert_eq!(bid(&state, PartitionId(1), &m), 0.0);
+    }
+
+    #[test]
+    fn auction_prefers_partition_with_residents() {
+        let mut state = PartitionState::new(2, 100, 1.1);
+        state.assign(VertexId(1), PartitionId(1));
+        // Keep sizes equal-ish so rations don't zero anything out.
+        state.assign(VertexId(50), PartitionId(0));
+        let matches = vec![am(vec![1, 2], 1.0, 1), am(vec![1, 2, 3], 0.5, 2)];
+        let out = auction(&state, &EoParams::default(), &matches);
+        assert_eq!(out.winner, PartitionId(1));
+        assert!(out.total_bid > 0.0);
+        assert_eq!(out.take, 2, "equal-size partitions ration everything");
+    }
+
+    #[test]
+    fn auction_fallback_when_nothing_placed() {
+        let state = PartitionState::new(3, 100, 1.1);
+        let matches = vec![am(vec![5, 6], 1.0, 1)];
+        let out = auction(&state, &EoParams::default(), &matches);
+        assert_eq!(out.winner, PartitionId(0), "least loaded, lowest id");
+        assert_eq!(out.take, 1);
+        assert_eq!(out.total_bid, 0.0);
+    }
+
+    #[test]
+    fn oversized_partition_cannot_hoard() {
+        // The paper's scenario: the large S1 wins (only it has the
+        // vertices) but its ration halves the take.
+        let mut state = PartitionState::new(2, 1000, 1.5);
+        for i in 0..4 {
+            state.assign(VertexId(i), PartitionId(0));
+        }
+        for i in 4..7 {
+            state.assign(VertexId(i), PartitionId(1));
+        }
+        let params = EoParams {
+            alpha: 2.0 / 3.0,
+            max_imbalance: 1.5,
+        };
+        let matches = vec![
+            am(vec![0, 10], 1.0, 1),
+            am(vec![0, 10, 11], 0.7, 2),
+            am(vec![0, 11, 12], 0.6, 2),
+            am(vec![0, 10, 11, 12], 0.5, 3),
+        ];
+        let out = auction(&state, &params, &matches);
+        assert_eq!(out.winner, PartitionId(0));
+        // l(S0) = 0.5 -> take ceil(0.5 * 4) = 2 of 4 matches.
+        assert_eq!(out.take, 2);
+    }
+
+    #[test]
+    fn order_matches_support_then_size() {
+        let mut ms = vec![
+            am(vec![0], 0.5, 3),
+            am(vec![0], 1.0, 2),
+            am(vec![0], 0.5, 1),
+            am(vec![0], 1.0, 1),
+        ];
+        order_matches(&mut ms);
+        let key: Vec<(f64, usize)> = ms.iter().map(|m| (m.support, m.num_edges)).collect();
+        assert_eq!(key, vec![(1.0, 1), (1.0, 2), (0.5, 1), (0.5, 3)]);
+    }
+}

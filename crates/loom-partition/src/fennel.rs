@@ -1,0 +1,188 @@
+//! Fennel (Tsourakakis et al. \[31\]) — the paper's primary baseline.
+//!
+//! Fennel trades off neighbour affinity against a superlinear size
+//! penalty: place `v` at `argmax |N(v) ∩ S_i| - α γ |S_i|^(γ-1)`, with
+//! the interpolated cost parameter `α = m k^(γ-1) / n^γ` and a hard
+//! balance cap `|S_i| ≤ ν n / k`. The evaluation uses `γ = 1.5` and
+//! `ν = 1.1`, exactly as suggested by Tsourakakis et al. (§5.1, §4).
+
+use crate::state::{Assignment, OnlineAdjacency, PartitionState};
+use crate::traits::StreamPartitioner;
+use loom_graph::{PartitionId, StreamEdge, VertexId};
+
+/// Fennel's tuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FennelParams {
+    /// Exponent of the size penalty (paper value: 1.5).
+    pub gamma: f64,
+    /// Maximum imbalance ν: hard cap at `ν n / k` (paper value: 1.1).
+    pub nu: f64,
+}
+
+impl Default for FennelParams {
+    fn default() -> Self {
+        FennelParams { gamma: 1.5, nu: 1.1 }
+    }
+}
+
+/// Fennel as an edge-stream partitioner (unassigned endpoints are
+/// placed on arrival, like the LDG variant).
+#[derive(Clone, Debug)]
+pub struct FennelPartitioner {
+    state: PartitionState,
+    adjacency: OnlineAdjacency,
+    alpha: f64,
+    gamma: f64,
+    cap: f64,
+}
+
+impl FennelPartitioner {
+    /// Build for `k` partitions. Fennel's α needs the expected totals
+    /// `n` (vertices) and `m` (edges) of the stream, which the
+    /// streaming model assumes known (the stream header carries them).
+    pub fn new(k: usize, num_vertices: usize, num_edges: usize, params: FennelParams) -> Self {
+        let n = num_vertices.max(1) as f64;
+        let m = num_edges.max(1) as f64;
+        let kf = k as f64;
+        let alpha = m * kf.powf(params.gamma - 1.0) / n.powf(params.gamma);
+        FennelPartitioner {
+            state: PartitionState::new(k, num_vertices, params.nu),
+            adjacency: OnlineAdjacency::new(num_vertices),
+            alpha,
+            gamma: params.gamma,
+            cap: params.nu * n / kf,
+        }
+    }
+
+    /// The interpolated-cost α in use.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn choose(&self, v: VertexId) -> PartitionId {
+        let mut counts = vec![0usize; self.state.k()];
+        for &w in self.adjacency.neighbors(v) {
+            if let Some(p) = self.state.partition_of(w) {
+                counts[p.index()] += 1;
+            }
+        }
+        let mut best: Option<(f64, usize, PartitionId)> = None;
+        for p in self.state.partitions() {
+            let size = self.state.size(p);
+            if (size as f64) >= self.cap {
+                continue; // hard balance constraint
+            }
+            let score =
+                counts[p.index()] as f64 - self.alpha * self.gamma * (size as f64).powf(self.gamma - 1.0);
+            let better = match &best {
+                None => true,
+                Some((bs, bsize, _)) => score > *bs || (score == *bs && size < *bsize),
+            };
+            if better {
+                best = Some((score, size, p));
+            }
+        }
+        // All partitions at cap cannot happen with ν > 1, but stay safe.
+        best.map(|(_, _, p)| p).unwrap_or_else(|| self.state.least_loaded())
+    }
+}
+
+impl StreamPartitioner for FennelPartitioner {
+    fn name(&self) -> &'static str {
+        "Fennel"
+    }
+
+    fn on_edge(&mut self, e: &StreamEdge) {
+        self.adjacency.add(e);
+        for v in [e.src, e.dst] {
+            if !self.state.is_assigned(v) {
+                let p = self.choose(v);
+                self.state.assign(v, p);
+            }
+        }
+    }
+
+    fn finish(&mut self) {}
+
+    fn state(&self) -> &PartitionState {
+        &self.state
+    }
+
+    fn into_assignment(self: Box<Self>) -> Assignment {
+        self.state.into_assignment()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::{EdgeId, Label};
+
+    fn se(id: u32, src: u32, dst: u32) -> StreamEdge {
+        StreamEdge {
+            id: EdgeId(id),
+            src: VertexId(src),
+            dst: VertexId(dst),
+            src_label: Label(0),
+            dst_label: Label(0),
+        }
+    }
+
+    #[test]
+    fn alpha_matches_formula() {
+        let f = FennelPartitioner::new(4, 1000, 5000, FennelParams::default());
+        let expect = 5000.0 * 2.0 / 1000.0_f64.powf(1.5);
+        assert!((f.alpha() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn co_locates_a_community() {
+        let mut f = FennelPartitioner::new(2, 100, 200, FennelParams::default());
+        // A clique on 0-4 arriving contiguously should co-locate.
+        let mut id = 0;
+        for i in 0..5u32 {
+            for j in (i + 1)..5u32 {
+                f.on_edge(&se(id, i, j));
+                id += 1;
+            }
+        }
+        let p0 = f.state().partition_of(VertexId(0)).unwrap();
+        for i in 1..5u32 {
+            assert_eq!(f.state().partition_of(VertexId(i)), Some(p0));
+        }
+    }
+
+    #[test]
+    fn hard_cap_respected() {
+        let mut f = FennelPartitioner::new(2, 20, 40, FennelParams::default());
+        // Force-feed a chain, which Fennel would love to co-locate;
+        // the ν cap (1.1 * 10 = 11) must stop partition growth.
+        for i in 0..19u32 {
+            f.on_edge(&se(i, i, i + 1));
+        }
+        let max = f.state().max_size();
+        assert!(max <= 11, "cap violated: {max}");
+    }
+
+    #[test]
+    fn all_endpoints_assigned() {
+        let mut f = FennelPartitioner::new(4, 60, 30, FennelParams::default());
+        for i in 0..30u32 {
+            f.on_edge(&se(i, i, i + 30));
+        }
+        for i in 0..60u32 {
+            assert!(f.state().is_assigned(VertexId(i)));
+        }
+    }
+
+    #[test]
+    fn balances_random_pairs() {
+        let mut f = FennelPartitioner::new(4, 4000, 2000, FennelParams::default());
+        for i in 0..2000u32 {
+            f.on_edge(&se(i, 2 * i, 2 * i + 1));
+        }
+        let max = f.state().max_size() as f64;
+        let min = f.state().min_size() as f64 + 1.0;
+        assert!(max / min < 1.5, "imbalance {max}/{min}");
+    }
+}

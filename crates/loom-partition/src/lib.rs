@@ -1,0 +1,33 @@
+//! # loom-partition
+//!
+//! All four partitioners of the evaluation (§5.1) — the Hash baseline,
+//! LDG, Fennel, and Loom itself — over a shared vertex-centric
+//! [`PartitionState`], plus the equal-opportunism auction (§4) and
+//! structural quality metrics.
+
+#![warn(missing_docs)]
+
+pub mod equal_opportunism;
+pub mod fennel;
+pub mod hash;
+pub mod ldg;
+#[allow(clippy::module_inception)]
+pub mod loom;
+pub mod metrics;
+pub mod restream;
+pub mod vertex_stream;
+pub mod state;
+pub mod taper;
+pub mod traits;
+
+pub use equal_opportunism::{auction, bid, order_matches, ration, AuctionMatch, AuctionOutcome, EoParams};
+pub use fennel::{FennelParams, FennelPartitioner};
+pub use hash::HashPartitioner;
+pub use ldg::{ldg_choose, LdgPartitioner};
+pub use loom::{AllocationPolicy, LoomConfig, LoomPartitioner, LoomStats};
+pub use metrics::PartitionMetrics;
+pub use restream::{restream_pass, restreamed_ldg};
+pub use vertex_stream::{fennel_vertex_stream, ldg_vertex_stream, vertex_stream, VertexArrival};
+pub use state::{Assignment, OnlineAdjacency, PartitionState};
+pub use taper::{taper_refine, weighted_cut, RefinementResult, TraversalWeights};
+pub use traits::{partition_stream, run_partitioner, StreamPartitioner};

@@ -1,0 +1,99 @@
+//! Structural partitioning-quality metrics (§5.2's side notes).
+//!
+//! The headline quality metric — ipt under a workload — lives in
+//! `loom-query` because it needs the query engine. This module covers
+//! the scale-free structural measures the paper reports alongside:
+//! edge-cut and vertex imbalance (LDG 1-3%, Fennel/Loom 7-10% in §5.2).
+
+use crate::state::Assignment;
+use loom_graph::LabeledGraph;
+
+/// Structural metrics of a finished partitioning.
+#[derive(Clone, Debug)]
+pub struct PartitionMetrics {
+    /// Vertices per partition.
+    pub sizes: Vec<usize>,
+    /// Edges with endpoints in different partitions.
+    pub edge_cut: usize,
+    /// `edge_cut / |E|`.
+    pub cut_fraction: f64,
+    /// `max_size / (assigned / k) - 1` — 0 is perfect balance.
+    pub imbalance: f64,
+}
+
+impl PartitionMetrics {
+    /// Measure `assignment` against the full graph.
+    pub fn measure(graph: &LabeledGraph, assignment: &Assignment) -> Self {
+        let sizes = assignment.sizes();
+        let edge_cut = graph
+            .edges()
+            .filter(|&(_, u, v)| assignment.is_cut(u, v))
+            .count();
+        let assigned: usize = sizes.iter().sum();
+        let mean = assigned as f64 / assignment.k() as f64;
+        let max = sizes.iter().copied().max().unwrap_or(0) as f64;
+        PartitionMetrics {
+            edge_cut,
+            cut_fraction: if graph.num_edges() == 0 {
+                0.0
+            } else {
+                edge_cut as f64 / graph.num_edges() as f64
+            },
+            imbalance: if mean > 0.0 { max / mean - 1.0 } else { 0.0 },
+            sizes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::PartitionState;
+    use loom_graph::{Label, PartitionId};
+
+    #[test]
+    fn measures_cut_and_imbalance() {
+        let mut g = LabeledGraph::with_anonymous_labels(1);
+        let vs: Vec<_> = (0..4).map(|_| g.add_vertex(Label(0))).collect();
+        g.add_edge(vs[0], vs[1]); // same partition
+        g.add_edge(vs[1], vs[2]); // cut
+        g.add_edge(vs[2], vs[3]); // same partition
+
+        let mut s = PartitionState::new(2, 4, 1.0);
+        s.assign(vs[0], PartitionId(0));
+        s.assign(vs[1], PartitionId(0));
+        s.assign(vs[2], PartitionId(1));
+        s.assign(vs[3], PartitionId(1));
+        let m = PartitionMetrics::measure(&g, &s.into_assignment());
+        assert_eq!(m.edge_cut, 1);
+        assert!((m.cut_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.sizes, vec![2, 2]);
+        assert!(m.imbalance.abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let mut g = LabeledGraph::with_anonymous_labels(1);
+        let vs: Vec<_> = (0..4).map(|_| g.add_vertex(Label(0))).collect();
+        let mut s = PartitionState::new(2, 4, 1.0);
+        s.assign(vs[0], PartitionId(0));
+        s.assign(vs[1], PartitionId(0));
+        s.assign(vs[2], PartitionId(0));
+        s.assign(vs[3], PartitionId(1));
+        let m = PartitionMetrics::measure(&g, &s.into_assignment());
+        // max 3 over mean 2 = 50% imbalance.
+        assert!((m.imbalance - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unassigned_endpoint_counts_as_cut() {
+        let mut g = LabeledGraph::with_anonymous_labels(1);
+        let a = g.add_vertex(Label(0));
+        let b = g.add_vertex(Label(0));
+        g.add_edge(a, b);
+        let mut s = PartitionState::new(2, 2, 1.0);
+        s.assign(a, PartitionId(0));
+        let m = PartitionMetrics::measure(&g, &s.into_assignment());
+        assert_eq!(m.edge_cut, 1);
+    }
+}

@@ -1,0 +1,323 @@
+//! Vertex-centric k-way partition state (§1.3, §4).
+//!
+//! A partitioning is a disjoint family of vertex sets. All partitioners
+//! in this crate share this state type: dense vertex→partition
+//! assignment, per-partition sizes, the capacity constraint `C` used by
+//! LDG's and equal opportunism's residual term, and the streaming
+//! adjacency view (neighbours seen so far) the heuristics score with.
+
+use loom_graph::{PartitionId, StreamEdge, VertexId};
+
+/// Sentinel for "not yet assigned".
+const UNASSIGNED: u32 = u32::MAX;
+
+/// Assignment of vertices to `k` partitions, with sizes and capacity.
+#[derive(Clone, Debug)]
+pub struct PartitionState {
+    k: usize,
+    capacity: f64,
+    assignment: Vec<u32>,
+    sizes: Vec<usize>,
+}
+
+impl PartitionState {
+    /// State for `k` partitions over `num_vertices` vertices, with the
+    /// per-partition capacity `C = slack * n / k` (the evaluation uses
+    /// `slack = 1.1`, matching Fennel's ν).
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `slack <= 0`.
+    pub fn new(k: usize, num_vertices: usize, slack: f64) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(slack > 0.0, "slack must be positive");
+        PartitionState {
+            k,
+            capacity: (slack * num_vertices as f64 / k as f64).max(1.0),
+            assignment: vec![UNASSIGNED; num_vertices],
+            sizes: vec![0; k],
+        }
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The capacity constraint `C`.
+    #[inline]
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Total vertices this state covers.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Partition of `v`, if assigned.
+    #[inline]
+    pub fn partition_of(&self, v: VertexId) -> Option<PartitionId> {
+        match self.assignment[v.index()] {
+            UNASSIGNED => None,
+            p => Some(PartitionId(p)),
+        }
+    }
+
+    /// True if `v` has been permanently placed.
+    #[inline]
+    pub fn is_assigned(&self, v: VertexId) -> bool {
+        self.assignment[v.index()] != UNASSIGNED
+    }
+
+    /// Permanently assign `v` to `p`. Idempotent for the same target;
+    /// re-assignment to a *different* partition is a bug (streaming
+    /// partitioners never refine, §1.2) and panics.
+    pub fn assign(&mut self, v: VertexId, p: PartitionId) {
+        let slot = &mut self.assignment[v.index()];
+        if *slot == p.0 {
+            return;
+        }
+        assert_eq!(
+            *slot, UNASSIGNED,
+            "streaming re-assignment of {v:?}: {} -> {}",
+            *slot, p.0
+        );
+        *slot = p.0;
+        self.sizes[p.index()] += 1;
+    }
+
+    /// Vertices currently in partition `p`.
+    #[inline]
+    pub fn size(&self, p: PartitionId) -> usize {
+        self.sizes[p.index()]
+    }
+
+    /// All partition sizes, indexed by partition.
+    #[inline]
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Size of the smallest partition (`S_min` of Eq. 2).
+    pub fn min_size(&self) -> usize {
+        *self.sizes.iter().min().expect("k >= 1")
+    }
+
+    /// Size of the largest partition.
+    pub fn max_size(&self) -> usize {
+        *self.sizes.iter().max().expect("k >= 1")
+    }
+
+    /// LDG's residual-capacity weight `1 - |V(S_i)| / C` (§4).
+    #[inline]
+    pub fn residual(&self, p: PartitionId) -> f64 {
+        1.0 - self.sizes[p.index()] as f64 / self.capacity
+    }
+
+    /// The least-loaded partition (ties to the lowest id) — the shared
+    /// fallback when heuristics score everything zero.
+    pub fn least_loaded(&self) -> PartitionId {
+        let mut best = 0usize;
+        for i in 1..self.k {
+            if self.sizes[i] < self.sizes[best] {
+                best = i;
+            }
+        }
+        PartitionId(best as u32)
+    }
+
+    /// Iterator over partition ids.
+    pub fn partitions(&self) -> impl Iterator<Item = PartitionId> {
+        (0..self.k as u32).map(PartitionId)
+    }
+
+    /// Number of assigned vertices.
+    pub fn assigned_count(&self) -> usize {
+        self.sizes.iter().sum()
+    }
+
+    /// Freeze into an [`Assignment`].
+    pub fn into_assignment(self) -> Assignment {
+        Assignment {
+            k: self.k,
+            assignment: self.assignment,
+        }
+    }
+}
+
+/// A finished vertex→partition mapping, consumed by the query engine's
+/// ipt accounting and the quality metrics.
+#[derive(Clone, Debug)]
+pub struct Assignment {
+    k: usize,
+    assignment: Vec<u32>,
+}
+
+impl Assignment {
+    /// Number of partitions.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Partition of `v`, if it was ever assigned.
+    #[inline]
+    pub fn partition_of(&self, v: VertexId) -> Option<PartitionId> {
+        match self.assignment.get(v.index()) {
+            Some(&UNASSIGNED) | None => None,
+            Some(&p) => Some(PartitionId(p)),
+        }
+    }
+
+    /// True if the endpoints of an edge land in different partitions
+    /// (an inter-partition edge; traversing it is an ipt).
+    pub fn is_cut(&self, u: VertexId, v: VertexId) -> bool {
+        match (self.partition_of(u), self.partition_of(v)) {
+            (Some(a), Some(b)) => a != b,
+            // An unassigned endpoint lives in no permanent partition;
+            // treat as cut (it would be a remote access in practice).
+            _ => true,
+        }
+    }
+
+    /// Partition sizes (assigned vertices only).
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &p in &self.assignment {
+            if p != UNASSIGNED {
+                sizes[p as usize] += 1;
+            }
+        }
+        sizes
+    }
+}
+
+/// Streaming adjacency: the neighbourhood each vertex has accumulated
+/// so far in the stream. LDG, Fennel and Loom's fallback all score
+/// against this view — "the local neighbourhood of each new element
+/// *at the time it arrives*" (§1.2).
+#[derive(Clone, Debug, Default)]
+pub struct OnlineAdjacency {
+    neighbors: Vec<Vec<VertexId>>,
+}
+
+impl OnlineAdjacency {
+    /// Adjacency over `num_vertices` vertices, initially empty.
+    pub fn new(num_vertices: usize) -> Self {
+        OnlineAdjacency {
+            neighbors: vec![Vec::new(); num_vertices],
+        }
+    }
+
+    /// Record an arrived edge (both directions).
+    pub fn add(&mut self, e: &StreamEdge) {
+        self.neighbors[e.src.index()].push(e.dst);
+        self.neighbors[e.dst.index()].push(e.src);
+    }
+
+    /// Neighbours of `v` seen so far.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[v.index()]
+    }
+
+    /// Degree of `v` seen so far.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors[v.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_and_sizes() {
+        let mut s = PartitionState::new(3, 10, 1.1);
+        s.assign(VertexId(0), PartitionId(1));
+        s.assign(VertexId(5), PartitionId(1));
+        s.assign(VertexId(2), PartitionId(0));
+        assert_eq!(s.size(PartitionId(1)), 2);
+        assert_eq!(s.size(PartitionId(0)), 1);
+        assert_eq!(s.size(PartitionId(2)), 0);
+        assert_eq!(s.min_size(), 0);
+        assert_eq!(s.max_size(), 2);
+        assert_eq!(s.assigned_count(), 3);
+        assert_eq!(s.partition_of(VertexId(5)), Some(PartitionId(1)));
+        assert_eq!(s.partition_of(VertexId(9)), None);
+    }
+
+    #[test]
+    fn idempotent_assignment_ok() {
+        let mut s = PartitionState::new(2, 4, 1.0);
+        s.assign(VertexId(1), PartitionId(0));
+        s.assign(VertexId(1), PartitionId(0));
+        assert_eq!(s.size(PartitionId(0)), 1, "no double count");
+    }
+
+    #[test]
+    #[should_panic(expected = "re-assignment")]
+    fn reassignment_panics() {
+        let mut s = PartitionState::new(2, 4, 1.0);
+        s.assign(VertexId(1), PartitionId(0));
+        s.assign(VertexId(1), PartitionId(1));
+    }
+
+    #[test]
+    fn residual_falls_with_load() {
+        let mut s = PartitionState::new(2, 10, 1.0);
+        // C = 5.
+        assert!((s.residual(PartitionId(0)) - 1.0).abs() < 1e-12);
+        for i in 0..3 {
+            s.assign(VertexId(i), PartitionId(0));
+        }
+        assert!((s.residual(PartitionId(0)) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_low() {
+        let mut s = PartitionState::new(3, 9, 1.0);
+        assert_eq!(s.least_loaded(), PartitionId(0));
+        s.assign(VertexId(0), PartitionId(0));
+        assert_eq!(s.least_loaded(), PartitionId(1));
+    }
+
+    #[test]
+    fn assignment_cut_detection() {
+        let mut s = PartitionState::new(2, 4, 1.0);
+        s.assign(VertexId(0), PartitionId(0));
+        s.assign(VertexId(1), PartitionId(1));
+        s.assign(VertexId(2), PartitionId(0));
+        let a = s.into_assignment();
+        assert!(a.is_cut(VertexId(0), VertexId(1)));
+        assert!(!a.is_cut(VertexId(0), VertexId(2)));
+        assert!(a.is_cut(VertexId(0), VertexId(3)), "unassigned endpoint counts as cut");
+        assert_eq!(a.sizes(), vec![2, 1]);
+    }
+
+    #[test]
+    fn online_adjacency_accumulates() {
+        use loom_graph::{EdgeId, Label};
+        let mut adj = OnlineAdjacency::new(4);
+        let e = StreamEdge {
+            id: EdgeId(0),
+            src: VertexId(0),
+            dst: VertexId(1),
+            src_label: Label(0),
+            dst_label: Label(0),
+        };
+        adj.add(&e);
+        assert_eq!(adj.neighbors(VertexId(0)), &[VertexId(1)]);
+        assert_eq!(adj.degree(VertexId(1)), 1);
+        assert_eq!(adj.degree(VertexId(2)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        PartitionState::new(0, 10, 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! TAPER-style query-aware partition enhancement.
+//!
+//! §6 proposes integrating Loom with "an existing, workload sensitive,
+//! graph re-partitioner \[8\]" — TAPER, the authors' companion system.
+//! This module implements its core move: given a finished partitioning
+//! and a query workload, estimate each edge's traversal likelihood
+//! from the workload's label structure, then greedily migrate boundary
+//! vertices to the partition that maximises their *weighted* internal
+//! edges, under a balance cap. Unlike the streaming partitioners this
+//! is an offline refinement pass — exactly the role \[8\] plays next to
+//! Loom.
+
+use crate::state::Assignment;
+use loom_graph::{LabeledGraph, Label, PartitionId, VertexId, Workload};
+use std::collections::HashMap;
+
+/// Per-label-pair traversal weights derived from a workload: the
+/// summed relative frequency of queries containing an edge with that
+/// label pair. A (label, label) edge no query ever traverses weighs 0
+/// — cutting it is free, which is the whole point of query-awareness.
+#[derive(Clone, Debug)]
+pub struct TraversalWeights {
+    by_pair: HashMap<(Label, Label), f64>,
+}
+
+impl TraversalWeights {
+    /// Derive weights from a workload.
+    pub fn from_workload(workload: &Workload) -> Self {
+        let total = workload.total_frequency();
+        let mut by_pair: HashMap<(Label, Label), f64> = HashMap::new();
+        for (q, f) in workload.queries() {
+            let rel = f / total;
+            let mut pairs_in_query: Vec<(Label, Label)> = q
+                .edge_list()
+                .iter()
+                .map(|&(u, v)| ordered(q.label(u), q.label(v)))
+                .collect();
+            pairs_in_query.sort_unstable();
+            pairs_in_query.dedup();
+            for pair in pairs_in_query {
+                *by_pair.entry(pair).or_insert(0.0) += rel;
+            }
+        }
+        TraversalWeights { by_pair }
+    }
+
+    /// The traversal weight of an edge with endpoint labels `(a, b)`.
+    pub fn weight(&self, a: Label, b: Label) -> f64 {
+        self.by_pair.get(&ordered(a, b)).copied().unwrap_or(0.0)
+    }
+
+    /// Number of label pairs with non-zero weight.
+    pub fn len(&self) -> usize {
+        self.by_pair.len()
+    }
+
+    /// True when the workload traverses nothing.
+    pub fn is_empty(&self) -> bool {
+        self.by_pair.is_empty()
+    }
+}
+
+fn ordered(a: Label, b: Label) -> (Label, Label) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Outcome of a refinement run.
+#[derive(Clone, Debug)]
+pub struct RefinementResult {
+    /// The refined assignment.
+    pub assignment: Assignment,
+    /// Vertices migrated in total.
+    pub moves: usize,
+    /// Rounds executed (< `max_rounds` means convergence).
+    pub rounds: usize,
+}
+
+/// Greedy weighted refinement: up to `max_rounds` sweeps over all
+/// vertices; each vertex moves to the partition maximising its summed
+/// traversal-weighted adjacent edges, when the move strictly gains and
+/// the target stays within `balance_cap * n / k` vertices.
+pub fn taper_refine(
+    graph: &LabeledGraph,
+    assignment: &Assignment,
+    weights: &TraversalWeights,
+    max_rounds: usize,
+    balance_cap: f64,
+) -> RefinementResult {
+    let k = assignment.k();
+    let n = graph.num_vertices();
+    let cap = (balance_cap * n as f64 / k as f64).max(1.0);
+
+    // Mutable working copy of the placement.
+    let mut part: Vec<Option<PartitionId>> =
+        graph.vertices().map(|v| assignment.partition_of(v)).collect();
+    let mut sizes = vec![0usize; k];
+    for p in part.iter().flatten() {
+        sizes[p.index()] += 1;
+    }
+
+    let mut total_moves = 0usize;
+    let mut rounds = 0usize;
+    let mut gains = vec![0.0f64; k];
+    for _ in 0..max_rounds {
+        rounds += 1;
+        let mut moved_this_round = 0usize;
+        for v in graph.vertices() {
+            let Some(current) = part[v.index()] else {
+                continue;
+            };
+            for g in gains.iter_mut() {
+                *g = 0.0;
+            }
+            for &(w, _) in graph.neighbors(v) {
+                if let Some(p) = part[w.index()] {
+                    gains[p.index()] += weights.weight(graph.label(v), graph.label(w));
+                }
+            }
+            let mut best = current;
+            let mut best_gain = gains[current.index()];
+            for p in 0..k {
+                let pid = PartitionId(p as u32);
+                if pid == current || (sizes[p] as f64) + 1.0 > cap {
+                    continue;
+                }
+                if gains[p] > best_gain + 1e-12 {
+                    best_gain = gains[p];
+                    best = pid;
+                }
+            }
+            if best != current {
+                sizes[current.index()] -= 1;
+                sizes[best.index()] += 1;
+                part[v.index()] = Some(best);
+                moved_this_round += 1;
+            }
+        }
+        total_moves += moved_this_round;
+        if moved_this_round == 0 {
+            break;
+        }
+    }
+
+    // Freeze back into an Assignment.
+    let mut state = crate::state::PartitionState::new(k, n, balance_cap);
+    for (i, p) in part.iter().enumerate() {
+        if let Some(p) = p {
+            state.assign(VertexId(i as u32), *p);
+        }
+    }
+    RefinementResult {
+        assignment: state.into_assignment(),
+        moves: total_moves,
+        rounds,
+    }
+}
+
+/// Workload-weighted cut: the objective `taper_refine` descends.
+pub fn weighted_cut(graph: &LabeledGraph, a: &Assignment, weights: &TraversalWeights) -> f64 {
+    graph
+        .edges()
+        .filter(|&(_, u, v)| a.is_cut(u, v))
+        .map(|(_, u, v)| weights.weight(graph.label(u), graph.label(v)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::PartitionState;
+    use loom_graph::PatternGraph;
+
+    const A: Label = Label(0);
+    const B: Label = Label(1);
+    const C: Label = Label(2);
+    const D: Label = Label(3);
+
+    /// Fig. 1's G with its min-edge-cut partitioning {A, B}.
+    fn figure1() -> (LabeledGraph, Assignment) {
+        let mut g = LabeledGraph::with_anonymous_labels(4);
+        let labels = [A, B, C, D, B, A, D, C];
+        let v: Vec<_> = labels.iter().map(|&l| g.add_vertex(l)).collect();
+        for &(a, b) in &[(0, 1), (1, 2), (2, 3), (0, 4), (1, 5), (4, 5), (2, 6), (3, 7), (6, 7)] {
+            g.add_edge(v[a], v[b]);
+        }
+        let mut s = PartitionState::new(2, 8, 1.5);
+        for i in [0u32, 1, 4, 5] {
+            s.assign(VertexId(i), PartitionId(0));
+        }
+        for i in [2u32, 3, 6, 7] {
+            s.assign(VertexId(i), PartitionId(1));
+        }
+        (g, s.into_assignment())
+    }
+
+    #[test]
+    fn weights_reflect_workload() {
+        let w = Workload::new(vec![(PatternGraph::path("q2", vec![A, B, C]), 1.0)]);
+        let tw = TraversalWeights::from_workload(&w);
+        assert!((tw.weight(A, B) - 1.0).abs() < 1e-12);
+        assert!((tw.weight(B, A) - 1.0).abs() < 1e-12, "orientation-free");
+        assert_eq!(tw.weight(C, D), 0.0, "untraversed pair weighs nothing");
+        assert_eq!(tw.len(), 2);
+    }
+
+    #[test]
+    fn refinement_solves_the_papers_motivating_example() {
+        // §1: under a pure-q2 workload the min-edge-cut partitioning
+        // {A, B} pays 1 ipt per match; TAPER-style refinement should
+        // find a placement where q2's edges (a-b, b-c) never cross.
+        let (g, ab) = figure1();
+        let w = Workload::new(vec![(PatternGraph::path("q2", vec![A, B, C]), 1.0)]);
+        let tw = TraversalWeights::from_workload(&w);
+        let before = weighted_cut(&g, &ab, &tw);
+        assert!(before > 0.0, "the motivating partitioning pays ipt");
+        let refined = taper_refine(&g, &ab, &tw, 10, 1.5);
+        let after = weighted_cut(&g, &refined.assignment, &tw);
+        assert!(refined.moves > 0);
+        assert_eq!(after, 0.0, "refinement should zero the weighted cut");
+    }
+
+    #[test]
+    fn refinement_never_worsens_objective() {
+        let (g, ab) = figure1();
+        let w = Workload::figure1_example();
+        let tw = TraversalWeights::from_workload(&w);
+        let before = weighted_cut(&g, &ab, &tw);
+        let refined = taper_refine(&g, &ab, &tw, 5, 1.3);
+        let after = weighted_cut(&g, &refined.assignment, &tw);
+        assert!(after <= before + 1e-12, "{after} > {before}");
+    }
+
+    #[test]
+    fn refinement_respects_balance_cap() {
+        let (g, ab) = figure1();
+        let w = Workload::new(vec![(PatternGraph::path("q", vec![A, B]), 1.0)]);
+        let tw = TraversalWeights::from_workload(&w);
+        let refined = taper_refine(&g, &ab, &tw, 10, 1.25);
+        let cap = 1.25 * 8.0 / 2.0;
+        for &s in &refined.assignment.sizes() {
+            assert!((s as f64) <= cap, "{s} over cap {cap}");
+        }
+    }
+
+    #[test]
+    fn converged_input_is_a_fixed_point() {
+        let (g, ab) = figure1();
+        let w = Workload::new(vec![(PatternGraph::path("q2", vec![A, B, C]), 1.0)]);
+        let tw = TraversalWeights::from_workload(&w);
+        let once = taper_refine(&g, &ab, &tw, 10, 1.5);
+        let twice = taper_refine(&g, &once.assignment, &tw, 10, 1.5);
+        assert_eq!(twice.moves, 0, "already converged");
+        assert_eq!(twice.rounds, 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! The common interface of all streaming partitioners in the
+//! evaluation (Hash, LDG, Fennel, Loom — §5.1).
+
+use crate::state::{Assignment, PartitionState};
+use loom_graph::{GraphStream, StreamEdge};
+
+/// A single-pass edge-stream partitioner.
+///
+/// Implementations see each edge exactly once, in arrival order, and
+/// must have permanently placed both endpoints of every seen edge by
+/// the time [`StreamPartitioner::finish`] returns (Loom buffers a
+/// window, hence the explicit flush).
+pub trait StreamPartitioner {
+    /// Short name used in the paper-style report tables.
+    fn name(&self) -> &'static str;
+
+    /// Process one arriving edge.
+    fn on_edge(&mut self, e: &StreamEdge);
+
+    /// End of stream: flush internal buffers (no-op for the
+    /// memoryless baselines).
+    fn finish(&mut self);
+
+    /// The live partition state.
+    fn state(&self) -> &PartitionState;
+
+    /// Consume the partitioner, returning the final assignment.
+    fn into_assignment(self: Box<Self>) -> Assignment;
+}
+
+/// Drive a partitioner over a whole materialised stream.
+pub fn partition_stream<P: StreamPartitioner + ?Sized>(p: &mut P, stream: &GraphStream) {
+    for e in stream.iter() {
+        p.on_edge(e);
+    }
+    p.finish();
+}
+
+/// Convenience: run `p` over `stream` and return the assignment.
+pub fn run_partitioner(
+    mut p: Box<dyn StreamPartitioner>,
+    stream: &GraphStream,
+) -> Assignment {
+    partition_stream(p.as_mut(), stream);
+    p.into_assignment()
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of partition state and the heuristics'
+//! universal guarantees.
+
+use loom_graph::{EdgeId, Label, PartitionId, StreamEdge, VertexId};
+use loom_partition::{
+    auction, ldg_choose, ration, AuctionMatch, EoParams, FennelParams, FennelPartitioner,
+    HashPartitioner, LdgPartitioner, OnlineAdjacency, PartitionState, StreamPartitioner,
+};
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn random_edges(n_vertices: usize, n_edges: usize, seed: u64) -> Vec<StreamEdge> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n_edges)
+        .map(|i| {
+            let u = rng.gen_range(0..n_vertices) as u32;
+            let mut v = rng.gen_range(0..n_vertices) as u32;
+            if v == u {
+                v = (v + 1) % n_vertices as u32;
+            }
+            StreamEdge {
+                id: EdgeId(i as u32),
+                src: VertexId(u),
+                dst: VertexId(v),
+                src_label: Label(0),
+                dst_label: Label(0),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sizes always sum to the number of assigned vertices, for any
+    /// assignment sequence.
+    #[test]
+    fn sizes_sum_to_assigned(
+        k in 1usize..8, n in 1usize..64, seed in any::<u64>()
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut s = PartitionState::new(k, n, 1.1);
+        let mut assigned = 0;
+        for v in 0..n {
+            if rng.gen_bool(0.7) {
+                s.assign(VertexId(v as u32), PartitionId(rng.gen_range(0..k) as u32));
+                assigned += 1;
+            }
+        }
+        prop_assert_eq!(s.assigned_count(), assigned);
+        prop_assert_eq!(s.sizes().iter().sum::<usize>(), assigned);
+        prop_assert!(s.min_size() <= s.max_size());
+    }
+
+    /// Every baseline partitioner assigns both endpoints of every edge
+    /// it sees, keeps all sizes within the hard capacity, and never
+    /// moves a vertex.
+    #[test]
+    fn baselines_assign_and_respect_capacity(
+        k in 2usize..6, n_edges in 1usize..128, seed in any::<u64>()
+    ) {
+        let n = 64usize;
+        let edges = random_edges(n, n_edges, seed);
+        let partitioners: Vec<Box<dyn StreamPartitioner>> = vec![
+            Box::new(HashPartitioner::new(k, n, seed)),
+            Box::new(LdgPartitioner::new(k, n)),
+            Box::new(FennelPartitioner::new(k, n, n_edges, FennelParams::default())),
+        ];
+        for mut p in partitioners {
+            let mut first_seen: std::collections::HashMap<VertexId, PartitionId> =
+                Default::default();
+            for e in &edges {
+                p.on_edge(e);
+                for v in [e.src, e.dst] {
+                    let now = p.state().partition_of(v).expect("assigned on arrival");
+                    let prev = first_seen.entry(v).or_insert(now);
+                    prop_assert_eq!(*prev, now, "streaming: no re-assignment");
+                }
+            }
+            p.finish();
+            // Hash places by pure hashing and is capacity-oblivious
+            // (it balances only in expectation); the informed
+            // heuristics must respect the hard capacity.
+            if p.name() != "Hash" {
+                let cap = p.state().capacity();
+                for part in p.state().partitions() {
+                    prop_assert!(
+                        (p.state().size(part) as f64) <= cap + 1.0,
+                        "{}: partition over capacity",
+                        p.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// LDG's choice is always a valid partition, and with no placed
+    /// neighbours it is the least-loaded one.
+    #[test]
+    fn ldg_choice_valid(k in 1usize..8, seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 32;
+        let mut s = PartitionState::new(k, n, 1.1);
+        let adj = OnlineAdjacency::new(n);
+        for v in 0..16u32 {
+            if rng.gen_bool(0.5) {
+                s.assign(VertexId(v), PartitionId(rng.gen_range(0..k) as u32));
+            }
+        }
+        let fresh = VertexId(31);
+        let choice = ldg_choose(&s, &adj, fresh);
+        prop_assert!(choice.index() < k);
+        prop_assert_eq!(choice, s.least_loaded(), "no neighbours -> least loaded");
+    }
+
+    /// The auction always returns a valid winner with 1 <= take <=
+    /// |matches|, and the ration is in [0, 1].
+    #[test]
+    fn auction_outcome_valid(
+        k in 2usize..6,
+        n_matches in 1usize..6,
+        placed in 0usize..20,
+        seed in any::<u64>()
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut s = PartitionState::new(k, 64, 1.1);
+        for v in 0..placed {
+            s.assign(VertexId(v as u32), PartitionId(rng.gen_range(0..k) as u32));
+        }
+        let params = EoParams::default();
+        for p in s.partitions() {
+            let l = ration(&s, p, &params);
+            prop_assert!((0.0..=1.0).contains(&l), "ration {l} out of range");
+        }
+        let matches: Vec<AuctionMatch> = (0..n_matches)
+            .map(|i| AuctionMatch {
+                vertices: (0..3)
+                    .map(|_| VertexId(rng.gen_range(0..30) as u32))
+                    .collect(),
+                support: 1.0 - i as f64 * 0.1,
+                num_edges: i + 1,
+            })
+            .collect();
+        let outcome = auction(&s, &params, &matches);
+        prop_assert!(outcome.winner.index() < k);
+        prop_assert!(outcome.take >= 1 && outcome.take <= matches.len());
+        prop_assert!(outcome.total_bid >= 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Inter-partition traversal (ipt) accounting — the paper's quality
+//! metric (§1.3, §5).
+//!
+//! Executing a workload over a partitioned graph, every traversal of a
+//! match edge whose endpoints live in different partitions is one ipt.
+//! Workload queries are weighted by relative frequency; Figs. 7 and 8
+//! report each system's weighted total as a percentage of the Hash
+//! baseline's on the same graph and stream order.
+
+use crate::executor::QueryExecutor;
+use loom_graph::{LabeledGraph, Workload};
+use loom_partition::Assignment;
+
+/// ipt totals for one workload execution.
+#[derive(Clone, Debug)]
+pub struct IptReport {
+    /// Frequency-weighted ipt over the whole workload.
+    pub weighted_ipt: f64,
+    /// Unweighted ipt, matches and per-match edges per query.
+    pub per_query: Vec<QueryIpt>,
+}
+
+/// Per-query breakdown.
+#[derive(Clone, Debug)]
+pub struct QueryIpt {
+    /// The query's name.
+    pub name: String,
+    /// Relative frequency in the workload.
+    pub frequency: f64,
+    /// Matches enumerated (capped at the limit).
+    pub matches: usize,
+    /// Total cut edges across those matches.
+    pub ipt: usize,
+    /// Total traversed edges (cut or not) across those matches.
+    pub traversals: usize,
+}
+
+impl IptReport {
+    /// Total matches across all queries.
+    pub fn total_matches(&self) -> usize {
+        self.per_query.iter().map(|q| q.matches).sum()
+    }
+
+    /// Unweighted total ipt.
+    pub fn total_ipt(&self) -> usize {
+        self.per_query.iter().map(|q| q.ipt).sum()
+    }
+}
+
+/// Execute `workload` over `graph` under `assignment`, counting ipt.
+///
+/// `limit_per_query` caps match enumeration per query (the same cap
+/// must be used across systems for comparable numbers; matches are
+/// enumerated in a deterministic order so the cap is fair).
+pub fn count_ipt(
+    graph: &LabeledGraph,
+    assignment: &Assignment,
+    workload: &Workload,
+    limit_per_query: usize,
+) -> IptReport {
+    let executor = QueryExecutor::new(graph);
+    let total_freq = workload.total_frequency();
+    let mut per_query = Vec::with_capacity(workload.len());
+    let mut weighted = 0.0;
+    for (q, f) in workload.queries() {
+        let mut ipt = 0usize;
+        let mut traversals = 0usize;
+        let matches = executor.for_each_match(q, limit_per_query, |edges| {
+            for &e in edges {
+                let (u, v) = graph.endpoints(e);
+                traversals += 1;
+                if assignment.is_cut(u, v) {
+                    ipt += 1;
+                }
+            }
+        });
+        let frequency = f / total_freq;
+        weighted += frequency * ipt as f64;
+        per_query.push(QueryIpt {
+            name: q.name().to_string(),
+            frequency,
+            matches,
+            ipt,
+            traversals,
+        });
+    }
+    IptReport {
+        weighted_ipt: weighted,
+        per_query,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::{Label, PartitionId, PatternGraph, VertexId};
+    use loom_partition::PartitionState;
+
+    const A: Label = Label(0);
+    const B: Label = Label(1);
+    const C: Label = Label(2);
+
+    /// Fig. 1's G with its {A, B} (min edge-cut optimal) partitioning:
+    /// A = {1,2,5,6}, B = {3,4,7,8}.
+    fn figure1() -> (LabeledGraph, PartitionState) {
+        let mut g = LabeledGraph::with_anonymous_labels(4);
+        let v: Vec<_> = [0u16, 1, 2, 3, 1, 0, 3, 2]
+            .iter()
+            .map(|&l| g.add_vertex(Label(l)))
+            .collect();
+        g.add_edge(v[0], v[1]); // 1-2
+        g.add_edge(v[1], v[2]); // 2-3 (the cut edge)
+        g.add_edge(v[2], v[3]); // 3-4
+        g.add_edge(v[0], v[4]); // 1-5
+        g.add_edge(v[1], v[5]); // 2-6
+        g.add_edge(v[4], v[5]); // 5-6
+        g.add_edge(v[2], v[6]); // 3-7
+        g.add_edge(v[3], v[7]); // 4-8
+        g.add_edge(v[6], v[7]); // 7-8
+        let mut s = PartitionState::new(2, 8, 1.0);
+        for i in [0, 1, 4, 5] {
+            s.assign(VertexId(i), PartitionId(0));
+        }
+        for i in [2, 3, 6, 7] {
+            s.assign(VertexId(i), PartitionId(1));
+        }
+        (g, s)
+    }
+
+    #[test]
+    fn q2_workload_pays_per_match_on_min_cut_partitioning() {
+        // §1's motivating observation: under {A, B}, every q2 match
+        // crosses the 2-3 edge — 2 matches, 1 ipt each.
+        let (g, s) = figure1();
+        let a = s.into_assignment();
+        let w = Workload::new(vec![(PatternGraph::path("q2", vec![A, B, C]), 1.0)]);
+        let r = count_ipt(&g, &a, &w, usize::MAX);
+        assert_eq!(r.per_query[0].matches, 2);
+        assert_eq!(r.per_query[0].ipt, 2);
+        assert_eq!(r.per_query[0].traversals, 4);
+        assert!((r.weighted_ipt - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternative_partitioning_zeroes_q2_ipt() {
+        // §1: A' = {1,2,3,6}, B' = {4,5,7,8} gives q2 zero ipt.
+        let (g, _) = figure1();
+        let mut s = PartitionState::new(2, 8, 1.5);
+        for i in [0, 1, 2, 5] {
+            s.assign(VertexId(i), PartitionId(0));
+        }
+        for i in [3, 4, 6, 7] {
+            s.assign(VertexId(i), PartitionId(1));
+        }
+        let a = s.into_assignment();
+        let w = Workload::new(vec![(PatternGraph::path("q2", vec![A, B, C]), 1.0)]);
+        let r = count_ipt(&g, &a, &w, usize::MAX);
+        assert_eq!(r.per_query[0].matches, 2);
+        assert_eq!(r.per_query[0].ipt, 0, "A'/B' answers q2 locally");
+    }
+
+    #[test]
+    fn frequencies_weight_the_total() {
+        let (g, s) = figure1();
+        let a = s.into_assignment();
+        // q2 at 60%: 2 ipt * 0.6; ab at 40%: a-b edges all internal, 0.
+        let w = Workload::new(vec![
+            (PatternGraph::path("q2", vec![A, B, C]), 60.0),
+            (PatternGraph::path("ab", vec![A, B]), 40.0),
+        ]);
+        let r = count_ipt(&g, &a, &w, usize::MAX);
+        assert!((r.weighted_ipt - 1.2).abs() < 1e-12);
+        assert_eq!(r.total_ipt(), 2);
+        assert_eq!(r.total_matches(), 2 + 4);
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let (g, s) = figure1();
+        let a = s.into_assignment();
+        let w = Workload::new(vec![(PatternGraph::path("ab", vec![A, B]), 1.0)]);
+        let r = count_ipt(&g, &a, &w, 2);
+        assert_eq!(r.per_query[0].matches, 2);
+    }
+}

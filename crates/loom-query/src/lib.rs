@@ -1,0 +1,18 @@
+//! # loom-query
+//!
+//! The query side of the evaluation (§5): a sub-graph pattern-matching
+//! executor over the data graph, ipt (inter-partition traversal)
+//! accounting against a finished partitioning, and the representative
+//! workloads of §5.1.2 for each dataset.
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod ipt;
+pub mod simulator;
+pub mod workloads;
+
+pub use executor::QueryExecutor;
+pub use ipt::{count_ipt, IptReport, QueryIpt};
+pub use simulator::{simulate, SimulationConfig, SimulationReport};
+pub use workloads::workload_for;

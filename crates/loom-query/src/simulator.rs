@@ -1,0 +1,265 @@
+//! Workload-execution simulator: ipt per *executed query*.
+//!
+//! [`crate::ipt::count_ipt`] measures a partitioning by exhaustively
+//! enumerating every match of every query — exact, but infeasible for
+//! graphs beyond bench scale and not quite how §5.1 describes the
+//! evaluation ("we execute query workloads over each graph"). This
+//! module instead *executes* a stream of query instances the way a
+//! GDBMS client would: a query is drawn from the workload proportional
+//! to its frequency, anchored at a random index-looked-up vertex, and
+//! answered by anchored traversal; every traversed match edge crossing
+//! a partition boundary is one ipt.
+//!
+//! On graphs where exhaustive counting is feasible, the two measures
+//! agree on *ordering* between partitionings (tested), while the
+//! simulator scales to arbitrarily large graphs with a fixed query
+//! budget.
+
+use crate::executor::QueryExecutor;
+use loom_graph::{LabeledGraph, VertexId, Workload};
+use loom_partition::Assignment;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Simulator knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SimulationConfig {
+    /// How many query instances to execute.
+    pub num_queries: usize,
+    /// RNG seed (query draws + anchor draws).
+    pub seed: u64,
+    /// Match cap per executed query (a real client paginates too).
+    pub max_matches_per_query: usize,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            num_queries: 1_000,
+            seed: 42,
+            max_matches_per_query: 256,
+        }
+    }
+}
+
+/// Aggregate outcome of a simulated workload execution.
+#[derive(Clone, Debug, Default)]
+pub struct SimulationReport {
+    /// Query instances executed.
+    pub executed: usize,
+    /// Instances that found at least one match.
+    pub non_empty: usize,
+    /// Total matches returned.
+    pub matches: usize,
+    /// Total match-edge traversals.
+    pub traversals: usize,
+    /// Traversals that crossed a partition boundary.
+    pub ipt: usize,
+}
+
+impl SimulationReport {
+    /// Mean ipt per executed query — the per-query latency proxy.
+    pub fn ipt_per_query(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.ipt as f64 / self.executed as f64
+        }
+    }
+
+    /// Fraction of traversals that were remote.
+    pub fn remote_fraction(&self) -> f64 {
+        if self.traversals == 0 {
+            0.0
+        } else {
+            self.ipt as f64 / self.traversals as f64
+        }
+    }
+}
+
+/// Execute `config.num_queries` sampled query instances.
+pub fn simulate(
+    graph: &LabeledGraph,
+    assignment: &Assignment,
+    workload: &Workload,
+    config: &SimulationConfig,
+) -> SimulationReport {
+    let executor = QueryExecutor::new(graph);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let total_freq = workload.total_frequency();
+
+    // Per query: the anchor pattern vertex (rarest label in the data)
+    // and its candidate list.
+    let plans: Vec<(usize, &[VertexId])> = workload
+        .queries()
+        .iter()
+        .map(|(q, _)| {
+            let root = (0..q.num_vertices())
+                .min_by_key(|&v| executor.candidates(q.label(v)).len())
+                .unwrap_or(0);
+            (root, executor.candidates(q.label(root)))
+        })
+        .collect();
+
+    let mut report = SimulationReport::default();
+    for _ in 0..config.num_queries {
+        // Draw a query proportional to workload frequency.
+        let mut x = rng.gen_range(0.0..total_freq);
+        let mut qi = workload.len() - 1;
+        for (i, (_, f)) in workload.queries().iter().enumerate() {
+            if x < *f {
+                qi = i;
+                break;
+            }
+            x -= *f;
+        }
+        let (q, _) = &workload.queries()[qi];
+        let (root, candidates) = plans[qi];
+        report.executed += 1;
+        if candidates.is_empty() {
+            continue;
+        }
+        let anchor = candidates[rng.gen_range(0..candidates.len())];
+        let mut found = 0usize;
+        executor.for_each_match_from(q, root, anchor, config.max_matches_per_query, |edges| {
+            found += 1;
+            for &e in edges {
+                let (u, v) = graph.endpoints(e);
+                report.traversals += 1;
+                if assignment.is_cut(u, v) {
+                    report.ipt += 1;
+                }
+            }
+        });
+        report.matches += found;
+        if found > 0 {
+            report.non_empty += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::{Label, PartitionId, PatternGraph};
+    use loom_partition::PartitionState;
+
+    const A: Label = Label(0);
+    const B: Label = Label(1);
+    const C: Label = Label(2);
+
+    /// 50 a-b-c chains; co-located vs deliberately split partitionings.
+    fn chains() -> (LabeledGraph, Assignment, Assignment) {
+        let mut g = LabeledGraph::with_anonymous_labels(3);
+        let mut whole = PartitionState::new(2, 150, 1.5);
+        let mut split = PartitionState::new(2, 150, 1.5);
+        for i in 0..50 {
+            let a = g.add_vertex(A);
+            let b = g.add_vertex(B);
+            let c = g.add_vertex(C);
+            g.add_edge(a, b);
+            g.add_edge(b, c);
+            let p = PartitionId((i % 2) as u32);
+            for v in [a, b, c] {
+                whole.assign(v, p);
+            }
+            // Split: the chain's c lands on the other partition.
+            split.assign(a, p);
+            split.assign(b, p);
+            split.assign(c, PartitionId(((i + 1) % 2) as u32));
+        }
+        (g, whole.into_assignment(), split.into_assignment())
+    }
+
+    fn abc_workload() -> Workload {
+        Workload::new(vec![(PatternGraph::path("q", vec![A, B, C]), 1.0)])
+    }
+
+    #[test]
+    fn colocated_partitioning_pays_zero() {
+        let (g, whole, _) = chains();
+        let r = simulate(&g, &whole, &abc_workload(), &SimulationConfig::default());
+        assert_eq!(r.ipt, 0);
+        assert!(r.matches > 0);
+        assert!(r.non_empty > 0);
+        assert_eq!(r.executed, 1_000);
+    }
+
+    #[test]
+    fn split_partitioning_pays_per_match() {
+        let (g, whole, split) = chains();
+        let cfg = SimulationConfig::default();
+        let r_whole = simulate(&g, &whole, &abc_workload(), &cfg);
+        let r_split = simulate(&g, &split, &abc_workload(), &cfg);
+        assert!(r_split.ipt > 0);
+        assert!(r_split.ipt_per_query() > r_whole.ipt_per_query());
+        // Every split chain pays exactly the b-c hop: half the
+        // traversals are remote.
+        assert!((r_split.remote_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (g, whole, _) = chains();
+        let cfg = SimulationConfig {
+            num_queries: 200,
+            seed: 7,
+            max_matches_per_query: 10,
+        };
+        let a = simulate(&g, &whole, &abc_workload(), &cfg);
+        let b = simulate(&g, &whole, &abc_workload(), &cfg);
+        assert_eq!(a.matches, b.matches);
+        assert_eq!(a.ipt, b.ipt);
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_ordering() {
+        // The simulator must rank partitionings the same way the
+        // exhaustive counter does.
+        let (g, whole, split) = chains();
+        let w = abc_workload();
+        let exhaustive_whole = crate::ipt::count_ipt(&g, &whole, &w, usize::MAX).weighted_ipt;
+        let exhaustive_split = crate::ipt::count_ipt(&g, &split, &w, usize::MAX).weighted_ipt;
+        let cfg = SimulationConfig::default();
+        let sim_whole = simulate(&g, &whole, &w, &cfg).ipt_per_query();
+        let sim_split = simulate(&g, &split, &w, &cfg).ipt_per_query();
+        assert_eq!(
+            exhaustive_whole < exhaustive_split,
+            sim_whole < sim_split,
+            "measures disagree on ordering"
+        );
+    }
+
+    #[test]
+    fn frequency_weighting_shifts_draws() {
+        // A workload dominated by a never-matching query should execute
+        // mostly that query and find few matches.
+        let (g, whole, _) = chains();
+        let rare = Workload::new(vec![
+            (PatternGraph::path("q", vec![A, B, C]), 1.0),
+            (PatternGraph::path("never", vec![A, A]), 99.0),
+        ]);
+        let r = simulate(&g, &whole, &rare, &SimulationConfig::default());
+        assert!(
+            (r.non_empty as f64) < r.executed as f64 * 0.1,
+            "{}/{} non-empty",
+            r.non_empty,
+            r.executed
+        );
+    }
+
+    #[test]
+    fn anchored_execution_respects_anchor() {
+        let (g, _, _) = chains();
+        let ex = QueryExecutor::new(&g);
+        let q = PatternGraph::path("q", vec![A, B, C]);
+        // Anchor at the first chain's a-vertex: exactly one match.
+        let n = ex.for_each_match_from(&q, 0, VertexId(0), usize::MAX, |edges| {
+            assert_eq!(edges.len(), 2);
+        });
+        assert_eq!(n, 1);
+        // Anchoring with the wrong label yields nothing.
+        assert_eq!(ex.for_each_match_from(&q, 0, VertexId(1), usize::MAX, |_| {}), 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Representative query workloads per dataset (§5.1.2, Fig. 6).
+//!
+//! The paper defines "a small set of common-sense queries which focus
+//! on discovering implicit relationships", e.g. potential collaboration
+//! between authors or artists, and reuses LUBM's own query shapes for
+//! LUBM. The patterns below follow Fig. 6's examples (Person-Paper-
+//! Person for DBLP, Entity-Activity-Entity for PROV, Artist-Label-Area
+//! chains for MusicBrainz) with frequencies that make the hot patterns
+//! motifs at the 40% threshold, as in the running example.
+
+use loom_graph::generators::{dblp, lubm, musicbrainz, provgen};
+use loom_graph::{DatasetKind, PatternGraph, Workload};
+
+/// The workload the evaluation executes over a dataset.
+pub fn workload_for(kind: DatasetKind) -> Workload {
+    match kind {
+        DatasetKind::Dblp => dblp_workload(),
+        DatasetKind::ProvGen => provgen_workload(),
+        DatasetKind::MusicBrainz => musicbrainz_workload(),
+        DatasetKind::Lubm100 | DatasetKind::Lubm4000 => lubm_workload(),
+    }
+}
+
+/// DBLP: collaboration discovery and venue browsing (Fig. 6's
+/// Person-Paper-Person example).
+pub fn dblp_workload() -> Workload {
+    use dblp::labels::*;
+    Workload::new(vec![
+        // Potential collaboration: two authors of one paper.
+        (
+            PatternGraph::path("coauthors", vec![AUTHOR, PAPER, AUTHOR]),
+            45.0,
+        ),
+        // An author's paper at a venue.
+        (
+            PatternGraph::path("author-venue", vec![AUTHOR, PAPER, CONFERENCE]),
+            25.0,
+        ),
+        // Citation hop between an author's paper and a cited paper.
+        (
+            PatternGraph::path("citation", vec![AUTHOR, PAPER, PAPER]),
+            20.0,
+        ),
+        // Topic co-location of two papers.
+        (
+            PatternGraph::path("topic-pair", vec![PAPER, TOPIC, PAPER]),
+            10.0,
+        ),
+    ])
+}
+
+/// ProvGen: the common PROV queries of \[5\] — derivation chains and
+/// attribution.
+pub fn provgen_workload() -> Workload {
+    use provgen::labels::*;
+    Workload::new(vec![
+        // One derivation step: entity <- activity <- entity.
+        (
+            PatternGraph::path("derivation", vec![ENTITY, ACTIVITY, ENTITY]),
+            50.0,
+        ),
+        // Attribution: who edited this revision.
+        (
+            PatternGraph::path("attribution", vec![ENTITY, ACTIVITY, AGENT]),
+            30.0,
+        ),
+        // Two-step history walk.
+        (
+            PatternGraph::path(
+                "history2",
+                vec![ENTITY, ACTIVITY, ENTITY, ACTIVITY],
+            ),
+            20.0,
+        ),
+    ])
+}
+
+/// MusicBrainz: artist collaboration and discography browsing (Fig. 6's
+/// Artist-Label-Area example).
+pub fn musicbrainz_workload() -> Workload {
+    use musicbrainz::labels::*;
+    Workload::new(vec![
+        // Discography: artist -> album -> recording.
+        (
+            PatternGraph::path("discography", vec![ARTIST, ALBUM, RECORDING]),
+            40.0,
+        ),
+        // Label mates: two artists' albums on one label.
+        (
+            PatternGraph::path("label-mates", vec![ALBUM, RECORD_LABEL, ALBUM]),
+            25.0,
+        ),
+        // Artists from the same area (Fig. 6's Artist-Area-Area chain).
+        (
+            PatternGraph::path("same-area", vec![ARTIST, AREA, ARTIST]),
+            20.0,
+        ),
+        // Label's home area.
+        (
+            PatternGraph::path("label-area", vec![ARTIST, ALBUM, RECORD_LABEL, AREA]),
+            15.0,
+        ),
+    ])
+}
+
+/// LUBM: the benchmark's own advisor/course/publication shapes,
+/// including the famous Q9 triangle (student-advisor-course).
+pub fn lubm_workload() -> Workload {
+    use lubm::labels::*;
+    Workload::new(vec![
+        // Grad students of a department's professors (LUBM Q1-ish).
+        (
+            PatternGraph::path(
+                "advisees",
+                vec![GRAD, FULL_PROFESSOR, DEPARTMENT],
+            ),
+            30.0,
+        ),
+        // Publications by a professor of a department (LUBM Q4-ish).
+        (
+            PatternGraph::path(
+                "dept-pubs",
+                vec![PUBLICATION, FULL_PROFESSOR, DEPARTMENT],
+            ),
+            22.0,
+        ),
+        // Students taking a course its teacher teaches (path form).
+        (
+            PatternGraph::path(
+                "course-prof",
+                vec![UNDERGRAD, COURSE, FULL_PROFESSOR],
+            ),
+            25.0,
+        ),
+        // Co-members of a department.
+        (
+            PatternGraph::path("dept-members", vec![GRAD, DEPARTMENT, GRAD]),
+            13.0,
+        ),
+        // LUBM Q9: a graduate student taking a course taught by their
+        // own advisor — the benchmark's canonical cyclic query.
+        (
+            PatternGraph::cycle(
+                "q9-triangle",
+                vec![GRAD, FULL_PROFESSOR, GRAD_COURSE],
+            ),
+            10.0,
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::datasets::{generate, Scale};
+    use loom_motif::{LabelRandomizer, TpsTrie, DEFAULT_PRIME};
+
+    #[test]
+    fn every_dataset_has_a_workload() {
+        for kind in DatasetKind::ALL {
+            let w = workload_for(kind);
+            assert!(w.len() >= 3, "{}: {} queries", kind.name(), w.len());
+            assert!(w.max_query_edges() <= 10, "queries must stay small");
+        }
+    }
+
+    #[test]
+    fn workloads_yield_motifs_at_evaluation_threshold() {
+        // The whole pipeline is pointless if a workload mines zero
+        // motifs at T = 40%: check each one does.
+        for kind in DatasetKind::IPT_EVALUATED {
+            let w = workload_for(kind);
+            let rand = LabelRandomizer::new(kind.num_labels(), DEFAULT_PRIME, 5);
+            let trie = TpsTrie::build(&w, &rand);
+            let motifs = trie.motifs(0.4);
+            assert!(
+                !motifs.is_empty(),
+                "{}: no motifs at 40%",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn workload_queries_have_matches_in_generated_data() {
+        // Each dataset's workload must actually match something in the
+        // corresponding generator's output, else ipt is vacuous.
+        for kind in DatasetKind::IPT_EVALUATED {
+            let g = generate(kind, Scale::Tiny, 3);
+            let ex = crate::executor::QueryExecutor::new(&g);
+            let w = workload_for(kind);
+            let mut total = 0usize;
+            for (q, _) in w.queries() {
+                total += ex.count_matches(q, 10_000);
+            }
+            assert!(total > 0, "{}: workload matches nothing", kind.name());
+        }
+    }
+
+    #[test]
+    fn labels_are_within_each_schema() {
+        for kind in DatasetKind::ALL {
+            let w = workload_for(kind);
+            for (q, _) in w.queries() {
+                for v in 0..q.num_vertices() {
+                    assert!(
+                        q.label(v).index() < kind.num_labels(),
+                        "{}: query {} uses label outside schema",
+                        kind.name(),
+                        q.name()
+                    );
+                }
+            }
+        }
+    }
+}

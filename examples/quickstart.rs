@@ -1,0 +1,47 @@
+//! Quickstart: partition a streamed graph with Loom and compare the
+//! workload's inter-partition traversals against a hash placement.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use loom_core::prelude::*;
+use loom_core::System;
+
+fn main() {
+    // 1. A dataset: a MusicBrainz-like catalogue (~15k edges), streamed
+    //    breadth-first — the setup of the paper's Fig. 7.
+    let cfg = ExperimentConfig::evaluation_defaults(
+        DatasetKind::MusicBrainz,
+        Scale::Small,
+        StreamOrder::BreadthFirst,
+    );
+
+    // 2. One call runs the whole evaluation cell: generate the graph,
+    //    stream it, partition with Hash/LDG/Fennel/Loom, execute the
+    //    dataset's query workload, count ipt.
+    let result = run_experiment(&cfg);
+
+    println!(
+        "MusicBrainz-like graph: {} vertices, {} edges, k = {}\n",
+        result.num_vertices, result.num_edges, cfg.k
+    );
+    println!("{:<8} {:>14} {:>12} {:>11}", "system", "weighted ipt", "% of Hash", "imbalance");
+    for sys in System::ALL {
+        let r = result.system(sys).expect("all systems ran");
+        println!(
+            "{:<8} {:>14.0} {:>11.1}% {:>10.1}%",
+            sys.name(),
+            r.weighted_ipt,
+            result.ipt_vs_hash(sys).unwrap(),
+            r.metrics.imbalance * 100.0
+        );
+    }
+
+    let loom = result.ipt_vs_hash(System::Loom).unwrap();
+    let fennel = result.ipt_vs_hash(System::Fennel).unwrap();
+    println!(
+        "\nLoom removes {:.0}% of Fennel's inter-partition traversals on this workload.",
+        (1.0 - loom / fennel) * 100.0
+    );
+}

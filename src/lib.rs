@@ -1,0 +1,14 @@
+//! # loom-repro
+//!
+//! Root crate of the Loom reproduction workspace (Firth, Missier &
+//! Aiston, *Loom: Query-aware Partitioning of Online Graphs*, EDBT
+//! 2018). It re-exports the [`loom_core`] facade and hosts the
+//! workspace's runnable examples (`examples/`) and cross-crate
+//! integration tests (`tests/`).
+//!
+//! Start with `examples/quickstart.rs`, or jump straight to
+//! [`loom_core::prelude`].
+
+#![warn(missing_docs)]
+
+pub use loom_core::*;

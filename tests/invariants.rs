@@ -1,0 +1,153 @@
+//! Property-based cross-crate invariants (proptest): the guarantees
+//! the paper's correctness argument leans on, checked on randomised
+//! inputs rather than hand-picked examples.
+
+use loom_core::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random connected pattern of 1..=6 edges over 1..=4
+/// labels, built edge-by-edge (tree growth + occasional cycle).
+fn arb_pattern() -> impl Strategy<Value = PatternGraph> {
+    (1usize..=6, 1usize..=4, any::<u64>()).prop_map(|(edges, labels, seed)| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        loom_core::motif::collision::random_connected_pattern(&mut rng, edges, labels, 0)
+    })
+}
+
+/// Strategy: a vertex relabelling (permutation seed) of a pattern.
+fn permuted(p: &PatternGraph, seed: u64) -> PatternGraph {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = p.num_vertices();
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(&mut rng);
+    let mut labels = vec![Label(0); n];
+    for (old, &new) in perm.iter().enumerate() {
+        labels[new] = p.label(old);
+    }
+    let edges = p
+        .edge_list()
+        .iter()
+        .map(|&(u, v)| (perm[u], perm[v]))
+        .collect();
+    PatternGraph::new("permuted", labels, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No false negatives (§2.3): isomorphic graphs ALWAYS share a
+    /// signature. Checked against explicit relabellings.
+    #[test]
+    fn signatures_invariant_under_relabelling(p in arb_pattern(), seed in any::<u64>()) {
+        let rand = LabelRandomizer::new(4, DEFAULT_PRIME, 17);
+        let q = permuted(&p, seed);
+        prop_assert!(loom_core::motif::isomorphism::are_isomorphic(&p, &q));
+        prop_assert_eq!(
+            loom_core::motif::pattern_signature(&p, &rand),
+            loom_core::motif::pattern_signature(&q, &rand)
+        );
+    }
+
+    /// Signature size is exactly 3|E| (§2.3's Handshaking argument).
+    #[test]
+    fn signature_has_three_factors_per_edge(p in arb_pattern()) {
+        let rand = LabelRandomizer::new(4, DEFAULT_PRIME, 23);
+        let sig = loom_core::motif::pattern_signature(&p, &rand);
+        prop_assert_eq!(sig.len(), 3 * p.num_edges());
+    }
+
+    /// Trie support anti-monotonicity (§3): children never out-support
+    /// parents, for any random workload.
+    #[test]
+    fn trie_support_anti_monotone(
+        patterns in proptest::collection::vec((arb_pattern(), 1.0f64..100.0), 1..4)
+    ) {
+        let rand = LabelRandomizer::new(4, DEFAULT_PRIME, 31);
+        let workload = Workload::new(patterns);
+        let trie = TpsTrie::build(&workload, &rand);
+        // Anti-monotonicity is only guaranteed collision-free (§3's
+        // argument assumes distinct sub-graphs get distinct nodes);
+        // the trie reports when that precondition is violated.
+        prop_assume!(trie.collision_count() == 0);
+        for id in trie.node_ids() {
+            let parent = trie.node(id);
+            for &(_, child) in &parent.children {
+                prop_assert!(trie.node(child).support <= parent.support + 1e-9);
+            }
+        }
+    }
+
+    /// The motif set is downward-closed: every motif's ancestors are
+    /// motifs (what lets the matcher prune at the root, §3).
+    #[test]
+    fn motif_set_downward_closed(
+        patterns in proptest::collection::vec((arb_pattern(), 1.0f64..100.0), 1..4),
+        threshold in 0.1f64..0.9
+    ) {
+        let rand = LabelRandomizer::new(4, DEFAULT_PRIME, 37);
+        let workload = Workload::new(patterns);
+        let trie = TpsTrie::build(&workload, &rand);
+        // Downward-closure inherits anti-monotonicity's collision-free
+        // precondition (see trie_support_anti_monotone above).
+        prop_assume!(trie.collision_count() == 0);
+        let motif_sigs: std::collections::HashSet<_> = trie
+            .motifs(threshold)
+            .iter()
+            .map(|(_, m)| m.signature.clone())
+            .collect();
+        // For every motif node in the trie, check every trie node whose
+        // children include it is also a motif.
+        for id in trie.node_ids() {
+            let node = trie.node(id);
+            for &(_, child) in &node.children {
+                let child_sig = &trie.node(child).signature;
+                if motif_sigs.contains(child_sig) {
+                    prop_assert!(
+                        motif_sigs.contains(&node.signature),
+                        "non-motif parent of a motif"
+                    );
+                }
+            }
+        }
+    }
+
+}
+
+proptest! {
+    // The end-to-end property is expensive (full generate + partition
+    // per case); fewer cases, same confidence target.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The Loom partitioner always terminates with every streamed
+    /// vertex assigned and the hard capacity respected, whatever the
+    /// graph shape.
+    #[test]
+    fn loom_assigns_everything(seed in any::<u64>(), k in 2usize..6, window in 4usize..64) {
+        let graph = loom_core::graph::datasets::generate(
+            DatasetKind::ProvGen, Scale::Tiny, seed % 1000);
+        let stream = GraphStream::from_graph(&graph, StreamOrder::Random, seed);
+        let workload = workload_for(DatasetKind::ProvGen);
+        let config = LoomConfig {
+            k,
+            window_size: window,
+            support_threshold: 0.4,
+            prime: DEFAULT_PRIME,
+            eo: Default::default(),
+            capacity_slack: 1.1,
+            seed,
+            allocation: Default::default(),
+        };
+        let mut loom = LoomPartitioner::new(
+            &config, &workload, stream.num_vertices(), stream.num_labels());
+        loom_core::partition::partition_stream(&mut loom, &stream);
+        prop_assert_eq!(loom.window_len(), 0, "window drained");
+        let state = loom.state();
+        for e in stream.iter() {
+            prop_assert!(state.is_assigned(e.src));
+            prop_assert!(state.is_assigned(e.dst));
+        }
+    }
+}

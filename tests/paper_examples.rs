@@ -1,0 +1,138 @@
+//! The paper's running examples, replayed end-to-end across crates:
+//! the graph G and workload Q of Fig. 1, the TPSTry++ of Fig. 2, the
+//! worked signature computation of §2.1/§2.2, and §1's motivating
+//! partitioning comparison.
+
+use loom_core::prelude::*;
+
+const A: Label = Label(0);
+const B: Label = Label(1);
+const C: Label = Label(2);
+const D: Label = Label(3);
+
+/// G of Fig. 1: vertices 1-8 labelled a,b,c,d / b,a,d,c with the
+/// pictured edges.
+fn figure1_graph() -> LabeledGraph {
+    let mut g = LabeledGraph::new(
+        ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect(),
+    );
+    let labels = [A, B, C, D, B, A, D, C];
+    let v: Vec<_> = labels.iter().map(|&l| g.add_vertex(l)).collect();
+    g.add_edge(v[0], v[1]); // 1-2
+    g.add_edge(v[1], v[2]); // 2-3
+    g.add_edge(v[2], v[3]); // 3-4
+    g.add_edge(v[0], v[4]); // 1-5
+    g.add_edge(v[1], v[5]); // 2-6
+    g.add_edge(v[4], v[5]); // 5-6
+    g.add_edge(v[2], v[6]); // 3-7
+    g.add_edge(v[3], v[7]); // 4-8
+    g.add_edge(v[6], v[7]); // 7-8
+    g
+}
+
+#[test]
+fn section1_motivating_partitionings() {
+    // With a pure-q2 workload, {A, B} (min edge-cut optimal) pays one
+    // ipt per match while {A', B'} pays zero — §1's whole argument.
+    let g = figure1_graph();
+    let q2_only = Workload::new(vec![(PatternGraph::path("q2", vec![A, B, C]), 1.0)]);
+
+    let assign = |groups: [&[u32]; 2]| {
+        let mut s = loom_core::partition::PartitionState::new(2, 8, 1.5);
+        for (p, vs) in groups.iter().enumerate() {
+            for &v in *vs {
+                s.assign(loom_core::graph::VertexId(v), loom_core::graph::PartitionId(p as u32));
+            }
+        }
+        s.into_assignment()
+    };
+
+    // {A, B}: rows of the figure (vertices here are 0-indexed).
+    let ab = assign([&[0, 1, 4, 5], &[2, 3, 6, 7]]);
+    // {A', B'}: the workload-optimal alternative.
+    let ab_prime = assign([&[0, 1, 2, 5], &[3, 4, 6, 7]]);
+
+    let ipt_ab = count_ipt(&g, &ab, &q2_only, usize::MAX);
+    let ipt_prime = count_ipt(&g, &ab_prime, &q2_only, usize::MAX);
+    assert_eq!(ipt_ab.per_query[0].matches, 2);
+    assert_eq!(ipt_ab.total_ipt(), 2, "every q2 match crosses the cut");
+    assert_eq!(ipt_prime.total_ipt(), 0, "A'/B' answers q2 locally");
+}
+
+#[test]
+fn figure2_trie_shape() {
+    // The TPSTry++ of Fig. 2: built from Q(q1:30, q2:60, q3:10).
+    let rand = LabelRandomizer::new(4, DEFAULT_PRIME, 99);
+    let trie = TpsTrie::build(&Workload::figure1_example(), &rand);
+    // Fig. 2 draws 10 distinct non-root nodes: ab, bc, cd, aba, bab,
+    // abc, bcd, abab(path), abab(cycle), abcd.
+    assert_eq!(trie.len() - 1, 10, "Fig. 2 node inventory");
+    // Motifs at T = 40%: the three shaded nodes.
+    assert_eq!(trie.motifs(0.4).len(), 3);
+    // At T = 10% everything qualifies; at T > 100% nothing does.
+    assert_eq!(trie.motifs(0.1).len(), 10);
+    assert_eq!(trie.motifs(1.0).len(), 1, "only a-b is in all queries");
+}
+
+#[test]
+fn section2_worked_signature() {
+    // §2.1: p = 11, r(a) = 3, r(b) = 10 -> sig(q1) = 116_208_400.
+    let rand = LabelRandomizer::paper_example(2);
+    let q1 = PatternGraph::cycle("q1", vec![A, B, A, B]);
+    let sig = loom_core::motif::pattern_signature(&q1, &rand);
+    assert_eq!(sig.product_u128(), 116_208_400);
+    // §2.2: the single a-b edge's signature is 308.
+    let ab = loom_core::motif::single_edge_delta(&rand, A, B);
+    assert_eq!(ab.to_factor_set().product_u128(), 308);
+    // §2.2: a-b-a's signature is 308 * 7 * 4 * 1 = 8624.
+    let aba = loom_core::motif::pattern_signature(
+        &PatternGraph::path("aba", vec![A, B, A]),
+        &rand,
+    );
+    assert_eq!(aba.product_u128(), 8624);
+}
+
+#[test]
+fn full_loom_run_on_figure1_workload() {
+    // Partition a larger graph made of Fig.-1-style tiles under the
+    // Fig. 1 workload and verify Loom finds and exploits the motifs.
+    let mut g = LabeledGraph::new(
+        ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect(),
+    );
+    // 150 disjoint a-b-c paths plus some c-d pendants (non-motif).
+    for _ in 0..150 {
+        let va = g.add_vertex(A);
+        let vb = g.add_vertex(B);
+        let vc = g.add_vertex(C);
+        let vd = g.add_vertex(D);
+        g.add_edge(va, vb);
+        g.add_edge(vb, vc);
+        g.add_edge(vc, vd);
+    }
+    let workload = Workload::figure1_example();
+    let stream = GraphStream::from_graph(&g, StreamOrder::AsGenerated, 5);
+    let config = LoomConfig {
+        k: 2,
+        window_size: 24,
+        support_threshold: 0.4,
+        prime: DEFAULT_PRIME,
+        eo: Default::default(),
+        capacity_slack: 1.1,
+        seed: 5,
+        allocation: Default::default(),
+    };
+    let mut loom =
+        LoomPartitioner::new(&config, &workload, stream.num_vertices(), stream.num_labels());
+    loom_core::partition::partition_stream(&mut loom, &stream);
+    let assignment = Box::new(loom).into_assignment();
+    // q2 = a-b-c should execute with almost no ipt: each path tile is a
+    // motif match and is co-located.
+    let q2_only = Workload::new(vec![(PatternGraph::path("q2", vec![A, B, C]), 1.0)]);
+    let report = count_ipt(&g, &assignment, &q2_only, usize::MAX);
+    assert_eq!(report.per_query[0].matches, 150);
+    let cut_rate = report.total_ipt() as f64 / report.per_query[0].traversals as f64;
+    assert!(
+        cut_rate < 0.10,
+        "motif matches should stay whole; cut rate {cut_rate:.2}"
+    );
+}
