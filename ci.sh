@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Offline-safe CI for the Loom reproduction workspace.
+#
+# Every dependency is an in-workspace path crate (see shims/), so no
+# step below ever touches a registry; --offline just makes that
+# explicit and turns any accidental network dependency into an error.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: build =="
+cargo build --release --offline
+
+echo "== tier-1: test =="
+cargo test -q --offline
+
+echo "== format =="
+cargo fmt --check
+
+echo "== lints =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== benches compile =="
+cargo bench --offline --no-run -q
+
+echo "ci: all green"

@@ -33,7 +33,10 @@ fn bench_allocation(c: &mut Criterion) {
     let workload = workload_for(dataset);
     let stream = GraphStream::from_graph(&graph, cfg.order, cfg.seed);
 
-    for policy in [AllocationPolicy::EqualOpportunism, AllocationPolicy::NaiveGreedy] {
+    for policy in [
+        AllocationPolicy::EqualOpportunism,
+        AllocationPolicy::NaiveGreedy,
+    ] {
         let lc = loom_config(&cfg, policy);
         let mut p =
             LoomPartitioner::new(&lc, &workload, stream.num_vertices(), stream.num_labels());
@@ -50,7 +53,10 @@ fn bench_allocation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_allocation");
     group.sample_size(10);
-    for policy in [AllocationPolicy::EqualOpportunism, AllocationPolicy::NaiveGreedy] {
+    for policy in [
+        AllocationPolicy::EqualOpportunism,
+        AllocationPolicy::NaiveGreedy,
+    ] {
         let lc = loom_config(&cfg, policy);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{policy:?}")),

@@ -24,8 +24,7 @@ fn bench_window(c: &mut Criterion) {
     for &w in &windows {
         let mut cfg = cfg0.clone();
         cfg.window_size = w;
-        let (assignment, _) =
-            loom_core::partition_timed(System::Loom, &cfg, &stream, &workload);
+        let (assignment, _) = loom_core::partition_timed(System::Loom, &cfg, &stream, &workload);
         let report = count_ipt(&graph, &assignment, &workload, cfg.limit_per_query);
         eprintln!(
             "fig9[{} t={}]: weighted ipt {:.0}",

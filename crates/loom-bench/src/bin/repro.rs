@@ -18,11 +18,22 @@ struct Args {
     jsonl: Option<String>,
 }
 
-fn parse_args() -> Result<Args, String> {
+/// The experiment names `--experiment` accepts.
+const EXPERIMENTS: [&str; 8] = [
+    "all",
+    "table1",
+    "fig4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table2",
+    "ablations",
+];
+
+fn parse_args_from(argv: &[String]) -> Result<Args, String> {
     let mut experiment = "all".to_string();
     let mut options = SuiteOptions::default();
     let mut jsonl = None;
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         let take_value = |i: &mut usize| -> Result<String, String> {
@@ -58,11 +69,50 @@ fn parse_args() -> Result<Args, String> {
         }
         i += 1;
     }
+    // A typo'd experiment would otherwise select no suites and exit 0
+    // silently — reject it up front.
+    if !EXPERIMENTS.contains(&experiment.as_str()) {
+        return Err(format!(
+            "unknown experiment '{experiment}'; expected one of {}",
+            EXPERIMENTS.join("|")
+        ));
+    }
     Ok(Args {
         experiment,
         options,
         jsonl,
     })
+}
+
+fn parse_args() -> Result<Args, String> {
+    parse_args_from(&std::env::args().skip(1).collect::<Vec<_>>())
+}
+
+/// Runs one named suite and returns its markdown; ipt experiment rows
+/// are appended to `all_results` for `--jsonl`.
+fn run_suite(
+    name: &str,
+    opts: &SuiteOptions,
+    all_results: &mut Vec<loom_core::ExperimentResult>,
+) -> String {
+    match name {
+        "table1" => suites::table1(opts),
+        "fig4" => suites::fig4(),
+        "fig7" => {
+            let (text, results) = suites::fig7(opts);
+            all_results.extend(results);
+            text
+        }
+        "fig8" => {
+            let (text, results) = suites::fig8(opts);
+            all_results.extend(results);
+            text
+        }
+        "fig9" => suites::fig9(opts),
+        "table2" => suites::table2(opts),
+        "ablations" => suites::ablations(opts),
+        other => unreachable!("'{other}' is in EXPERIMENTS but has no suite"),
+    }
 }
 
 fn main() {
@@ -81,32 +131,17 @@ fn main() {
     );
 
     let mut all_results = Vec::new();
-    let want = |name: &str| args.experiment == "all" || args.experiment == name;
-
-    if want("table1") {
-        println!("{}\n", suites::table1(&opts));
-    }
-    if want("fig4") {
-        println!("{}\n", suites::fig4());
-    }
-    if want("fig7") {
-        let (text, results) = suites::fig7(&opts);
+    // Dispatch is driven by the same EXPERIMENTS table that validates
+    // `--experiment`, so the two cannot drift apart silently: a name
+    // added to the table without a match arm below panics the first
+    // time it is selected, and a match arm without a table entry is
+    // unreachable because validation rejects the name first.
+    for name in EXPERIMENTS.iter().filter(|&&n| n != "all") {
+        if args.experiment != "all" && args.experiment != *name {
+            continue;
+        }
+        let text = run_suite(name, &opts, &mut all_results);
         println!("{text}\n");
-        all_results.extend(results);
-    }
-    if want("fig8") {
-        let (text, results) = suites::fig8(&opts);
-        println!("{text}\n");
-        all_results.extend(results);
-    }
-    if want("fig9") {
-        println!("{}\n", suites::fig9(&opts));
-    }
-    if want("table2") {
-        println!("{}\n", suites::table2(&opts));
-    }
-    if want("ablations") {
-        println!("{}\n", suites::ablations(&opts));
     }
 
     if let Some(path) = args.jsonl {
@@ -114,5 +149,44 @@ fn main() {
         f.write_all(suites::jsonl(&all_results).as_bytes())
             .expect("write jsonl");
         eprintln!("wrote {} result rows to {path}", all_results.len() * 4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_experiment_is_rejected() {
+        // Regression: `repro --experiment fig99` used to select zero
+        // suites and exit 0 silently.
+        let err = parse_args_from(&args(&["--experiment", "fig99"]))
+            .err()
+            .expect("fig99 must be rejected");
+        assert!(
+            err.contains("fig99"),
+            "error should name the bad value: {err}"
+        );
+        assert!(err.contains("fig4"), "error should list valid names: {err}");
+    }
+
+    #[test]
+    fn every_advertised_experiment_parses() {
+        for e in EXPERIMENTS {
+            assert!(
+                parse_args_from(&args(&["--experiment", e])).is_ok(),
+                "{e} should be accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn defaults_to_all() {
+        let a = parse_args_from(&[]).unwrap();
+        assert_eq!(a.experiment, "all");
     }
 }

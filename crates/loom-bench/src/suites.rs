@@ -108,14 +108,27 @@ pub fn table1(opts: &SuiteOptions) -> String {
             g.num_vertices().to_string(),
             g.num_edges().to_string(),
             kind.num_labels().to_string(),
-            if kind.paper_dataset_was_real() { "Y" } else { "N" }.to_string(),
+            if kind.paper_dataset_was_real() {
+                "Y"
+            } else {
+                "N"
+            }
+            .to_string(),
         ]);
     }
     format!(
         "## Table 1 — datasets (paper vs generated at scale `{}`)\n\n{}",
         opts.scale.name(),
         markdown_table(
-            &["dataset", "paper |V|", "paper |E|", "gen |V|", "gen |E|", "|Lv|", "real in paper"],
+            &[
+                "dataset",
+                "paper |V|",
+                "paper |E|",
+                "gen |V|",
+                "gen |E|",
+                "|Lv|",
+                "real in paper"
+            ],
             &body,
         )
     )
@@ -140,7 +153,11 @@ fn ipt_table(results: &[(String, loom_core::ExperimentResult)]) -> String {
 pub fn fig7(opts: &SuiteOptions) -> (String, Vec<loom_core::ExperimentResult>) {
     let mut results = Vec::new();
     let mut out = String::new();
-    writeln!(out, "## Figure 7 — ipt as % of Hash, k = 8, three stream orders\n").unwrap();
+    writeln!(
+        out,
+        "## Figure 7 — ipt as % of Hash, k = 8, three stream orders\n"
+    )
+    .unwrap();
     for order in StreamOrder::EVALUATED {
         let mut cells = Vec::new();
         for dataset in DatasetKind::IPT_EVALUATED {
@@ -155,7 +172,11 @@ pub fn fig7(opts: &SuiteOptions) -> (String, Vec<loom_core::ExperimentResult>) {
     }
 
     // §5.2's imbalance side note, from the breadth-first cells.
-    writeln!(out, "### Imbalance (breadth-first runs; paper: LDG 1-3%, Fennel/Loom 7-10%)\n").unwrap();
+    writeln!(
+        out,
+        "### Imbalance (breadth-first runs; paper: LDG 1-3%, Fennel/Loom 7-10%)\n"
+    )
+    .unwrap();
     let mut body = Vec::new();
     for r in results
         .iter()
@@ -179,7 +200,11 @@ pub fn fig7(opts: &SuiteOptions) -> (String, Vec<loom_core::ExperimentResult>) {
 pub fn fig8(opts: &SuiteOptions) -> (String, Vec<loom_core::ExperimentResult>) {
     let mut results = Vec::new();
     let mut out = String::new();
-    writeln!(out, "## Figure 8 — ipt as % of Hash, breadth-first streams, k sweep\n").unwrap();
+    writeln!(
+        out,
+        "## Figure 8 — ipt as % of Hash, breadth-first streams, k sweep\n"
+    )
+    .unwrap();
     for k in [2usize, 8, 32] {
         let mut cells = Vec::new();
         for dataset in DatasetKind::IPT_EVALUATED {
@@ -225,7 +250,11 @@ pub fn table2(opts: &SuiteOptions) -> String {
 /// covers the same ratios against the scaled streams.
 pub fn fig9(opts: &SuiteOptions) -> String {
     let mut out = String::new();
-    writeln!(out, "## Figure 9 — Loom ipt (absolute, weighted) vs window size t\n").unwrap();
+    writeln!(
+        out,
+        "## Figure 9 — Loom ipt (absolute, weighted) vs window size t\n"
+    )
+    .unwrap();
     let fractions: [(usize, &str); 5] = [
         (600, "1/600"),
         (200, "1/200"),
@@ -263,7 +292,11 @@ pub fn ablations(opts: &SuiteOptions) -> String {
     let mut out = String::new();
 
     // (a) Allocation policy ablation.
-    writeln!(out, "## Ablation A — equal opportunism vs naive greedy (§4)\n").unwrap();
+    writeln!(
+        out,
+        "## Ablation A — equal opportunism vs naive greedy (§4)\n"
+    )
+    .unwrap();
     let mut body = Vec::new();
     for dataset in DatasetKind::IPT_EVALUATED {
         let cfg = cfg_for(opts, dataset, StreamOrder::BreadthFirst);
@@ -271,7 +304,10 @@ pub fn ablations(opts: &SuiteOptions) -> String {
         let workload = workload_for(dataset);
         let stream = GraphStream::from_graph(&graph, cfg.order, cfg.seed);
         let mut row = vec![dataset.name().to_string()];
-        for policy in [AllocationPolicy::EqualOpportunism, AllocationPolicy::NaiveGreedy] {
+        for policy in [
+            AllocationPolicy::EqualOpportunism,
+            AllocationPolicy::NaiveGreedy,
+        ] {
             let loom_cfg = LoomConfig {
                 k: cfg.k,
                 window_size: cfg.window_size,
@@ -308,7 +344,11 @@ pub fn ablations(opts: &SuiteOptions) -> String {
 
     // (b) Signature representation ablation: factor multisets vs raw
     // products (the §2.3 argument that multisets kill a collision class).
-    writeln!(out, "## Ablation B — factor-multiset vs product signatures (§2.3)\n").unwrap();
+    writeln!(
+        out,
+        "## Ablation B — factor-multiset vs product signatures (§2.3)\n"
+    )
+    .unwrap();
     let mut body = Vec::new();
     for &p in &[7u64, 31, 251] {
         let stats = collision::measure_collisions(2_000, 8, 4, p, 11);

@@ -118,7 +118,11 @@ fn workload_cmd(args: &Args) -> Result<()> {
     // The generators' label names give the header.
     let g = datasets::generate(dataset, Scale::Tiny, 0);
     io::write_workload(&w, g.label_names(), out_writer(out)?)?;
-    eprintln!("wrote the {} workload ({} queries)", dataset.name(), w.len());
+    eprintln!(
+        "wrote the {} workload ({} queries)",
+        dataset.name(),
+        w.len()
+    );
     Ok(())
 }
 
@@ -223,12 +227,8 @@ fn partition(args: &Args) -> Result<()> {
                 seed,
                 allocation: Default::default(),
             };
-            let loom = LoomPartitioner::new(
-                &config,
-                &workload,
-                graph.num_vertices(),
-                graph.num_labels(),
-            );
+            let loom =
+                LoomPartitioner::new(&config, &workload, graph.num_vertices(), graph.num_labels());
             run_partitioner_boxed(Box::new(loom), &stream)
         }
         other => return Err(format!("unknown system '{other}'").into()),
@@ -242,8 +242,7 @@ fn partition(args: &Args) -> Result<()> {
             .ok_or("--refine needs --workload (it optimises for the query patterns)")?;
         let (workload, _) = read_workload_file(path)?;
         let weights = loom_core::partition::TraversalWeights::from_workload(&workload);
-        let result =
-            loom_core::partition::taper_refine(&graph, &assignment, &weights, refine, 1.1);
+        let result = loom_core::partition::taper_refine(&graph, &assignment, &weights, refine, 1.1);
         eprintln!(
             "taper refine: {} moves over {} rounds",
             result.moves, result.rounds
@@ -387,7 +386,13 @@ mod tests {
     #[test]
     fn assignment_rejects_bad_rows() {
         assert!(read_assignment("abc\t0\n".as_bytes(), 4).is_err());
-        assert!(read_assignment("9\t0\n".as_bytes(), 4).is_err(), "vertex range");
-        assert!(read_assignment("1\n".as_bytes(), 4).is_err(), "missing partition");
+        assert!(
+            read_assignment("9\t0\n".as_bytes(), 4).is_err(),
+            "vertex range"
+        );
+        assert!(
+            read_assignment("1\n".as_bytes(), 4).is_err(),
+            "missing partition"
+        );
     }
 }

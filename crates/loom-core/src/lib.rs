@@ -48,8 +48,8 @@ pub mod prelude {
     };
     pub use loom_motif::{LabelRandomizer, MotifIndex, TpsTrie, DEFAULT_PRIME};
     pub use loom_partition::{
-        taper_refine, Assignment, FennelPartitioner, HashPartitioner, LdgPartitioner,
-        LoomConfig, LoomPartitioner, PartitionMetrics, StreamPartitioner, TraversalWeights,
+        taper_refine, Assignment, FennelPartitioner, HashPartitioner, LdgPartitioner, LoomConfig,
+        LoomPartitioner, PartitionMetrics, StreamPartitioner, TraversalWeights,
     };
     pub use loom_query::{count_ipt, simulate, workload_for, QueryExecutor, SimulationConfig};
 }

@@ -5,8 +5,8 @@
 use crate::config::{ExperimentConfig, System};
 use loom_graph::{datasets, GraphStream, LabeledGraph, Workload};
 use loom_partition::{
-    partition_stream, Assignment, FennelParams, FennelPartitioner, HashPartitioner,
-    LdgPartitioner, LoomConfig, LoomPartitioner, PartitionMetrics, StreamPartitioner,
+    partition_stream, Assignment, FennelParams, FennelPartitioner, HashPartitioner, LdgPartitioner,
+    LoomConfig, LoomPartitioner, PartitionMetrics, StreamPartitioner,
 };
 use loom_query::{count_ipt, workload_for, IptReport};
 use std::time::{Duration, Instant};
@@ -124,10 +124,7 @@ pub fn partition_timed(
 }
 
 /// Run one full experiment cell over the given systems.
-pub fn run_experiment_with(
-    config: &ExperimentConfig,
-    systems: &[System],
-) -> ExperimentResult {
+pub fn run_experiment_with(config: &ExperimentConfig, systems: &[System]) -> ExperimentResult {
     let graph = datasets::generate(config.dataset, config.scale, config.seed);
     let workload = workload_for(config.dataset);
     let stream = GraphStream::from_graph(&graph, config.order, config.seed);
@@ -174,11 +171,8 @@ mod tests {
     use loom_graph::{DatasetKind, Scale, StreamOrder};
 
     fn tiny_config(dataset: DatasetKind) -> ExperimentConfig {
-        let mut c = ExperimentConfig::evaluation_defaults(
-            dataset,
-            Scale::Tiny,
-            StreamOrder::BreadthFirst,
-        );
+        let mut c =
+            ExperimentConfig::evaluation_defaults(dataset, Scale::Tiny, StreamOrder::BreadthFirst);
         c.k = 4;
         c.limit_per_query = 20_000;
         c

@@ -119,9 +119,7 @@ pub fn generate(kind: DatasetKind, scale: Scale, seed: u64) -> LabeledGraph {
             &musicbrainz::MusicBrainzConfig::with_target_edges(edges),
             seed,
         ),
-        DatasetKind::Lubm100 => {
-            lubm::generate(&lubm::LubmConfig::with_target_edges(edges), seed)
-        }
+        DatasetKind::Lubm100 => lubm::generate(&lubm::LubmConfig::with_target_edges(edges), seed),
         // LUBM-4000 is 40x LUBM-100 in the paper; keep the ratio bounded
         // at reproduction scales (4x) so Table 2 stays tractable.
         DatasetKind::Lubm4000 => {

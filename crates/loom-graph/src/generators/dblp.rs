@@ -37,10 +37,19 @@ pub mod labels {
 
 /// Human-readable names of the schema, indexed by label.
 pub fn label_names() -> Vec<String> {
-    ["Paper", "Author", "Conference", "Journal", "Institution", "Topic", "Year", "Editor"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect()
+    [
+        "Paper",
+        "Author",
+        "Conference",
+        "Journal",
+        "Institution",
+        "Topic",
+        "Year",
+        "Editor",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
 }
 
 /// Tuning knobs of the generator. `Default` matches the shape of real
@@ -99,13 +108,23 @@ pub fn generate(config: &DblpConfig, seed: u64) -> LabeledGraph {
     );
 
     let papers: Vec<VertexId> = (0..n_papers).map(|_| g.add_vertex(labels::PAPER)).collect();
-    let authors: Vec<VertexId> = (0..n_authors).map(|_| g.add_vertex(labels::AUTHOR)).collect();
-    let confs: Vec<VertexId> = (0..n_confs).map(|_| g.add_vertex(labels::CONFERENCE)).collect();
-    let journals: Vec<VertexId> = (0..n_journals).map(|_| g.add_vertex(labels::JOURNAL)).collect();
-    let insts: Vec<VertexId> = (0..n_insts).map(|_| g.add_vertex(labels::INSTITUTION)).collect();
+    let authors: Vec<VertexId> = (0..n_authors)
+        .map(|_| g.add_vertex(labels::AUTHOR))
+        .collect();
+    let confs: Vec<VertexId> = (0..n_confs)
+        .map(|_| g.add_vertex(labels::CONFERENCE))
+        .collect();
+    let journals: Vec<VertexId> = (0..n_journals)
+        .map(|_| g.add_vertex(labels::JOURNAL))
+        .collect();
+    let insts: Vec<VertexId> = (0..n_insts)
+        .map(|_| g.add_vertex(labels::INSTITUTION))
+        .collect();
     let topics: Vec<VertexId> = (0..n_topics).map(|_| g.add_vertex(labels::TOPIC)).collect();
     let years: Vec<VertexId> = (0..n_years).map(|_| g.add_vertex(labels::YEAR)).collect();
-    let editors: Vec<VertexId> = (0..n_editors).map(|_| g.add_vertex(labels::EDITOR)).collect();
+    let editors: Vec<VertexId> = (0..n_editors)
+        .map(|_| g.add_vertex(labels::EDITOR))
+        .collect();
 
     let author_zipf = Zipf::new(n_authors, config.author_skew);
     let conf_zipf = Zipf::new(n_confs, 1.0);
@@ -180,7 +199,13 @@ mod tests {
 
     #[test]
     fn generates_all_eight_labels() {
-        let g = generate(&DblpConfig { num_papers: 500, ..Default::default() }, 1);
+        let g = generate(
+            &DblpConfig {
+                num_papers: 500,
+                ..Default::default()
+            },
+            1,
+        );
         assert_eq!(g.num_labels(), 8);
         let hist = g.label_histogram();
         for (i, &count) in hist.iter().enumerate() {
@@ -190,7 +215,10 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let cfg = DblpConfig { num_papers: 300, ..Default::default() };
+        let cfg = DblpConfig {
+            num_papers: 300,
+            ..Default::default()
+        };
         let a = generate(&cfg, 9);
         let b = generate(&cfg, 9);
         assert_eq!(a.num_vertices(), b.num_vertices());
@@ -202,7 +230,13 @@ mod tests {
 
     #[test]
     fn edge_vertex_ratio_is_dblp_like() {
-        let g = generate(&DblpConfig { num_papers: 2_000, ..Default::default() }, 2);
+        let g = generate(
+            &DblpConfig {
+                num_papers: 2_000,
+                ..Default::default()
+            },
+            2,
+        );
         let ratio = g.num_edges() as f64 / g.num_vertices() as f64;
         // Real DBLP is ~2.1; the generator lands in [1.5, 4.0].
         assert!((1.5..4.0).contains(&ratio), "ratio {ratio}");
@@ -210,7 +244,13 @@ mod tests {
 
     #[test]
     fn venue_degrees_are_skewed() {
-        let g = generate(&DblpConfig { num_papers: 3_000, ..Default::default() }, 3);
+        let g = generate(
+            &DblpConfig {
+                num_papers: 3_000,
+                ..Default::default()
+            },
+            3,
+        );
         let mut conf_degrees: Vec<usize> = g
             .vertices_with_label(labels::CONFERENCE)
             .iter()
@@ -233,7 +273,13 @@ mod tests {
 
     #[test]
     fn no_self_loops_or_duplicates() {
-        let g = generate(&DblpConfig { num_papers: 400, ..Default::default() }, 5);
+        let g = generate(
+            &DblpConfig {
+                num_papers: 400,
+                ..Default::default()
+            },
+            5,
+        );
         let mut seen = std::collections::HashSet::new();
         for (_, u, v) in g.edges() {
             assert_ne!(u, v, "self loop");

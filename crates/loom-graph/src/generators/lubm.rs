@@ -124,8 +124,13 @@ pub fn generate(config: &LubmConfig, seed: u64) -> LabeledGraph {
 
     for _ in 0..config.num_universities.max(1) {
         let univ = g.add_vertex(labels::UNIVERSITY);
-        let n_depts = rng
-            .gen_range(config.departments_per_university.start..config.departments_per_university.end.max(config.departments_per_university.start + 1));
+        let n_depts = rng.gen_range(
+            config.departments_per_university.start
+                ..config
+                    .departments_per_university
+                    .end
+                    .max(config.departments_per_university.start + 1),
+        );
         for _ in 0..n_depts {
             let dept = g.add_vertex(labels::DEPARTMENT);
             g.add_edge(dept, univ); // subOrganizationOf
@@ -245,7 +250,10 @@ mod tests {
 
     #[test]
     fn graph_is_connected_per_university_and_overall_components() {
-        let cfg = LubmConfig { num_universities: 3, ..Default::default() };
+        let cfg = LubmConfig {
+            num_universities: 3,
+            ..Default::default()
+        };
         let g = generate(&cfg, 2);
         // Universities are disjoint islands: exactly one component each.
         assert_eq!(g.connected_components(), 3);
@@ -279,7 +287,13 @@ mod tests {
 
     #[test]
     fn ratio_is_lubm_like() {
-        let g = generate(&LubmConfig { num_universities: 4, ..Default::default() }, 4);
+        let g = generate(
+            &LubmConfig {
+                num_universities: 4,
+                ..Default::default()
+            },
+            4,
+        );
         let ratio = g.num_edges() as f64 / g.num_vertices() as f64;
         // Real LUBM-100: 11M / 2.6M ≈ 4.2. Accept a broad band.
         assert!((1.8..5.0).contains(&ratio), "ratio {ratio}");

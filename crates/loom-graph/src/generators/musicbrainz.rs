@@ -48,8 +48,18 @@ pub mod labels {
 /// Human-readable names of the schema, indexed by label.
 pub fn label_names() -> Vec<String> {
     [
-        "Artist", "Album", "Recording", "Work", "Label", "Area", "Place", "Event", "Genre",
-        "Series", "Instrument", "Url",
+        "Artist",
+        "Album",
+        "Recording",
+        "Work",
+        "Label",
+        "Area",
+        "Place",
+        "Event",
+        "Genre",
+        "Series",
+        "Instrument",
+        "Url",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -100,15 +110,21 @@ pub fn generate(config: &MusicBrainzConfig, seed: u64) -> LabeledGraph {
     let n_instruments = 24.min(n_artists).max(2);
 
     let mut g = LabeledGraph::new(label_names());
-    let artists: Vec<VertexId> = (0..n_artists).map(|_| g.add_vertex(labels::ARTIST)).collect();
-    let rec_labels: Vec<VertexId> =
-        (0..n_labels).map(|_| g.add_vertex(labels::RECORD_LABEL)).collect();
+    let artists: Vec<VertexId> = (0..n_artists)
+        .map(|_| g.add_vertex(labels::ARTIST))
+        .collect();
+    let rec_labels: Vec<VertexId> = (0..n_labels)
+        .map(|_| g.add_vertex(labels::RECORD_LABEL))
+        .collect();
     let areas: Vec<VertexId> = (0..n_areas).map(|_| g.add_vertex(labels::AREA)).collect();
     let places: Vec<VertexId> = (0..n_places).map(|_| g.add_vertex(labels::PLACE)).collect();
     let genres: Vec<VertexId> = (0..n_genres).map(|_| g.add_vertex(labels::GENRE)).collect();
-    let series: Vec<VertexId> = (0..n_series).map(|_| g.add_vertex(labels::SERIES)).collect();
-    let instruments: Vec<VertexId> =
-        (0..n_instruments).map(|_| g.add_vertex(labels::INSTRUMENT)).collect();
+    let series: Vec<VertexId> = (0..n_series)
+        .map(|_| g.add_vertex(labels::SERIES))
+        .collect();
+    let instruments: Vec<VertexId> = (0..n_instruments)
+        .map(|_| g.add_vertex(labels::INSTRUMENT))
+        .collect();
 
     let label_zipf = Zipf::new(n_labels, 1.1);
     let area_zipf = Zipf::new(n_areas, 1.2);
@@ -149,7 +165,12 @@ pub fn generate(config: &MusicBrainzConfig, seed: u64) -> LabeledGraph {
             g.add_edge(ev, places[place_zipf.sample(&mut rng)]);
         }
         // Discography.
-        let n_albums = geometric_in(&mut rng, 1, 8, config.mean_albums / (1.0 + config.mean_albums));
+        let n_albums = geometric_in(
+            &mut rng,
+            1,
+            8,
+            config.mean_albums / (1.0 + config.mean_albums),
+        );
         for _ in 0..n_albums {
             let album = g.add_vertex(labels::ALBUM);
             g.add_edge(artist, album);
@@ -193,7 +214,13 @@ mod tests {
 
     #[test]
     fn areas_are_hubs() {
-        let g = generate(&MusicBrainzConfig { num_artists: 2_000, ..Default::default() }, 2);
+        let g = generate(
+            &MusicBrainzConfig {
+                num_artists: 2_000,
+                ..Default::default()
+            },
+            2,
+        );
         let max_area_deg = g
             .vertices_with_label(labels::AREA)
             .iter()
@@ -205,7 +232,13 @@ mod tests {
 
     #[test]
     fn ratio_is_musicbrainz_like() {
-        let g = generate(&MusicBrainzConfig { num_artists: 2_000, ..Default::default() }, 3);
+        let g = generate(
+            &MusicBrainzConfig {
+                num_artists: 2_000,
+                ..Default::default()
+            },
+            3,
+        );
         let ratio = g.num_edges() as f64 / g.num_vertices() as f64;
         // Real MusicBrainz: 100M / 31M ≈ 3.2. Accept a broad band.
         assert!((1.2..3.5).contains(&ratio), "ratio {ratio}");
@@ -213,7 +246,10 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let cfg = MusicBrainzConfig { num_artists: 150, ..Default::default() };
+        let cfg = MusicBrainzConfig {
+            num_artists: 150,
+            ..Default::default()
+        };
         let a = generate(&cfg, 8);
         let b = generate(&cfg, 8);
         assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
@@ -221,7 +257,13 @@ mod tests {
 
     #[test]
     fn albums_connect_artists_to_recordings() {
-        let g = generate(&MusicBrainzConfig { num_artists: 300, ..Default::default() }, 4);
+        let g = generate(
+            &MusicBrainzConfig {
+                num_artists: 300,
+                ..Default::default()
+            },
+            4,
+        );
         for album in g.vertices_with_label(labels::ALBUM) {
             let has_artist = g
                 .neighbors(album)

@@ -27,7 +27,10 @@ pub mod labels {
 
 /// Human-readable names of the schema, indexed by label.
 pub fn label_names() -> Vec<String> {
-    ["Entity", "Activity", "Agent"].iter().map(|s| s.to_string()).collect()
+    ["Entity", "Activity", "Agent"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
 }
 
 /// Tuning knobs of the generator.
@@ -134,7 +137,13 @@ mod tests {
 
     #[test]
     fn activities_form_chains() {
-        let g = generate(&ProvGenConfig { num_pages: 200, ..Default::default() }, 2);
+        let g = generate(
+            &ProvGenConfig {
+                num_pages: 200,
+                ..Default::default()
+            },
+            2,
+        );
         // Every activity touches exactly 2 entities + 1 agent (unless the
         // agent edge was a duplicate, which cannot happen: one agent edge
         // per fresh activity).
@@ -152,7 +161,13 @@ mod tests {
 
     #[test]
     fn ratio_matches_real_provgen() {
-        let g = generate(&ProvGenConfig { num_pages: 3_000, ..Default::default() }, 3);
+        let g = generate(
+            &ProvGenConfig {
+                num_pages: 3_000,
+                ..Default::default()
+            },
+            3,
+        );
         let ratio = g.num_edges() as f64 / g.num_vertices() as f64;
         // Real ProvGen: 0.9M / 0.5M = 1.8.
         assert!((1.2..2.2).contains(&ratio), "ratio {ratio}");
@@ -160,18 +175,24 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let cfg = ProvGenConfig { num_pages: 100, ..Default::default() };
+        let cfg = ProvGenConfig {
+            num_pages: 100,
+            ..Default::default()
+        };
         let a = generate(&cfg, 5);
         let b = generate(&cfg, 5);
-        assert_eq!(
-            a.edges().collect::<Vec<_>>(),
-            b.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
     }
 
     #[test]
     fn user_activity_is_skewed() {
-        let g = generate(&ProvGenConfig { num_pages: 2_000, ..Default::default() }, 4);
+        let g = generate(
+            &ProvGenConfig {
+                num_pages: 2_000,
+                ..Default::default()
+            },
+            4,
+        );
         let mut degrees: Vec<usize> = g
             .vertices_with_label(labels::AGENT)
             .iter()

@@ -126,7 +126,12 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         // Item 0 should be drawn far more often than item 50.
-        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
         // Every draw must be in range (guaranteed by counts not panicking).
         assert_eq!(counts.iter().sum::<usize>(), 20_000);
     }

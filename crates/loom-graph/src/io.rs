@@ -85,7 +85,12 @@ fn perr(line: usize, message: impl Into<String>) -> IoError {
 
 /// Write a graph in the `.lg` format.
 pub fn write_graph<W: Write>(g: &LabeledGraph, mut w: W) -> Result<(), IoError> {
-    writeln!(w, "# loom labelled graph: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# loom labelled graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     writeln!(w, "labels {}", g.label_names().join(" "))?;
     for v in g.vertices() {
         writeln!(w, "v {}", g.label(v).0)?;
@@ -148,7 +153,10 @@ pub fn read_graph<R: BufRead>(r: R) -> Result<LabeledGraph, IoError> {
                     .map_err(|e| perr(lineno, format!("bad endpoint: {e}")))?;
                 let n = g.num_vertices() as u32;
                 if u >= n || v >= n {
-                    return Err(perr(lineno, format!("edge ({u},{v}) references unknown vertex")));
+                    return Err(perr(
+                        lineno,
+                        format!("edge ({u},{v}) references unknown vertex"),
+                    ));
                 }
                 g.add_edge(VertexId(u), VertexId(v));
             }
@@ -254,7 +262,12 @@ pub fn read_workload<R: BufRead>(r: R) -> Result<(Workload, Vec<String>), IoErro
                 cur.edges.push((u, v));
             }
             Some("end") => {
-                let PendingQuery { name, freq, labels, edges } = current
+                let PendingQuery {
+                    name,
+                    freq,
+                    labels,
+                    edges,
+                } = current
                     .take()
                     .ok_or_else(|| perr(lineno, "end outside a query"))?;
                 if labels.is_empty() {
@@ -280,10 +293,7 @@ pub fn read_workload<R: BufRead>(r: R) -> Result<(Workload, Vec<String>), IoErro
     if queries.is_empty() {
         return Err(perr(0, "workload has no queries"));
     }
-    Ok((
-        Workload::new(queries),
-        label_names.unwrap_or_default(),
-    ))
+    Ok((Workload::new(queries), label_names.unwrap_or_default()))
 }
 
 #[cfg(test)]
@@ -338,7 +348,10 @@ mod tests {
     fn graph_rejects_garbage() {
         assert!(read_graph("bogus 1 2\n".as_bytes()).is_err());
         assert!(read_graph("v 0\n".as_bytes()).is_err(), "v before labels");
-        assert!(read_graph("labels a\nv 3\n".as_bytes()).is_err(), "label range");
+        assert!(
+            read_graph("labels a\nv 3\n".as_bytes()).is_err(),
+            "label range"
+        );
         assert!(
             read_graph("labels a\nv 0\ne 0 5\n".as_bytes()).is_err(),
             "edge to unknown vertex"
@@ -348,7 +361,10 @@ mod tests {
 
     #[test]
     fn workload_rejects_garbage() {
-        assert!(read_workload("labels a\n".as_bytes()).is_err(), "no queries");
+        assert!(
+            read_workload("labels a\n".as_bytes()).is_err(),
+            "no queries"
+        );
         assert!(
             read_workload("labels a\nquery q 1\nql 0\n".as_bytes()).is_err(),
             "unterminated"

@@ -31,7 +31,10 @@ impl PatternGraph {
         let n = labels.len();
         let mut adj = vec![Vec::new(); n];
         for (i, &(u, v)) in edges.iter().enumerate() {
-            assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} vertices");
+            assert!(
+                u < n && v < n,
+                "edge ({u},{v}) out of range for {n} vertices"
+            );
             assert_ne!(u, v, "self-loop ({u},{u}) not allowed in a pattern");
             adj[u].push((v, i));
             adj[v].push((u, i));
@@ -50,7 +53,9 @@ impl PatternGraph {
 
     /// Convenience constructor for a path pattern `l0 - l1 - ... - lk`.
     pub fn path(name: impl Into<String>, labels: Vec<Label>) -> Self {
-        let edges = (0..labels.len().saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        let edges = (0..labels.len().saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
         Self::new(name, labels, edges)
     }
 

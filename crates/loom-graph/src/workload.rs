@@ -58,7 +58,11 @@ impl Workload {
 
     /// Largest query size `|E_q|` — bounds signature sizes (§2.3).
     pub fn max_query_edges(&self) -> usize {
-        self.queries.iter().map(|(q, _)| q.num_edges()).max().unwrap_or(0)
+        self.queries
+            .iter()
+            .map(|(q, _)| q.num_edges())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The running example of Fig. 1: `Q(q1: 30%, q2: 60%, q3: 10%)`
@@ -108,6 +112,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid frequency")]
     fn zero_frequency_rejected() {
-        Workload::new(vec![(PatternGraph::path("q", vec![Label(0), Label(1)]), 0.0)]);
+        Workload::new(vec![(
+            PatternGraph::path("q", vec![Label(0), Label(1)]),
+            0.0,
+        )]);
     }
 }

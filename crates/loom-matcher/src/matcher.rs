@@ -143,15 +143,23 @@ impl MotifMatcher {
                 }
                 // Absorb the smaller into the larger (§3: "we consider
                 // each edge from the smaller motif match").
-                let (base, other) = if ma.len() >= mb.len() { (ma, mb) } else { (mb, ma) };
+                let (base, other) = if ma.len() >= mb.len() {
+                    (ma, mb)
+                } else {
+                    (mb, ma)
+                };
                 if other.edges.iter().any(|x| base.contains_edge(x.id)) {
                     continue; // overlapping matches are not joinable
                 }
                 let mut edges = base.edges.clone();
                 let mut remaining = other.edges.clone();
-                if let Some(motif) =
-                    try_join(&self.motifs, &self.rand, &mut edges, base.motif, &mut remaining)
-                {
+                if let Some(motif) = try_join(
+                    &self.motifs,
+                    &self.rand,
+                    &mut edges,
+                    base.motif,
+                    &mut remaining,
+                ) {
                     produced.push((edges, motif));
                 }
             }
@@ -210,11 +218,7 @@ fn recent(mut ids: Vec<MatchId>) -> Vec<MatchId> {
 /// Delta factors for adding `e` to the sub-graph `edges`, or `None` if
 /// `e` is not incident to it (`edges` empty counts as incident — the
 /// base case of a fresh single-edge graph).
-fn extension_delta(
-    rand: &LabelRandomizer,
-    edges: &[StreamEdge],
-    e: &StreamEdge,
-) -> Option<Delta> {
+fn extension_delta(rand: &LabelRandomizer, edges: &[StreamEdge], e: &StreamEdge) -> Option<Delta> {
     let du = edges.iter().filter(|x| x.touches(e.src)).count();
     let dv = edges.iter().filter(|x| x.touches(e.dst)).count();
     if !edges.is_empty() && du == 0 && dv == 0 {
@@ -289,10 +293,7 @@ mod tests {
     /// every sub-graph of it is a motif (exercises the join step).
     fn path4_matcher() -> MotifMatcher {
         let rand = LabelRandomizer::new(2, DEFAULT_PRIME, 42);
-        let workload = Workload::new(vec![(
-            PatternGraph::path("q", vec![A, B, A, B]),
-            1.0,
-        )]);
+        let workload = Workload::new(vec![(PatternGraph::path("q", vec![A, B, A, B]), 1.0)]);
         let trie = TpsTrie::build(&workload, &rand);
         MotifMatcher::new(trie.motifs(0.5), rand)
     }
@@ -341,11 +342,12 @@ mod tests {
         m.on_edge(se(0, 1, A, 2, B));
         m.on_edge(se(1, 2, B, 3, C));
         let before = m.match_list().len();
-        m.on_edge(se(2, 4, A, 2, B)); // another a-b at vertex 2
-        // Growth: the new single ⟨e2, ab⟩ and the second a-b-c path
-        // a4-b2-c3 = ⟨{e1,e2}, abc⟩. Crucially NOT the a-b-a path
-        // a1-b2-a4 (a q1 sub-graph at 30% < 40%, not a motif) and not
-        // any 3-edge shape (no 3-edge motif exists at this threshold).
+        // Another a-b arrives at vertex 2. Growth: the new single
+        // ⟨e2, ab⟩ and the second a-b-c path a4-b2-c3 = ⟨{e1,e2}, abc⟩.
+        // Crucially NOT the a-b-a path a1-b2-a4 (a q1 sub-graph at
+        // 30% < 40%, not a motif) and not any 3-edge shape (no 3-edge
+        // motif exists at this threshold).
+        m.on_edge(se(2, 4, A, 2, B));
         assert_eq!(m.match_list().len(), before + 2);
         let deepest = (0..3u32)
             .flat_map(|e| m.matches_for_edge(EdgeId(e)))

@@ -36,11 +36,7 @@ pub struct MotifMatch {
 impl MotifMatch {
     /// Distinct vertices of the match.
     pub fn vertices(&self) -> Vec<VertexId> {
-        let mut vs: Vec<VertexId> = self
-            .edges
-            .iter()
-            .flat_map(|e| [e.src, e.dst])
-            .collect();
+        let mut vs: Vec<VertexId> = self.edges.iter().flat_map(|e| [e.src, e.dst]).collect();
         vs.sort_unstable();
         vs.dedup();
         vs
@@ -261,13 +257,19 @@ mod tests {
     #[test]
     fn duplicate_matches_rejected() {
         let mut ml = MatchList::new();
-        assert!(ml.insert(vec![se(0, 1, 2), se(1, 2, 3)], MotifId(1)).is_some());
+        assert!(ml
+            .insert(vec![se(0, 1, 2), se(1, 2, 3)], MotifId(1))
+            .is_some());
         // Same edges in a different order: still a duplicate.
-        assert!(ml.insert(vec![se(1, 2, 3), se(0, 1, 2)], MotifId(1)).is_none());
+        assert!(ml
+            .insert(vec![se(1, 2, 3), se(0, 1, 2)], MotifId(1))
+            .is_none());
         // Same edges, different motif: distinct entry (Alg. 2 can map
         // one sub-graph to several motifs only via collisions, but the
         // structure must not conflate them).
-        assert!(ml.insert(vec![se(0, 1, 2), se(1, 2, 3)], MotifId(2)).is_some());
+        assert!(ml
+            .insert(vec![se(0, 1, 2), se(1, 2, 3)], MotifId(2))
+            .is_some());
         assert_eq!(ml.len(), 2);
     }
 
@@ -275,7 +277,9 @@ mod tests {
     fn drop_edge_kills_all_containing_matches() {
         let mut ml = MatchList::new();
         let a = ml.insert(vec![se(0, 1, 2)], MotifId(0)).unwrap();
-        let b = ml.insert(vec![se(0, 1, 2), se(1, 2, 3)], MotifId(1)).unwrap();
+        let b = ml
+            .insert(vec![se(0, 1, 2), se(1, 2, 3)], MotifId(1))
+            .unwrap();
         let c = ml.insert(vec![se(1, 2, 3)], MotifId(0)).unwrap();
         assert_eq!(ml.drop_edge(EdgeId(0)), 2);
         assert!(!ml.get(a).alive);

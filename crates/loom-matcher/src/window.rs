@@ -76,7 +76,11 @@ impl SlidingWindow {
     /// Buffer a new edge. If the window was full, the oldest edge is
     /// evicted and returned — the caller must then assign it (§4).
     pub fn push(&mut self, e: StreamEdge) -> Option<StreamEdge> {
-        debug_assert!(!self.present.contains_key(&e.id), "duplicate edge {:?}", e.id);
+        debug_assert!(
+            !self.present.contains_key(&e.id),
+            "duplicate edge {:?}",
+            e.id
+        );
         self.edges.push_back(e);
         self.present.insert(e.id, ());
         *self.degree.entry(e.src).or_insert(0) += 1;
@@ -126,7 +130,9 @@ impl SlidingWindow {
 
     /// Iterate over live edges in arrival order.
     pub fn iter(&self) -> impl Iterator<Item = &StreamEdge> {
-        self.edges.iter().filter(|e| self.present.contains_key(&e.id))
+        self.edges
+            .iter()
+            .filter(|e| self.present.contains_key(&e.id))
     }
 
     fn drop_degrees(&mut self, e: &StreamEdge) {

@@ -161,16 +161,8 @@ mod tests {
     #[test]
     fn triangle_with_pendant_automorphisms() {
         // a-b-c triangle with a pendant b off vertex a; relabelled copy.
-        let g1 = PatternGraph::new(
-            "g1",
-            vec![A, B, C, B],
-            vec![(0, 1), (1, 2), (2, 0), (0, 3)],
-        );
-        let g2 = PatternGraph::new(
-            "g2",
-            vec![B, C, A, B],
-            vec![(0, 1), (1, 2), (2, 0), (2, 3)],
-        );
+        let g1 = PatternGraph::new("g1", vec![A, B, C, B], vec![(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let g2 = PatternGraph::new("g2", vec![B, C, A, B], vec![(0, 1), (1, 2), (2, 0), (2, 3)]);
         assert!(are_isomorphic(&g1, &g2));
     }
 

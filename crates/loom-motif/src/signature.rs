@@ -398,7 +398,10 @@ mod tests {
         let rand = LabelRandomizer::new(3, DEFAULT_PRIME, 5);
         let p = PatternGraph::cycle("c", vec![A, B, C]);
         let full = (1u64 << p.num_edges()) - 1;
-        assert_eq!(subset_signature(&p, full, &rand), pattern_signature(&p, &rand));
+        assert_eq!(
+            subset_signature(&p, full, &rand),
+            pattern_signature(&p, &rand)
+        );
         assert_eq!(subset_signature(&p, 0, &rand), FactorSet::empty());
     }
 

@@ -18,7 +18,10 @@ use std::collections::HashSet;
 /// Panics if the pattern has more than 63 edges (far beyond the paper's
 /// query sizes).
 pub fn connected_edge_subsets(p: &PatternGraph) -> Vec<u64> {
-    assert!(p.num_edges() <= 63, "pattern too large for mask enumeration");
+    assert!(
+        p.num_edges() <= 63,
+        "pattern too large for mask enumeration"
+    );
     let mut seen: HashSet<u64> = HashSet::new();
     let mut frontier: Vec<u64> = Vec::new();
     for i in 0..p.num_edges() {

@@ -298,11 +298,7 @@ impl Default for TpsTrie {
 
 /// Pick a parent subset of `mask` (one edge removed, still connected,
 /// already resolved in `sig_of`).
-fn removable_parent(
-    q: &PatternGraph,
-    mask: u64,
-    sig_of: &HashMap<u64, FactorSet>,
-) -> u64 {
+fn removable_parent(q: &PatternGraph, mask: u64, sig_of: &HashMap<u64, FactorSet>) -> u64 {
     for i in 0..q.num_edges() {
         let bit = 1u64 << i;
         if mask & bit != 0 {
@@ -658,13 +654,23 @@ mod tests {
     fn decay_preserves_relative_supports() {
         let rand = rand4();
         let mut trie = TpsTrie::build(&Workload::figure1_example(), &rand);
-        let before: Vec<f64> = trie.node_ids().map(|id| trie.relative_support(id)).collect();
+        let before: Vec<f64> = trie
+            .node_ids()
+            .map(|id| trie.relative_support(id))
+            .collect();
         trie.decay(0.5);
-        let after: Vec<f64> = trie.node_ids().map(|id| trie.relative_support(id)).collect();
+        let after: Vec<f64> = trie
+            .node_ids()
+            .map(|id| trie.relative_support(id))
+            .collect();
         for (b, a) in before.iter().zip(&after) {
             assert!((b - a).abs() < 1e-12, "decay must not change ratios");
         }
-        assert_eq!(trie.motifs(0.4).len(), 3, "motif set unchanged by pure decay");
+        assert_eq!(
+            trie.motifs(0.4).len(),
+            3,
+            "motif set unchanged by pure decay"
+        );
     }
 
     #[test]
@@ -676,7 +682,10 @@ mod tests {
         let mut trie = TpsTrie::build(&workload, &rand);
         let sig_cd = pattern_signature(&PatternGraph::path("cd", vec![C, Label(3)]), &rand);
         let cd = trie.node_by_signature(&sig_cd).unwrap();
-        assert!(trie.relative_support(cd) < 0.4, "c-d starts below threshold");
+        assert!(
+            trie.relative_support(cd) < 0.4,
+            "c-d starts below threshold"
+        );
         trie.decay(0.1);
         let (q3, _) = &workload.queries()[2];
         trie.add_query(q3, 50.0, &rand);

@@ -1,11 +1,11 @@
 //! Property-based tests of signatures and the TPSTry++.
 
+use loom_graph::Workload;
 use loom_motif::collision::random_connected_pattern;
 use loom_motif::subgraph_enum::{connected_edge_subsets, subset_pattern};
 use loom_motif::{
     pattern_signature, subset_signature, FactorSet, LabelRandomizer, TpsTrie, DEFAULT_PRIME,
 };
-use loom_graph::Workload;
 use proptest::prelude::*;
 use rand::SeedableRng;
 

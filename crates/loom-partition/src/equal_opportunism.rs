@@ -108,8 +108,7 @@ pub fn auction(
         // growth at C). It may take exactly one match. This matches the
         // paper's own observed behaviour — §5.2 reports Loom running at
         // 7-10% imbalance, i.e. near its cap, not at perfect balance.
-        let take = ((l * matches.len() as f64).ceil() as usize)
-            .clamp(1, matches.len());
+        let take = ((l * matches.len() as f64).ceil() as usize).clamp(1, matches.len());
         let total: f64 = matches[..take].iter().map(|m| bid(state, p, m)).sum();
         let size = state.size(p);
         let better = match &best {

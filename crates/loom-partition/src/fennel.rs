@@ -21,7 +21,10 @@ pub struct FennelParams {
 
 impl Default for FennelParams {
     fn default() -> Self {
-        FennelParams { gamma: 1.5, nu: 1.1 }
+        FennelParams {
+            gamma: 1.5,
+            nu: 1.1,
+        }
     }
 }
 
@@ -72,8 +75,8 @@ impl FennelPartitioner {
             if (size as f64) >= self.cap {
                 continue; // hard balance constraint
             }
-            let score =
-                counts[p.index()] as f64 - self.alpha * self.gamma * (size as f64).powf(self.gamma - 1.0);
+            let score = counts[p.index()] as f64
+                - self.alpha * self.gamma * (size as f64).powf(self.gamma - 1.0);
             let better = match &best {
                 None => true,
                 Some((bs, bsize, _)) => score > *bs || (score == *bs && size < *bsize),
@@ -83,7 +86,8 @@ impl FennelPartitioner {
             }
         }
         // All partitions at cap cannot happen with ν > 1, but stay safe.
-        best.map(|(_, _, p)| p).unwrap_or_else(|| self.state.least_loaded())
+        best.map(|(_, _, p)| p)
+            .unwrap_or_else(|| self.state.least_loaded())
     }
 }
 

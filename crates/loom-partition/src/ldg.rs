@@ -16,11 +16,7 @@ use loom_graph::{PartitionId, StreamEdge, VertexId};
 /// the emptier partition, then the lower id; if every score is zero
 /// (no placed neighbours) the least-loaded partition wins, which keeps
 /// the early stream balanced.
-pub fn ldg_choose(
-    state: &PartitionState,
-    adjacency: &OnlineAdjacency,
-    v: VertexId,
-) -> PartitionId {
+pub fn ldg_choose(state: &PartitionState, adjacency: &OnlineAdjacency, v: VertexId) -> PartitionId {
     let mut counts = vec![0usize; state.k()];
     for &w in adjacency.neighbors(v) {
         if let Some(p) = state.partition_of(w) {

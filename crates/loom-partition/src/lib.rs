@@ -15,19 +15,21 @@ pub mod ldg;
 pub mod loom;
 pub mod metrics;
 pub mod restream;
-pub mod vertex_stream;
 pub mod state;
 pub mod taper;
 pub mod traits;
+pub mod vertex_stream;
 
-pub use equal_opportunism::{auction, bid, order_matches, ration, AuctionMatch, AuctionOutcome, EoParams};
+pub use equal_opportunism::{
+    auction, bid, order_matches, ration, AuctionMatch, AuctionOutcome, EoParams,
+};
 pub use fennel::{FennelParams, FennelPartitioner};
 pub use hash::HashPartitioner;
 pub use ldg::{ldg_choose, LdgPartitioner};
 pub use loom::{AllocationPolicy, LoomConfig, LoomPartitioner, LoomStats};
 pub use metrics::PartitionMetrics;
 pub use restream::{restream_pass, restreamed_ldg};
-pub use vertex_stream::{fennel_vertex_stream, ldg_vertex_stream, vertex_stream, VertexArrival};
 pub use state::{Assignment, OnlineAdjacency, PartitionState};
 pub use taper::{taper_refine, weighted_cut, RefinementResult, TraversalWeights};
 pub use traits::{partition_stream, run_partitioner, StreamPartitioner};
+pub use vertex_stream::{fennel_vertex_stream, ldg_vertex_stream, vertex_stream, VertexArrival};

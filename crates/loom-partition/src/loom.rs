@@ -226,7 +226,10 @@ impl LoomPartitioner {
             }
             self.stats.matches_assigned += 1;
         }
-        debug_assert!(edges.iter().any(|x| x.id == e.id), "auction must place the evictee");
+        debug_assert!(
+            edges.iter().any(|x| x.id == e.id),
+            "auction must place the evictee"
+        );
 
         for edge in edges {
             for v in [edge.src, edge.dst] {
@@ -312,7 +315,7 @@ impl StreamPartitioner for LoomPartitioner {
 mod tests {
     use super::*;
     use crate::traits::partition_stream;
-    use loom_graph::{GraphStream, LabeledGraph, Label, PatternGraph, StreamOrder, VertexId};
+    use loom_graph::{GraphStream, Label, LabeledGraph, PatternGraph, StreamOrder, VertexId};
 
     const A: Label = Label(0);
     const B: Label = Label(1);
@@ -422,8 +425,12 @@ mod tests {
         }
         let workload = Workload::new(vec![(PatternGraph::path("q", vec![A, B]), 1.0)]);
         let stream = GraphStream::from_graph(&g, StreamOrder::AsGenerated, 1);
-        let mut loom =
-            LoomPartitioner::new(&small_config(2, 8), &workload, g.num_vertices(), g.num_labels());
+        let mut loom = LoomPartitioner::new(
+            &small_config(2, 8),
+            &workload,
+            g.num_vertices(),
+            g.num_labels(),
+        );
         partition_stream(&mut loom, &stream);
         let stats = loom.stats();
         assert_eq!(stats.buffered, 0);

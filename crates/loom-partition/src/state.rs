@@ -294,7 +294,10 @@ mod tests {
         let a = s.into_assignment();
         assert!(a.is_cut(VertexId(0), VertexId(1)));
         assert!(!a.is_cut(VertexId(0), VertexId(2)));
-        assert!(a.is_cut(VertexId(0), VertexId(3)), "unassigned endpoint counts as cut");
+        assert!(
+            a.is_cut(VertexId(0), VertexId(3)),
+            "unassigned endpoint counts as cut"
+        );
         assert_eq!(a.sizes(), vec![2, 1]);
     }
 

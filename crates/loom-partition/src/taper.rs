@@ -11,7 +11,7 @@
 //! Loom.
 
 use crate::state::Assignment;
-use loom_graph::{LabeledGraph, Label, PartitionId, VertexId, Workload};
+use loom_graph::{Label, LabeledGraph, PartitionId, VertexId, Workload};
 use std::collections::HashMap;
 
 /// Per-label-pair traversal weights derived from a workload: the
@@ -95,8 +95,10 @@ pub fn taper_refine(
     let cap = (balance_cap * n as f64 / k as f64).max(1.0);
 
     // Mutable working copy of the placement.
-    let mut part: Vec<Option<PartitionId>> =
-        graph.vertices().map(|v| assignment.partition_of(v)).collect();
+    let mut part: Vec<Option<PartitionId>> = graph
+        .vertices()
+        .map(|v| assignment.partition_of(v))
+        .collect();
     let mut sizes = vec![0usize; k];
     for p in part.iter().flatten() {
         sizes[p.index()] += 1;
@@ -184,7 +186,17 @@ mod tests {
         let mut g = LabeledGraph::with_anonymous_labels(4);
         let labels = [A, B, C, D, B, A, D, C];
         let v: Vec<_> = labels.iter().map(|&l| g.add_vertex(l)).collect();
-        for &(a, b) in &[(0, 1), (1, 2), (2, 3), (0, 4), (1, 5), (4, 5), (2, 6), (3, 7), (6, 7)] {
+        for &(a, b) in &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (0, 4),
+            (1, 5),
+            (4, 5),
+            (2, 6),
+            (3, 7),
+            (6, 7),
+        ] {
             g.add_edge(v[a], v[b]);
         }
         let mut s = PartitionState::new(2, 8, 1.5);

@@ -99,8 +99,7 @@ pub fn fennel_vertex_stream(
             if (size as f64) >= cap {
                 continue;
             }
-            let score =
-                counts[p.index()] as f64 - alpha * gamma * (size as f64).powf(gamma - 1.0);
+            let score = counts[p.index()] as f64 - alpha * gamma * (size as f64).powf(gamma - 1.0);
             let better = match &best {
                 None => true,
                 Some((bs, bsize, _)) => score > *bs || (score == *bs && size < *bsize),

@@ -91,9 +91,7 @@ impl<'g> QueryExecutor<'g> {
             return 0;
         }
         assert!(root < q.num_vertices(), "root {root} out of range");
-        if self.graph.label(anchor) != q.label(root)
-            || self.graph.degree(anchor) < q.degree(root)
-        {
+        if self.graph.label(anchor) != q.label(root) || self.graph.degree(anchor) < q.degree(root) {
             return 0;
         }
         let order = order_from(q, root);
@@ -166,12 +164,12 @@ impl<'g> QueryExecutor<'g> {
             .find(|&&(w, _)| mapping[w] != VertexId(u32::MAX))
             .map(|&(w, _)| mapping[w]);
         let try_candidate = |cand: VertexId,
-                                 this: &Self,
-                                 mapping: &mut [VertexId],
-                                 used: &mut HashSet<VertexId>,
-                                 seen: &mut HashSet<Vec<EdgeId>>,
-                                 delivered: &mut usize,
-                                 f: &mut F|
+                             this: &Self,
+                             mapping: &mut [VertexId],
+                             used: &mut HashSet<VertexId>,
+                             seen: &mut HashSet<Vec<EdgeId>>,
+                             delivered: &mut usize,
+                             f: &mut F|
          -> bool {
             if used.contains(&cand)
                 || this.graph.label(cand) != q.label(pv)

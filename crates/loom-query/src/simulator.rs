@@ -260,6 +260,9 @@ mod tests {
         });
         assert_eq!(n, 1);
         // Anchoring with the wrong label yields nothing.
-        assert_eq!(ex.for_each_match_from(&q, 0, VertexId(1), usize::MAX, |_| {}), 0);
+        assert_eq!(
+            ex.for_each_match_from(&q, 0, VertexId(1), usize::MAX, |_| {}),
+            0
+        );
     }
 }

@@ -66,10 +66,7 @@ pub fn provgen_workload() -> Workload {
         ),
         // Two-step history walk.
         (
-            PatternGraph::path(
-                "history2",
-                vec![ENTITY, ACTIVITY, ENTITY, ACTIVITY],
-            ),
+            PatternGraph::path("history2", vec![ENTITY, ACTIVITY, ENTITY, ACTIVITY]),
             20.0,
         ),
     ])
@@ -110,26 +107,17 @@ pub fn lubm_workload() -> Workload {
     Workload::new(vec![
         // Grad students of a department's professors (LUBM Q1-ish).
         (
-            PatternGraph::path(
-                "advisees",
-                vec![GRAD, FULL_PROFESSOR, DEPARTMENT],
-            ),
+            PatternGraph::path("advisees", vec![GRAD, FULL_PROFESSOR, DEPARTMENT]),
             30.0,
         ),
         // Publications by a professor of a department (LUBM Q4-ish).
         (
-            PatternGraph::path(
-                "dept-pubs",
-                vec![PUBLICATION, FULL_PROFESSOR, DEPARTMENT],
-            ),
+            PatternGraph::path("dept-pubs", vec![PUBLICATION, FULL_PROFESSOR, DEPARTMENT]),
             22.0,
         ),
         // Students taking a course its teacher teaches (path form).
         (
-            PatternGraph::path(
-                "course-prof",
-                vec![UNDERGRAD, COURSE, FULL_PROFESSOR],
-            ),
+            PatternGraph::path("course-prof", vec![UNDERGRAD, COURSE, FULL_PROFESSOR]),
             25.0,
         ),
         // Co-members of a department.
@@ -140,10 +128,7 @@ pub fn lubm_workload() -> Workload {
         // LUBM Q9: a graduate student taking a course taught by their
         // own advisor — the benchmark's canonical cyclic query.
         (
-            PatternGraph::cycle(
-                "q9-triangle",
-                vec![GRAD, FULL_PROFESSOR, GRAD_COURSE],
-            ),
+            PatternGraph::cycle("q9-triangle", vec![GRAD, FULL_PROFESSOR, GRAD_COURSE]),
             10.0,
         ),
     ])
@@ -173,11 +158,7 @@ mod tests {
             let rand = LabelRandomizer::new(kind.num_labels(), DEFAULT_PRIME, 5);
             let trie = TpsTrie::build(&w, &rand);
             let motifs = trie.motifs(0.4);
-            assert!(
-                !motifs.is_empty(),
-                "{}: no motifs at 40%",
-                kind.name()
-            );
+            assert!(!motifs.is_empty(), "{}: no motifs at 40%", kind.name());
         }
     }
 

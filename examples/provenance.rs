@@ -28,8 +28,12 @@ fn run_loom(
         seed: 11,
         allocation: Default::default(),
     };
-    let mut loom =
-        LoomPartitioner::new(&config, workload, stream.num_vertices(), stream.num_labels());
+    let mut loom = LoomPartitioner::new(
+        &config,
+        workload,
+        stream.num_vertices(),
+        stream.num_labels(),
+    );
     partition_stream(&mut loom, stream);
     let assignment = Box::new(loom).into_assignment();
     let metrics = PartitionMetrics::measure(graph, &assignment);
@@ -49,7 +53,10 @@ fn main() {
     );
 
     // Fig. 9's sweep: ipt vs window size.
-    println!("{:<10} {:>12} {:>10}", "window t", "weighted ipt", "imbalance");
+    println!(
+        "{:<10} {:>12} {:>10}",
+        "window t", "weighted ipt", "imbalance"
+    );
     for divisor in [600usize, 100, 25, 8] {
         let window = (stream.len() / divisor).max(16);
         let (ipt, imb) = run_loom(&graph, &stream, &workload, window);

@@ -12,12 +12,7 @@ use loom_core::partition::{restream_pass, taper_refine, Assignment, TraversalWei
 use loom_core::prelude::*;
 use loom_core::{make_partitioner, ExperimentConfig, System};
 
-fn serve(
-    name: &str,
-    graph: &LabeledGraph,
-    assignment: &Assignment,
-    workload: &Workload,
-) {
+fn serve(name: &str, graph: &LabeledGraph, assignment: &Assignment, workload: &Workload) {
     let report = simulate(
         graph,
         assignment,

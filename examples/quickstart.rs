@@ -26,7 +26,10 @@ fn main() {
         "MusicBrainz-like graph: {} vertices, {} edges, k = {}\n",
         result.num_vertices, result.num_edges, cfg.k
     );
-    println!("{:<8} {:>14} {:>12} {:>11}", "system", "weighted ipt", "% of Hash", "imbalance");
+    println!(
+        "{:<8} {:>14} {:>12} {:>11}",
+        "system", "weighted ipt", "% of Hash", "imbalance"
+    );
     for sys in System::ALL {
         let r = result.system(sys).expect("all systems ran");
         println!(

@@ -36,10 +36,7 @@ fn main() {
             55.0,
         ),
         (
-            PatternGraph::path(
-                "cites",
-                vec![labels::PAPER, labels::PAPER],
-            ),
+            PatternGraph::path("cites", vec![labels::PAPER, labels::PAPER]),
             30.0,
         ),
         (
@@ -56,7 +53,11 @@ fn main() {
     let rand = LabelRandomizer::new(graph.num_labels(), DEFAULT_PRIME, 7);
     let trie = TpsTrie::build(&workload, &rand);
     let motifs = trie.motifs(0.4);
-    println!("TPSTry++: {} nodes, {} motifs at T = 40%:", trie.len(), motifs.len());
+    println!(
+        "TPSTry++: {} nodes, {} motifs at T = 40%:",
+        trie.len(),
+        motifs.len()
+    );
     for (_, m) in motifs.iter() {
         let shape = m
             .example
@@ -69,11 +70,19 @@ fn main() {
                     .join("-")
             })
             .unwrap_or_default();
-        println!("  [{} edges, supp {:.0}%] {}", m.num_edges, m.support * 100.0, shape);
+        println!(
+            "  [{} edges, supp {:.0}%] {}",
+            m.num_edges,
+            m.support * 100.0,
+            shape
+        );
     }
 
     // Partition under every stream order and report query quality.
-    println!("\n{:<14} {:>12} {:>10}", "stream order", "weighted ipt", "imbalance");
+    println!(
+        "\n{:<14} {:>12} {:>10}",
+        "stream order", "weighted ipt", "imbalance"
+    );
     for order in StreamOrder::EVALUATED {
         let stream = GraphStream::from_graph(&graph, order, 7);
         let config = LoomConfig {
@@ -86,8 +95,12 @@ fn main() {
             seed: 7,
             allocation: Default::default(),
         };
-        let mut loom =
-            LoomPartitioner::new(&config, &workload, stream.num_vertices(), stream.num_labels());
+        let mut loom = LoomPartitioner::new(
+            &config,
+            &workload,
+            stream.num_vertices(),
+            stream.num_labels(),
+        );
         partition_stream(&mut loom, &stream);
         let assignment = Box::new(loom).into_assignment();
         let metrics = PartitionMetrics::measure(&graph, &assignment);

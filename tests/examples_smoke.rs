@@ -1,0 +1,52 @@
+//! Smoke test: every runnable example builds and exits cleanly.
+//!
+//! `cargo test` compiles the `examples/` targets but never executes
+//! them; this suite runs each compiled binary end-to-end so a panic,
+//! overflow, or API drift inside an example fails the suite instead of
+//! rotting silently. The examples run at their own (Small) scale —
+//! about two seconds each in debug — inside one `#[test]` so the
+//! harness parallelises it alongside the heavier integration suites.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Directory holding the compiled example binaries: the test binary
+/// lives in `target/<profile>/deps/`, the examples one level up in
+/// `target/<profile>/examples/`.
+fn examples_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("test binary path");
+    exe.parent()
+        .and_then(|deps| deps.parent())
+        .expect("target profile dir")
+        .join("examples")
+}
+
+#[test]
+fn all_examples_run_cleanly() {
+    let dir = examples_dir();
+    for name in [
+        "quickstart",
+        "social_network",
+        "provenance",
+        "query_serving",
+        "window_tuning",
+    ] {
+        let bin = dir.join(name);
+        assert!(
+            bin.exists(),
+            "{} not built at {}; `cargo test` should have compiled all examples",
+            name,
+            bin.display()
+        );
+        let out = Command::new(&bin)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch example {name}: {e}"));
+        assert!(
+            out.status.success(),
+            "example {name} exited with {:?}\nstderr:\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(!out.stdout.is_empty(), "example {name} produced no output");
+    }
+}

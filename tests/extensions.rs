@@ -11,14 +11,7 @@ use loom_core::partition::{
 use loom_core::prelude::*;
 use loom_core::{make_partitioner, ExperimentConfig, System};
 
-fn setup(
-    dataset: DatasetKind,
-) -> (
-    LabeledGraph,
-    Workload,
-    GraphStream,
-    ExperimentConfig,
-) {
+fn setup(dataset: DatasetKind) -> (LabeledGraph, Workload, GraphStream, ExperimentConfig) {
     let mut cfg =
         ExperimentConfig::evaluation_defaults(dataset, Scale::Tiny, StreamOrder::BreadthFirst);
     cfg.k = 4;
@@ -140,8 +133,8 @@ fn vertex_stream_baselines_beat_hash() {
 fn trie_decay_integrates_with_matching() {
     // Decayed-away motifs stop matching: build a matcher from a trie
     // whose old workload was decayed under fresh weight.
-    use loom_core::matcher::{EdgeFate, MotifMatcher};
     use loom_core::graph::{EdgeId, Label, StreamEdge, VertexId};
+    use loom_core::matcher::{EdgeFate, MotifMatcher};
 
     let rand = LabelRandomizer::new(4, DEFAULT_PRIME, 11);
     let mut trie = TpsTrie::build(&Workload::figure1_example(), &rand);

@@ -13,9 +13,7 @@ const D: Label = Label(3);
 /// G of Fig. 1: vertices 1-8 labelled a,b,c,d / b,a,d,c with the
 /// pictured edges.
 fn figure1_graph() -> LabeledGraph {
-    let mut g = LabeledGraph::new(
-        ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect(),
-    );
+    let mut g = LabeledGraph::new(["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect());
     let labels = [A, B, C, D, B, A, D, C];
     let v: Vec<_> = labels.iter().map(|&l| g.add_vertex(l)).collect();
     g.add_edge(v[0], v[1]); // 1-2
@@ -41,7 +39,10 @@ fn section1_motivating_partitionings() {
         let mut s = loom_core::partition::PartitionState::new(2, 8, 1.5);
         for (p, vs) in groups.iter().enumerate() {
             for &v in *vs {
-                s.assign(loom_core::graph::VertexId(v), loom_core::graph::PartitionId(p as u32));
+                s.assign(
+                    loom_core::graph::VertexId(v),
+                    loom_core::graph::PartitionId(p as u32),
+                );
             }
         }
         s.into_assignment()
@@ -85,10 +86,7 @@ fn section2_worked_signature() {
     let ab = loom_core::motif::single_edge_delta(&rand, A, B);
     assert_eq!(ab.to_factor_set().product_u128(), 308);
     // §2.2: a-b-a's signature is 308 * 7 * 4 * 1 = 8624.
-    let aba = loom_core::motif::pattern_signature(
-        &PatternGraph::path("aba", vec![A, B, A]),
-        &rand,
-    );
+    let aba = loom_core::motif::pattern_signature(&PatternGraph::path("aba", vec![A, B, A]), &rand);
     assert_eq!(aba.product_u128(), 8624);
 }
 
@@ -96,9 +94,7 @@ fn section2_worked_signature() {
 fn full_loom_run_on_figure1_workload() {
     // Partition a larger graph made of Fig.-1-style tiles under the
     // Fig. 1 workload and verify Loom finds and exploits the motifs.
-    let mut g = LabeledGraph::new(
-        ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect(),
-    );
+    let mut g = LabeledGraph::new(["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect());
     // 150 disjoint a-b-c paths plus some c-d pendants (non-motif).
     for _ in 0..150 {
         let va = g.add_vertex(A);
@@ -121,8 +117,12 @@ fn full_loom_run_on_figure1_workload() {
         seed: 5,
         allocation: Default::default(),
     };
-    let mut loom =
-        LoomPartitioner::new(&config, &workload, stream.num_vertices(), stream.num_labels());
+    let mut loom = LoomPartitioner::new(
+        &config,
+        &workload,
+        stream.num_vertices(),
+        stream.num_labels(),
+    );
     loom_core::partition::partition_stream(&mut loom, &stream);
     let assignment = Box::new(loom).into_assignment();
     // q2 = a-b-c should execute with almost no ipt: each path tile is a
