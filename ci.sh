@@ -22,4 +22,16 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== benches compile =="
 cargo bench --offline --no-run -q
 
+echo "== stream smoke (10k+ edges over stdin, online engine) =="
+# A small-scale generate emits ~15k edges; stream must ingest them from
+# stdin (never materialised) and print >= 2 mid-stream snapshots.
+SNAPSHOTS=$(./target/release/loom generate --dataset dblp --scale small --seed 7 2>/dev/null \
+  | ./target/release/loom stream --k 4 --system ldg --snapshot-every 5000 2>/dev/null \
+  | { grep -c '^snapshot ' || true; })
+if [ "$SNAPSHOTS" -lt 3 ]; then
+  echo "stream smoke failed: expected >= 3 snapshot lines, got $SNAPSHOTS" >&2
+  exit 1
+fi
+echo "stream smoke: $SNAPSHOTS snapshots"
+
 echo "ci: all green"

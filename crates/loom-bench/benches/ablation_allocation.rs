@@ -12,7 +12,11 @@ use loom_core::partition::{
 use loom_core::prelude::*;
 use loom_core::ExperimentConfig;
 
-fn loom_config(cfg: &ExperimentConfig, policy: AllocationPolicy) -> LoomConfig {
+fn loom_config(
+    cfg: &ExperimentConfig,
+    policy: AllocationPolicy,
+    stream: &GraphStream,
+) -> LoomConfig {
     LoomConfig {
         k: cfg.k,
         window_size: cfg.window_size,
@@ -20,6 +24,7 @@ fn loom_config(cfg: &ExperimentConfig, policy: AllocationPolicy) -> LoomConfig {
         prime: loom_core::motif::DEFAULT_PRIME,
         eo: EoParams::default(),
         capacity_slack: 1.1,
+        capacity: CapacityModel::for_stream(stream),
         seed: cfg.seed,
         allocation: policy,
     }
@@ -37,9 +42,8 @@ fn bench_allocation(c: &mut Criterion) {
         AllocationPolicy::EqualOpportunism,
         AllocationPolicy::NaiveGreedy,
     ] {
-        let lc = loom_config(&cfg, policy);
-        let mut p =
-            LoomPartitioner::new(&lc, &workload, stream.num_vertices(), stream.num_labels());
+        let lc = loom_config(&cfg, policy, &stream);
+        let mut p = LoomPartitioner::new(&lc, &workload, stream.num_labels());
         partition_stream(&mut p, &stream);
         let a = Box::new(p).into_assignment();
         let m = PartitionMetrics::measure(&graph, &a);
@@ -57,18 +61,13 @@ fn bench_allocation(c: &mut Criterion) {
         AllocationPolicy::EqualOpportunism,
         AllocationPolicy::NaiveGreedy,
     ] {
-        let lc = loom_config(&cfg, policy);
+        let lc = loom_config(&cfg, policy, &stream);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{policy:?}")),
             &lc,
             |b, lc| {
                 b.iter(|| {
-                    let mut p = LoomPartitioner::new(
-                        lc,
-                        &workload,
-                        stream.num_vertices(),
-                        stream.num_labels(),
-                    );
+                    let mut p = LoomPartitioner::new(lc, &workload, stream.num_labels());
                     partition_stream(&mut p, &stream);
                     p.stats().auctions
                 })

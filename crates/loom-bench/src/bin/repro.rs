@@ -1,12 +1,17 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations]
+//! repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations|online]
 //!       [--scale tiny|small|medium|large] [--seed N] [--jsonl PATH]
+//!       [--bench-json PATH|none]
 //! ```
 //!
 //! Prints paper-style markdown tables to stdout; with `--jsonl` also
-//! writes machine-readable result rows for the ipt experiments.
+//! writes machine-readable result rows for the ipt experiments. Every
+//! run additionally writes a `BENCH_results.json` summary (per-system
+//! ms/10k-edges and weighted ipt averaged over the run's ipt cells) so
+//! the perf trajectory is tracked PR over PR — `--bench-json none`
+//! suppresses it.
 
 use loom_bench::suites::{self, SuiteOptions};
 use loom_core::graph::Scale;
@@ -16,10 +21,11 @@ struct Args {
     experiment: String,
     options: SuiteOptions,
     jsonl: Option<String>,
+    bench_json: Option<String>,
 }
 
 /// The experiment names `--experiment` accepts.
-const EXPERIMENTS: [&str; 8] = [
+const EXPERIMENTS: [&str; 9] = [
     "all",
     "table1",
     "fig4",
@@ -28,12 +34,14 @@ const EXPERIMENTS: [&str; 8] = [
     "fig9",
     "table2",
     "ablations",
+    "online",
 ];
 
 fn parse_args_from(argv: &[String]) -> Result<Args, String> {
     let mut experiment = "all".to_string();
     let mut options = SuiteOptions::default();
     let mut jsonl = None;
+    let mut bench_json = Some("BENCH_results.json".to_string());
     let mut i = 0;
     while i < argv.len() {
         let take_value = |i: &mut usize| -> Result<String, String> {
@@ -59,9 +67,13 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("bad seed: {e}"))?
             }
             "--jsonl" => jsonl = Some(take_value(&mut i)?),
+            "--bench-json" => {
+                let v = take_value(&mut i)?;
+                bench_json = if v == "none" { None } else { Some(v) };
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations]\n      [--scale tiny|small|medium|large] [--seed N] [--jsonl PATH]"
+                    "repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations|online]\n      [--scale tiny|small|medium|large] [--seed N] [--jsonl PATH]\n      [--bench-json PATH|none]"
                 );
                 std::process::exit(0);
             }
@@ -81,6 +93,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
         experiment,
         options,
         jsonl,
+        bench_json,
     })
 }
 
@@ -111,6 +124,7 @@ fn run_suite(
         "fig9" => suites::fig9(opts),
         "table2" => suites::table2(opts),
         "ablations" => suites::ablations(opts),
+        "online" => suites::online(opts),
         other => unreachable!("'{other}' is in EXPERIMENTS but has no suite"),
     }
 }
@@ -131,6 +145,7 @@ fn main() {
     );
 
     let mut all_results = Vec::new();
+    let mut suites_run: Vec<&str> = Vec::new();
     // Dispatch is driven by the same EXPERIMENTS table that validates
     // `--experiment`, so the two cannot drift apart silently: a name
     // added to the table without a match arm below panics the first
@@ -141,6 +156,7 @@ fn main() {
             continue;
         }
         let text = run_suite(name, &opts, &mut all_results);
+        suites_run.push(name);
         println!("{text}\n");
     }
 
@@ -149,6 +165,13 @@ fn main() {
         f.write_all(suites::jsonl(&all_results).as_bytes())
             .expect("write jsonl");
         eprintln!("wrote {} result rows to {path}", all_results.len() * 4);
+    }
+
+    if let Some(path) = args.bench_json {
+        let summary = suites::bench_summary(&suites_run, &opts, &all_results);
+        let mut f = std::fs::File::create(&path).expect("create bench json");
+        f.write_all(summary.as_bytes()).expect("write bench json");
+        eprintln!("wrote bench summary to {path}");
     }
 }
 

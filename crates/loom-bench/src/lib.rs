@@ -12,10 +12,12 @@
 //! | Fig. 9 (window-size sweep) | [`suites::fig9`] | `fig9_window` |
 //! | §5.2 imbalance note | folded into [`suites::fig7`] | — |
 //! | Ablations (DESIGN.md §7) | [`suites::ablations`] | `ablation_allocation` |
+//! | Online vs prescient (DESIGN.md §8) | [`suites::online`] | — |
 //!
-//! The `repro` binary prints the suites; the criterion benches measure
-//! the hot paths behind them.
+//! The `repro` binary prints the suites and writes a machine-readable
+//! `BENCH_results.json` summary (per-system ms/10k-edges and weighted
+//! ipt); the criterion benches measure the hot paths behind them.
 
 pub mod suites;
 
-pub use suites::{ablations, fig4, fig7, fig8, fig9, table1, table2};
+pub use suites::{ablations, bench_summary, fig4, fig7, fig8, fig9, online, table1, table2};

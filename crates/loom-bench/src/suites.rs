@@ -5,7 +5,8 @@ use loom_core::graph::datasets;
 use loom_core::graph::{DatasetKind, GraphStream, Scale, StreamOrder};
 use loom_core::motif::collision;
 use loom_core::partition::{
-    partition_stream, AllocationPolicy, EoParams, LoomConfig, LoomPartitioner, PartitionMetrics,
+    partition_stream, AllocationPolicy, CapacityModel, EoParams, LoomConfig, LoomPartitioner,
+    PartitionMetrics,
 };
 use loom_core::prelude::*;
 use loom_core::report::{markdown_table, pct, rows};
@@ -315,15 +316,11 @@ pub fn ablations(opts: &SuiteOptions) -> String {
                 prime: loom_core::motif::DEFAULT_PRIME,
                 eo: EoParams::default(),
                 capacity_slack: 1.1,
+                capacity: CapacityModel::for_stream(&stream),
                 seed: cfg.seed,
                 allocation: policy,
             };
-            let mut p = LoomPartitioner::new(
-                &loom_cfg,
-                &workload,
-                stream.num_vertices(),
-                stream.num_labels(),
-            );
+            let mut p = LoomPartitioner::new(&loom_cfg, &workload, stream.num_labels());
             partition_stream(&mut p, &stream);
             let a = Box::new(p).into_assignment();
             let m = PartitionMetrics::measure(&graph, &a);
@@ -428,6 +425,77 @@ fn measure_product_collisions(
     fp
 }
 
+/// Online-vs-prescient suite (new with the engine refactor): the same
+/// systems over the same streams, once with the paper's prescient
+/// capacities (`C = ν·n/k` fixed from the known extent) and once fully
+/// online ([`CapacityModel::Adaptive`] — unknown `|V|`, `C` tracks the
+/// running count). Measures what prescience is actually worth.
+pub fn online(opts: &SuiteOptions) -> String {
+    use loom_core::engine::{EngineConfig, OnlineEngine};
+    use loom_core::pipeline::make_partitioner_with_capacity;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "## Online vs prescient — ipt (weighted) and imbalance, k = 8, breadth-first\n"
+    )
+    .unwrap();
+    let mut body = Vec::new();
+    for dataset in DatasetKind::IPT_EVALUATED {
+        let cfg = cfg_for(opts, dataset, StreamOrder::BreadthFirst);
+        let graph = datasets::generate(dataset, opts.scale, opts.seed);
+        let workload = workload_for(dataset);
+        let stream = GraphStream::from_graph(&graph, cfg.order, cfg.seed);
+        let mut row = vec![dataset.name().to_string()];
+        for sys in [System::Ldg, System::Fennel, System::Loom] {
+            for capacity in [
+                loom_core::partition::CapacityModel::for_stream(&stream),
+                loom_core::partition::CapacityModel::Adaptive,
+            ] {
+                let p = make_partitioner_with_capacity(
+                    sys,
+                    &cfg,
+                    capacity,
+                    stream.num_labels(),
+                    &workload,
+                );
+                let mut engine = OnlineEngine::new(
+                    p,
+                    EngineConfig {
+                        snapshot_every: 0,
+                        track_cuts: false,
+                    },
+                );
+                engine.run(&mut stream.source(), None, |_| {});
+                engine.finish();
+                let a = engine.into_assignment();
+                let m = PartitionMetrics::measure(&graph, &a);
+                let r = count_ipt(&graph, &a, &workload, cfg.limit_per_query);
+                row.push(format!(
+                    "{:.0} / {}",
+                    r.weighted_ipt,
+                    pct(m.imbalance * 100.0)
+                ));
+            }
+        }
+        body.push(row);
+    }
+    out.push_str(&markdown_table(
+        &[
+            "dataset",
+            "LDG prescient",
+            "LDG online",
+            "Fennel prescient",
+            "Fennel online",
+            "Loom prescient",
+            "Loom online",
+        ],
+        &body,
+    ));
+    out.push_str("\n(cells: weighted ipt / vertex imbalance)\n");
+    out
+}
+
 /// Machine-readable rows of a set of experiment results, as JSON lines.
 pub fn jsonl(results: &[loom_core::ExperimentResult]) -> String {
     let mut out = String::new();
@@ -437,6 +505,54 @@ pub fn jsonl(results: &[loom_core::ExperimentResult]) -> String {
             out.push('\n');
         }
     }
+    out
+}
+
+/// Machine-readable run summary for `BENCH_results.json`: per-system
+/// mean throughput (ms/10k edges) and weighted ipt across every ipt
+/// experiment cell the run produced, keyed by the suites that ran.
+/// Tracks the perf trajectory PR over PR.
+pub fn bench_summary(
+    suites_run: &[&str],
+    opts: &SuiteOptions,
+    results: &[loom_core::ExperimentResult],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n  \"seed\": {},\n  \"suites\": [{}],\n  \"cells\": {},\n",
+        opts.scale.name(),
+        opts.seed,
+        suites_run
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        results.len(),
+    ));
+    out.push_str("  \"systems\": {\n");
+    let mut first = true;
+    for sys in System::ALL {
+        let rows: Vec<&loom_core::SystemResult> =
+            results.iter().filter_map(|r| r.system(sys)).collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let n = rows.len() as f64;
+        let ms = rows.iter().map(|s| s.ms_per_10k_edges()).sum::<f64>() / n;
+        let ipt = rows.iter().map(|s| s.weighted_ipt).sum::<f64>() / n;
+        let imb = rows.iter().map(|s| s.metrics.imbalance).sum::<f64>() / n;
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "    \"{}\": {{\"ms_per_10k_edges\": {ms:.3}, \"weighted_ipt\": {ipt:.4}, \"imbalance\": {imb:.5}, \"cells\": {}}}",
+            sys.name(),
+            rows.len(),
+        ));
+    }
+    out.push_str("\n  }\n}\n");
     out
 }
 

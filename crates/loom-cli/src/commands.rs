@@ -4,8 +4,9 @@ use crate::args::Args;
 use loom_core::graph::io;
 use loom_core::graph::{datasets, DatasetKind, GraphStream, LabeledGraph, Scale, StreamOrder};
 use loom_core::partition::{
-    partition_stream, Assignment, EoParams, FennelParams, FennelPartitioner, HashPartitioner,
-    LdgPartitioner, LoomConfig, LoomPartitioner, PartitionMetrics, StreamPartitioner,
+    partition_stream, Assignment, CapacityModel, EoParams, FennelParams, FennelPartitioner,
+    HashPartitioner, LdgPartitioner, LoomConfig, LoomPartitioner, PartitionMetrics,
+    StreamPartitioner,
 };
 use loom_core::prelude::*;
 use std::error::Error;
@@ -26,6 +27,13 @@ commands:
              [--window N] [--threshold 0.4] [--seed N] [--out FILE]
              [--restream N] [--refine N]
   evaluate   --graph FILE --workload FILE --assignment FILE [--limit N]
+  stream     --k N [--input FILE|-] [--source text|synthetic]
+             [--system hash|ldg|fennel|loom] [--workload FILE]
+             [--snapshot-every N] [--max-edges N] [--window N]
+             [--threshold 0.4] [--seed N] [--labels N]
+             [--probe-limit N (enables the exact mid-stream ipt probe;
+              materialises the feed — avoid on unbounded streams)]
+             [--out FILE]
   help";
 
 type Result<T> = std::result::Result<T, Box<dyn Error>>;
@@ -38,6 +46,7 @@ pub fn run(args: &Args) -> Result<()> {
         "motifs" => motifs(args),
         "partition" => partition(args),
         "evaluate" => evaluate(args),
+        "stream" => stream_cmd(args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -196,19 +205,15 @@ fn partition(args: &Args) -> Result<()> {
 
     let stream = GraphStream::from_graph(&graph, order, seed);
     let mut assignment = match system.to_ascii_lowercase().as_str() {
-        "hash" => run_partitioner_boxed(
-            Box::new(HashPartitioner::new(k, graph.num_vertices(), seed)),
-            &stream,
-        ),
+        "hash" => run_partitioner_boxed(Box::new(HashPartitioner::new(k, seed)), &stream),
         "ldg" => run_partitioner_boxed(
-            Box::new(LdgPartitioner::new(k, graph.num_vertices())),
+            Box::new(LdgPartitioner::new(k, CapacityModel::for_stream(&stream))),
             &stream,
         ),
         "fennel" => run_partitioner_boxed(
             Box::new(FennelPartitioner::new(
                 k,
-                graph.num_vertices(),
-                graph.num_edges(),
+                CapacityModel::for_stream(&stream),
                 FennelParams::default(),
             )),
             &stream,
@@ -224,11 +229,11 @@ fn partition(args: &Args) -> Result<()> {
                 prime: loom_core::motif::DEFAULT_PRIME,
                 eo: EoParams::default(),
                 capacity_slack: 1.1,
+                capacity: CapacityModel::for_stream(&stream),
                 seed,
                 allocation: Default::default(),
             };
-            let loom =
-                LoomPartitioner::new(&config, &workload, graph.num_vertices(), graph.num_labels());
+            let loom = LoomPartitioner::new(&config, &workload, graph.num_labels());
             run_partitioner_boxed(Box::new(loom), &stream)
         }
         other => return Err(format!("unknown system '{other}'").into()),
@@ -307,12 +312,241 @@ fn read_assignment<R: BufRead>(r: R, num_vertices: usize) -> Result<Assignment> 
         max_p = max_p.max(p);
         rows.push((v, p));
     }
-    let mut state =
-        loom_core::partition::PartitionState::new((max_p + 1).max(1) as usize, num_vertices, 2.0);
+    let mut state = loom_core::partition::PartitionState::prescient(
+        (max_p + 1).max(1) as usize,
+        num_vertices,
+        2.0,
+    );
     for (v, p) in rows {
         state.assign(VertexId(v), PartitionId(p));
     }
     Ok(state.into_assignment())
+}
+
+/// `loom stream` — the truly online path: ingest a never-materialised
+/// edge feed (stdin/file text records, or the unbounded synthetic
+/// generator) through the [`OnlineEngine`] with adaptive capacity,
+/// printing a snapshot line every `--snapshot-every` edges.
+fn stream_cmd(args: &Args) -> Result<()> {
+    use loom_core::engine::{EngineConfig, OnlineEngine};
+    use loom_core::graph::{EdgeSource, SyntheticEdgeSource, TextEdgeSource};
+
+    let k = args.parsed_or("k", 0usize)?;
+    if k == 0 {
+        return Err("--k is required and must be positive".into());
+    }
+    let system = args.optional("system").unwrap_or_else(|| "ldg".into());
+    let source_kind = args.optional("source").unwrap_or_else(|| "text".into());
+    let input = args.optional("input").unwrap_or_else(|| "-".into());
+    let snapshot_every = args.parsed_or("snapshot-every", 5_000usize)?;
+    // 0 keeps the engine's documented meaning: no periodic snapshots
+    // (the final one still prints).
+    let max_edges = args.parsed_or("max-edges", 0u64)?;
+    let seed = args.parsed_or("seed", 42u64)?;
+    let window = args.parsed_or("window", 1_024usize)?;
+    let threshold = args.parsed_or("threshold", 0.4f64)?;
+    // The exact-ipt probe materialises the ingested subgraph and runs
+    // count_ipt at every snapshot — quadratic on long feeds — so it is
+    // strictly opt-in: give --probe-limit to enable it.
+    let probe_limit = match args.optional("probe-limit") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|e| format!("bad value for --probe-limit: {e}"))?,
+        ),
+    };
+    let labels_flag = args.parsed_or("labels", 0usize)?;
+    let workload_path = args.optional("workload");
+    let out = args.optional("out");
+    args.finish()?;
+
+    // Workload (needed for --system loom; enables the ipt probe
+    // otherwise). The header names carry the full label alphabet — a
+    // text feed declares labels lazily, so Loom's randomizer cannot
+    // wait for the source. `--labels` overrides for feeds whose
+    // alphabet outgrows the workload header.
+    let workload_and_names = match &workload_path {
+        Some(path) => Some(read_workload_file(path)?),
+        None => None,
+    };
+    let num_labels = labels_flag
+        .max(
+            workload_and_names
+                .as_ref()
+                .map(|(w, names)| workload_max_label(w).max(names.len()))
+                .unwrap_or(0),
+        )
+        .max(4);
+    let workload = workload_and_names.map(|(w, _)| w);
+
+    // The source: a line-oriented text feed (never materialised) or
+    // the infinite generator. Boxed so the engine loop is shared.
+    let mut source: Box<dyn EdgeSource> = match source_kind.as_str() {
+        "text" => {
+            if input == "-" {
+                Box::new(TextEdgeSource::new(BufReader::new(std::io::stdin())))
+            } else {
+                Box::new(TextEdgeSource::new(BufReader::new(File::open(&input)?)))
+            }
+        }
+        "synthetic" => {
+            if max_edges == 0 {
+                return Err("--source synthetic is infinite; give --max-edges".into());
+            }
+            Box::new(SyntheticEdgeSource::new(seed, num_labels))
+        }
+        other => return Err(format!("unknown source '{other}'").into()),
+    };
+    // Loom's signature randomizer is sized to `num_labels` upfront; a
+    // feed whose labels outgrow the declared alphabet must degrade
+    // (clamp to label 0), not crash a long-running ingest.
+    if system.eq_ignore_ascii_case("loom") {
+        source = Box::new(ClampLabels {
+            inner: source,
+            alphabet: num_labels,
+        });
+    }
+
+    let partitioner: Box<dyn StreamPartitioner> = match system.to_ascii_lowercase().as_str() {
+        "hash" => Box::new(HashPartitioner::new(k, seed)),
+        "ldg" => Box::new(LdgPartitioner::new(k, CapacityModel::Adaptive)),
+        "fennel" => Box::new(FennelPartitioner::new(
+            k,
+            CapacityModel::Adaptive,
+            FennelParams::default(),
+        )),
+        "loom" => {
+            let w = workload
+                .as_ref()
+                .ok_or("--system loom needs --workload (the query patterns to optimise for)")?;
+            let config = LoomConfig {
+                k,
+                window_size: window,
+                support_threshold: threshold,
+                prime: loom_core::motif::DEFAULT_PRIME,
+                eo: EoParams::default(),
+                capacity_slack: 1.1,
+                capacity: CapacityModel::Adaptive,
+                seed,
+                allocation: Default::default(),
+            };
+            Box::new(LoomPartitioner::new(&config, w, num_labels))
+        }
+        other => return Err(format!("unknown system '{other}'").into()),
+    };
+
+    let mut engine = OnlineEngine::new(
+        partitioner,
+        EngineConfig {
+            snapshot_every,
+            ..EngineConfig::default()
+        },
+    );
+    if let Some(limit) = probe_limit {
+        let w = workload
+            .clone()
+            .ok_or("--probe-limit needs --workload (the queries to measure ipt for)")?;
+        engine = engine.with_ipt_probe(w, limit);
+    }
+
+    let budget = if max_edges == 0 {
+        None
+    } else {
+        Some(max_edges)
+    };
+    let mut last_printed: Option<(u64, usize, u64, u64)> = None;
+    engine.run(source.as_mut(), budget, |s| {
+        last_printed = Some((s.edges, s.vertices, s.cut_edges, s.resolved_edges));
+        print_snapshot(s);
+    });
+    let fin = engine.finish();
+    // When ingest ends exactly on the cadence, finish() can repeat the
+    // just-printed data point (unless the flush changed it, e.g. Loom
+    // draining its window) — don't print the same line twice.
+    if last_printed != Some((fin.edges, fin.vertices, fin.cut_edges, fin.resolved_edges)) {
+        print_snapshot(&fin);
+    }
+    eprintln!(
+        "{} over {} edges (online, adaptive capacity): {} vertices, cut {:.1}%, imbalance {:.1}%",
+        engine.partitioner_name(),
+        fin.edges,
+        fin.vertices,
+        fin.cut_fraction() * 100.0,
+        fin.imbalance * 100.0,
+    );
+
+    if let Some(path) = out {
+        let assignment = engine.into_assignment();
+        let mut w = out_writer(Some(path))?;
+        write_assignment_rows(&assignment, &mut w)?;
+    }
+    Ok(())
+}
+
+/// One human-and-awk-friendly snapshot line on stdout.
+fn print_snapshot(s: &loom_core::engine::Snapshot) {
+    let ipt = match s.weighted_ipt {
+        Some(v) => format!("  ipt {v:.1}"),
+        None => String::new(),
+    };
+    println!(
+        "snapshot {:>4}  edges {:>10}  vertices {:>9}  capacity {:>12.1}  imbalance {:>5.1}%  cut {:>5.1}% ({}/{}){}",
+        s.seq,
+        s.edges,
+        s.vertices,
+        s.capacity,
+        s.imbalance * 100.0,
+        s.cut_fraction() * 100.0,
+        s.cut_edges,
+        s.resolved_edges,
+        ipt,
+    );
+}
+
+/// Source adapter clamping out-of-alphabet labels to label 0 (see
+/// `stream_cmd`: Loom's randomizer is sized upfront).
+struct ClampLabels {
+    inner: Box<dyn loom_core::graph::EdgeSource>,
+    alphabet: usize,
+}
+
+impl loom_core::graph::EdgeSource for ClampLabels {
+    fn next_edge(&mut self) -> Option<loom_core::graph::StreamEdge> {
+        let mut e = self.inner.next_edge()?;
+        if e.src_label.index() >= self.alphabet {
+            e.src_label = loom_core::graph::Label(0);
+        }
+        if e.dst_label.index() >= self.alphabet {
+            e.dst_label = loom_core::graph::Label(0);
+        }
+        Some(e)
+    }
+
+    fn extent(&self) -> loom_core::graph::SourceExtent {
+        self.inner.extent()
+    }
+
+    fn num_labels(&self) -> usize {
+        self.alphabet
+    }
+}
+
+/// Smallest alphabet size covering every label a workload mentions.
+fn workload_max_label(w: &Workload) -> usize {
+    w.queries()
+        .iter()
+        .flat_map(|(q, _)| q.labels().iter().map(|l| l.index() + 1))
+        .max()
+        .unwrap_or(1)
+}
+
+/// Write `vertex<TAB>partition` rows without a graph (the online path
+/// has none): emit every assigned vertex id in order.
+fn write_assignment_rows<W: Write>(a: &Assignment, w: &mut W) -> Result<()> {
+    for (v, p) in a.iter() {
+        writeln!(w, "{v}\t{p}")?;
+    }
+    Ok(())
 }
 
 fn evaluate(args: &Args) -> Result<()> {
@@ -370,7 +604,7 @@ mod tests {
         for _ in 0..4 {
             g.add_vertex(Label(0));
         }
-        let mut s = loom_core::partition::PartitionState::new(2, 4, 2.0);
+        let mut s = loom_core::partition::PartitionState::prescient(2, 4, 2.0);
         s.assign(VertexId(0), PartitionId(0));
         s.assign(VertexId(1), PartitionId(1));
         s.assign(VertexId(3), PartitionId(1));

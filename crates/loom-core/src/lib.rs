@@ -24,10 +24,12 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod pipeline;
 pub mod report;
 
 pub use config::{ExperimentConfig, System};
+pub use engine::{EngineConfig, OnlineEngine, Snapshot};
 pub use pipeline::{
     make_partitioner, partition_timed, run_experiment, run_experiment_with, ExperimentResult,
     SystemResult,
@@ -42,14 +44,17 @@ pub use loom_query as query;
 /// Everything a typical caller needs, in one import.
 pub mod prelude {
     pub use crate::config::{ExperimentConfig, System};
+    pub use crate::engine::{EngineConfig, OnlineEngine, Snapshot};
     pub use crate::pipeline::{run_experiment, run_experiment_with, ExperimentResult};
     pub use loom_graph::{
-        DatasetKind, GraphStream, Label, LabeledGraph, PatternGraph, Scale, StreamOrder, Workload,
+        DatasetKind, EdgeSource, GraphStream, Label, LabeledGraph, PatternGraph, Scale,
+        StreamOrder, SyntheticEdgeSource, TextEdgeSource, Workload,
     };
     pub use loom_motif::{LabelRandomizer, MotifIndex, TpsTrie, DEFAULT_PRIME};
     pub use loom_partition::{
-        taper_refine, Assignment, FennelPartitioner, HashPartitioner, LdgPartitioner, LoomConfig,
-        LoomPartitioner, PartitionMetrics, StreamPartitioner, TraversalWeights,
+        taper_refine, Assignment, CapacityModel, FennelPartitioner, HashPartitioner,
+        LdgPartitioner, LoomConfig, LoomPartitioner, PartitionMetrics, StreamPartitioner,
+        TraversalWeights,
     };
     pub use loom_query::{count_ipt, simulate, workload_for, QueryExecutor, SimulationConfig};
 }

@@ -11,6 +11,8 @@
 //! - [`PatternGraph`]: the small query graphs `q`;
 //! - [`GraphStream`] and [`StreamOrder`]: materialised edge streams in
 //!   the three arrival orders of the evaluation (§5.1);
+//! - [`EdgeSource`]: source-agnostic ingest — replayed streams, text
+//!   feeds (stdin), or unbounded synthetic generators;
 //! - [`generators`]: synthetic stand-ins for the five datasets of
 //!   Table 1, preserving label alphabets and degree skew;
 //! - [`datasets`]: named `(kind, scale)` presets used by every
@@ -23,6 +25,7 @@ pub mod generators;
 pub mod io;
 mod labeled;
 mod pattern;
+mod source;
 mod stream;
 mod types;
 mod workload;
@@ -30,6 +33,7 @@ mod workload;
 pub use datasets::{DatasetKind, Scale};
 pub use labeled::LabeledGraph;
 pub use pattern::PatternGraph;
+pub use source::{EdgeSource, SourceExtent, StreamCursor, SyntheticEdgeSource, TextEdgeSource};
 pub use stream::{GraphStream, StreamEdge, StreamOrder};
 pub use types::{EdgeId, Label, PartitionId, VertexId};
 pub use workload::Workload;

@@ -41,7 +41,7 @@ pub enum EdgeFate {
 /// quality gain — the matches skipped are the *oldest* at the hub,
 /// which are about to leave the window anyway. The paper does not
 /// discuss this case; the cap is our bounded-work deviation (see
-/// DESIGN.md) and keeps Loom's slowdown factor in Table 2's 1.5-7x
+/// DESIGN.md §5) and keeps Loom's slowdown factor in Table 2's 1.5-7x
 /// band.
 const MAX_MATCHES_PER_ENDPOINT: usize = 48;
 

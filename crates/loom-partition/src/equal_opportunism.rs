@@ -163,7 +163,7 @@ mod tests {
     /// α = 2/3 ("given α = 1.5" — the divisor) → l(S1) = 1/2.
     #[test]
     fn ration_matches_paper_example() {
-        let mut state = PartitionState::new(2, 1000, 1.5);
+        let mut state = PartitionState::prescient(2, 1000, 1.5);
         // S0: 4 vertices, S1: 3 vertices -> S0 is 33.3% larger.
         for i in 0..4 {
             state.assign(VertexId(i), PartitionId(0));
@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn ration_zero_beyond_b() {
-        let mut state = PartitionState::new(2, 100, 1.1);
+        let mut state = PartitionState::prescient(2, 100, 1.1);
         for i in 0..30 {
             state.assign(VertexId(i), PartitionId(0));
         }
@@ -195,7 +195,7 @@ mod tests {
 
     #[test]
     fn bid_counts_resident_vertices() {
-        let mut state = PartitionState::new(2, 100, 1.0); // C = 50
+        let mut state = PartitionState::prescient(2, 100, 1.0); // C = 50
         state.assign(VertexId(1), PartitionId(0));
         state.assign(VertexId(2), PartitionId(0));
         let m = am(vec![1, 2, 3], 0.7, 2);
@@ -207,7 +207,7 @@ mod tests {
 
     #[test]
     fn auction_prefers_partition_with_residents() {
-        let mut state = PartitionState::new(2, 100, 1.1);
+        let mut state = PartitionState::prescient(2, 100, 1.1);
         state.assign(VertexId(1), PartitionId(1));
         // Keep sizes equal-ish so rations don't zero anything out.
         state.assign(VertexId(50), PartitionId(0));
@@ -220,7 +220,7 @@ mod tests {
 
     #[test]
     fn auction_fallback_when_nothing_placed() {
-        let state = PartitionState::new(3, 100, 1.1);
+        let state = PartitionState::prescient(3, 100, 1.1);
         let matches = vec![am(vec![5, 6], 1.0, 1)];
         let out = auction(&state, &EoParams::default(), &matches);
         assert_eq!(out.winner, PartitionId(0), "least loaded, lowest id");
@@ -232,7 +232,7 @@ mod tests {
     fn oversized_partition_cannot_hoard() {
         // The paper's scenario: the large S1 wins (only it has the
         // vertices) but its ration halves the take.
-        let mut state = PartitionState::new(2, 1000, 1.5);
+        let mut state = PartitionState::prescient(2, 1000, 1.5);
         for i in 0..4 {
             state.assign(VertexId(i), PartitionId(0));
         }

@@ -6,7 +6,7 @@
 //! balance cap `|S_i| ≤ ν n / k`. The evaluation uses `γ = 1.5` and
 //! `ν = 1.1`, exactly as suggested by Tsourakakis et al. (§5.1, §4).
 
-use crate::state::{Assignment, OnlineAdjacency, PartitionState};
+use crate::state::{Assignment, CapacityModel, OnlineAdjacency, PartitionState};
 use crate::traits::StreamPartitioner;
 use loom_graph::{PartitionId, StreamEdge, VertexId};
 
@@ -34,35 +34,70 @@ impl Default for FennelParams {
 pub struct FennelPartitioner {
     state: PartitionState,
     adjacency: OnlineAdjacency,
-    alpha: f64,
     gamma: f64,
-    cap: f64,
+    nu: f64,
+    /// `(α, cap)` fixed upfront in prescient mode; recomputed from the
+    /// running totals each placement in adaptive mode.
+    fixed: Option<(f64, f64)>,
+    edges_seen: usize,
 }
 
 impl FennelPartitioner {
-    /// Build for `k` partitions. Fennel's α needs the expected totals
-    /// `n` (vertices) and `m` (edges) of the stream, which the
-    /// streaming model assumes known (the stream header carries them).
-    pub fn new(k: usize, num_vertices: usize, num_edges: usize, params: FennelParams) -> Self {
-        let n = num_vertices.max(1) as f64;
-        let m = num_edges.max(1) as f64;
+    /// Build for `k` partitions. Fennel's α is defined over the stream
+    /// totals `n` (vertices) and `m` (edges): in prescient mode they
+    /// come from the [`CapacityModel`]; in adaptive mode both are the
+    /// *running* counts, so `α_t = m_t · k^(γ-1) / n_t^γ` and the hard
+    /// cap `ν · n_t / k` track the stream as it unfolds.
+    pub fn new(k: usize, capacity: CapacityModel, params: FennelParams) -> Self {
         let kf = k as f64;
-        let alpha = m * kf.powf(params.gamma - 1.0) / n.powf(params.gamma);
+        let (fixed, adjacency) = match capacity {
+            CapacityModel::Prescient {
+                num_vertices,
+                num_edges,
+            } => {
+                let n = num_vertices.max(1) as f64;
+                let m = num_edges.max(1) as f64;
+                let alpha = m * kf.powf(params.gamma - 1.0) / n.powf(params.gamma);
+                (
+                    Some((alpha, params.nu * n / kf)),
+                    OnlineAdjacency::with_capacity(num_vertices),
+                )
+            }
+            CapacityModel::Adaptive => (None, OnlineAdjacency::new()),
+        };
         FennelPartitioner {
-            state: PartitionState::new(k, num_vertices, params.nu),
-            adjacency: OnlineAdjacency::new(num_vertices),
-            alpha,
+            state: PartitionState::new(k, capacity, params.nu),
+            adjacency,
             gamma: params.gamma,
-            cap: params.nu * n / kf,
+            nu: params.nu,
+            fixed,
+            edges_seen: 0,
         }
     }
 
-    /// The interpolated-cost α in use.
+    /// The interpolated-cost α in use (at the current stream position,
+    /// in adaptive mode).
     pub fn alpha(&self) -> f64 {
-        self.alpha
+        self.alpha_and_cap().0
+    }
+
+    fn alpha_and_cap(&self) -> (f64, f64) {
+        match self.fixed {
+            Some(pair) => pair,
+            None => {
+                let kf = self.state.k() as f64;
+                let n = self.state.assigned_count().max(1) as f64;
+                let m = self.edges_seen.max(1) as f64;
+                (
+                    m * kf.powf(self.gamma - 1.0) / n.powf(self.gamma),
+                    self.nu * n / kf,
+                )
+            }
+        }
     }
 
     fn choose(&self, v: VertexId) -> PartitionId {
+        let (alpha, cap) = self.alpha_and_cap();
         let mut counts = vec![0usize; self.state.k()];
         for &w in self.adjacency.neighbors(v) {
             if let Some(p) = self.state.partition_of(w) {
@@ -72,11 +107,11 @@ impl FennelPartitioner {
         let mut best: Option<(f64, usize, PartitionId)> = None;
         for p in self.state.partitions() {
             let size = self.state.size(p);
-            if (size as f64) >= self.cap {
+            if (size as f64) >= cap {
                 continue; // hard balance constraint
             }
             let score = counts[p.index()] as f64
-                - self.alpha * self.gamma * (size as f64).powf(self.gamma - 1.0);
+                - alpha * self.gamma * (size as f64).powf(self.gamma - 1.0);
             let better = match &best {
                 None => true,
                 Some((bs, bsize, _)) => score > *bs || (score == *bs && size < *bsize),
@@ -97,6 +132,7 @@ impl StreamPartitioner for FennelPartitioner {
     }
 
     fn on_edge(&mut self, e: &StreamEdge) {
+        self.edges_seen += 1;
         self.adjacency.add(e);
         for v in [e.src, e.dst] {
             if !self.state.is_assigned(v) {
@@ -134,14 +170,22 @@ mod tests {
 
     #[test]
     fn alpha_matches_formula() {
-        let f = FennelPartitioner::new(4, 1000, 5000, FennelParams::default());
+        let f = FennelPartitioner::new(
+            4,
+            CapacityModel::prescient(1000, 5000),
+            FennelParams::default(),
+        );
         let expect = 5000.0 * 2.0 / 1000.0_f64.powf(1.5);
         assert!((f.alpha() - expect).abs() < 1e-12);
     }
 
     #[test]
     fn co_locates_a_community() {
-        let mut f = FennelPartitioner::new(2, 100, 200, FennelParams::default());
+        let mut f = FennelPartitioner::new(
+            2,
+            CapacityModel::prescient(100, 200),
+            FennelParams::default(),
+        );
         // A clique on 0-4 arriving contiguously should co-locate.
         let mut id = 0;
         for i in 0..5u32 {
@@ -158,7 +202,8 @@ mod tests {
 
     #[test]
     fn hard_cap_respected() {
-        let mut f = FennelPartitioner::new(2, 20, 40, FennelParams::default());
+        let mut f =
+            FennelPartitioner::new(2, CapacityModel::prescient(20, 40), FennelParams::default());
         // Force-feed a chain, which Fennel would love to co-locate;
         // the ν cap (1.1 * 10 = 11) must stop partition growth.
         for i in 0..19u32 {
@@ -170,7 +215,8 @@ mod tests {
 
     #[test]
     fn all_endpoints_assigned() {
-        let mut f = FennelPartitioner::new(4, 60, 30, FennelParams::default());
+        let mut f =
+            FennelPartitioner::new(4, CapacityModel::prescient(60, 30), FennelParams::default());
         for i in 0..30u32 {
             f.on_edge(&se(i, i, i + 30));
         }
@@ -181,7 +227,11 @@ mod tests {
 
     #[test]
     fn balances_random_pairs() {
-        let mut f = FennelPartitioner::new(4, 4000, 2000, FennelParams::default());
+        let mut f = FennelPartitioner::new(
+            4,
+            CapacityModel::prescient(4000, 2000),
+            FennelParams::default(),
+        );
         for i in 0..2000u32 {
             f.on_edge(&se(i, 2 * i, 2 * i + 1));
         }

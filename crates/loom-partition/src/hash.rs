@@ -5,7 +5,7 @@
 //! figure: Figs. 7 and 8 report each system's ipt as a percentage of
 //! Hash's on the same dataset.
 
-use crate::state::{Assignment, PartitionState};
+use crate::state::{Assignment, CapacityModel, PartitionState};
 use crate::traits::StreamPartitioner;
 use loom_graph::{PartitionId, StreamEdge, VertexId};
 
@@ -17,13 +17,15 @@ pub struct HashPartitioner {
 }
 
 impl HashPartitioner {
-    /// Build for `k` partitions over `num_vertices` vertices. `seed`
-    /// perturbs the hash so repeated runs can differ deliberately.
-    pub fn new(k: usize, num_vertices: usize, seed: u64) -> Self {
+    /// Build for `k` partitions. `seed` perturbs the hash so repeated
+    /// runs can differ deliberately. Hash is capacity-oblivious (it
+    /// balances in expectation by construction), so it needs no
+    /// knowledge of the stream extent at all.
+    pub fn new(k: usize, seed: u64) -> Self {
         HashPartitioner {
-            // Hash keeps perfect balance by construction; the slack
-            // matches the other systems for a comparable C.
-            state: PartitionState::new(k, num_vertices, 1.1),
+            // The placement rule never reads C, so the adaptive model
+            // is exact for both known and unbounded streams.
+            state: PartitionState::new(k, CapacityModel::Adaptive, 1.1),
             seed,
         }
     }
@@ -83,7 +85,7 @@ mod tests {
 
     #[test]
     fn assigns_both_endpoints() {
-        let mut h = HashPartitioner::new(4, 100, 0);
+        let mut h = HashPartitioner::new(4, 0);
         h.on_edge(&se(0, 1, 2));
         assert!(h.state().is_assigned(VertexId(1)));
         assert!(h.state().is_assigned(VertexId(2)));
@@ -92,7 +94,7 @@ mod tests {
 
     #[test]
     fn deterministic_per_vertex() {
-        let mut h = HashPartitioner::new(4, 100, 7);
+        let mut h = HashPartitioner::new(4, 7);
         h.on_edge(&se(0, 1, 2));
         let p1 = h.state().partition_of(VertexId(1)).unwrap();
         // Seeing vertex 1 again must not move it.
@@ -102,7 +104,7 @@ mod tests {
 
     #[test]
     fn roughly_balanced() {
-        let mut h = HashPartitioner::new(4, 4000, 3);
+        let mut h = HashPartitioner::new(4, 3);
         for i in 0..2000u32 {
             h.on_edge(&se(i, 2 * i, 2 * i + 1));
         }
@@ -118,8 +120,8 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let mut a = HashPartitioner::new(8, 100, 1);
-        let mut b = HashPartitioner::new(8, 100, 2);
+        let mut a = HashPartitioner::new(8, 1);
+        let mut b = HashPartitioner::new(8, 2);
         let mut diff = 0;
         for i in 0..40u32 {
             a.on_edge(&se(i, i, i + 50));

@@ -7,7 +7,7 @@
 //! edges that match no motif. The scoring function is therefore
 //! exported standalone.
 
-use crate::state::{Assignment, OnlineAdjacency, PartitionState};
+use crate::state::{Assignment, CapacityModel, OnlineAdjacency, PartitionState};
 use crate::traits::StreamPartitioner;
 use loom_graph::{PartitionId, StreamEdge, VertexId};
 
@@ -64,12 +64,19 @@ pub struct LdgPartitioner {
 }
 
 impl LdgPartitioner {
-    /// Build for `k` partitions over `num_vertices` vertices with the
-    /// evaluation's capacity slack (1.1).
-    pub fn new(k: usize, num_vertices: usize) -> Self {
+    /// Build for `k` partitions under the given capacity model, with
+    /// the evaluation's capacity slack (1.1). Pass
+    /// [`CapacityModel::Adaptive`] when the stream extent is unknown.
+    pub fn new(k: usize, capacity: CapacityModel) -> Self {
+        let adjacency = match capacity {
+            CapacityModel::Prescient { num_vertices, .. } => {
+                OnlineAdjacency::with_capacity(num_vertices)
+            }
+            CapacityModel::Adaptive => OnlineAdjacency::new(),
+        };
         LdgPartitioner {
-            state: PartitionState::new(k, num_vertices, 1.1),
-            adjacency: OnlineAdjacency::new(num_vertices),
+            state: PartitionState::new(k, capacity, 1.1),
+            adjacency,
         }
     }
 }
@@ -117,7 +124,7 @@ mod tests {
 
     #[test]
     fn follows_neighbours() {
-        let mut ldg = LdgPartitioner::new(2, 10);
+        let mut ldg = LdgPartitioner::new(2, CapacityModel::prescient(10, 0));
         // Build a little community 0-1-2 then attach 3 to it.
         ldg.on_edge(&se(0, 0, 1));
         ldg.on_edge(&se(1, 1, 2));
@@ -134,7 +141,7 @@ mod tests {
         // vertices, then a vertex with one neighbour there should still
         // score it (residual 1 - 2/2.2 > 0) but a *full* partition
         // (score <= 0) must be avoided.
-        let mut state = PartitionState::new(2, 4, 1.0); // C = 2
+        let mut state = PartitionState::prescient(2, 4, 1.0); // C = 2
         state.assign(VertexId(0), PartitionId(0));
         state.assign(VertexId(1), PartitionId(0));
         // counts: 5 neighbours in full P0, 0 in P1 -> residual 0 kills P0.
@@ -144,7 +151,7 @@ mod tests {
 
     #[test]
     fn zero_scores_fall_back_to_least_loaded() {
-        let mut state = PartitionState::new(3, 9, 1.0);
+        let mut state = PartitionState::prescient(3, 9, 1.0);
         state.assign(VertexId(0), PartitionId(0));
         let p = choose_weighted(&state, &[0, 0, 0]);
         assert_eq!(p, PartitionId(1), "least loaded, lowest id");
@@ -152,7 +159,7 @@ mod tests {
 
     #[test]
     fn balanced_on_random_pairs() {
-        let mut ldg = LdgPartitioner::new(4, 4000);
+        let mut ldg = LdgPartitioner::new(4, CapacityModel::prescient(4000, 0));
         for i in 0..2000u32 {
             ldg.on_edge(&se(i, 2 * i, 2 * i + 1));
         }
@@ -163,7 +170,7 @@ mod tests {
 
     #[test]
     fn all_endpoints_assigned() {
-        let mut ldg = LdgPartitioner::new(2, 100);
+        let mut ldg = LdgPartitioner::new(2, CapacityModel::prescient(100, 0));
         for i in 0..50u32 {
             ldg.on_edge(&se(i, i, i + 50));
         }

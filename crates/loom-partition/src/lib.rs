@@ -29,7 +29,7 @@ pub use ldg::{ldg_choose, LdgPartitioner};
 pub use loom::{AllocationPolicy, LoomConfig, LoomPartitioner, LoomStats};
 pub use metrics::PartitionMetrics;
 pub use restream::{restream_pass, restreamed_ldg};
-pub use state::{Assignment, OnlineAdjacency, PartitionState};
+pub use state::{Assignment, CapacityModel, OnlineAdjacency, PartitionState};
 pub use taper::{taper_refine, weighted_cut, RefinementResult, TraversalWeights};
 pub use traits::{partition_stream, run_partitioner, StreamPartitioner};
 pub use vertex_stream::{fennel_vertex_stream, ldg_vertex_stream, vertex_stream, VertexArrival};

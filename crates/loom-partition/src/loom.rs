@@ -13,7 +13,7 @@
 
 use crate::equal_opportunism::{auction, order_matches, AuctionMatch, EoParams};
 use crate::ldg::ldg_choose;
-use crate::state::{Assignment, OnlineAdjacency, PartitionState};
+use crate::state::{Assignment, CapacityModel, OnlineAdjacency, PartitionState};
 use crate::traits::StreamPartitioner;
 use loom_graph::{StreamEdge, Workload};
 use loom_matcher::{EdgeFate, MotifMatcher, SlidingWindow};
@@ -50,6 +50,10 @@ pub struct LoomConfig {
     pub eo: EoParams,
     /// Capacity slack for `C` (matches Fennel's ν).
     pub capacity_slack: f64,
+    /// Where the capacity constraint comes from: prescient (stream
+    /// extent known, the paper's evaluation setting) or adaptive
+    /// (unbounded stream, `C` tracks the running vertex count).
+    pub capacity: CapacityModel,
     /// Seed for the label randomizer.
     pub seed: u64,
     /// Allocation policy (equal opportunism unless running the
@@ -58,7 +62,9 @@ pub struct LoomConfig {
 }
 
 impl LoomConfig {
-    /// The evaluation defaults for `k` partitions.
+    /// The evaluation defaults for `k` partitions. The capacity model
+    /// defaults to adaptive (no stream extent assumed); prescient runs
+    /// set [`LoomConfig::capacity`] from the materialised stream.
     pub fn evaluation_defaults(k: usize) -> Self {
         LoomConfig {
             k,
@@ -67,6 +73,7 @@ impl LoomConfig {
             prime: loom_motif::DEFAULT_PRIME,
             eo: EoParams::default(),
             capacity_slack: 1.1,
+            capacity: CapacityModel::Adaptive,
             seed: 0x100a,
             allocation: AllocationPolicy::EqualOpportunism,
         }
@@ -100,20 +107,23 @@ pub struct LoomStats {
 }
 
 impl LoomPartitioner {
-    /// Build a Loom partitioner for a stream with `num_vertices`
-    /// vertices and `num_labels` labels, mining motifs from `workload`.
-    pub fn new(
-        config: &LoomConfig,
-        workload: &Workload,
-        num_vertices: usize,
-        num_labels: usize,
-    ) -> Self {
+    /// Build a Loom partitioner for a stream over a `num_labels`-label
+    /// alphabet, mining motifs from `workload`. The stream extent is
+    /// *not* required: it enters only through
+    /// [`LoomConfig::capacity`], and only if prescient.
+    pub fn new(config: &LoomConfig, workload: &Workload, num_labels: usize) -> Self {
         let rand = LabelRandomizer::new(num_labels, config.prime, config.seed);
         let trie = TpsTrie::build(workload, &rand);
         let motifs = trie.motifs(config.support_threshold);
+        let adjacency = match config.capacity {
+            CapacityModel::Prescient { num_vertices, .. } => {
+                OnlineAdjacency::with_capacity(num_vertices)
+            }
+            CapacityModel::Adaptive => OnlineAdjacency::new(),
+        };
         LoomPartitioner {
-            state: PartitionState::new(config.k, num_vertices, config.capacity_slack),
-            adjacency: OnlineAdjacency::new(num_vertices),
+            state: PartitionState::new(config.k, config.capacity, config.capacity_slack),
+            adjacency,
             window: SlidingWindow::new(config.window_size),
             matcher: MotifMatcher::new(motifs, rand),
             eo: config.eo,
@@ -321,7 +331,7 @@ mod tests {
     const B: Label = Label(1);
     const C: Label = Label(2);
 
-    fn small_config(k: usize, window: usize) -> LoomConfig {
+    fn small_config(k: usize, window: usize, num_vertices: usize) -> LoomConfig {
         LoomConfig {
             k,
             window_size: window,
@@ -329,6 +339,7 @@ mod tests {
             prime: 251,
             eo: EoParams::default(),
             capacity_slack: 1.1,
+            capacity: CapacityModel::prescient(num_vertices, 0),
             seed: 7,
             allocation: AllocationPolicy::EqualOpportunism,
         }
@@ -356,9 +367,8 @@ mod tests {
         let g = path_soup(40);
         let stream = GraphStream::from_graph(&g, StreamOrder::AsGenerated, 1);
         let mut loom = LoomPartitioner::new(
-            &small_config(4, 8),
+            &small_config(4, 8, g.num_vertices()),
             &abc_workload(),
-            g.num_vertices(),
             g.num_labels(),
         );
         partition_stream(&mut loom, &stream);
@@ -375,9 +385,8 @@ mod tests {
         let g = path_soup(60);
         let stream = GraphStream::from_graph(&g, StreamOrder::AsGenerated, 1);
         let mut loom = LoomPartitioner::new(
-            &small_config(2, 10),
+            &small_config(2, 10, g.num_vertices()),
             &abc_workload(),
-            g.num_vertices(),
             g.num_labels(),
         );
         partition_stream(&mut loom, &stream);
@@ -398,9 +407,8 @@ mod tests {
         let g = path_soup(100);
         let stream = GraphStream::from_graph(&g, StreamOrder::AsGenerated, 3);
         let mut loom = LoomPartitioner::new(
-            &small_config(4, 16),
+            &small_config(4, 16, g.num_vertices()),
             &abc_workload(),
-            g.num_vertices(),
             g.num_labels(),
         );
         partition_stream(&mut loom, &stream);
@@ -426,9 +434,8 @@ mod tests {
         let workload = Workload::new(vec![(PatternGraph::path("q", vec![A, B]), 1.0)]);
         let stream = GraphStream::from_graph(&g, StreamOrder::AsGenerated, 1);
         let mut loom = LoomPartitioner::new(
-            &small_config(2, 8),
+            &small_config(2, 8, g.num_vertices()),
             &workload,
-            g.num_vertices(),
             g.num_labels(),
         );
         partition_stream(&mut loom, &stream);
@@ -445,9 +452,8 @@ mod tests {
         let g = path_soup(30);
         let stream = GraphStream::from_graph(&g, StreamOrder::AsGenerated, 1);
         let mut loom = LoomPartitioner::new(
-            &small_config(2, 6),
+            &small_config(2, 6, g.num_vertices()),
             &abc_workload(),
-            g.num_vertices(),
             g.num_labels(),
         );
         partition_stream(&mut loom, &stream);
@@ -462,9 +468,8 @@ mod tests {
         let g = path_soup(50);
         let stream = GraphStream::from_graph(&g, StreamOrder::Random, 5);
         let mut loom = LoomPartitioner::new(
-            &small_config(2, 12),
+            &small_config(2, 12, g.num_vertices()),
             &abc_workload(),
-            g.num_vertices(),
             g.num_labels(),
         );
         for e in stream.iter() {
@@ -483,9 +488,8 @@ mod tests {
         let stream = GraphStream::from_graph(&g, StreamOrder::Random, 11);
         let cut_with = |w: usize| {
             let mut loom = LoomPartitioner::new(
-                &small_config(2, w),
+                &small_config(2, w, g.num_vertices()),
                 &abc_workload(),
-                g.num_vertices(),
                 g.num_labels(),
             );
             partition_stream(&mut loom, &stream);

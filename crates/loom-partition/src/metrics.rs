@@ -59,7 +59,7 @@ mod tests {
         g.add_edge(vs[1], vs[2]); // cut
         g.add_edge(vs[2], vs[3]); // same partition
 
-        let mut s = PartitionState::new(2, 4, 1.0);
+        let mut s = PartitionState::prescient(2, 4, 1.0);
         s.assign(vs[0], PartitionId(0));
         s.assign(vs[1], PartitionId(0));
         s.assign(vs[2], PartitionId(1));
@@ -75,7 +75,7 @@ mod tests {
     fn imbalance_detects_skew() {
         let mut g = LabeledGraph::with_anonymous_labels(1);
         let vs: Vec<_> = (0..4).map(|_| g.add_vertex(Label(0))).collect();
-        let mut s = PartitionState::new(2, 4, 1.0);
+        let mut s = PartitionState::prescient(2, 4, 1.0);
         s.assign(vs[0], PartitionId(0));
         s.assign(vs[1], PartitionId(0));
         s.assign(vs[2], PartitionId(0));
@@ -91,7 +91,7 @@ mod tests {
         let a = g.add_vertex(Label(0));
         let b = g.add_vertex(Label(0));
         g.add_edge(a, b);
-        let mut s = PartitionState::new(2, 2, 1.0);
+        let mut s = PartitionState::prescient(2, 2, 1.0);
         s.assign(a, PartitionId(0));
         let m = PartitionMetrics::measure(&g, &s.into_assignment());
         assert_eq!(m.edge_cut, 1);

@@ -10,7 +10,7 @@
 //! one but fully informed on pass two.
 
 use crate::ldg::choose_weighted;
-use crate::state::{Assignment, OnlineAdjacency, PartitionState};
+use crate::state::{Assignment, CapacityModel, OnlineAdjacency, PartitionState};
 use loom_graph::{GraphStream, VertexId};
 
 /// One restream pass: replay `stream`, assigning each vertex on first
@@ -23,8 +23,8 @@ use loom_graph::{GraphStream, VertexId};
 /// buys over one-pass streaming \[22\].
 pub fn restream_pass(stream: &GraphStream, prior: &Assignment, slack: f64) -> Assignment {
     let k = prior.k();
-    let mut state = PartitionState::new(k, stream.num_vertices(), slack);
-    let mut adjacency = OnlineAdjacency::new(stream.num_vertices());
+    let mut state = PartitionState::prescient(k, stream.num_vertices(), slack);
+    let mut adjacency = OnlineAdjacency::with_capacity(stream.num_vertices());
     for e in stream.iter() {
         adjacency.add(e);
     }
@@ -62,7 +62,7 @@ fn choose(
 pub fn restreamed_ldg(stream: &GraphStream, k: usize, passes: usize, slack: f64) -> Assignment {
     use crate::ldg::LdgPartitioner;
     use crate::traits::StreamPartitioner;
-    let mut first = LdgPartitioner::new(k, stream.num_vertices());
+    let mut first = LdgPartitioner::new(k, CapacityModel::for_stream(stream));
     crate::traits::partition_stream(&mut first, stream);
     let mut assignment = Box::new(first).into_assignment();
     for _ in 0..passes {
@@ -148,7 +148,7 @@ mod tests {
         let g = ring_of_cliques(4, 4);
         let stream = loom_graph::GraphStream::from_graph(&g, StreamOrder::BreadthFirst, 7);
         let via_restream = restreamed_ldg(&stream, 2, 0, 1.1);
-        let mut ldg = crate::ldg::LdgPartitioner::new(2, stream.num_vertices());
+        let mut ldg = crate::ldg::LdgPartitioner::new(2, CapacityModel::for_stream(&stream));
         crate::traits::partition_stream(&mut ldg, &stream);
         let direct = Box::new(ldg).into_assignment();
         for v in g.vertices() {

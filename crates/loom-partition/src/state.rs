@@ -5,37 +5,115 @@
 //! assignment, per-partition sizes, the capacity constraint `C` used by
 //! LDG's and equal opportunism's residual term, and the streaming
 //! adjacency view (neighbours seen so far) the heuristics score with.
+//!
+//! Since the engine refactor (DESIGN.md §8) the state is *growable*:
+//! the paper's streams are "of unknown, possibly unbounded, extent"
+//! (§1.3), so vertices auto-register on first sight and the capacity
+//! `C` comes from a [`CapacityModel`] — either fixed upfront from a
+//! known stream extent ([`CapacityModel::Prescient`], reproducing the
+//! classic `slack·n/k`) or recomputed from the running vertex count
+//! ([`CapacityModel::Adaptive`]) so the residual/rationing terms stay
+//! meaningful when nobody knows `n`.
 
 use loom_graph::{PartitionId, StreamEdge, VertexId};
 
 /// Sentinel for "not yet assigned".
 const UNASSIGNED: u32 = u32::MAX;
 
+/// Where the capacity constraint `C` of §4 comes from.
+///
+/// Every capacity-aware heuristic in the paper (LDG's residual,
+/// Fennel's α and hard cap, equal opportunism's bids) is written in
+/// terms of the stream's total vertex count `n` — which an online
+/// system does not know. This enum makes the assumption explicit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CapacityModel {
+    /// The stream extent is known upfront (the paper's evaluation
+    /// setting: streams are replayed from stored graphs, §5.1).
+    /// `C = slack · num_vertices / k`, fixed for the whole run.
+    Prescient {
+        /// Total vertices the stream will touch.
+        num_vertices: usize,
+        /// Total edges the stream will carry (only Fennel's α needs
+        /// it; other consumers ignore it).
+        num_edges: usize,
+    },
+    /// Unknown extent: `C = slack · (vertices assigned so far) / k`,
+    /// recomputed on every read. Monotone non-decreasing, so a
+    /// partition that was under capacity never retroactively becomes
+    /// over-full by a capacity *drop*.
+    Adaptive,
+}
+
+impl CapacityModel {
+    /// Prescient model for a stream whose totals are known.
+    pub fn prescient(num_vertices: usize, num_edges: usize) -> Self {
+        CapacityModel::Prescient {
+            num_vertices,
+            num_edges,
+        }
+    }
+
+    /// Prescient model matching a materialised stream's extent — the
+    /// paper's evaluation setting, where streams replay stored graphs.
+    pub fn for_stream(stream: &loom_graph::GraphStream) -> Self {
+        CapacityModel::Prescient {
+            num_vertices: stream.num_vertices(),
+            num_edges: stream.len(),
+        }
+    }
+
+    /// True if this model fixes `C` upfront.
+    pub fn is_prescient(&self) -> bool {
+        matches!(self, CapacityModel::Prescient { .. })
+    }
+}
+
 /// Assignment of vertices to `k` partitions, with sizes and capacity.
 #[derive(Clone, Debug)]
 pub struct PartitionState {
     k: usize,
-    capacity: f64,
+    slack: f64,
+    /// `Some(C)` in prescient mode; `None` recomputes from the count.
+    fixed_capacity: Option<f64>,
     assignment: Vec<u32>,
     sizes: Vec<usize>,
+    assigned: usize,
 }
 
 impl PartitionState {
-    /// State for `k` partitions over `num_vertices` vertices, with the
-    /// per-partition capacity `C = slack * n / k` (the evaluation uses
-    /// `slack = 1.1`, matching Fennel's ν).
+    /// State for `k` partitions under the given capacity model, with
+    /// capacity slack `slack` (the evaluation uses `slack = 1.1`,
+    /// matching Fennel's ν). The state is growable: assigning a vertex
+    /// beyond the current range registers it.
     ///
     /// # Panics
     /// Panics if `k == 0` or `slack <= 0`.
-    pub fn new(k: usize, num_vertices: usize, slack: f64) -> Self {
+    pub fn new(k: usize, model: CapacityModel, slack: f64) -> Self {
         assert!(k > 0, "k must be positive");
         assert!(slack > 0.0, "slack must be positive");
+        let (fixed_capacity, reserve) = match model {
+            CapacityModel::Prescient { num_vertices, .. } => (
+                Some((slack * num_vertices as f64 / k as f64).max(1.0)),
+                num_vertices,
+            ),
+            CapacityModel::Adaptive => (None, 0),
+        };
         PartitionState {
             k,
-            capacity: (slack * num_vertices as f64 / k as f64).max(1.0),
-            assignment: vec![UNASSIGNED; num_vertices],
+            slack,
+            fixed_capacity,
+            assignment: vec![UNASSIGNED; reserve],
             sizes: vec![0; k],
+            assigned: 0,
         }
+    }
+
+    /// Convenience: the pre-refactor constructor — `k` partitions over
+    /// a stream known to touch `num_vertices` vertices, with
+    /// `C = slack · n / k` fixed.
+    pub fn prescient(k: usize, num_vertices: usize, slack: f64) -> Self {
+        Self::new(k, CapacityModel::prescient(num_vertices, 0), slack)
     }
 
     /// Number of partitions.
@@ -44,37 +122,59 @@ impl PartitionState {
         self.k
     }
 
-    /// The capacity constraint `C`.
+    /// The capacity constraint `C` — fixed in prescient mode, derived
+    /// from the running assigned-vertex count in adaptive mode.
     #[inline]
     pub fn capacity(&self) -> f64 {
-        self.capacity
+        match self.fixed_capacity {
+            Some(c) => c,
+            None => (self.slack * self.assigned as f64 / self.k as f64).max(1.0),
+        }
     }
 
-    /// Total vertices this state covers.
+    /// The capacity slack in use.
+    #[inline]
+    pub fn slack(&self) -> f64 {
+        self.slack
+    }
+
+    /// True if `C` was fixed upfront from a known stream extent.
+    #[inline]
+    pub fn is_prescient(&self) -> bool {
+        self.fixed_capacity.is_some()
+    }
+
+    /// Vertices this state has ever been told about (the registered id
+    /// range; prescient states pre-register the full range).
     #[inline]
     pub fn num_vertices(&self) -> usize {
         self.assignment.len()
     }
 
-    /// Partition of `v`, if assigned.
+    /// Partition of `v`, if assigned. Vertices beyond the registered
+    /// range are simply unassigned, never an error.
     #[inline]
     pub fn partition_of(&self, v: VertexId) -> Option<PartitionId> {
-        match self.assignment[v.index()] {
-            UNASSIGNED => None,
-            p => Some(PartitionId(p)),
+        match self.assignment.get(v.index()) {
+            Some(&UNASSIGNED) | None => None,
+            Some(&p) => Some(PartitionId(p)),
         }
     }
 
     /// True if `v` has been permanently placed.
     #[inline]
     pub fn is_assigned(&self, v: VertexId) -> bool {
-        self.assignment[v.index()] != UNASSIGNED
+        self.partition_of(v).is_some()
     }
 
-    /// Permanently assign `v` to `p`. Idempotent for the same target;
-    /// re-assignment to a *different* partition is a bug (streaming
-    /// partitioners never refine, §1.2) and panics.
+    /// Permanently assign `v` to `p`, registering `v` on first sight.
+    /// Idempotent for the same target; re-assignment to a *different*
+    /// partition is a bug (streaming partitioners never refine, §1.2)
+    /// and panics.
     pub fn assign(&mut self, v: VertexId, p: PartitionId) {
+        if self.assignment.len() <= v.index() {
+            self.assignment.resize(v.index() + 1, UNASSIGNED);
+        }
         let slot = &mut self.assignment[v.index()];
         if *slot == p.0 {
             return;
@@ -86,6 +186,7 @@ impl PartitionState {
         );
         *slot = p.0;
         self.sizes[p.index()] += 1;
+        self.assigned += 1;
     }
 
     /// Vertices currently in partition `p`.
@@ -113,7 +214,7 @@ impl PartitionState {
     /// LDG's residual-capacity weight `1 - |V(S_i)| / C` (§4).
     #[inline]
     pub fn residual(&self, p: PartitionId) -> f64 {
-        1.0 - self.sizes[p.index()] as f64 / self.capacity
+        1.0 - self.sizes[p.index()] as f64 / self.capacity()
     }
 
     /// The least-loaded partition (ties to the lowest id) — the shared
@@ -135,7 +236,16 @@ impl PartitionState {
 
     /// Number of assigned vertices.
     pub fn assigned_count(&self) -> usize {
-        self.sizes.iter().sum()
+        self.assigned
+    }
+
+    /// A point-in-time [`Assignment`] copy (the engine's mid-stream
+    /// snapshots use this; unassigned vertices stay unassigned).
+    pub fn to_assignment(&self) -> Assignment {
+        Assignment {
+            k: self.k,
+            assignment: self.assignment.clone(),
+        }
     }
 
     /// Freeze into an [`Assignment`].
@@ -182,6 +292,18 @@ impl Assignment {
         }
     }
 
+    /// Iterate over all assigned `(vertex, partition)` pairs in vertex
+    /// id order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, PartitionId)> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| match p {
+                UNASSIGNED => None,
+                p => Some((VertexId(i as u32), PartitionId(p))),
+            })
+    }
+
     /// Partition sizes (assigned vertices only).
     pub fn sizes(&self) -> Vec<usize> {
         let mut sizes = vec![0usize; self.k];
@@ -197,36 +319,48 @@ impl Assignment {
 /// Streaming adjacency: the neighbourhood each vertex has accumulated
 /// so far in the stream. LDG, Fennel and Loom's fallback all score
 /// against this view — "the local neighbourhood of each new element
-/// *at the time it arrives*" (§1.2).
+/// *at the time it arrives*" (§1.2). Growable: vertices register on
+/// the first edge that touches them.
 #[derive(Clone, Debug, Default)]
 pub struct OnlineAdjacency {
     neighbors: Vec<Vec<VertexId>>,
 }
 
 impl OnlineAdjacency {
-    /// Adjacency over `num_vertices` vertices, initially empty.
-    pub fn new(num_vertices: usize) -> Self {
+    /// An empty adjacency; vertices register as edges arrive.
+    pub fn new() -> Self {
+        OnlineAdjacency::default()
+    }
+
+    /// An empty adjacency pre-sized for `num_vertices` vertices (a
+    /// capacity hint for prescient runs; behaviour is identical).
+    pub fn with_capacity(num_vertices: usize) -> Self {
         OnlineAdjacency {
             neighbors: vec![Vec::new(); num_vertices],
         }
     }
 
-    /// Record an arrived edge (both directions).
+    /// Record an arrived edge (both directions), growing the vertex
+    /// range as needed.
     pub fn add(&mut self, e: &StreamEdge) {
+        let hi = e.src.index().max(e.dst.index());
+        if self.neighbors.len() <= hi {
+            self.neighbors.resize_with(hi + 1, Vec::new);
+        }
         self.neighbors[e.src.index()].push(e.dst);
         self.neighbors[e.dst.index()].push(e.src);
     }
 
-    /// Neighbours of `v` seen so far.
+    /// Neighbours of `v` seen so far (empty for unseen vertices).
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.neighbors[v.index()]
+        self.neighbors.get(v.index()).map_or(&[], Vec::as_slice)
     }
 
     /// Degree of `v` seen so far.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.neighbors[v.index()].len()
+        self.neighbors(v).len()
     }
 }
 
@@ -236,7 +370,7 @@ mod tests {
 
     #[test]
     fn assign_and_sizes() {
-        let mut s = PartitionState::new(3, 10, 1.1);
+        let mut s = PartitionState::prescient(3, 10, 1.1);
         s.assign(VertexId(0), PartitionId(1));
         s.assign(VertexId(5), PartitionId(1));
         s.assign(VertexId(2), PartitionId(0));
@@ -252,7 +386,7 @@ mod tests {
 
     #[test]
     fn idempotent_assignment_ok() {
-        let mut s = PartitionState::new(2, 4, 1.0);
+        let mut s = PartitionState::prescient(2, 4, 1.0);
         s.assign(VertexId(1), PartitionId(0));
         s.assign(VertexId(1), PartitionId(0));
         assert_eq!(s.size(PartitionId(0)), 1, "no double count");
@@ -261,14 +395,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "re-assignment")]
     fn reassignment_panics() {
-        let mut s = PartitionState::new(2, 4, 1.0);
+        let mut s = PartitionState::prescient(2, 4, 1.0);
         s.assign(VertexId(1), PartitionId(0));
         s.assign(VertexId(1), PartitionId(1));
     }
 
     #[test]
     fn residual_falls_with_load() {
-        let mut s = PartitionState::new(2, 10, 1.0);
+        let mut s = PartitionState::prescient(2, 10, 1.0);
         // C = 5.
         assert!((s.residual(PartitionId(0)) - 1.0).abs() < 1e-12);
         for i in 0..3 {
@@ -279,7 +413,7 @@ mod tests {
 
     #[test]
     fn least_loaded_breaks_ties_low() {
-        let mut s = PartitionState::new(3, 9, 1.0);
+        let mut s = PartitionState::prescient(3, 9, 1.0);
         assert_eq!(s.least_loaded(), PartitionId(0));
         s.assign(VertexId(0), PartitionId(0));
         assert_eq!(s.least_loaded(), PartitionId(1));
@@ -287,7 +421,7 @@ mod tests {
 
     #[test]
     fn assignment_cut_detection() {
-        let mut s = PartitionState::new(2, 4, 1.0);
+        let mut s = PartitionState::prescient(2, 4, 1.0);
         s.assign(VertexId(0), PartitionId(0));
         s.assign(VertexId(1), PartitionId(1));
         s.assign(VertexId(2), PartitionId(0));
@@ -304,7 +438,7 @@ mod tests {
     #[test]
     fn online_adjacency_accumulates() {
         use loom_graph::{EdgeId, Label};
-        let mut adj = OnlineAdjacency::new(4);
+        let mut adj = OnlineAdjacency::new();
         let e = StreamEdge {
             id: EdgeId(0),
             src: VertexId(0),
@@ -315,12 +449,58 @@ mod tests {
         adj.add(&e);
         assert_eq!(adj.neighbors(VertexId(0)), &[VertexId(1)]);
         assert_eq!(adj.degree(VertexId(1)), 1);
-        assert_eq!(adj.degree(VertexId(2)), 0);
+        assert_eq!(adj.degree(VertexId(2)), 0, "unseen vertex: degree 0");
     }
 
     #[test]
     #[should_panic(expected = "k must be positive")]
     fn zero_k_rejected() {
-        PartitionState::new(0, 10, 1.0);
+        PartitionState::prescient(0, 10, 1.0);
+    }
+
+    #[test]
+    fn growable_state_registers_on_first_sight() {
+        let mut s = PartitionState::new(2, CapacityModel::Adaptive, 1.1);
+        assert_eq!(s.num_vertices(), 0);
+        s.assign(VertexId(1000), PartitionId(1));
+        assert_eq!(s.partition_of(VertexId(1000)), Some(PartitionId(1)));
+        assert_eq!(s.partition_of(VertexId(5)), None, "gap stays unassigned");
+        assert_eq!(s.assigned_count(), 1);
+        assert!(s.num_vertices() >= 1001);
+    }
+
+    #[test]
+    fn adaptive_capacity_tracks_running_count() {
+        let mut s = PartitionState::new(2, CapacityModel::Adaptive, 1.0);
+        assert!((s.capacity() - 1.0).abs() < 1e-12, "floor at 1.0");
+        for i in 0..10u32 {
+            s.assign(VertexId(i), PartitionId(i % 2));
+        }
+        // C = 1.0 * 10 / 2 = 5.
+        assert!((s.capacity() - 5.0).abs() < 1e-12);
+        assert!((s.residual(PartitionId(0)) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prescient_capacity_is_fixed() {
+        let mut s = PartitionState::prescient(2, 10, 1.0);
+        let c0 = s.capacity();
+        for i in 0..6u32 {
+            s.assign(VertexId(i), PartitionId(0));
+        }
+        assert_eq!(s.capacity().to_bits(), c0.to_bits());
+        assert!(s.is_prescient());
+        assert!(!PartitionState::new(2, CapacityModel::Adaptive, 1.0).is_prescient());
+    }
+
+    #[test]
+    fn mid_stream_assignment_copy() {
+        let mut s = PartitionState::new(3, CapacityModel::Adaptive, 1.1);
+        s.assign(VertexId(2), PartitionId(1));
+        let snap = s.to_assignment();
+        s.assign(VertexId(3), PartitionId(2));
+        assert_eq!(snap.partition_of(VertexId(2)), Some(PartitionId(1)));
+        assert_eq!(snap.partition_of(VertexId(3)), None, "copy is frozen");
+        assert_eq!(s.partition_of(VertexId(3)), Some(PartitionId(2)));
     }
 }

@@ -148,7 +148,7 @@ pub fn taper_refine(
     }
 
     // Freeze back into an Assignment.
-    let mut state = crate::state::PartitionState::new(k, n, balance_cap);
+    let mut state = crate::state::PartitionState::prescient(k, n, balance_cap);
     for (i, p) in part.iter().enumerate() {
         if let Some(p) = p {
             state.assign(VertexId(i as u32), *p);
@@ -199,7 +199,7 @@ mod tests {
         ] {
             g.add_edge(v[a], v[b]);
         }
-        let mut s = PartitionState::new(2, 8, 1.5);
+        let mut s = PartitionState::prescient(2, 8, 1.5);
         for i in [0u32, 1, 4, 5] {
             s.assign(VertexId(i), PartitionId(0));
         }

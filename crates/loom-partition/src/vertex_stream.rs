@@ -58,7 +58,7 @@ pub fn vertex_stream(g: &LabeledGraph, order: StreamOrder, seed: u64) -> Vec<Ver
 /// `argmax |N(v) ∩ S_i| · (1 - |S_i|/C)` over its *full* neighbourhood
 /// (only already-placed neighbours count, as in the original).
 pub fn ldg_vertex_stream(stream: &[VertexArrival], k: usize, num_vertices: usize) -> Assignment {
-    let mut state = PartitionState::new(k, num_vertices, 1.0);
+    let mut state = PartitionState::prescient(k, num_vertices, 1.0);
     for arrival in stream {
         let mut counts = vec![0usize; k];
         for &w in &arrival.neighbors {
@@ -85,7 +85,7 @@ pub fn fennel_vertex_stream(
     let m = num_edges.max(1) as f64;
     let alpha = m * (k as f64).powf(gamma - 1.0) / n.powf(gamma);
     let cap = nu * n / k as f64;
-    let mut state = PartitionState::new(k, num_vertices, nu);
+    let mut state = PartitionState::prescient(k, num_vertices, nu);
     for arrival in stream {
         let mut counts = vec![0usize; k];
         for &w in &arrival.neighbors {

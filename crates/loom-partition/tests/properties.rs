@@ -3,8 +3,9 @@
 
 use loom_graph::{EdgeId, Label, PartitionId, StreamEdge, VertexId};
 use loom_partition::{
-    auction, ldg_choose, ration, AuctionMatch, EoParams, FennelParams, FennelPartitioner,
-    HashPartitioner, LdgPartitioner, OnlineAdjacency, PartitionState, StreamPartitioner,
+    auction, ldg_choose, ration, AuctionMatch, CapacityModel, EoParams, FennelParams,
+    FennelPartitioner, HashPartitioner, LdgPartitioner, OnlineAdjacency, PartitionState,
+    StreamPartitioner,
 };
 use proptest::prelude::*;
 use rand::Rng;
@@ -40,7 +41,7 @@ proptest! {
         k in 1usize..8, n in 1usize..64, seed in any::<u64>()
     ) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut s = PartitionState::new(k, n, 1.1);
+        let mut s = PartitionState::prescient(k, n, 1.1);
         let mut assigned = 0;
         for v in 0..n {
             if rng.gen_bool(0.7) {
@@ -63,9 +64,13 @@ proptest! {
         let n = 64usize;
         let edges = random_edges(n, n_edges, seed);
         let partitioners: Vec<Box<dyn StreamPartitioner>> = vec![
-            Box::new(HashPartitioner::new(k, n, seed)),
-            Box::new(LdgPartitioner::new(k, n)),
-            Box::new(FennelPartitioner::new(k, n, n_edges, FennelParams::default())),
+            Box::new(HashPartitioner::new(k, seed)),
+            Box::new(LdgPartitioner::new(k, CapacityModel::prescient(n, 0))),
+            Box::new(FennelPartitioner::new(
+                k,
+                CapacityModel::prescient(n, n_edges),
+                FennelParams::default(),
+            )),
         ];
         for mut p in partitioners {
             let mut first_seen: std::collections::HashMap<VertexId, PartitionId> =
@@ -101,8 +106,8 @@ proptest! {
     fn ldg_choice_valid(k in 1usize..8, seed in any::<u64>()) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let n = 32;
-        let mut s = PartitionState::new(k, n, 1.1);
-        let adj = OnlineAdjacency::new(n);
+        let mut s = PartitionState::prescient(k, n, 1.1);
+        let adj = OnlineAdjacency::new();
         for v in 0..16u32 {
             if rng.gen_bool(0.5) {
                 s.assign(VertexId(v), PartitionId(rng.gen_range(0..k) as u32));
@@ -124,7 +129,7 @@ proptest! {
         seed in any::<u64>()
     ) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut s = PartitionState::new(k, 64, 1.1);
+        let mut s = PartitionState::prescient(k, 64, 1.1);
         for v in 0..placed {
             s.assign(VertexId(v as u32), PartitionId(rng.gen_range(0..k) as u32));
         }
@@ -146,5 +151,147 @@ proptest! {
         prop_assert!(outcome.winner.index() < k);
         prop_assert!(outcome.take >= 1 && outcome.take <= matches.len());
         prop_assert!(outcome.total_bid >= 0.0);
+    }
+}
+
+/// The pre-refactor fixed-size state, re-implemented verbatim as the
+/// oracle for the prescient-equivalence property: capacity computed
+/// once as `(slack * n / k).max(1.0)`, a fixed assignment vector, and
+/// the same residual/least-loaded rules.
+struct FixedSizeReference {
+    capacity: f64,
+    assignment: Vec<u32>,
+    sizes: Vec<usize>,
+}
+
+const REF_UNASSIGNED: u32 = u32::MAX;
+
+impl FixedSizeReference {
+    fn new(k: usize, n: usize, slack: f64) -> Self {
+        FixedSizeReference {
+            capacity: (slack * n as f64 / k as f64).max(1.0),
+            assignment: vec![REF_UNASSIGNED; n],
+            sizes: vec![0; k],
+        }
+    }
+
+    fn assign(&mut self, v: VertexId, p: PartitionId) {
+        if self.assignment[v.index()] == REF_UNASSIGNED {
+            self.assignment[v.index()] = p.0;
+            self.sizes[p.index()] += 1;
+        }
+    }
+
+    fn residual(&self, p: PartitionId) -> f64 {
+        1.0 - self.sizes[p.index()] as f64 / self.capacity
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Growable adaptive state: sizes always sum to the assigned-vertex
+    /// count, for arbitrary (gappy, unordered) vertex-id sequences.
+    #[test]
+    fn growable_sizes_sum_to_assigned(
+        k in 1usize..8, ops in 1usize..96, seed in any::<u64>()
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut s = PartitionState::new(k, CapacityModel::Adaptive, 1.1);
+        let mut expected = std::collections::HashMap::new();
+        for _ in 0..ops {
+            // Sparse ids with gaps of up to ~1000.
+            let v = VertexId(rng.gen_range(0..1000) as u32);
+            let p = PartitionId(rng.gen_range(0..k) as u32);
+            if let std::collections::hash_map::Entry::Vacant(slot) = expected.entry(v) {
+                s.assign(v, p);
+                slot.insert(p);
+            }
+        }
+        prop_assert_eq!(s.assigned_count(), expected.len());
+        prop_assert_eq!(s.sizes().iter().sum::<usize>(), expected.len());
+    }
+
+    /// Assignments are permanent: whatever partition a vertex got
+    /// first, it still reports after any number of later assignments.
+    #[test]
+    fn growable_assignments_are_permanent(
+        k in 1usize..8, ops in 1usize..96, seed in any::<u64>()
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut s = PartitionState::new(k, CapacityModel::Adaptive, 1.1);
+        let mut expected: std::collections::HashMap<VertexId, PartitionId> = Default::default();
+        for _ in 0..ops {
+            let v = VertexId(rng.gen_range(0..500) as u32);
+            let p = PartitionId(rng.gen_range(0..k) as u32);
+            // Re-assigning to the recorded target is the idempotent
+            // path; fresh vertices take the new target.
+            let target = *expected.entry(v).or_insert(p);
+            s.assign(v, target);
+            for (&w, &q) in &expected {
+                prop_assert_eq!(s.partition_of(w), Some(q), "{:?} moved", w);
+            }
+        }
+    }
+
+    /// Adaptive capacity is monotone non-decreasing in the assignment
+    /// sequence (a partition under capacity never becomes over-full by
+    /// a capacity drop).
+    #[test]
+    fn adaptive_capacity_is_monotone(
+        k in 1usize..8, ops in 1usize..128, seed in any::<u64>()
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut s = PartitionState::new(k, CapacityModel::Adaptive, 1.1);
+        let mut last = s.capacity();
+        for i in 0..ops {
+            if rng.gen_bool(0.8) {
+                s.assign(
+                    VertexId(i as u32),
+                    PartitionId(rng.gen_range(0..k) as u32),
+                );
+            }
+            let now = s.capacity();
+            prop_assert!(now >= last, "capacity fell: {last} -> {now}");
+            last = now;
+        }
+    }
+
+    /// Prescient mode is bit-identical to the pre-refactor fixed-size
+    /// state: same capacity, sizes, per-vertex assignment and residual
+    /// for any in-range assignment sequence.
+    #[test]
+    fn prescient_matches_fixed_size_reference(
+        k in 1usize..8, n in 1usize..64, ops in 0usize..96,
+        slack in 1.0f64..2.0, seed in any::<u64>()
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut s = PartitionState::prescient(k, n, slack);
+        let mut r = FixedSizeReference::new(k, n, slack);
+        prop_assert_eq!(s.capacity().to_bits(), r.capacity.to_bits());
+        for _ in 0..ops {
+            let v = VertexId(rng.gen_range(0..n) as u32);
+            let p = PartitionId(rng.gen_range(0..k) as u32);
+            // Mirror the old "idempotent or fresh" contract.
+            let target = match s.partition_of(v) {
+                Some(existing) => existing,
+                None => p,
+            };
+            s.assign(v, target);
+            r.assign(v, target);
+        }
+        prop_assert_eq!(s.capacity().to_bits(), r.capacity.to_bits());
+        prop_assert_eq!(s.sizes(), r.sizes.as_slice());
+        prop_assert_eq!(s.num_vertices(), n, "prescient range is fixed");
+        for v in 0..n as u32 {
+            let expect = match r.assignment[v as usize] {
+                REF_UNASSIGNED => None,
+                p => Some(PartitionId(p)),
+            };
+            prop_assert_eq!(s.partition_of(VertexId(v)), expect);
+        }
+        for p in s.partitions() {
+            prop_assert_eq!(s.residual(p).to_bits(), r.residual(p).to_bits());
+        }
     }
 }

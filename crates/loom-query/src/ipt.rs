@@ -117,7 +117,7 @@ mod tests {
         g.add_edge(v[2], v[6]); // 3-7
         g.add_edge(v[3], v[7]); // 4-8
         g.add_edge(v[6], v[7]); // 7-8
-        let mut s = PartitionState::new(2, 8, 1.0);
+        let mut s = PartitionState::prescient(2, 8, 1.0);
         for i in [0, 1, 4, 5] {
             s.assign(VertexId(i), PartitionId(0));
         }
@@ -145,7 +145,7 @@ mod tests {
     fn alternative_partitioning_zeroes_q2_ipt() {
         // §1: A' = {1,2,3,6}, B' = {4,5,7,8} gives q2 zero ipt.
         let (g, _) = figure1();
-        let mut s = PartitionState::new(2, 8, 1.5);
+        let mut s = PartitionState::prescient(2, 8, 1.5);
         for i in [0, 1, 2, 5] {
             s.assign(VertexId(i), PartitionId(0));
         }

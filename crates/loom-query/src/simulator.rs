@@ -152,8 +152,8 @@ mod tests {
     /// 50 a-b-c chains; co-located vs deliberately split partitionings.
     fn chains() -> (LabeledGraph, Assignment, Assignment) {
         let mut g = LabeledGraph::with_anonymous_labels(3);
-        let mut whole = PartitionState::new(2, 150, 1.5);
-        let mut split = PartitionState::new(2, 150, 1.5);
+        let mut whole = PartitionState::prescient(2, 150, 1.5);
+        let mut split = PartitionState::prescient(2, 150, 1.5);
         for i in 0..50 {
             let a = g.add_vertex(A);
             let b = g.add_vertex(B);

@@ -25,15 +25,11 @@ fn run_loom(
         prime: DEFAULT_PRIME,
         eo: EoParams::default(),
         capacity_slack: 1.1,
+        capacity: CapacityModel::for_stream(stream),
         seed: 11,
         allocation: Default::default(),
     };
-    let mut loom = LoomPartitioner::new(
-        &config,
-        workload,
-        stream.num_vertices(),
-        stream.num_labels(),
-    );
+    let mut loom = LoomPartitioner::new(&config, workload, stream.num_labels());
     partition_stream(&mut loom, stream);
     let assignment = Box::new(loom).into_assignment();
     let metrics = PartitionMetrics::measure(graph, &assignment);
@@ -109,15 +105,12 @@ fn main() {
             prime: DEFAULT_PRIME,
             eo: EoParams::default(),
             capacity_slack: 1.1,
+            capacity: CapacityModel::for_stream(&stream),
             seed: 11,
             allocation: Default::default(),
         };
-        let mut loom = LoomPartitioner::new(
-            &config,
-            &workload, // partitioned for the OLD workload
-            stream.num_vertices(),
-            stream.num_labels(),
-        );
+        // partitioned for the OLD workload
+        let mut loom = LoomPartitioner::new(&config, &workload, stream.num_labels());
         partition_stream(&mut loom, &stream);
         let assignment = Box::new(loom).into_assignment();
         (

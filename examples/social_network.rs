@@ -92,15 +92,11 @@ fn main() {
             prime: DEFAULT_PRIME,
             eo: EoParams::default(),
             capacity_slack: 1.1,
+            capacity: CapacityModel::for_stream(&stream),
             seed: 7,
             allocation: Default::default(),
         };
-        let mut loom = LoomPartitioner::new(
-            &config,
-            &workload,
-            stream.num_vertices(),
-            stream.num_labels(),
-        );
+        let mut loom = LoomPartitioner::new(&config, &workload, stream.num_labels());
         partition_stream(&mut loom, &stream);
         let assignment = Box::new(loom).into_assignment();
         let metrics = PartitionMetrics::measure(&graph, &assignment);

@@ -34,15 +34,11 @@ fn main() {
                 prime: DEFAULT_PRIME,
                 eo: EoParams::default(),
                 capacity_slack: 1.1,
+                capacity: CapacityModel::for_stream(&stream),
                 seed: 3,
                 allocation: Default::default(),
             };
-            let mut loom = LoomPartitioner::new(
-                &config,
-                &workload,
-                stream.num_vertices(),
-                stream.num_labels(),
-            );
+            let mut loom = LoomPartitioner::new(&config, &workload, stream.num_labels());
             partition_stream(&mut loom, &stream);
             let stats = loom.stats();
             let assignment = Box::new(loom).into_assignment();

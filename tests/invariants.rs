@@ -137,11 +137,11 @@ proptest! {
             prime: DEFAULT_PRIME,
             eo: Default::default(),
             capacity_slack: 1.1,
+            capacity: loom_core::partition::CapacityModel::for_stream(&stream),
             seed,
             allocation: Default::default(),
         };
-        let mut loom = LoomPartitioner::new(
-            &config, &workload, stream.num_vertices(), stream.num_labels());
+        let mut loom = LoomPartitioner::new(&config, &workload, stream.num_labels());
         loom_core::partition::partition_stream(&mut loom, &stream);
         prop_assert_eq!(loom.window_len(), 0, "window drained");
         let state = loom.state();

@@ -36,7 +36,7 @@ fn section1_motivating_partitionings() {
     let q2_only = Workload::new(vec![(PatternGraph::path("q2", vec![A, B, C]), 1.0)]);
 
     let assign = |groups: [&[u32]; 2]| {
-        let mut s = loom_core::partition::PartitionState::new(2, 8, 1.5);
+        let mut s = loom_core::partition::PartitionState::prescient(2, 8, 1.5);
         for (p, vs) in groups.iter().enumerate() {
             for &v in *vs {
                 s.assign(
@@ -114,15 +114,11 @@ fn full_loom_run_on_figure1_workload() {
         prime: DEFAULT_PRIME,
         eo: Default::default(),
         capacity_slack: 1.1,
+        capacity: loom_core::partition::CapacityModel::for_stream(&stream),
         seed: 5,
         allocation: Default::default(),
     };
-    let mut loom = LoomPartitioner::new(
-        &config,
-        &workload,
-        stream.num_vertices(),
-        stream.num_labels(),
-    );
+    let mut loom = LoomPartitioner::new(&config, &workload, stream.num_labels());
     loom_core::partition::partition_stream(&mut loom, &stream);
     let assignment = Box::new(loom).into_assignment();
     // q2 = a-b-c should execute with almost no ipt: each path tile is a
