@@ -22,6 +22,11 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== benches compile =="
 cargo bench --offline --no-run -q
 
+echo "== matcher micro-suite (quick: one timed iteration per bench) =="
+# Keeps the hub-scaling / match-dense / bypass-heavy benches from
+# rotting: they must build AND run end to end on every CI pass.
+LOOM_BENCH_SAMPLES=1 cargo bench --offline -q --bench matcher_micro
+
 echo "== stream smoke (10k+ edges over stdin, online engine) =="
 # A small-scale generate emits ~15k edges; stream must ingest them from
 # stdin (never materialised) and print >= 2 mid-stream snapshots.

@@ -1,0 +1,160 @@
+//! Matcher micro-suite: the steady-state `MotifMatcher::on_edge` cost
+//! under the three stream shapes that stress its distinct paths.
+//!
+//! - **hub-heavy** — every edge lands on one hub vertex, so each
+//!   arrival probes an ever-growing `matchList(hub)`. The degree sweep
+//!   doubles the hub degree per step and prints ns/edge: with the
+//!   arena + capped backward index walk the per-edge cost is bounded
+//!   by the match cap, so ns/edge stays flat (linear total work). The
+//!   pre-arena matcher re-scanned and cloned the full hub list per
+//!   edge — superlinear total, visible as ns/edge doubling with the
+//!   degree.
+//! - **match-dense** — random edges over a small vertex pool with a
+//!   join-friendly workload: extensions and joins fire constantly,
+//!   exercising arena cell allocation and the dedup set.
+//! - **bypass-heavy** — edges whose label pair matches no single-edge
+//!   motif: the §3 root-check fast path (one LUT probe per edge).
+//!
+//! Quick mode for CI: `LOOM_BENCH_SAMPLES=1 cargo bench --bench
+//! matcher_micro` runs one timed iteration per benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_core::graph::{EdgeId, StreamEdge, VertexId};
+use loom_core::matcher::{EdgeFate, MotifMatcher, SlidingWindow};
+use loom_core::motif::{LabelRandomizer, TpsTrie, DEFAULT_PRIME};
+use loom_core::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+
+const A: Label = Label(0);
+const B: Label = Label(1);
+const C: Label = Label(2);
+const D: Label = Label(3);
+
+fn se(id: u32, src: u32, sl: Label, dst: u32, dl: Label) -> StreamEdge {
+    StreamEdge {
+        id: EdgeId(id),
+        src: VertexId(src),
+        dst: VertexId(dst),
+        src_label: sl,
+        dst_label: dl,
+    }
+}
+
+/// Star workload: hub label `a`, leaves `b` — single edges and small
+/// stars are motifs, so every hub edge extends matches at the hub.
+fn hub_matcher() -> MotifMatcher {
+    let rand = LabelRandomizer::new(2, DEFAULT_PRIME, 7);
+    let workload = Workload::new(vec![
+        (PatternGraph::star("s3", A, vec![B, B, B]), 70.0),
+        (PatternGraph::path("ab", vec![A, B]), 30.0),
+    ]);
+    let trie = TpsTrie::build(&workload, &rand);
+    MotifMatcher::new(trie.motifs(0.3), rand)
+}
+
+fn bench_hub_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher_hub_scaling");
+    group.sample_size(10);
+    // Doubling hub degrees under the production data path (window
+    // eviction kills matches as edges age out, §4): linear scaling
+    // keeps ms-per-step doubling with the degree, i.e. ns/edge flat.
+    for degree in [2_000u32, 4_000, 8_000] {
+        group.bench_with_input(
+            BenchmarkId::new("window_1024_x_degree", degree),
+            &degree,
+            |b, &degree| {
+                b.iter(|| {
+                    let mut m = hub_matcher();
+                    let mut window = SlidingWindow::new(1024);
+                    let mut buffered = 0usize;
+                    for i in 0..degree {
+                        if m.on_edge(se(i, 0, A, i + 1, B)) == EdgeFate::Buffered {
+                            buffered += 1;
+                            if let Some(old) = window.push(se(i, 0, A, i + 1, B)) {
+                                m.on_edge_assigned(old.id);
+                            }
+                        }
+                    }
+                    buffered
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_match_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher_match_dense");
+    group.sample_size(10);
+    // Join-friendly workload over two labels; a small vertex pool makes
+    // nearly every edge connect to existing matches.
+    let rand = LabelRandomizer::new(2, DEFAULT_PRIME, 11);
+    let workload = Workload::new(vec![(PatternGraph::path("q", vec![A, B, A, B]), 1.0)]);
+    let trie = TpsTrie::build(&workload, &rand);
+    let motifs = trie.motifs(0.5);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let pool = 24u32;
+    let stream: Vec<StreamEdge> = (0..6_000u32)
+        .map(|i| {
+            let u = rng.gen_range(0..pool);
+            let v = (u + 1 + rng.gen_range(0..pool - 1)) % pool;
+            // Alternate labels by parity so a-b edges dominate.
+            let (lu, lv) = (
+                if u.is_multiple_of(2) { A } else { B },
+                if v.is_multiple_of(2) { A } else { B },
+            );
+            se(i, u, lu, v, lv)
+        })
+        .collect();
+    group.bench_function("window_512", |b| {
+        b.iter(|| {
+            let mut m = MotifMatcher::new(motifs.clone(), rand.clone());
+            let mut window = SlidingWindow::new(512);
+            let mut buffered = 0usize;
+            for e in &stream {
+                if m.on_edge(*e) == EdgeFate::Buffered {
+                    buffered += 1;
+                    if let Some(old) = window.push(*e) {
+                        m.on_edge_assigned(old.id);
+                    }
+                }
+            }
+            buffered
+        })
+    });
+    group.finish();
+}
+
+fn bench_bypass_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher_bypass_heavy");
+    group.sample_size(10);
+    // Fig. 1 workload at 40%: c-d edges match nothing and bypass.
+    let rand = LabelRandomizer::new(4, DEFAULT_PRIME, 42);
+    let trie = TpsTrie::build(&Workload::figure1_example(), &rand);
+    let motifs = trie.motifs(0.4);
+    let stream: Vec<StreamEdge> = (0..20_000u32)
+        .map(|i| se(i, 2 * i, C, 2 * i + 1, D))
+        .collect();
+    group.bench_function("all_bypass", |b| {
+        b.iter(|| {
+            let mut m = MotifMatcher::new(motifs.clone(), rand.clone());
+            let mut bypassed = 0usize;
+            for e in &stream {
+                if m.on_edge(*e) == EdgeFate::Bypass {
+                    bypassed += 1;
+                }
+            }
+            bypassed
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hub_scaling,
+    bench_match_dense,
+    bench_bypass_heavy
+);
+criterion_main!(benches);

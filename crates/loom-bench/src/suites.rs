@@ -395,6 +395,61 @@ pub fn ablations(opts: &SuiteOptions) -> String {
         &["dataset", "Loom ipt", "+TAPER refine", "+restream pass"],
         &body,
     ));
+    out.push('\n');
+
+    // (d) Matcher cap sweep: the DESIGN.md §5 bounded-work deviation
+    // (MAX_MATCHES_PER_ENDPOINT), justified by data rather than the
+    // old cost model — quality (weighted ipt) barely moves across two
+    // orders of magnitude of cap while the unbounded matcher pays for
+    // hub scans with throughput.
+    writeln!(
+        out,
+        "## Ablation D — MAX_MATCHES_PER_ENDPOINT sweep (§5 deviation)\n"
+    )
+    .unwrap();
+    let caps: [usize; 4] = [16, 48, 128, usize::MAX];
+    let mut body = Vec::new();
+    for dataset in DatasetKind::IPT_EVALUATED {
+        let cfg = cfg_for(opts, dataset, StreamOrder::BreadthFirst);
+        let graph = datasets::generate(dataset, opts.scale, opts.seed);
+        let workload = workload_for(dataset);
+        let stream = GraphStream::from_graph(&graph, cfg.order, cfg.seed);
+        let mut row = vec![dataset.name().to_string()];
+        for &cap in &caps {
+            let loom_cfg = LoomConfig {
+                k: cfg.k,
+                window_size: cfg.window_size,
+                support_threshold: cfg.support_threshold,
+                prime: loom_core::motif::DEFAULT_PRIME,
+                eo: EoParams::default(),
+                capacity_slack: 1.1,
+                capacity: CapacityModel::for_stream(&stream),
+                seed: cfg.seed,
+                allocation: AllocationPolicy::EqualOpportunism,
+            };
+            let mut p = LoomPartitioner::new(&loom_cfg, &workload, stream.num_labels());
+            p.set_match_cap(cap);
+            let start = std::time::Instant::now();
+            partition_stream(&mut p, &stream);
+            let took = start.elapsed();
+            let ms = took.as_secs_f64() * 1e3 * 10_000.0 / stream.len().max(1) as f64;
+            let a = Box::new(p).into_assignment();
+            let r = count_ipt(&graph, &a, &workload, cfg.limit_per_query);
+            row.push(format!("ipt {:.0} / {ms:.2} ms", r.weighted_ipt));
+        }
+        body.push(row);
+    }
+    out.push_str(&markdown_table(
+        &[
+            "dataset",
+            "cap 16",
+            "cap 48 (default)",
+            "cap 128",
+            "unbounded",
+        ],
+        &body,
+    ));
+    out.push_str("\n(cells: weighted ipt / ms per 10k edges, k = 8, breadth-first)\n");
     out
 }
 

@@ -6,6 +6,12 @@
 //! that grows matches by trie-guided extension and join as edges
 //! arrive. The allocation step (`loom-partition`) consumes matches as
 //! edges fall out of the window.
+//!
+//! Matches are stored in a cell arena ([`matchlist`]): a match is a
+//! `(parent, appended edge)` cons chain, so the steady-state `on_edge`
+//! path never clones an edge vector — extension and join allocate O(1)
+//! cells and edge lists materialise only when allocation consumes a
+//! match (via [`MatchRef`]).
 
 #![warn(missing_docs)]
 
@@ -13,6 +19,6 @@ pub mod matcher;
 pub mod matchlist;
 pub mod window;
 
-pub use matcher::{EdgeFate, MotifMatcher};
-pub use matchlist::{MatchId, MatchList, MotifMatch};
+pub use matcher::{EdgeFate, MotifMatcher, MAX_MATCHES_PER_ENDPOINT};
+pub use matchlist::{MatchId, MatchList, MatchRef};
 pub use window::SlidingWindow;

@@ -14,12 +14,17 @@
 //!    at the edge's endpoints, absorbing the smaller match's edges one
 //!    at a time down the trie (the paper's `corecurse`).
 //!
-//! Signatures are never recomputed: all checks walk parent→child
-//! [`Delta`] annotations of the [`MotifIndex`].
+//! Signatures are never recomputed — and since the interning refactor,
+//! neither are [`loom_motif::Delta`]s: every candidate edge addition
+//! resolves through the [`DeltaLut`] to a dense [`loom_motif::DeltaId`]
+//! and one flat-table child lookup. The steady-state `on_edge` path
+//! performs no edge-vector clone: extension and join push O(1) arena
+//! cells (see [`crate::matchlist`]), and all per-edge working sets live
+//! in scratch buffers reused across calls.
 
-use crate::matchlist::{MatchId, MatchList};
+use crate::matchlist::{MatchId, MatchList, MatchRef};
 use loom_graph::{EdgeId, StreamEdge};
-use loom_motif::{edge_delta, single_edge_delta, Delta, LabelRandomizer, MotifId, MotifIndex};
+use loom_motif::{DeltaLut, LabelRandomizer, MotifId, MotifIndex};
 
 /// What happened to an edge handed to [`MotifMatcher::on_edge`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,36 +38,57 @@ pub enum EdgeFate {
     Buffered,
 }
 
-/// Cap on how many existing matches the extension and join steps
-/// consider per endpoint of a new edge. Hub vertices (a paper with
-/// hundreds of authors, a genre with thousands of artists) can
+/// Default cap on how many existing matches the extension and join
+/// steps consider per endpoint of a new edge. Hub vertices (a paper
+/// with hundreds of authors, a genre with thousands of artists) can
 /// accumulate enormous `matchList` entries; scanning them all per
 /// arriving edge makes the matcher quadratic in hub degree for no
 /// quality gain — the matches skipped are the *oldest* at the hub,
 /// which are about to leave the window anyway. The paper does not
 /// discuss this case; the cap is our bounded-work deviation (see
-/// DESIGN.md §5) and keeps Loom's slowdown factor in Table 2's 1.5-7x
-/// band.
-const MAX_MATCHES_PER_ENDPOINT: usize = 48;
+/// DESIGN.md §5, with the sweep data justifying the value) and keeps
+/// Loom's slowdown factor in Table 2's 1.5-7x band. Override per
+/// matcher with [`MotifMatcher::set_match_cap`].
+pub const MAX_MATCHES_PER_ENDPOINT: usize = 48;
 
 /// The streaming motif matcher: match list plus the motif index and the
-/// label randomizer the whole run shares.
+/// delta lookup tables the whole run shares.
 #[derive(Clone, Debug)]
 pub struct MotifMatcher {
     motifs: MotifIndex,
-    rand: LabelRandomizer,
+    lut: DeltaLut,
     matches: MatchList,
+    match_cap: usize,
     ops_since_compact: usize,
+    // Scratch buffers reused across on_edge calls so the steady state
+    // allocates nothing beyond arena cells and index growth.
+    scratch_connected: Vec<MatchId>,
+    scratch_endpoint: Vec<MatchId>,
+    scratch_fresh: Vec<MatchId>,
+    join_edges: Vec<StreamEdge>,
+    join_remaining: Vec<StreamEdge>,
+    produced: Vec<(MatchId, u32, u16, MotifId)>,
+    produced_edges: Vec<StreamEdge>,
 }
 
 impl MotifMatcher {
-    /// Build a matcher over a motif index.
+    /// Build a matcher over a motif index, precomputing the dense
+    /// label/degree → delta tables from the run's randomizer.
     pub fn new(motifs: MotifIndex, rand: LabelRandomizer) -> Self {
+        let lut = DeltaLut::build(&motifs, &rand);
         MotifMatcher {
             motifs,
-            rand,
+            lut,
             matches: MatchList::new(),
+            match_cap: MAX_MATCHES_PER_ENDPOINT,
             ops_since_compact: 0,
+            scratch_connected: Vec::new(),
+            scratch_endpoint: Vec::new(),
+            scratch_fresh: Vec::new(),
+            join_edges: Vec::new(),
+            join_remaining: Vec::new(),
+            produced: Vec::new(),
+            produced_edges: Vec::new(),
         }
     }
 
@@ -76,44 +102,88 @@ impl MotifMatcher {
         &self.matches
     }
 
+    /// The per-endpoint match cap currently in force.
+    pub fn match_cap(&self) -> usize {
+        self.match_cap
+    }
+
+    /// Override the per-endpoint match cap (`usize::MAX` = unbounded).
+    /// Default is [`MAX_MATCHES_PER_ENDPOINT`]; the loom-bench cap
+    /// sweep uses this to quantify the deviation.
+    pub fn set_match_cap(&mut self, cap: usize) {
+        assert!(cap > 0, "a zero cap would disable matching entirely");
+        self.match_cap = cap;
+    }
+
+    /// Collect the capped live matches at both endpoints of `e` into
+    /// `out` (first endpoint's, then the second's minus duplicates) —
+    /// Alg. 2's `matchList(v1) ∪ matchList(v2)`, newest-first under
+    /// the per-endpoint cap: recent matches are the ones whose edges
+    /// will share window residency with `e`.
+    fn collect_endpoint_matches(
+        matches: &MatchList,
+        scratch: &mut Vec<MatchId>,
+        out: &mut Vec<MatchId>,
+        e: &StreamEdge,
+        cap: usize,
+    ) {
+        out.clear();
+        matches.recent_matches_at_vertex_into(e.src, cap, out);
+        scratch.clear();
+        matches.recent_matches_at_vertex_into(e.dst, cap, scratch);
+        for &id in scratch.iter() {
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+    }
+
     /// Process a new stream edge (Alg. 2's outer loop body).
     pub fn on_edge(&mut self, e: StreamEdge) -> EdgeFate {
-        let single = single_edge_delta(&self.rand, e.src_label, e.dst_label);
-        let Some(m0) = self.motifs.single_edge_motif(single) else {
+        let Some(single) = self.lut.delta_id(e.src_label, 1, e.dst_label, 1) else {
+            return EdgeFate::Bypass;
+        };
+        let Some(m0) = self.motifs.single_edge_motif_by_id(single) else {
             return EdgeFate::Bypass;
         };
 
         // Existing matches connected to e, before e's own entry exists
-        // (Alg. 2 line 4: matchList(v1) ∪ matchList(v2)). Newest-first
-        // under the per-endpoint cap: recent matches are the ones whose
-        // edges will share window residency with e.
-        let mut connected = recent(self.matches.matches_at_vertex_pruned(e.src));
-        for id in recent(self.matches.matches_at_vertex_pruned(e.dst)) {
-            if !connected.contains(&id) {
-                connected.push(id);
-            }
-        }
+        // (Alg. 2 line 4: matchList(v1) ∪ matchList(v2)).
+        let mut connected = std::mem::take(&mut self.scratch_connected);
+        let mut endpoint = std::mem::take(&mut self.scratch_endpoint);
+        Self::collect_endpoint_matches(
+            &self.matches,
+            &mut endpoint,
+            &mut connected,
+            &e,
+            self.match_cap,
+        );
 
         // The new single-edge match ⟨e, m0⟩.
-        let mut fresh: Vec<MatchId> = Vec::new();
-        if let Some(id) = self.matches.insert(vec![e], m0) {
+        let mut fresh = std::mem::take(&mut self.scratch_fresh);
+        fresh.clear();
+        if let Some(id) = self.matches.insert_single(e, m0) {
             fresh.push(id);
         }
 
-        // Extension step (lines 5-8): grow each connected match by e.
+        // Extension step (lines 5-8): grow each connected match by e —
+        // one arena cell per successful extension, no edge cloning.
         let max_edges = self.motifs.max_motif_edges();
         for &id in &connected {
             let m = self.matches.get(id);
-            if m.contains_edge(e.id) || m.len() >= max_edges {
+            if m.len() >= max_edges || m.contains_edge(e.id) {
                 continue;
             }
-            let Some(delta) = extension_delta(&self.rand, &m.edges, &e) else {
+            let (du, dv) = m.degrees(e.src, e.dst);
+            if du == 0 && dv == 0 {
+                continue; // not incident to the match sub-graph
+            }
+            let motif = m.motif();
+            let Some(delta) = self.lut.delta_id(e.src_label, du + 1, e.dst_label, dv + 1) else {
                 continue;
             };
-            if let Some(child) = self.motifs.child_with_delta(m.motif, delta) {
-                let mut edges = m.edges.clone();
-                edges.push(e);
-                if let Some(nid) = self.matches.insert(edges, child) {
+            if let Some(child) = self.motifs.child_with_delta_by_id(motif, delta) {
+                if let Some(nid) = self.matches.insert_extension(id, e, child) {
                     fresh.push(nid);
                 }
             }
@@ -123,14 +193,18 @@ impl MotifMatcher {
         // with the other matches at its endpoints and recursively absorb
         // the partner's edges. Pairs not involving e were already
         // evaluated when their own last edge arrived, so restricting one
-        // side to fresh matches loses nothing.
-        let mut partners = recent(self.matches.matches_at_vertex_pruned(e.src));
-        for id in recent(self.matches.matches_at_vertex_pruned(e.dst)) {
-            if !partners.contains(&id) {
-                partners.push(id);
-            }
-        }
-        let mut produced: Vec<(Vec<StreamEdge>, MotifId)> = Vec::new();
+        // side to fresh matches loses nothing. Partner lists are
+        // re-collected because the extension step just inserted.
+        let mut partners = connected; // reuse the buffer
+        Self::collect_endpoint_matches(
+            &self.matches,
+            &mut endpoint,
+            &mut partners,
+            &e,
+            self.match_cap,
+        );
+        self.produced.clear();
+        self.produced_edges.clear();
         for &a in &fresh {
             for &b in &partners {
                 if a == b {
@@ -143,30 +217,51 @@ impl MotifMatcher {
                 }
                 // Absorb the smaller into the larger (§3: "we consider
                 // each edge from the smaller motif match").
-                let (base, other) = if ma.len() >= mb.len() {
-                    (ma, mb)
+                let (base_id, base, other) = if ma.len() >= mb.len() {
+                    (a, ma, mb)
                 } else {
-                    (mb, ma)
+                    (b, mb, ma)
                 };
-                if other.edges.iter().any(|x| base.contains_edge(x.id)) {
+                if other.edges().any(|x| base.contains_edge(x.id)) {
                     continue; // overlapping matches are not joinable
                 }
-                let mut edges = base.edges.clone();
-                let mut remaining = other.edges.clone();
+                self.join_edges.clear();
+                self.join_edges.extend(base.edges());
+                self.join_remaining.clear();
+                self.join_remaining.extend(other.edges());
+                let base_len = self.join_edges.len();
+                let base_motif = base.motif();
                 if let Some(motif) = try_join(
                     &self.motifs,
-                    &self.rand,
-                    &mut edges,
-                    base.motif,
-                    &mut remaining,
+                    &self.lut,
+                    &mut self.join_edges,
+                    base_motif,
+                    &mut self.join_remaining,
                 ) {
-                    produced.push((edges, motif));
+                    // Record (base, absorbed edges in absorption order)
+                    // in the pooled buffer; inserted after the loops so
+                    // this round's joins don't feed themselves.
+                    let start = self.produced_edges.len() as u32;
+                    self.produced_edges
+                        .extend_from_slice(&self.join_edges[base_len..]);
+                    let len = (self.join_edges.len() - base_len) as u16;
+                    self.produced.push((base_id, start, len, motif));
                 }
             }
         }
-        for (edges, motif) in produced {
-            self.matches.insert(edges, motif);
+        for i in 0..self.produced.len() {
+            let (base, start, len, motif) = self.produced[i];
+            let absorbed = &self.produced_edges[start as usize..start as usize + len as usize];
+            self.matches.insert_join(base, absorbed, motif);
         }
+
+        // Return the scratch buffers for the next call.
+        fresh.clear();
+        self.scratch_fresh = fresh;
+        partners.clear();
+        self.scratch_connected = partners;
+        endpoint.clear();
+        self.scratch_endpoint = endpoint;
 
         self.ops_since_compact += 1;
         if self.ops_since_compact >= 1024 {
@@ -181,15 +276,21 @@ impl MotifMatcher {
         self.matches.matches_at_edge(e)
     }
 
+    /// [`MotifMatcher::matches_for_edge`] into a reused buffer
+    /// (replaces its contents).
+    pub fn matches_for_edge_into(&self, e: EdgeId, out: &mut Vec<MatchId>) {
+        self.matches.matches_at_edge_into(e, out);
+    }
+
     /// Look up a match.
-    pub fn get(&self, id: MatchId) -> &crate::matchlist::MotifMatch {
+    pub fn get(&self, id: MatchId) -> MatchRef<'_> {
         self.matches.get(id)
     }
 
     /// Normalised support of the motif behind a match (Eq. 1's
     /// `supp(m_k)`).
     pub fn support(&self, id: MatchId) -> f64 {
-        self.motifs.get(self.matches.get(id).motif).support
+        self.motifs.get(self.matches.get(id).motif()).support
     }
 
     /// Notify the matcher that an edge left the window (assigned):
@@ -205,35 +306,15 @@ impl MotifMatcher {
     }
 }
 
-/// Keep only the newest [`MAX_MATCHES_PER_ENDPOINT`] matches (ids are
-/// arena-ordered, so higher id = more recent).
-fn recent(mut ids: Vec<MatchId>) -> Vec<MatchId> {
-    if ids.len() > MAX_MATCHES_PER_ENDPOINT {
-        ids.sort_unstable();
-        ids.drain(..ids.len() - MAX_MATCHES_PER_ENDPOINT);
-    }
-    ids
-}
-
-/// Delta factors for adding `e` to the sub-graph `edges`, or `None` if
-/// `e` is not incident to it (`edges` empty counts as incident — the
-/// base case of a fresh single-edge graph).
-fn extension_delta(rand: &LabelRandomizer, edges: &[StreamEdge], e: &StreamEdge) -> Option<Delta> {
-    let du = edges.iter().filter(|x| x.touches(e.src)).count();
-    let dv = edges.iter().filter(|x| x.touches(e.dst)).count();
-    if !edges.is_empty() && du == 0 && dv == 0 {
-        return None;
-    }
-    Some(edge_delta(rand, e.src_label, du + 1, e.dst_label, dv + 1))
-}
-
 /// The paper's `corecurse` (Alg. 2 lines 13-18): absorb every edge of
 /// `remaining` into `edges` by single-edge trie steps, backtracking over
 /// absorption orders. On success returns the motif of the union;
-/// `edges`/`remaining` are restored on failure.
+/// `edges`/`remaining` are restored on failure. The union's motif is
+/// independent of the absorption order (signatures are multisets), so
+/// first-success is canonical.
 fn try_join(
     motifs: &MotifIndex,
-    rand: &LabelRandomizer,
+    lut: &DeltaLut,
     edges: &mut Vec<StreamEdge>,
     motif: MotifId,
     remaining: &mut Vec<StreamEdge>,
@@ -243,15 +324,20 @@ fn try_join(
     }
     for i in 0..remaining.len() {
         let e2 = remaining[i];
-        let Some(delta) = extension_delta(rand, edges, &e2) else {
+        let du = edges.iter().filter(|x| x.touches(e2.src)).count();
+        let dv = edges.iter().filter(|x| x.touches(e2.dst)).count();
+        if du == 0 && dv == 0 {
+            continue; // e2 not incident to the grown sub-graph (yet)
+        }
+        let Some(delta) = lut.delta_id(e2.src_label, du + 1, e2.dst_label, dv + 1) else {
             continue;
         };
-        let Some(child) = motifs.child_with_delta(motif, delta) else {
+        let Some(child) = motifs.child_with_delta_by_id(motif, delta) else {
             continue;
         };
         remaining.remove(i);
         edges.push(e2);
-        if let Some(m) = try_join(motifs, rand, edges, child, remaining) {
+        if let Some(m) = try_join(motifs, lut, edges, child, remaining) {
             return Some(m);
         }
         edges.pop();
@@ -432,5 +518,25 @@ mod tests {
             .max()
             .unwrap();
         assert_eq!(deepest, 3, "cycle itself is not a motif of the path query");
+    }
+
+    #[test]
+    fn match_cap_is_configurable() {
+        let mut m = fig1_matcher();
+        assert_eq!(m.match_cap(), MAX_MATCHES_PER_ENDPOINT);
+        m.set_match_cap(usize::MAX);
+        assert_eq!(m.match_cap(), usize::MAX);
+        // A tiny cap still records the single-edge match per edge.
+        let mut tight = fig1_matcher();
+        tight.set_match_cap(1);
+        tight.on_edge(se(0, 1, A, 2, B));
+        tight.on_edge(se(1, 2, B, 3, C));
+        assert!(tight.match_list().len() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cap")]
+    fn zero_match_cap_rejected() {
+        fig1_matcher().set_match_cap(0);
     }
 }

@@ -2,15 +2,27 @@
 //!
 //! Entries take the paper's form `v → {⟨E_i, m_i⟩, ⟨E_j, m_j⟩, ...}`
 //! where `E_i` is a set of window edges forming a sub-graph with the
-//! same signature as motif `m_i`. Matches live in an arena and are
-//! indexed both by vertex (Alg. 2's lookups) and by edge (the
-//! allocation step retrieves `M_e`, all matches containing the edge
-//! being evicted). New matches never replace old ones (§3); matches
-//! die only when one of their edges leaves the window.
+//! same signature as motif `m_i`. New matches never replace old ones
+//! (§3); matches die only when one of their edges leaves the window.
+//!
+//! Storage is a **cell arena**: every match is a cons list of
+//! `(parent cell, appended edge)` cells, so extending a k-edge match
+//! by one edge allocates exactly one cell — the k existing edges are
+//! *shared* with the parent match, never cloned. A join that absorbs
+//! `j` edges from a partner pushes `j` cells chained onto the base
+//! match's cells. Matches are capped at the largest motif's edge
+//! count (single digits, §2.3), so walking a chain is a handful of
+//! pointer-free index hops through a dense `Vec`; full edge lists are
+//! materialised only when the allocation step consumes a match.
+//!
+//! Indexes (`by_vertex`, `by_edge`, the dedup set) use FxHash — the
+//! fixed-key deterministic hasher from the `rustc-hash` shim — because
+//! the matcher probes them several times per arriving edge and SipHash
+//! was a measurable share of `on_edge`.
 
 use loom_graph::{EdgeId, StreamEdge, VertexId};
 use loom_motif::MotifId;
-use std::collections::{HashMap, HashSet};
+use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Identifier of a match in the arena.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,72 +34,161 @@ impl MatchId {
     }
 }
 
-/// One motif-matching sub-graph `⟨E_k, m_k⟩`.
-#[derive(Clone, Debug)]
-pub struct MotifMatch {
-    /// The window edges of the match, sorted by edge id.
-    pub edges: Vec<StreamEdge>,
-    /// The motif this sub-graph's signature matched.
-    pub motif: MotifId,
-    /// False once any constituent edge left the window.
-    pub alive: bool,
+/// Sentinel for "no parent cell" (the chain root).
+const NO_CELL: u32 = u32::MAX;
+
+/// One arena cell: an edge appended to a (possibly empty) parent chain.
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    parent: u32,
+    edge: StreamEdge,
 }
 
-impl MotifMatch {
-    /// Distinct vertices of the match.
+/// Per-match metadata. The edges live in the cell chain starting at
+/// `cell`; `edge_fp` is the commutative XOR fingerprint of the edge
+/// set, maintained incrementally so dedup never materialises a key.
+#[derive(Clone, Copy, Debug)]
+struct Meta {
+    cell: u32,
+    motif: MotifId,
+    len: u16,
+    alive: bool,
+    edge_fp: u128,
+}
+
+/// Mix one edge id into the 128-bit fingerprint domain. XOR-combining
+/// per-edge mixes is order-independent, which is exactly what a
+/// set-valued fingerprint needs (matches never hold duplicate edges).
+#[inline]
+fn mix_edge(e: EdgeId) -> u128 {
+    let mut x = (e.0 as u128) + 0x9e37_79b9_7f4a_7c15;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9_94d0_49bb_1331_11eb);
+    x ^= x >> 67;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d_8a5c_d789_635d_2dff)
+}
+
+/// Fold the motif id into an edge-set fingerprint: the dedup key is a
+/// function of the *(motif, edge set)* pair. Collisions would silently
+/// drop a legitimate match; at ~2^-100 for any realistic window
+/// population that is far below the signature scheme's own (accepted)
+/// false-positive rate.
+#[inline]
+fn dedup_key(motif: MotifId, edge_fp: u128) -> u128 {
+    edge_fp ^ (0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c834u128).wrapping_mul(motif.0 as u128 + 1)
+}
+
+/// A borrowed view of one match `⟨E_k, m_k⟩` — resolves the cell chain
+/// on demand instead of owning an edge vector.
+#[derive(Clone, Copy)]
+pub struct MatchRef<'a> {
+    list: &'a MatchList,
+    meta: &'a Meta,
+}
+
+impl<'a> MatchRef<'a> {
+    /// The motif this sub-graph's signature matched.
+    #[inline]
+    pub fn motif(&self) -> MotifId {
+        self.meta.motif
+    }
+
+    /// False once any constituent edge left the window.
+    #[inline]
+    pub fn alive(&self) -> bool {
+        self.meta.alive
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.meta.len as usize
+    }
+
+    /// Always false — matches have at least one edge.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.meta.len == 0
+    }
+
+    /// Iterate the match's edges (newest appended first).
+    pub fn edges(&self) -> impl Iterator<Item = StreamEdge> + 'a {
+        let cells = &self.list.cells;
+        let mut cur = self.meta.cell;
+        std::iter::from_fn(move || {
+            if cur == NO_CELL {
+                return None;
+            }
+            let c = &cells[cur as usize];
+            cur = c.parent;
+            Some(c.edge)
+        })
+    }
+
+    /// True if the match contains the edge. Chain walk — bounded by
+    /// the largest motif's edge count.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges().any(|x| x.id == e)
+    }
+
+    /// Distinct vertices of the match, sorted.
     pub fn vertices(&self) -> Vec<VertexId> {
-        let mut vs: Vec<VertexId> = self.edges.iter().flat_map(|e| [e.src, e.dst]).collect();
-        vs.sort_unstable();
-        vs.dedup();
+        let mut vs = Vec::new();
+        self.vertices_into(&mut vs);
         vs
+    }
+
+    /// Write the distinct vertices of the match (sorted) into `out`,
+    /// replacing its contents — the allocation-free variant hot
+    /// callers use with a reused buffer.
+    pub fn vertices_into(&self, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend(self.edges().flat_map(|e| [e.src, e.dst]));
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Degrees of two vertices within the match sub-graph, in one
+    /// chain walk (the extension step needs both endpoints).
+    pub fn degrees(&self, u: VertexId, v: VertexId) -> (usize, usize) {
+        let mut du = 0;
+        let mut dv = 0;
+        for e in self.edges() {
+            if e.touches(u) {
+                du += 1;
+            }
+            if e.touches(v) {
+                dv += 1;
+            }
+        }
+        (du, dv)
     }
 
     /// Degree of `v` within the match sub-graph.
     pub fn degree(&self, v: VertexId) -> usize {
-        self.edges.iter().filter(|e| e.touches(v)).count()
-    }
-
-    /// True if the match contains the edge.
-    pub fn contains_edge(&self, e: EdgeId) -> bool {
-        self.edges.binary_search_by_key(&e, |x| x.id).is_ok()
-    }
-
-    /// Number of edges.
-    pub fn len(&self) -> usize {
-        self.edges.len()
-    }
-
-    /// Always false — matches have at least one edge.
-    pub fn is_empty(&self) -> bool {
-        self.edges.is_empty()
+        self.edges().filter(|e| e.touches(v)).count()
     }
 }
 
-/// 128-bit fingerprint of a (motif, sorted edge set) pair, used for
-/// duplicate detection without allocating a key per attempted insert.
-/// Collisions would silently drop a legitimate match; at ~2^-100 for
-/// any realistic window population that is far below the signature
-/// scheme's own (accepted) false-positive rate.
-fn fingerprint(motif: MotifId, edges: &[StreamEdge]) -> u128 {
-    let mut h: u128 = 0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c834;
-    h ^= motif.0 as u128;
-    for e in edges {
-        let mut x = (e.id.0 as u128) + 0x9e37_79b9_7f4a_7c15;
-        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9_94d0_49bb_1331_11eb);
-        x ^= x >> 67;
-        h = h.rotate_left(13) ^ x.wrapping_mul(0x2545_f491_4f6c_dd1d_8a5c_d789_635d_2dff);
-    }
-    h
-}
-
-/// Arena + indices for all live matches in the window.
+/// Cell arena + indices for all live matches in the window.
+///
+/// Dead matches keep their (small, fixed-size) `Meta` and cells: ids
+/// are arena-ordered and the matcher's recency cap *is* id order, so
+/// slots are never reused — memory grows with the total number of
+/// matches ever recorded, not the live set. That is the same bound
+/// the previous owned-`Vec` arena had (at a fraction of the bytes per
+/// match); reclaiming it for unbounded service-style streams means a
+/// generation/epoch scheme that preserves id ordering, recorded as a
+/// ROADMAP open item rather than smuggled into this refactor.
 #[derive(Clone, Debug, Default)]
 pub struct MatchList {
-    arena: Vec<MotifMatch>,
-    by_vertex: HashMap<VertexId, Vec<MatchId>>,
-    by_edge: HashMap<EdgeId, Vec<MatchId>>,
-    dedup: HashSet<u128>,
+    cells: Vec<Cell>,
+    matches: Vec<Meta>,
+    by_vertex: FxHashMap<VertexId, Vec<MatchId>>,
+    by_edge: FxHashMap<EdgeId, Vec<MatchId>>,
+    dedup: FxHashSet<u128>,
     live: usize,
+    /// Scratch for vertex registration (reused across inserts).
+    scratch_vertices: Vec<VertexId>,
 }
 
 impl MatchList {
@@ -106,36 +207,118 @@ impl MatchList {
         self.live == 0
     }
 
-    /// Insert a match over `edges` (any order) for `motif`. Returns
-    /// `None` if an identical match (same edge set and motif) is
-    /// already — or was ever — recorded while those edges were live.
-    pub fn insert(&mut self, mut edges: Vec<StreamEdge>, motif: MotifId) -> Option<MatchId> {
-        debug_assert!(!edges.is_empty());
-        edges.sort_unstable_by_key(|e| e.id);
-        edges.dedup_by_key(|e| e.id);
-        if !self.dedup.insert(fingerprint(motif, &edges)) {
-            return None;
+    /// Register a new match whose chain head is `cell`, indexing it
+    /// under its vertices and edges. The caller has already passed
+    /// dedup and pushed the cells.
+    fn register(&mut self, cell: u32, motif: MotifId, len: u16, edge_fp: u128) -> MatchId {
+        let id = MatchId(self.matches.len() as u32);
+        // Collect distinct vertices and register edges in one walk.
+        let mut scratch = std::mem::take(&mut self.scratch_vertices);
+        scratch.clear();
+        let mut cur = cell;
+        while cur != NO_CELL {
+            let c = self.cells[cur as usize];
+            scratch.push(c.edge.src);
+            scratch.push(c.edge.dst);
+            self.by_edge.entry(c.edge.id).or_default().push(id);
+            cur = c.parent;
         }
-        let id = MatchId(self.arena.len() as u32);
-        let m = MotifMatch {
-            edges,
-            motif,
-            alive: true,
-        };
-        for v in m.vertices() {
+        scratch.sort_unstable();
+        scratch.dedup();
+        for &v in &scratch {
             self.by_vertex.entry(v).or_default().push(id);
         }
-        for e in &m.edges {
-            self.by_edge.entry(e.id).or_default().push(id);
-        }
-        self.arena.push(m);
+        self.scratch_vertices = scratch;
+        self.matches.push(Meta {
+            cell,
+            motif,
+            len,
+            alive: true,
+            edge_fp,
+        });
         self.live += 1;
-        Some(id)
+        id
+    }
+
+    /// Insert the single-edge match `⟨{e}, motif⟩`. Returns `None` if
+    /// an identical match is already — or was ever — recorded while
+    /// its edge was live.
+    pub fn insert_single(&mut self, e: StreamEdge, motif: MotifId) -> Option<MatchId> {
+        let edge_fp = mix_edge(e.id);
+        if !self.dedup.insert(dedup_key(motif, edge_fp)) {
+            return None;
+        }
+        let cell = self.cells.len() as u32;
+        self.cells.push(Cell {
+            parent: NO_CELL,
+            edge: e,
+        });
+        Some(self.register(cell, motif, 1, edge_fp))
+    }
+
+    /// Insert the extension of `parent` by edge `e` as a new match for
+    /// `motif` — one arena cell, the parent's edges are shared. The
+    /// caller guarantees `e` is not already in `parent`.
+    pub fn insert_extension(
+        &mut self,
+        parent: MatchId,
+        e: StreamEdge,
+        motif: MotifId,
+    ) -> Option<MatchId> {
+        let pm = &self.matches[parent.index()];
+        debug_assert!(
+            !self.get(parent).contains_edge(e.id),
+            "extension edge already in parent"
+        );
+        let edge_fp = pm.edge_fp ^ mix_edge(e.id);
+        let (pcell, plen) = (pm.cell, pm.len);
+        if !self.dedup.insert(dedup_key(motif, edge_fp)) {
+            return None;
+        }
+        let cell = self.cells.len() as u32;
+        self.cells.push(Cell {
+            parent: pcell,
+            edge: e,
+        });
+        Some(self.register(cell, motif, plen + 1, edge_fp))
+    }
+
+    /// Insert the join of `base` with `absorbed` edges (in absorption
+    /// order) as a new match for `motif` — `absorbed.len()` cells
+    /// chained onto the base match's shared chain. The caller
+    /// guarantees `absorbed` is disjoint from `base`.
+    pub fn insert_join(
+        &mut self,
+        base: MatchId,
+        absorbed: &[StreamEdge],
+        motif: MotifId,
+    ) -> Option<MatchId> {
+        debug_assert!(!absorbed.is_empty(), "a join absorbs at least one edge");
+        let bm = &self.matches[base.index()];
+        let edge_fp = absorbed
+            .iter()
+            .fold(bm.edge_fp, |acc, e| acc ^ mix_edge(e.id));
+        let (mut cell, blen) = (bm.cell, bm.len);
+        if !self.dedup.insert(dedup_key(motif, edge_fp)) {
+            return None;
+        }
+        for &e in absorbed {
+            let next = self.cells.len() as u32;
+            self.cells.push(Cell {
+                parent: cell,
+                edge: e,
+            });
+            cell = next;
+        }
+        Some(self.register(cell, motif, blen + absorbed.len() as u16, edge_fp))
     }
 
     /// Access a match (dead or alive).
-    pub fn get(&self, id: MatchId) -> &MotifMatch {
-        &self.arena[id.index()]
+    pub fn get(&self, id: MatchId) -> MatchRef<'_> {
+        MatchRef {
+            list: self,
+            meta: &self.matches[id.index()],
+        }
     }
 
     /// Live matches containing vertex `v` — `matchList(v)` in Alg. 2.
@@ -145,39 +328,57 @@ impl MatchList {
             .map(|ids| {
                 ids.iter()
                     .copied()
-                    .filter(|&id| self.arena[id.index()].alive)
+                    .filter(|&id| self.matches[id.index()].alive)
                     .collect()
             })
             .unwrap_or_default()
     }
 
-    /// Like [`MatchList::matches_at_vertex`], but prunes dead ids from
-    /// the index in the same pass — the matcher's hot path uses this so
-    /// hub vertices don't re-scan tombstones on every arriving edge.
-    pub fn matches_at_vertex_pruned(&mut self, v: VertexId) -> Vec<MatchId> {
-        let arena = &self.arena;
-        let Some(ids) = self.by_vertex.get_mut(&v) else {
-            return Vec::new();
+    /// Append the newest (at most) `cap` live matches at `v` to `out`,
+    /// in ascending id order — the capped `matchList(v)` read of the
+    /// matcher's hot path.
+    ///
+    /// The index list is append-ordered (ids only grow), so this walks
+    /// it *backwards* and stops as soon as `cap` live entries are
+    /// found: at a hub vertex the cost is O(cap + recently-dead), not
+    /// O(every match ever recorded at the hub) — the difference
+    /// between linear and quadratic total work in hub degree. Dead
+    /// entries are left for [`MatchList::compact`] to sweep.
+    pub fn recent_matches_at_vertex_into(&self, v: VertexId, cap: usize, out: &mut Vec<MatchId>) {
+        let Some(ids) = self.by_vertex.get(&v) else {
+            return;
         };
-        ids.retain(|id| arena[id.index()].alive);
-        if ids.is_empty() {
-            self.by_vertex.remove(&v);
-            return Vec::new();
+        let start = out.len();
+        for &id in ids.iter().rev() {
+            if self.matches[id.index()].alive {
+                out.push(id);
+                if out.len() - start >= cap {
+                    break;
+                }
+            }
         }
-        ids.clone()
+        out[start..].reverse();
     }
 
     /// Live matches containing edge `e` — the `M_e` of §4.
     pub fn matches_at_edge(&self, e: EdgeId) -> Vec<MatchId> {
-        self.by_edge
-            .get(&e)
-            .map(|ids| {
+        let mut out = Vec::new();
+        self.matches_at_edge_into(e, &mut out);
+        out
+    }
+
+    /// Write the live matches containing edge `e` into `out`,
+    /// replacing its contents — the allocation-free `M_e` lookup the
+    /// allocation step uses with a reused buffer.
+    pub fn matches_at_edge_into(&self, e: EdgeId, out: &mut Vec<MatchId>) {
+        out.clear();
+        if let Some(ids) = self.by_edge.get(&e) {
+            out.extend(
                 ids.iter()
                     .copied()
-                    .filter(|&id| self.arena[id.index()].alive)
-                    .collect()
-            })
-            .unwrap_or_default()
+                    .filter(|&id| self.matches[id.index()].alive),
+            );
+        }
     }
 
     /// Kill every match containing edge `e` (the edge left the window).
@@ -188,13 +389,12 @@ impl MatchList {
         };
         let mut killed = 0;
         for id in ids {
-            let m = &mut self.arena[id.index()];
+            let m = &mut self.matches[id.index()];
             if m.alive {
                 m.alive = false;
                 self.live -= 1;
                 killed += 1;
-                let fp = fingerprint(m.motif, &m.edges);
-                self.dedup.remove(&fp);
+                self.dedup.remove(&dedup_key(m.motif, m.edge_fp));
             }
         }
         killed
@@ -203,12 +403,11 @@ impl MatchList {
     /// Kill a single match by id (equal opportunism drops losing
     /// matches from the map, §4). No-op if already dead.
     pub fn kill(&mut self, id: MatchId) {
-        let m = &mut self.arena[id.index()];
+        let m = &mut self.matches[id.index()];
         if m.alive {
             m.alive = false;
             self.live -= 1;
-            let fp = fingerprint(m.motif, &m.edges);
-            self.dedup.remove(&fp);
+            self.dedup.remove(&dedup_key(m.motif, m.edge_fp));
         }
     }
 
@@ -216,13 +415,13 @@ impl MatchList {
     /// periodically by the matcher; correctness never depends on it
     /// (lookups filter on liveness), only memory usage does.
     pub fn compact(&mut self) {
-        let arena = &self.arena;
+        let matches = &self.matches;
         self.by_vertex.retain(|_, ids| {
-            ids.retain(|id| arena[id.index()].alive);
+            ids.retain(|id| matches[id.index()].alive);
             !ids.is_empty()
         });
         self.by_edge.retain(|_, ids| {
-            ids.retain(|id| arena[id.index()].alive);
+            ids.retain(|id| matches[id.index()].alive);
             !ids.is_empty()
         });
     }
@@ -246,7 +445,7 @@ mod tests {
     #[test]
     fn insert_and_lookup_by_vertex_and_edge() {
         let mut ml = MatchList::new();
-        let id = ml.insert(vec![se(0, 1, 2)], MotifId(0)).unwrap();
+        let id = ml.insert_single(se(0, 1, 2), MotifId(0)).unwrap();
         assert_eq!(ml.matches_at_vertex(VertexId(1)), vec![id]);
         assert_eq!(ml.matches_at_vertex(VertexId(2)), vec![id]);
         assert_eq!(ml.matches_at_edge(EdgeId(0)), vec![id]);
@@ -255,36 +454,65 @@ mod tests {
     }
 
     #[test]
+    fn extension_shares_parent_edges() {
+        let mut ml = MatchList::new();
+        let a = ml.insert_single(se(0, 1, 2), MotifId(0)).unwrap();
+        let b = ml.insert_extension(a, se(1, 2, 3), MotifId(1)).unwrap();
+        assert_eq!(ml.get(b).len(), 2);
+        assert!(ml.get(b).contains_edge(EdgeId(0)));
+        assert!(ml.get(b).contains_edge(EdgeId(1)));
+        assert!(!ml.get(a).contains_edge(EdgeId(1)));
+        // One cell per insert: 2 matches, 2 cells total (shared tail).
+        assert_eq!(ml.cells.len(), 2);
+        // Both matches are indexed under the shared edge.
+        assert_eq!(ml.matches_at_edge(EdgeId(0)), vec![a, b]);
+        assert_eq!(
+            ml.get(b).vertices(),
+            vec![VertexId(1), VertexId(2), VertexId(3)]
+        );
+    }
+
+    #[test]
+    fn join_chains_absorbed_edges() {
+        let mut ml = MatchList::new();
+        let base = ml.insert_single(se(0, 1, 2), MotifId(0)).unwrap();
+        let j = ml
+            .insert_join(base, &[se(1, 2, 3), se(2, 3, 4)], MotifId(2))
+            .unwrap();
+        assert_eq!(ml.get(j).len(), 3);
+        for e in 0..3u32 {
+            assert!(ml.get(j).contains_edge(EdgeId(e)));
+        }
+        // Base untouched; three cells total for base + 2 absorbed.
+        assert_eq!(ml.get(base).len(), 1);
+        assert_eq!(ml.cells.len(), 3);
+    }
+
+    #[test]
     fn duplicate_matches_rejected() {
         let mut ml = MatchList::new();
-        assert!(ml
-            .insert(vec![se(0, 1, 2), se(1, 2, 3)], MotifId(1))
-            .is_some());
-        // Same edges in a different order: still a duplicate.
-        assert!(ml
-            .insert(vec![se(1, 2, 3), se(0, 1, 2)], MotifId(1))
-            .is_none());
-        // Same edges, different motif: distinct entry (Alg. 2 can map
-        // one sub-graph to several motifs only via collisions, but the
-        // structure must not conflate them).
-        assert!(ml
-            .insert(vec![se(0, 1, 2), se(1, 2, 3)], MotifId(2))
-            .is_some());
-        assert_eq!(ml.len(), 2);
+        let a = ml.insert_single(se(0, 1, 2), MotifId(1)).unwrap();
+        let b = ml.insert_single(se(1, 2, 3), MotifId(1)).unwrap();
+        assert!(ml.insert_extension(a, se(1, 2, 3), MotifId(1)).is_some());
+        // Same edge set {0, 1} reached through the other parent: dup.
+        assert!(ml.insert_extension(b, se(0, 1, 2), MotifId(1)).is_none());
+        // Same edge set, different motif: distinct entry (Alg. 2 can
+        // map one sub-graph to several motifs only via collisions, but
+        // the structure must not conflate them).
+        assert!(ml.insert_extension(a, se(1, 2, 3), MotifId(2)).is_some());
+        assert_eq!(ml.len(), 4);
     }
 
     #[test]
     fn drop_edge_kills_all_containing_matches() {
         let mut ml = MatchList::new();
-        let a = ml.insert(vec![se(0, 1, 2)], MotifId(0)).unwrap();
-        let b = ml
-            .insert(vec![se(0, 1, 2), se(1, 2, 3)], MotifId(1))
-            .unwrap();
-        let c = ml.insert(vec![se(1, 2, 3)], MotifId(0)).unwrap();
+        let a = ml.insert_single(se(0, 1, 2), MotifId(0)).unwrap();
+        let b = ml.insert_extension(a, se(1, 2, 3), MotifId(1)).unwrap();
+        let c = ml.insert_single(se(1, 2, 3), MotifId(0)).unwrap();
         assert_eq!(ml.drop_edge(EdgeId(0)), 2);
-        assert!(!ml.get(a).alive);
-        assert!(!ml.get(b).alive);
-        assert!(ml.get(c).alive);
+        assert!(!ml.get(a).alive());
+        assert!(!ml.get(b).alive());
+        assert!(ml.get(c).alive());
         assert_eq!(ml.matches_at_vertex(VertexId(2)), vec![c]);
         assert_eq!(ml.len(), 1);
     }
@@ -292,33 +520,57 @@ mod tests {
     #[test]
     fn kill_then_reinsert_is_allowed() {
         let mut ml = MatchList::new();
-        let a = ml.insert(vec![se(0, 1, 2)], MotifId(0)).unwrap();
+        let a = ml.insert_single(se(0, 1, 2), MotifId(0)).unwrap();
         ml.kill(a);
         assert_eq!(ml.len(), 0);
         // The same sub-graph may legitimately reform later in the stream.
-        assert!(ml.insert(vec![se(0, 1, 2)], MotifId(0)).is_some());
+        assert!(ml.insert_single(se(0, 1, 2), MotifId(0)).is_some());
     }
 
     #[test]
-    fn match_vertex_and_degree_helpers() {
-        let m = MotifMatch {
-            edges: vec![se(0, 1, 2), se(1, 2, 3)],
-            motif: MotifId(0),
-            alive: true,
-        };
+    fn match_ref_degree_helpers() {
+        let mut ml = MatchList::new();
+        let a = ml.insert_single(se(0, 1, 2), MotifId(0)).unwrap();
+        let b = ml.insert_extension(a, se(1, 2, 3), MotifId(0)).unwrap();
+        let m = ml.get(b);
         assert_eq!(m.vertices(), vec![VertexId(1), VertexId(2), VertexId(3)]);
         assert_eq!(m.degree(VertexId(2)), 2);
         assert_eq!(m.degree(VertexId(1)), 1);
         assert_eq!(m.degree(VertexId(9)), 0);
+        assert_eq!(m.degrees(VertexId(1), VertexId(2)), (1, 2));
         assert!(m.contains_edge(EdgeId(1)));
         assert!(!m.contains_edge(EdgeId(9)));
     }
 
     #[test]
+    fn recent_lookup_caps_skips_dead_and_appends() {
+        let mut ml = MatchList::new();
+        let ids: Vec<MatchId> = (0..6)
+            .map(|i| ml.insert_single(se(i, 1, 10 + i), MotifId(0)).unwrap())
+            .collect();
+        ml.kill(ids[5]);
+        ml.kill(ids[2]);
+        // Newest 3 live at the shared vertex, ascending: 1, 3, 4.
+        let mut out = Vec::new();
+        ml.recent_matches_at_vertex_into(VertexId(1), 3, &mut out);
+        assert_eq!(out, vec![ids[1], ids[3], ids[4]]);
+        // Uncapped: all live, ascending.
+        out.clear();
+        ml.recent_matches_at_vertex_into(VertexId(1), usize::MAX, &mut out);
+        assert_eq!(out, vec![ids[0], ids[1], ids[3], ids[4]]);
+        // Appending preserves what the caller already collected.
+        ml.recent_matches_at_vertex_into(VertexId(11), 8, &mut out);
+        assert_eq!(out, vec![ids[0], ids[1], ids[3], ids[4], ids[1]]);
+        // Unknown vertex: no-op.
+        ml.recent_matches_at_vertex_into(VertexId(99), 8, &mut out);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
     fn compact_prunes_indices() {
         let mut ml = MatchList::new();
-        let a = ml.insert(vec![se(0, 1, 2)], MotifId(0)).unwrap();
-        ml.insert(vec![se(1, 2, 3)], MotifId(0)).unwrap();
+        let a = ml.insert_single(se(0, 1, 2), MotifId(0)).unwrap();
+        ml.insert_single(se(1, 2, 3), MotifId(0)).unwrap();
         ml.kill(a);
         ml.compact();
         assert!(ml.matches_at_vertex(VertexId(1)).is_empty());

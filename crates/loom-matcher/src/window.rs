@@ -8,8 +8,9 @@
 //! unassigned vertices with window presence as residents of `Ptemp`.
 
 use loom_graph::{EdgeId, StreamEdge, VertexId};
+use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A fixed-capacity FIFO of stream edges with O(1) membership checks
 /// and per-vertex degree tracking.
@@ -17,8 +18,8 @@ use std::collections::{HashMap, VecDeque};
 pub struct SlidingWindow {
     capacity: usize,
     edges: VecDeque<StreamEdge>,
-    present: HashMap<EdgeId, ()>,
-    degree: HashMap<VertexId, u32>,
+    present: FxHashSet<EdgeId>,
+    degree: FxHashMap<VertexId, u32>,
 }
 
 impl SlidingWindow {
@@ -32,8 +33,8 @@ impl SlidingWindow {
         SlidingWindow {
             capacity,
             edges: VecDeque::with_capacity(capacity + 1),
-            present: HashMap::with_capacity(capacity + 1),
-            degree: HashMap::new(),
+            present: FxHashSet::with_capacity_and_hasher(capacity + 1, Default::default()),
+            degree: FxHashMap::default(),
         }
     }
 
@@ -59,7 +60,7 @@ impl SlidingWindow {
 
     /// True if the edge is currently in the window.
     pub fn contains(&self, e: EdgeId) -> bool {
-        self.present.contains_key(&e)
+        self.present.contains(&e)
     }
 
     /// Degree of `v` counting only window edges (0 if absent).
@@ -76,13 +77,9 @@ impl SlidingWindow {
     /// Buffer a new edge. If the window was full, the oldest edge is
     /// evicted and returned — the caller must then assign it (§4).
     pub fn push(&mut self, e: StreamEdge) -> Option<StreamEdge> {
-        debug_assert!(
-            !self.present.contains_key(&e.id),
-            "duplicate edge {:?}",
-            e.id
-        );
+        debug_assert!(!self.present.contains(&e.id), "duplicate edge {:?}", e.id);
         self.edges.push_back(e);
-        self.present.insert(e.id, ());
+        self.present.insert(e.id);
         *self.degree.entry(e.src).or_insert(0) += 1;
         *self.degree.entry(e.dst).or_insert(0) += 1;
         if self.present.len() > self.capacity {
@@ -95,7 +92,7 @@ impl SlidingWindow {
     /// Remove and return the oldest edge still present.
     pub fn pop_oldest(&mut self) -> Option<StreamEdge> {
         while let Some(e) = self.edges.pop_front() {
-            if self.present.remove(&e.id).is_some() {
+            if self.present.remove(&e.id) {
                 self.drop_degrees(&e);
                 return Some(e);
             }
@@ -111,7 +108,7 @@ impl SlidingWindow {
     ///
     /// Returns true if the edge was present.
     pub fn remove(&mut self, e: &StreamEdge) -> bool {
-        if self.present.remove(&e.id).is_some() {
+        if self.present.remove(&e.id) {
             self.drop_degrees(e);
             true
         } else {
@@ -130,9 +127,7 @@ impl SlidingWindow {
 
     /// Iterate over live edges in arrival order.
     pub fn iter(&self) -> impl Iterator<Item = &StreamEdge> {
-        self.edges
-            .iter()
-            .filter(|e| self.present.contains_key(&e.id))
+        self.edges.iter().filter(|e| self.present.contains(&e.id))
     }
 
     fn drop_degrees(&mut self, e: &StreamEdge) {

@@ -1,5 +1,8 @@
 //! Property-based tests of the sliding window and the matcher's
-//! structural invariants under random streams.
+//! structural invariants under random streams — plus the arena
+//! refactor's equivalence suite: the zero-clone matcher must produce
+//! *exactly* the same match sets as a verbatim copy of the
+//! pre-refactor matcher, across window sizes and support thresholds.
 
 use loom_graph::{EdgeId, Label, PatternGraph, StreamEdge, VertexId, Workload};
 use loom_matcher::{EdgeFate, MotifMatcher, SlidingWindow};
@@ -32,6 +35,401 @@ fn random_stream(n_vertices: usize, n_edges: usize, labels: usize, seed: u64) ->
         id += 1;
     }
     out
+}
+
+/// A verbatim copy of the pre-refactor matcher (owned edge vectors,
+/// SipHash maps, per-candidate `Delta` computation, clone-based join)
+/// kept as the behavioural oracle for the arena refactor. Apart from
+/// module-path adjustments this is the code as committed before the
+/// interned/arena representation landed.
+mod reference {
+    use loom_graph::{EdgeId, StreamEdge, VertexId};
+    use loom_motif::{edge_delta, single_edge_delta, Delta, LabelRandomizer, MotifId, MotifIndex};
+    use std::collections::{HashMap, HashSet};
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    pub struct MatchId(pub u32);
+
+    impl MatchId {
+        fn index(self) -> usize {
+            self.0 as usize
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct MotifMatch {
+        pub edges: Vec<StreamEdge>,
+        pub motif: MotifId,
+        pub alive: bool,
+    }
+
+    impl MotifMatch {
+        pub fn vertices(&self) -> Vec<VertexId> {
+            let mut vs: Vec<VertexId> = self.edges.iter().flat_map(|e| [e.src, e.dst]).collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs
+        }
+
+        pub fn contains_edge(&self, e: EdgeId) -> bool {
+            self.edges.binary_search_by_key(&e, |x| x.id).is_ok()
+        }
+
+        pub fn len(&self) -> usize {
+            self.edges.len()
+        }
+    }
+
+    fn fingerprint(motif: MotifId, edges: &[StreamEdge]) -> u128 {
+        let mut h: u128 = 0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c834;
+        h ^= motif.0 as u128;
+        for e in edges {
+            let mut x = (e.id.0 as u128) + 0x9e37_79b9_7f4a_7c15;
+            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9_94d0_49bb_1331_11eb);
+            x ^= x >> 67;
+            h = h.rotate_left(13) ^ x.wrapping_mul(0x2545_f491_4f6c_dd1d_8a5c_d789_635d_2dff);
+        }
+        h
+    }
+
+    #[derive(Clone, Debug, Default)]
+    pub struct MatchList {
+        arena: Vec<MotifMatch>,
+        by_vertex: HashMap<VertexId, Vec<MatchId>>,
+        by_edge: HashMap<EdgeId, Vec<MatchId>>,
+        dedup: HashSet<u128>,
+        live: usize,
+    }
+
+    impl MatchList {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn insert(&mut self, mut edges: Vec<StreamEdge>, motif: MotifId) -> Option<MatchId> {
+            debug_assert!(!edges.is_empty());
+            edges.sort_unstable_by_key(|e| e.id);
+            edges.dedup_by_key(|e| e.id);
+            if !self.dedup.insert(fingerprint(motif, &edges)) {
+                return None;
+            }
+            let id = MatchId(self.arena.len() as u32);
+            let m = MotifMatch {
+                edges,
+                motif,
+                alive: true,
+            };
+            for v in m.vertices() {
+                self.by_vertex.entry(v).or_default().push(id);
+            }
+            for e in &m.edges {
+                self.by_edge.entry(e.id).or_default().push(id);
+            }
+            self.arena.push(m);
+            self.live += 1;
+            Some(id)
+        }
+
+        pub fn get(&self, id: MatchId) -> &MotifMatch {
+            &self.arena[id.index()]
+        }
+
+        pub fn matches_at_vertex_pruned(&mut self, v: VertexId) -> Vec<MatchId> {
+            let arena = &self.arena;
+            let Some(ids) = self.by_vertex.get_mut(&v) else {
+                return Vec::new();
+            };
+            ids.retain(|id| arena[id.index()].alive);
+            if ids.is_empty() {
+                self.by_vertex.remove(&v);
+                return Vec::new();
+            }
+            ids.clone()
+        }
+
+        pub fn matches_at_edge(&self, e: EdgeId) -> Vec<MatchId> {
+            self.by_edge
+                .get(&e)
+                .map(|ids| {
+                    ids.iter()
+                        .copied()
+                        .filter(|&id| self.arena[id.index()].alive)
+                        .collect()
+                })
+                .unwrap_or_default()
+        }
+
+        pub fn drop_edge(&mut self, e: EdgeId) -> usize {
+            let Some(ids) = self.by_edge.remove(&e) else {
+                return 0;
+            };
+            let mut killed = 0;
+            for id in ids {
+                let m = &mut self.arena[id.index()];
+                if m.alive {
+                    m.alive = false;
+                    self.live -= 1;
+                    killed += 1;
+                    let fp = fingerprint(m.motif, &m.edges);
+                    self.dedup.remove(&fp);
+                }
+            }
+            killed
+        }
+
+        pub fn compact(&mut self) {
+            let arena = &self.arena;
+            self.by_vertex.retain(|_, ids| {
+                ids.retain(|id| arena[id.index()].alive);
+                !ids.is_empty()
+            });
+            self.by_edge.retain(|_, ids| {
+                ids.retain(|id| arena[id.index()].alive);
+                !ids.is_empty()
+            });
+        }
+    }
+
+    const MAX_MATCHES_PER_ENDPOINT: usize = 48;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum EdgeFate {
+        Bypass,
+        Buffered,
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct MotifMatcher {
+        motifs: MotifIndex,
+        rand: LabelRandomizer,
+        matches: MatchList,
+        ops_since_compact: usize,
+    }
+
+    impl MotifMatcher {
+        pub fn new(motifs: MotifIndex, rand: LabelRandomizer) -> Self {
+            MotifMatcher {
+                motifs,
+                rand,
+                matches: MatchList::new(),
+                ops_since_compact: 0,
+            }
+        }
+
+        pub fn on_edge(&mut self, e: StreamEdge) -> EdgeFate {
+            let single = single_edge_delta(&self.rand, e.src_label, e.dst_label);
+            let Some(m0) = self.motifs.single_edge_motif(single) else {
+                return EdgeFate::Bypass;
+            };
+
+            let mut connected = recent(self.matches.matches_at_vertex_pruned(e.src));
+            for id in recent(self.matches.matches_at_vertex_pruned(e.dst)) {
+                if !connected.contains(&id) {
+                    connected.push(id);
+                }
+            }
+
+            let mut fresh: Vec<MatchId> = Vec::new();
+            if let Some(id) = self.matches.insert(vec![e], m0) {
+                fresh.push(id);
+            }
+
+            let max_edges = self.motifs.max_motif_edges();
+            for &id in &connected {
+                let m = self.matches.get(id);
+                if m.contains_edge(e.id) || m.len() >= max_edges {
+                    continue;
+                }
+                let Some(delta) = extension_delta(&self.rand, &m.edges, &e) else {
+                    continue;
+                };
+                if let Some(child) = self.motifs.child_with_delta(m.motif, delta) {
+                    let mut edges = m.edges.clone();
+                    edges.push(e);
+                    if let Some(nid) = self.matches.insert(edges, child) {
+                        fresh.push(nid);
+                    }
+                }
+            }
+
+            let mut partners = recent(self.matches.matches_at_vertex_pruned(e.src));
+            for id in recent(self.matches.matches_at_vertex_pruned(e.dst)) {
+                if !partners.contains(&id) {
+                    partners.push(id);
+                }
+            }
+            let mut produced: Vec<(Vec<StreamEdge>, MotifId)> = Vec::new();
+            for &a in &fresh {
+                for &b in &partners {
+                    if a == b {
+                        continue;
+                    }
+                    let ma = self.matches.get(a);
+                    let mb = self.matches.get(b);
+                    if ma.len() + mb.len() > max_edges {
+                        continue;
+                    }
+                    let (base, other) = if ma.len() >= mb.len() {
+                        (ma, mb)
+                    } else {
+                        (mb, ma)
+                    };
+                    if other.edges.iter().any(|x| base.contains_edge(x.id)) {
+                        continue;
+                    }
+                    let mut edges = base.edges.clone();
+                    let mut remaining = other.edges.clone();
+                    if let Some(motif) = try_join(
+                        &self.motifs,
+                        &self.rand,
+                        &mut edges,
+                        base.motif,
+                        &mut remaining,
+                    ) {
+                        produced.push((edges, motif));
+                    }
+                }
+            }
+            for (edges, motif) in produced {
+                self.matches.insert(edges, motif);
+            }
+
+            self.ops_since_compact += 1;
+            if self.ops_since_compact >= 1024 {
+                self.ops_since_compact = 0;
+                self.matches.compact();
+            }
+            EdgeFate::Buffered
+        }
+
+        pub fn matches_for_edge(&self, e: EdgeId) -> Vec<MatchId> {
+            self.matches.matches_at_edge(e)
+        }
+
+        pub fn get(&self, id: MatchId) -> &MotifMatch {
+            self.matches.get(id)
+        }
+
+        pub fn on_edge_assigned(&mut self, e: EdgeId) {
+            self.matches.drop_edge(e);
+        }
+    }
+
+    fn recent(mut ids: Vec<MatchId>) -> Vec<MatchId> {
+        if ids.len() > MAX_MATCHES_PER_ENDPOINT {
+            ids.sort_unstable();
+            ids.drain(..ids.len() - MAX_MATCHES_PER_ENDPOINT);
+        }
+        ids
+    }
+
+    fn extension_delta(
+        rand: &LabelRandomizer,
+        edges: &[StreamEdge],
+        e: &StreamEdge,
+    ) -> Option<Delta> {
+        let du = edges.iter().filter(|x| x.touches(e.src)).count();
+        let dv = edges.iter().filter(|x| x.touches(e.dst)).count();
+        if !edges.is_empty() && du == 0 && dv == 0 {
+            return None;
+        }
+        Some(edge_delta(rand, e.src_label, du + 1, e.dst_label, dv + 1))
+    }
+
+    fn try_join(
+        motifs: &MotifIndex,
+        rand: &LabelRandomizer,
+        edges: &mut Vec<StreamEdge>,
+        motif: MotifId,
+        remaining: &mut Vec<StreamEdge>,
+    ) -> Option<MotifId> {
+        if remaining.is_empty() {
+            return Some(motif);
+        }
+        for i in 0..remaining.len() {
+            let e2 = remaining[i];
+            let Some(delta) = extension_delta(rand, edges, &e2) else {
+                continue;
+            };
+            let Some(child) = motifs.child_with_delta(motif, delta) else {
+                continue;
+            };
+            remaining.remove(i);
+            edges.push(e2);
+            if let Some(m) = try_join(motifs, rand, edges, child, remaining) {
+                return Some(m);
+            }
+            edges.pop();
+            remaining.insert(i, e2);
+        }
+        None
+    }
+}
+
+/// One live match, canonically keyed: motif id + sorted edge ids.
+type MatchKey = (u32, Vec<u32>);
+
+/// The full live match set of the arena matcher, via the union of
+/// per-edge lookups over the live window (every live match has all its
+/// edges in the window, so the union is exhaustive).
+fn arena_match_set(matcher: &MotifMatcher, window: &SlidingWindow) -> Vec<MatchKey> {
+    let mut keys: Vec<MatchKey> = Vec::new();
+    for e in window.iter() {
+        for id in matcher.matches_for_edge(e.id) {
+            let m = matcher.get(id);
+            let mut edges: Vec<u32> = m.edges().map(|x| x.id.0).collect();
+            edges.sort_unstable();
+            keys.push((m.motif().0, edges));
+        }
+    }
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+/// Same, for the reference matcher.
+fn reference_match_set(matcher: &reference::MotifMatcher, window: &SlidingWindow) -> Vec<MatchKey> {
+    let mut keys: Vec<MatchKey> = Vec::new();
+    for e in window.iter() {
+        for id in matcher.matches_for_edge(e.id) {
+            let m = matcher.get(id);
+            let mut edges: Vec<u32> = m.edges.iter().map(|x| x.id.0).collect();
+            edges.sort_unstable();
+            keys.push((m.motif.0, edges));
+        }
+    }
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+/// Workloads with qualitatively different motif shapes for the
+/// equivalence sweep: paths (extension-heavy), the 4-path over two
+/// labels (join-heavy), and a star (hub-heavy).
+fn sweep_workload(which: usize) -> (Workload, usize) {
+    let a = Label(0);
+    let b = Label(1);
+    let c = Label(2);
+    match which % 3 {
+        0 => (
+            Workload::new(vec![
+                (PatternGraph::path("p4", vec![a, b, a, b]), 60.0),
+                (PatternGraph::path("abc", vec![a, b, c]), 40.0),
+            ]),
+            3,
+        ),
+        1 => (
+            Workload::new(vec![(PatternGraph::path("q", vec![a, b, a, b]), 1.0)]),
+            2,
+        ),
+        _ => (
+            Workload::new(vec![
+                (PatternGraph::star("s", a, vec![b, b, b]), 70.0),
+                (PatternGraph::path("ab", vec![a, b]), 30.0),
+            ]),
+            2,
+        ),
+    }
 }
 
 proptest! {
@@ -96,7 +494,8 @@ proptest! {
                 let m = matcher.get(id);
                 prop_assert!(m.len() <= max_edges, "match larger than any motif");
                 // No duplicate edges.
-                let mut ids: Vec<_> = m.edges.iter().map(|x| x.id).collect();
+                let mut ids: Vec<_> = m.edges().map(|x| x.id).collect();
+                ids.sort_unstable();
                 ids.dedup();
                 prop_assert_eq!(ids.len(), m.len());
                 // Connectivity of the match sub-graph.
@@ -106,7 +505,7 @@ proptest! {
                 let mut changed = true;
                 while changed {
                     changed = false;
-                    for me in &m.edges {
+                    for me in m.edges() {
                         let i = vs.iter().position(|&v| v == me.src).unwrap();
                         let j = vs.iter().position(|&v| v == me.dst).unwrap();
                         if reached[i] != reached[j] {
@@ -147,9 +546,62 @@ proptest! {
             for id in before {
                 let m = matcher.get(id);
                 let contains = m.contains_edge(victim.id);
-                prop_assert_eq!(!m.alive, contains,
+                prop_assert_eq!(!m.alive(), contains,
                     "liveness must flip exactly for matches containing the victim");
             }
+        }
+    }
+
+    /// The arena refactor's behavioural contract: on seeded random
+    /// streams with window-driven evictions, the arena-backed matcher
+    /// yields exactly the same live match set (edge-id sets + motif
+    /// ids) and the same per-edge fates as the verbatim pre-refactor
+    /// reference matcher — across window sizes, support thresholds and
+    /// motif shapes.
+    #[test]
+    fn arena_matcher_equals_reference(
+        n_edges in 4usize..64,
+        window_cap in 2usize..12,
+        threshold_pick in 0usize..4,
+        workload_pick in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let threshold = [0.3, 0.4, 0.5, 1.0][threshold_pick];
+        let (workload, labels) = sweep_workload(workload_pick);
+        let rand = LabelRandomizer::new(labels, DEFAULT_PRIME, 11);
+        let trie = TpsTrie::build(&workload, &rand);
+        let motifs = trie.motifs(threshold);
+
+        let mut arena = MotifMatcher::new(motifs.clone(), rand.clone());
+        let mut oracle = reference::MotifMatcher::new(motifs, rand);
+        let mut arena_window = SlidingWindow::new(window_cap);
+        let mut oracle_window = SlidingWindow::new(window_cap);
+
+        let edges = random_stream(14, n_edges, labels, seed);
+        for e in &edges {
+            let fa = arena.on_edge(*e);
+            let fo = oracle.on_edge(*e);
+            prop_assert_eq!(
+                fa == EdgeFate::Buffered,
+                fo == reference::EdgeFate::Buffered,
+                "edge fate diverged at {:?}", e.id
+            );
+            if fa != EdgeFate::Buffered {
+                continue;
+            }
+            // Same eviction protocol on both sides (the Loom data
+            // path: buffer, evict oldest, assign, kill its matches).
+            if let Some(old) = arena_window.push(*e) {
+                arena.on_edge_assigned(old.id);
+            }
+            if let Some(old) = oracle_window.push(*e) {
+                oracle.on_edge_assigned(old.id);
+            }
+            prop_assert_eq!(
+                arena_match_set(&arena, &arena_window),
+                reference_match_set(&oracle, &oracle_window),
+                "live match sets diverged after {:?}", e.id
+            );
         }
     }
 }

@@ -25,4 +25,4 @@ pub use signature::{
     edge_delta, pattern_signature, single_edge_delta, subset_signature, Delta, FactorSet,
     LabelRandomizer, DEFAULT_PRIME,
 };
-pub use tpstry::{Motif, MotifId, MotifIndex, TpsTrie, TrieNode, TrieNodeId};
+pub use tpstry::{DeltaId, DeltaLut, Motif, MotifId, MotifIndex, TpsTrie, TrieNode, TrieNodeId};

@@ -97,8 +97,12 @@ impl LabelRandomizer {
         } else {
             (self.r(a), self.r(b))
         };
-        // Work in the field to keep the subtraction non-negative.
-        self.nonzero(hi + self.p - lo % self.p)
+        // `lo` is an r value, already `< p`, so `hi + p - lo` stays
+        // non-negative and `nonzero` reduces it into the field. (An
+        // earlier revision wrote `hi + self.p - lo % self.p`, which
+        // parses as `hi + p - (lo % p)` — the same value only because
+        // r values are pre-reduced; see the pinned precedence test.)
+        self.nonzero(hi + self.p - lo)
     }
 
     /// Directed-edge factor: source minus target (§2.1's inline note on
@@ -106,7 +110,8 @@ impl LabelRandomizer {
     /// of the reproduction is undirected.
     #[inline]
     pub fn directed_edge_factor(&self, src: Label, dst: Label) -> u32 {
-        self.nonzero(self.r(src) + self.p - self.r(dst) % self.p)
+        // As in `edge_factor`: r values are `< p`, subtract directly.
+        self.nonzero(self.r(src) + self.p - self.r(dst))
     }
 
     /// The *incremental* degree factor `((r(l) + n) mod p)` contributed
@@ -120,14 +125,72 @@ impl LabelRandomizer {
     }
 }
 
-/// A signature: the sorted multiset of factors of a graph.
+/// Mix one factor into the 64-bit multiset fingerprint domain
+/// (SplitMix64's finalizer — consecutive small integers land far
+/// apart, so wrapping *sums* of mixed factors rarely collide).
+#[inline]
+fn mix_factor(f: u32) -> u64 {
+    let mut z = (f as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A signature: the sorted multiset of factors of a graph, maintained
+/// incrementally.
 ///
-/// Kept sorted so equality, hashing and multiset difference are cheap.
-/// Factors fit `u32` (they live in `[1, p]`, and Fig. 4's sweep tops out
-/// at `p = 317`).
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+/// Two representations ride together: the running **sorted factor
+/// vector** (the ground truth — equality, ordering and multiset
+/// difference are defined on it) and a commutative 64-bit **multiset
+/// fingerprint** (the wrapping sum of per-factor mixes). The
+/// fingerprint makes hashing O(1) instead of O(n) and lets equality
+/// reject mismatches without touching the vectors, which is what keeps
+/// the trie's signature interning cheap as queries grow. Adding
+/// factors *adds* to the fingerprint; removing *subtracts* — so
+/// [`FactorSet::with_delta`] and [`FactorSet::difference`] never
+/// recompute it from scratch.
+///
+/// Factors fit `u32` (they live in `[1, p]`, and Fig. 4's sweep tops
+/// out at `p = 317`).
+#[derive(Clone, Debug, Default)]
 pub struct FactorSet {
     factors: Vec<u32>,
+    fp: u64,
+}
+
+impl PartialEq for FactorSet {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        // Fingerprint + length reject almost all mismatches in O(1);
+        // the vector comparison confirms (fp is a hash, not an id).
+        self.fp == other.fp && self.factors == other.factors
+    }
+}
+
+impl Eq for FactorSet {}
+
+impl std::hash::Hash for FactorSet {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Equal multisets always have equal (len, fp), so hashing only
+        // the summary is consistent with `Eq` — and O(1).
+        self.factors.len().hash(state);
+        self.fp.hash(state);
+    }
+}
+
+impl PartialOrd for FactorSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FactorSet {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Order on the sorted factor vectors only: the fingerprint is
+        // derived data and must not influence observable orderings.
+        self.factors.cmp(&other.factors)
+    }
 }
 
 impl FactorSet {
@@ -139,7 +202,10 @@ impl FactorSet {
     /// Build from an arbitrary factor list.
     pub fn from_factors(mut factors: Vec<u32>) -> Self {
         factors.sort_unstable();
-        FactorSet { factors }
+        let fp = factors
+            .iter()
+            .fold(0u64, |acc, &f| acc.wrapping_add(mix_factor(f)));
+        FactorSet { factors, fp }
     }
 
     /// Number of factors (`3|E|` for a well-formed graph signature, by
@@ -161,24 +227,48 @@ impl FactorSet {
         &self.factors
     }
 
-    /// Insert a single factor, keeping the multiset sorted.
+    /// The 64-bit multiset fingerprint: a commutative summary equal
+    /// multisets always share. Collisions are possible (it is a hash);
+    /// nothing observable may depend on it alone.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
+    }
+
+    /// Insert a single factor, keeping the multiset sorted and the
+    /// fingerprint in sync.
     pub fn insert(&mut self, f: u32) {
         let pos = self.factors.partition_point(|&x| x <= f);
         self.factors.insert(pos, f);
+        self.fp = self.fp.wrapping_add(mix_factor(f));
     }
 
-    /// The signature of `self + delta` (adding one edge's three factors).
+    /// The signature of `self + delta` (adding one edge's three
+    /// factors): a single merge pass of the two sorted runs into one
+    /// freshly-allocated vector — no clone-then-repeated-binary-insert,
+    /// and the fingerprint is extended incrementally.
     pub fn with_delta(&self, delta: &Delta) -> FactorSet {
-        let mut out = self.clone();
-        for &f in delta.factors() {
-            out.insert(f);
+        let d = delta.factors(); // sorted by construction
+        let mut out = Vec::with_capacity(self.factors.len() + d.len());
+        let mut i = 0;
+        for &f in &self.factors {
+            while i < d.len() && d[i] < f {
+                out.push(d[i]);
+                i += 1;
+            }
+            out.push(f);
         }
-        out
+        out.extend_from_slice(&d[i..]);
+        let fp = d
+            .iter()
+            .fold(self.fp, |acc, &f| acc.wrapping_add(mix_factor(f)));
+        FactorSet { factors: out, fp }
     }
 
     /// Multiset difference `self \ other`, or `None` if `other` is not a
     /// sub-multiset. This is the `c.signatures \ n.signatures` operation
-    /// of Alg. 2's match check.
+    /// of Alg. 2's match check. The result's fingerprint is the
+    /// *subtraction* of the operands' — never recomputed.
     pub fn difference(&self, other: &FactorSet) -> Option<FactorSet> {
         if other.len() > self.len() {
             return None;
@@ -193,7 +283,10 @@ impl FactorSet {
             }
         }
         if i == other.factors.len() {
-            Some(FactorSet { factors: out })
+            Some(FactorSet {
+                factors: out,
+                fp: self.fp.wrapping_sub(other.fp),
+            })
         } else {
             None
         }
@@ -443,5 +536,101 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn tiny_prime_rejected() {
         LabelRandomizer::new(2, 1, 0);
+    }
+
+    /// Pins the intended edge-factor arithmetic against a fully
+    /// parenthesised reference. The pre-refactor expression
+    /// `hi + self.p - lo % self.p` parsed as `hi + p - (lo % p)` —
+    /// harmless only because r values are pre-reduced below p; this
+    /// test fails if either the intended `(hi + p - lo) mod p` values
+    /// or the historical parse ever drift apart.
+    #[test]
+    fn edge_factor_precedence_pinned() {
+        for seed in [0u64, 7, 42] {
+            let rand = LabelRandomizer::new(5, DEFAULT_PRIME, seed);
+            let p = rand.prime();
+            for a in 0..5u16 {
+                for b in 0..5u16 {
+                    let (la, lb) = (Label(a), Label(b));
+                    let (hi, lo) = if la.index() <= lb.index() {
+                        (rand.r(lb), rand.r(la))
+                    } else {
+                        (rand.r(la), rand.r(lb))
+                    };
+                    let intended = {
+                        let m = (hi + p - lo) % p;
+                        (if m == 0 { p } else { m }) as u32
+                    };
+                    #[allow(clippy::precedence)]
+                    let historical_parse = {
+                        let m = (hi + p - lo % p) % p;
+                        (if m == 0 { p } else { m }) as u32
+                    };
+                    assert_eq!(rand.edge_factor(la, lb), intended);
+                    assert_eq!(intended, historical_parse, "r values must be < p");
+
+                    let directed_intended = {
+                        let m = (rand.r(la) + p - rand.r(lb)) % p;
+                        (if m == 0 { p } else { m }) as u32
+                    };
+                    assert_eq!(rand.directed_edge_factor(la, lb), directed_intended);
+                }
+            }
+        }
+        // And the paper's exact worked value stays pinned.
+        let paper = LabelRandomizer::paper_example(2);
+        assert_eq!(paper.edge_factor(A, B), 7);
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent_and_incremental() {
+        let a = FactorSet::from_factors(vec![9, 1, 5, 5, 2]);
+        let b = FactorSet::from_factors(vec![5, 2, 9, 5, 1]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+
+        // insert keeps fp consistent with a from-scratch build.
+        let mut c = FactorSet::from_factors(vec![1, 2, 5]);
+        c.insert(5);
+        c.insert(9);
+        assert_eq!(c, a);
+        assert_eq!(c.fingerprint(), a.fingerprint());
+
+        // with_delta extends fp incrementally.
+        let base = FactorSet::from_factors(vec![4, 8]);
+        let d = Delta::new(3, 8, 15);
+        let grown = base.with_delta(&d);
+        assert_eq!(grown, FactorSet::from_factors(vec![3, 4, 8, 8, 15]));
+        assert_eq!(
+            grown.fingerprint(),
+            FactorSet::from_factors(vec![3, 4, 8, 8, 15]).fingerprint()
+        );
+
+        // difference subtracts fp exactly.
+        let diff = grown.difference(&base).unwrap();
+        assert_eq!(diff, d.to_factor_set());
+        assert_eq!(diff.fingerprint(), d.to_factor_set().fingerprint());
+    }
+
+    #[test]
+    fn with_delta_merge_handles_boundaries() {
+        // Delta factors entirely below, interleaved with, and above the
+        // existing run — the merge's edge cases.
+        let base = FactorSet::from_factors(vec![10, 20, 30]);
+        for d in [
+            Delta::new(1, 2, 3),
+            Delta::new(5, 20, 35),
+            Delta::new(40, 50, 60),
+            Delta::new(10, 10, 10),
+        ] {
+            let merged = base.with_delta(&d);
+            let mut expect = base.factors().to_vec();
+            expect.extend_from_slice(d.factors());
+            expect.sort_unstable();
+            assert_eq!(merged.factors(), expect.as_slice());
+        }
+        // Empty base.
+        let d = Delta::new(7, 4, 11);
+        assert_eq!(FactorSet::empty().with_delta(&d), d.to_factor_set());
     }
 }

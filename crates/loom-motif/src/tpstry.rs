@@ -20,7 +20,7 @@
 use crate::signature::{FactorSet, LabelRandomizer};
 use crate::subgraph_enum::{connected_edge_subsets, subset_pattern};
 use crate::Delta;
-use loom_graph::{PatternGraph, Workload};
+use loom_graph::{Label, PatternGraph, Workload};
 use std::collections::HashMap;
 
 /// Identifier of a TPSTry++ node. Node 0 is the root (the empty graph).
@@ -345,6 +345,22 @@ impl MotifId {
     }
 }
 
+/// Dense identifier of a [`Delta`] interned by a [`MotifIndex`].
+///
+/// The index assigns ids `0..num_deltas()` to the distinct delta
+/// annotations appearing on motif links (sorted, so ids are a pure
+/// function of the motif set). The matcher resolves each candidate
+/// edge addition to a `DeltaId` once and then walks the dense
+/// per-node child tables — no per-candidate `Delta` comparisons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeltaId(pub u32);
+
+impl DeltaId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// One motif: a frequent traversal pattern the matcher hunts for.
 #[derive(Clone, Debug)]
 pub struct Motif {
@@ -361,15 +377,27 @@ pub struct Motif {
 }
 
 /// The motif sub-DAG of a TPSTry++, pre-filtered at a support threshold
-/// (Alg. 2's "filtered TPSTry++ of motifs"). Single-edge motifs are
-/// indexed by their delta for the O(1) root check the matcher performs
-/// on every arriving edge (§3).
+/// (Alg. 2's "filtered TPSTry++ of motifs").
+///
+/// All delta annotations appearing on motif links are **interned** into
+/// dense [`DeltaId`]s at construction, and both lookups the matcher
+/// performs per candidate — the single-edge root check of §3 and the
+/// Alg. 2 child step — are flat-table indexes `[node][delta]` rather
+/// than hash probes or linear scans. This is sound because, for a
+/// fixed parent, the delta determines the child uniquely: children are
+/// interned by signature and `child.sig = parent.sig + delta`.
 #[derive(Clone, Debug)]
 pub struct MotifIndex {
     motifs: Vec<Motif>,
-    single_edge: HashMap<Delta, MotifId>,
     threshold: f64,
     max_motif_edges: usize,
+    /// Sorted distinct deltas of every motif link (root links
+    /// included); position = [`DeltaId`].
+    deltas: Vec<Delta>,
+    /// Flat `[motif][delta] -> child motif id + 1` table (0 = none).
+    child_table: Vec<u32>,
+    /// `[delta] -> single-edge motif id + 1` table (0 = none).
+    single_edge_table: Vec<u32>,
 }
 
 impl MotifIndex {
@@ -402,18 +430,48 @@ impl MotifIndex {
                 }
             }
         }
-        let mut single_edge = HashMap::new();
+        let mut single_edge: Vec<(Delta, MotifId)> = Vec::new();
         for &(delta, child) in &trie.node(TrieNodeId::ROOT).children {
             if let Some(&cm) = remap.get(&child) {
-                single_edge.insert(delta, cm);
+                single_edge.push((delta, cm));
             }
         }
         let max_motif_edges = motifs.iter().map(|m| m.num_edges).max().unwrap_or(0);
+
+        // Intern every delta appearing on a motif link. Sorting makes
+        // DeltaIds a pure function of the motif set (determinism
+        // contract), independent of the HashMap iteration above.
+        let mut deltas: Vec<Delta> = single_edge
+            .iter()
+            .map(|&(d, _)| d)
+            .chain(
+                motifs
+                    .iter()
+                    .flat_map(|m| m.children.iter().map(|&(d, _)| d)),
+            )
+            .collect();
+        deltas.sort_unstable();
+        deltas.dedup();
+
+        let delta_pos = |d: &Delta| deltas.binary_search(d).expect("interned above");
+        let mut child_table = vec![0u32; motifs.len() * deltas.len()];
+        for (mi, m) in motifs.iter().enumerate() {
+            for &(d, c) in &m.children {
+                child_table[mi * deltas.len() + delta_pos(&d)] = c.0 + 1;
+            }
+        }
+        let mut single_edge_table = vec![0u32; deltas.len()];
+        for &(d, c) in &single_edge {
+            single_edge_table[delta_pos(&d)] = c.0 + 1;
+        }
+
         MotifIndex {
             motifs,
-            single_edge,
             threshold,
             max_motif_edges,
+            deltas,
+            child_table,
+            single_edge_table,
         }
     }
 
@@ -444,20 +502,58 @@ impl MotifIndex {
         &self.motifs[id.index()]
     }
 
+    /// Number of distinct interned deltas.
+    pub fn num_deltas(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// The dense id of a delta, if it annotates any motif link.
+    #[inline]
+    pub fn delta_id(&self, delta: Delta) -> Option<DeltaId> {
+        self.deltas
+            .binary_search(&delta)
+            .ok()
+            .map(|i| DeltaId(i as u32))
+    }
+
+    /// The interned delta behind an id.
+    #[inline]
+    pub fn delta(&self, id: DeltaId) -> Delta {
+        self.deltas[id.index()]
+    }
+
     /// The single-edge motif matching this delta, if any — the root
     /// check every stream edge passes through (§3).
     pub fn single_edge_motif(&self, delta: Delta) -> Option<MotifId> {
-        self.single_edge.get(&delta).copied()
+        self.delta_id(delta)
+            .and_then(|d| self.single_edge_motif_by_id(d))
+    }
+
+    /// [`MotifIndex::single_edge_motif`] on a pre-resolved delta id —
+    /// one table index, the matcher's per-edge fast path.
+    #[inline]
+    pub fn single_edge_motif_by_id(&self, delta: DeltaId) -> Option<MotifId> {
+        match self.single_edge_table[delta.index()] {
+            0 => None,
+            c => Some(MotifId(c - 1)),
+        }
     }
 
     /// The motif child of `m` whose connecting delta equals `delta`
     /// (Alg. 2, lines 7 and 15).
     pub fn child_with_delta(&self, m: MotifId, delta: Delta) -> Option<MotifId> {
-        self.motifs[m.index()]
-            .children
-            .iter()
-            .find(|&&(d, _)| d == delta)
-            .map(|&(_, c)| c)
+        self.delta_id(delta)
+            .and_then(|d| self.child_with_delta_by_id(m, d))
+    }
+
+    /// [`MotifIndex::child_with_delta`] on a pre-resolved delta id —
+    /// one table index, no scan.
+    #[inline]
+    pub fn child_with_delta_by_id(&self, m: MotifId, delta: DeltaId) -> Option<MotifId> {
+        match self.child_table[m.index() * self.deltas.len() + delta.index()] {
+            0 => None,
+            c => Some(MotifId(c - 1)),
+        }
     }
 
     /// Iterate over `(MotifId, &Motif)`.
@@ -466,6 +562,91 @@ impl MotifIndex {
             .iter()
             .enumerate()
             .map(|(i, m)| (MotifId(i as u32), m))
+    }
+}
+
+/// Dense lookup table `(label_a, degree_a, label_b, degree_b)` →
+/// [`DeltaId`], precomputed over the full label alphabet and every
+/// degree a vertex can reach inside a motif match (`1..=`
+/// [`MotifIndex::max_motif_edges`]).
+///
+/// The matcher's inner loops resolve one candidate edge addition per
+/// existing match; with this table that resolution is a single index
+/// instead of three field-arithmetic factor computations, a 3-element
+/// sort and a delta search. Entries whose delta annotates no motif
+/// link hold `None` — the candidate can be discarded without ever
+/// materialising its [`Delta`].
+///
+/// Size is `|L|² · max_edges²` entries (§5.1's largest alphabet is 15
+/// labels; motifs top out at the largest query, so a few thousand
+/// `u32`s).
+#[derive(Clone, Debug)]
+pub struct DeltaLut {
+    num_labels: usize,
+    max_degree: usize,
+    /// `delta_id + 1`, 0 = no motif link carries this delta.
+    table: Vec<u32>,
+}
+
+impl DeltaLut {
+    /// Precompute the table for a motif index under the run's label
+    /// randomizer.
+    pub fn build(index: &MotifIndex, rand: &LabelRandomizer) -> Self {
+        let num_labels = rand.num_labels();
+        let max_degree = index.max_motif_edges();
+        let mut table = vec![0u32; num_labels * num_labels * max_degree * max_degree];
+        for la in 0..num_labels {
+            for lb in 0..num_labels {
+                for da in 1..=max_degree {
+                    for db in 1..=max_degree {
+                        let delta = crate::signature::edge_delta(
+                            rand,
+                            Label(la as u16),
+                            da,
+                            Label(lb as u16),
+                            db,
+                        );
+                        if let Some(id) = index.delta_id(delta) {
+                            let idx = ((la * num_labels + lb) * max_degree + (da - 1)) * max_degree
+                                + (db - 1);
+                            table[idx] = id.0 + 1;
+                        }
+                    }
+                }
+            }
+        }
+        DeltaLut {
+            num_labels,
+            max_degree,
+            table,
+        }
+    }
+
+    /// The delta id for adding an edge between vertices labelled
+    /// `la`/`lb` whose *resulting* degrees are `da`/`db`, or `None` if
+    /// no motif link carries that delta (or a degree exceeds what any
+    /// motif can hold).
+    #[inline]
+    pub fn delta_id(&self, la: Label, da: usize, lb: Label, db: usize) -> Option<DeltaId> {
+        debug_assert!(da >= 1 && db >= 1, "degrees are post-addition, >= 1");
+        // Out-of-alphabet labels would silently alias another pair's
+        // table row rather than go out of bounds; the pre-LUT path
+        // panicked in LabelRandomizer::r, so keep that invariant loud
+        // in release too — two predictable compares on a table probe.
+        assert!(
+            la.index() < self.num_labels && lb.index() < self.num_labels,
+            "label outside the alphabet the LUT was built for"
+        );
+        if da > self.max_degree || db > self.max_degree {
+            return None;
+        }
+        let idx = ((la.index() * self.num_labels + lb.index()) * self.max_degree + (da - 1))
+            * self.max_degree
+            + (db - 1);
+        match self.table[idx] {
+            0 => None,
+            id => Some(DeltaId(id - 1)),
+        }
     }
 }
 
@@ -700,6 +881,57 @@ mod tests {
     #[should_panic(expected = "decay factor")]
     fn decay_rejects_bad_factor() {
         TpsTrie::new().decay(0.0);
+    }
+
+    #[test]
+    fn delta_interning_agrees_with_links() {
+        // Every link delta must be interned; every interned delta must
+        // resolve the same child through the dense table as through a
+        // linear scan of the children list.
+        let rand = rand4();
+        let trie = TpsTrie::build(&Workload::figure1_example(), &rand);
+        let motifs = trie.motifs(0.4);
+        assert!(motifs.num_deltas() > 0);
+        let mut links = 0;
+        for (mid, m) in motifs.iter() {
+            for &(d, c) in &m.children {
+                let did = motifs.delta_id(d).expect("link delta interned");
+                assert_eq!(motifs.delta(did), d);
+                assert_eq!(motifs.child_with_delta_by_id(mid, did), Some(c));
+                links += 1;
+            }
+        }
+        assert!(links > 0, "figure-1 motifs have at least one link");
+        // A delta absent from every link resolves to nothing.
+        let absent = Delta::new(9999, 9998, 9997);
+        assert!(motifs.delta_id(absent).is_none());
+        assert!(motifs.single_edge_motif(absent).is_none());
+    }
+
+    #[test]
+    fn delta_lut_matches_direct_computation() {
+        let rand = rand4();
+        let trie = TpsTrie::build(&Workload::figure1_example(), &rand);
+        let motifs = trie.motifs(0.4);
+        let lut = DeltaLut::build(&motifs, &rand);
+        let max = motifs.max_motif_edges();
+        for la in 0..rand.num_labels() as u16 {
+            for lb in 0..rand.num_labels() as u16 {
+                for da in 1..=max {
+                    for db in 1..=max {
+                        let delta =
+                            crate::signature::edge_delta(&rand, Label(la), da, Label(lb), db);
+                        assert_eq!(
+                            lut.delta_id(Label(la), da, Label(lb), db),
+                            motifs.delta_id(delta),
+                            "LUT diverges at ({la},{da},{lb},{db})"
+                        );
+                    }
+                }
+            }
+        }
+        // Degrees beyond any motif resolve to None without panicking.
+        assert!(lut.delta_id(Label(0), max + 1, Label(1), 1).is_none());
     }
 
     #[test]

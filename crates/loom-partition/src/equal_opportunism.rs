@@ -40,8 +40,13 @@ impl Default for EoParams {
 
 /// The rationing function `l(S_i)` of Eq. 2.
 pub fn ration(state: &PartitionState, p: PartitionId, params: &EoParams) -> f64 {
-    let size = state.size(p) as f64;
-    let smin = state.min_size() as f64;
+    ration_given_min(state.size(p) as f64, state.min_size() as f64, params)
+}
+
+/// Eq. 2 with `S_min` supplied by the caller — the auction hoists the
+/// minimum out of its per-partition loop.
+#[inline]
+fn ration_given_min(size: f64, smin: f64, params: &EoParams) -> f64 {
     if size <= smin {
         // |V(S_i)| = S_min: coefficient 1, ratio 1.
         return 1.0;
@@ -97,10 +102,42 @@ pub fn auction(
     params: &EoParams,
     matches: &[AuctionMatch],
 ) -> AuctionOutcome {
+    auction_with_scratch(state, params, matches, &mut Vec::new())
+}
+
+/// [`auction`] with a caller-owned scratch buffer for the per-match
+/// resident counts, so the per-eviction hot path allocates nothing.
+pub fn auction_with_scratch(
+    state: &PartitionState,
+    params: &EoParams,
+    matches: &[AuctionMatch],
+    counts: &mut Vec<u32>,
+) -> AuctionOutcome {
     debug_assert!(!matches.is_empty(), "auction needs at least one match");
+    // Pre-count each match's resident vertices per partition in ONE
+    // pass over the vertex lists. The bid loop below then reads the
+    // count instead of re-scanning every match's vertices once per
+    // partition — the old shape was O(k · matches · vertices), which
+    // dominated high-k runs. The per-match bid arithmetic (and its
+    // summation order) is unchanged, so totals are bit-identical.
+    let k = state.k();
+    counts.clear();
+    counts.resize(matches.len() * k, 0);
+    for (mi, m) in matches.iter().enumerate() {
+        for &v in &m.vertices {
+            if let Some(p) = state.partition_of(v) {
+                counts[mi * k + p.index()] += 1;
+            }
+        }
+    }
+    // `S_min` is invariant for the duration of one auction; hoist it
+    // out of the per-partition ration instead of rescanning the size
+    // vector k times (ration() itself stays the single-call API).
+    let smin = state.min_size() as f64;
     let mut best: Option<(f64, usize, PartitionId, usize)> = None; // bid, size, winner, take
     for p in state.partitions() {
-        let l = ration(state, p, params);
+        let size = state.size(p);
+        let l = ration_given_min(size as f64, smin, params);
         // A zero ration must not exclude a partition outright: the
         // partition holding a match's vertices splitting the match on a
         // technicality costs far more ipt than one extra vertex costs
@@ -109,8 +146,25 @@ pub fn auction(
         // paper's own observed behaviour — §5.2 reports Loom running at
         // 7-10% imbalance, i.e. near its cap, not at perfect balance.
         let take = ((l * matches.len() as f64).ceil() as usize).clamp(1, matches.len());
-        let total: f64 = matches[..take].iter().map(|m| bid(state, p, m)).sum();
-        let size = state.size(p);
+        let residual = state.residual(p).max(0.0);
+        let total: f64 = matches[..take]
+            .iter()
+            .enumerate()
+            .map(|(mi, m)| counts[mi * k + p.index()] as f64 * residual * m.support)
+            .sum();
+        // The inlined multiply must stay bit-identical to Eq. 1's
+        // bid() — same factors, same order — or the two would drift
+        // apart silently (bid() remains the documented single-match
+        // form).
+        debug_assert_eq!(
+            total.to_bits(),
+            matches[..take]
+                .iter()
+                .map(|m| bid(state, p, m))
+                .sum::<f64>()
+                .to_bits(),
+            "auction total diverged from Eq. 1 bid()"
+        );
         let better = match &best {
             None => total > 0.0,
             Some((bt, bsize, _, _)) => {

@@ -11,11 +11,12 @@
 //!    and removed from the window (§4);
 //! 3. at end of stream the window drains through the same auction.
 
-use crate::equal_opportunism::{auction, order_matches, AuctionMatch, EoParams};
+use crate::equal_opportunism::{auction_with_scratch, AuctionMatch, EoParams};
 use crate::ldg::ldg_choose;
 use crate::state::{Assignment, CapacityModel, OnlineAdjacency, PartitionState};
 use crate::traits::StreamPartitioner;
 use loom_graph::{StreamEdge, Workload};
+use loom_matcher::MatchId;
 use loom_matcher::{EdgeFate, MotifMatcher, SlidingWindow};
 use loom_motif::{LabelRandomizer, TpsTrie};
 
@@ -89,6 +90,14 @@ pub struct LoomPartitioner {
     eo: EoParams,
     allocation: AllocationPolicy,
     stats: LoomStats,
+    // Scratch reused across allocate() calls: one eviction auctions
+    // every match of the departing edge, and doing that with fresh
+    // allocations per auction was a measurable slice of the hot path.
+    scratch_ids: Vec<MatchId>,
+    scratch_keys: Vec<(f64, usize, usize)>,
+    scratch_counts: Vec<u32>,
+    scratch_edges: Vec<StreamEdge>,
+    view_pool: Vec<AuctionMatch>,
 }
 
 /// Counters the evaluation and the ablation benches read back.
@@ -129,12 +138,25 @@ impl LoomPartitioner {
             eo: config.eo,
             allocation: config.allocation,
             stats: LoomStats::default(),
+            scratch_ids: Vec::new(),
+            scratch_keys: Vec::new(),
+            scratch_counts: Vec::new(),
+            scratch_edges: Vec::new(),
+            view_pool: Vec::new(),
         }
     }
 
     /// Run counters.
     pub fn stats(&self) -> LoomStats {
         self.stats
+    }
+
+    /// Override the matcher's per-endpoint match cap (`usize::MAX` =
+    /// unbounded). Used by the loom-bench cap-sweep ablation; the
+    /// default ([`loom_matcher::MAX_MATCHES_PER_ENDPOINT`]) is part of
+    /// the determinism contract and only benches should change it.
+    pub fn set_match_cap(&mut self, cap: usize) {
+        self.matcher.set_match_cap(cap);
     }
 
     /// Number of motifs the matcher is hunting.
@@ -159,49 +181,63 @@ impl LoomPartitioner {
     /// Auction the evicted edge's matches and place the winners (§4).
     fn allocate(&mut self, e: StreamEdge) {
         self.stats.auctions += 1;
-        let match_ids = self.matcher.matches_for_edge(e.id);
+        let mut match_ids = std::mem::take(&mut self.scratch_ids);
+        self.matcher.matches_for_edge_into(e.id, &mut match_ids);
         if match_ids.is_empty() {
             // Defensive: a buffered edge always has its single-edge
             // match, but fall back rather than lose the edge.
             self.ldg_assign_edge(&e);
             self.matcher.on_edge_assigned(e.id);
+            self.scratch_ids = match_ids;
             return;
         }
 
-        // Materialise the auction view, support-ordered.
-        let mut ordered: Vec<(usize, AuctionMatch)> = match_ids
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| {
-                let m = self.matcher.get(id);
-                (
-                    i,
-                    AuctionMatch {
-                        vertices: m.vertices(),
-                        support: self.matcher.support(id),
-                        num_edges: m.len(),
-                    },
-                )
-            })
-            .collect();
-        // Sort pairs by the same key order_matches uses, keeping the
-        // original index so winners map back to MatchIds.
-        {
-            let mut view: Vec<AuctionMatch> = ordered.iter().map(|(_, m)| m.clone()).collect();
-            order_matches(&mut view);
-            ordered.sort_by(|a, b| {
-                b.1.support
-                    .partial_cmp(&a.1.support)
-                    .unwrap()
-                    .then(a.1.num_edges.cmp(&b.1.num_edges))
-            });
-            debug_assert_eq!(view.len(), ordered.len());
-        }
+        // Determine the §4 support ordering on (support, size) keys
+        // alone — cheap reads off the arena — before materialising any
+        // vertex list. The explicit M_e-index tiebreaker reproduces
+        // the stable sort the previous revision used.
+        let mut keys = std::mem::take(&mut self.scratch_keys);
+        keys.clear();
+        keys.extend(
+            match_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (self.matcher.support(id), self.matcher.get(id).len(), i)),
+        );
+        keys.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap()
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+        });
 
-        let view: Vec<AuctionMatch> = ordered.iter().map(|(_, m)| m.clone()).collect();
+        // Materialise the auction view in sorted order, borrowing match
+        // data from the arena into pooled `AuctionMatch` slots whose
+        // vertex buffers are reused across auctions — no per-auction
+        // view clones or rebuilds.
+        let n = keys.len();
+        while self.view_pool.len() < n {
+            self.view_pool.push(AuctionMatch {
+                vertices: Vec::new(),
+                support: 0.0,
+                num_edges: 0,
+            });
+        }
+        for (j, &(support, num_edges, orig)) in keys.iter().enumerate() {
+            let slot = &mut self.view_pool[j];
+            self.matcher
+                .get(match_ids[orig])
+                .vertices_into(&mut slot.vertices);
+            slot.support = support;
+            slot.num_edges = num_edges;
+        }
+        let view = &self.view_pool[..n];
+
         let mut outcome = match self.allocation {
-            AllocationPolicy::EqualOpportunism => auction(&self.state, &self.eo, &view),
-            AllocationPolicy::NaiveGreedy => naive_greedy(&self.state, &view),
+            AllocationPolicy::EqualOpportunism => {
+                auction_with_scratch(&self.state, &self.eo, view, &mut self.scratch_counts)
+            }
+            AllocationPolicy::NaiveGreedy => naive_greedy(&self.state, view),
         };
         if outcome.total_bid == 0.0 {
             // No partition holds any of the cluster's vertices: the
@@ -226,10 +262,11 @@ impl LoomPartitioner {
         }
 
         // Assign every edge of the winning prefix of matches.
-        let mut edges: Vec<StreamEdge> = Vec::new();
-        for &(orig, _) in ordered.iter().take(outcome.take) {
+        let mut edges = std::mem::take(&mut self.scratch_edges);
+        edges.clear();
+        for &(_, _, orig) in keys.iter().take(outcome.take) {
             let m = self.matcher.get(match_ids[orig]);
-            for &edge in &m.edges {
+            for edge in m.edges() {
                 if !edges.iter().any(|x| x.id == edge.id) {
                     edges.push(edge);
                 }
@@ -241,7 +278,7 @@ impl LoomPartitioner {
             "auction must place the evictee"
         );
 
-        for edge in edges {
+        for edge in edges.drain(..) {
             for v in [edge.src, edge.dst] {
                 if !self.state.is_assigned(v) {
                     self.state.assign(v, outcome.winner);
@@ -255,6 +292,12 @@ impl LoomPartitioner {
             // share `e` (§4: they are dropped from the matchList).
             self.matcher.on_edge_assigned(edge.id);
         }
+
+        self.scratch_edges = edges;
+        keys.clear();
+        self.scratch_keys = keys;
+        match_ids.clear();
+        self.scratch_ids = match_ids;
     }
 }
 

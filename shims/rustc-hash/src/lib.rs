@@ -1,0 +1,145 @@
+//! Offline, dependency-free stand-in for the `rustc-hash` crate: the
+//! FxHash function used throughout rustc, re-implemented from its
+//! public description. The build environment has no crates.io access
+//! (see README.md, "Offline dependencies"), so this shim keeps the
+//! registry import path (`rustc_hash::FxHashMap`) while providing the
+//! workspace's fast *deterministic* hasher.
+//!
+//! Determinism is the point: `std`'s default `RandomState` draws a
+//! per-process key, which is fine for lookups but would make any code
+//! that ever iterates a map a reproducibility hazard — and it burns
+//! SipHash rounds on 4-to-12-byte keys (vertex ids, edge ids, delta
+//! triples) that dominate the matcher's hot path. FxHash is a fixed
+//! multiply-xor mix: no per-process state, a handful of cycles per
+//! word, and the same table layout on every run.
+//!
+//! Not DoS-resistant, by design — every key hashed in this workspace
+//! is derived from graph ids or field elements the process itself
+//! generates, not from untrusted input.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A [`HashMap`] using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// [`std::hash::BuildHasher`] for [`FxHasher`] — zero-sized, `Default`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// 64-bit variant of the multiplicative constant (golden-ratio based,
+/// as in rustc's implementation).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx ("Firefox") hasher: for each input word, `rotate-xor` then
+/// multiply by a fixed odd constant. Word-at-a-time on integers, which
+/// is exactly how the workspace's id newtypes hash.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&(1u32, 2u32)), hash_of(&(1u32, 2u32)));
+        assert_eq!(hash_of(&[1u32, 2, 3]), hash_of(&[1u32, 2, 3]));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Not a statistical test — just guards against a degenerate
+        // implementation that ignores its input.
+        let hashes: std::collections::HashSet<u64> = (0u32..1000).map(|i| hash_of(&i)).collect();
+        assert_eq!(hashes.len(), 1000);
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(1));
+        assert!(!s.insert(1));
+    }
+
+    #[test]
+    fn byte_stream_padding_is_position_sensitive() {
+        // Trailing partial words are zero-padded; different lengths of
+        // the same prefix must still differ via the earlier words.
+        assert_ne!(hash_of(&b"abcdefgh".to_vec()), hash_of(&b"abcd".to_vec()));
+    }
+}
