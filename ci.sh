@@ -27,6 +27,11 @@ echo "== matcher micro-suite (quick: one timed iteration per bench) =="
 # rotting: they must build AND run end to end on every CI pass.
 LOOM_BENCH_SAMPLES=1 cargo bench --offline -q --bench matcher_micro
 
+echo "== partition micro-suite (quick: one timed iteration per bench) =="
+# Same contract for the scoring/assignment hot paths: hub-fallback,
+# assignment-burst, restream, and the mixed Loom edge loop.
+LOOM_BENCH_SAMPLES=1 cargo bench --offline -q --bench partition_micro
+
 echo "== stream smoke (10k+ edges over stdin, online engine) =="
 # A small-scale generate emits ~15k edges; stream must ingest them from
 # stdin (never materialised) and print >= 2 mid-stream snapshots.
@@ -38,5 +43,38 @@ if [ "$SNAPSHOTS" -lt 3 ]; then
   exit 1
 fi
 echo "stream smoke: $SNAPSHOTS snapshots"
+
+echo "== long-running loom stream smoke (arena reclamation plateaus) =="
+# 200k synthetic edges through the full Loom partitioner with a
+# bounded window: the match arena's resident cell count must plateau
+# (bounded by a function of the window), not grow with edges seen.
+# The snapshot lines carry "arena <live>/<total> cells ... gen <g>";
+# we assert (a) the final resident total is far below the count of
+# matches ever recorded (reclamation actually ran: gen > 0), and
+# (b) the last snapshot's resident cells are within 6x of the
+# smallest mid-stream snapshot — a plateau, not a ramp.
+WORKLOAD=target/ci-arena-workload.wl
+./target/release/loom workload --dataset dblp --out "$WORKLOAD" 2>/dev/null
+./target/release/loom stream --k 4 --system loom --source synthetic \
+    --max-edges 200000 --window 1024 --snapshot-every 20000 \
+    --workload "$WORKLOAD" --labels 4 2>/dev/null \
+  | awk '
+    /^snapshot .* arena / {
+      for (i = 1; i <= NF; i++) if ($i == "arena") { split($(i+1), c, "/"); }
+      for (i = 1; i <= NF; i++) if ($i == "gen") { gen = $(i+1); }
+      total = c[2];
+      n += 1;
+      if (n == 1 || total < min_total) min_total = total;
+      last_total = total; last_gen = gen;
+    }
+    END {
+      if (n < 5) { print "arena smoke: only " n " arena snapshots" > "/dev/stderr"; exit 1 }
+      if (last_gen + 0 < 1) { print "arena smoke: no compaction ran (gen " last_gen ")" > "/dev/stderr"; exit 1 }
+      if (last_total + 0 > 6 * min_total) {
+        print "arena smoke: resident cells grew " min_total " -> " last_total " (no plateau)" > "/dev/stderr"; exit 1
+      }
+      print "arena smoke: resident cells plateau at " last_total " (min " min_total ", gen " last_gen ")"
+    }'
+rm -f "$WORKLOAD"
 
 echo "ci: all green"

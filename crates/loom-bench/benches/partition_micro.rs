@@ -1,0 +1,188 @@
+//! Partitioner micro-suite: the scoring/assignment hot paths that the
+//! incremental `NeighborCounts` rework flattened, under the three
+//! stream shapes that stress them.
+//!
+//! - **hub-fallback** — Loom over a labelled stream whose motif edges
+//!   all touch one hub with a tiny window: most auctions are zero-bid
+//!   and fall back to LDG scoring over the top match's vertices. The
+//!   degree sweep doubles the hub degree per step: with maintained
+//!   counter rows the fallback reads O(k) per auction and ms-per-step
+//!   doubles (linear); the scan-based scorer re-walked the hub's full
+//!   adjacency per auction — superlinear total, ns/edge doubling with
+//!   the degree.
+//! - **assignment-burst** — LDG and Fennel over fresh random pairs:
+//!   every edge places two never-seen vertices at maximum assignment
+//!   rate. The rework collapsed these to the one-hot first-sight form
+//!   of the counter invariant (no adjacency, no counter table), so
+//!   this guards their near-Hash per-edge cost.
+//! - **restream** — two restream passes over a clique ring: each pass
+//!   re-scores every vertex against its *complete* neighbourhood,
+//!   which the counter seeding turns from O(deg) per decision into
+//!   O(k).
+//!
+//! Quick mode for CI: `LOOM_BENCH_SAMPLES=1 cargo bench --bench
+//! partition_micro` runs one timed iteration per benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_core::graph::{EdgeId, Label, StreamEdge, VertexId};
+use loom_core::partition::{
+    partition_stream, restreamed_ldg, CapacityModel, EoParams, FennelParams, FennelPartitioner,
+    LdgPartitioner, LoomConfig, LoomPartitioner, StreamPartitioner,
+};
+use loom_core::prelude::*;
+
+const A: Label = Label(0);
+const B: Label = Label(1);
+
+fn se(id: u32, src: u32, sl: Label, dst: u32, dl: Label) -> StreamEdge {
+    StreamEdge {
+        id: EdgeId(id),
+        src: VertexId(src),
+        dst: VertexId(dst),
+        src_label: sl,
+        dst_label: dl,
+    }
+}
+
+/// Loom config for the micro streams: tiny window so evictions (and
+/// hence auctions) dominate, adaptive capacity (no extent assumed).
+fn micro_loom(k: usize, window: usize) -> LoomConfig {
+    LoomConfig {
+        k,
+        window_size: window,
+        support_threshold: 0.3,
+        prime: loom_core::motif::DEFAULT_PRIME,
+        eo: EoParams::default(),
+        capacity_slack: 1.1,
+        capacity: CapacityModel::Adaptive,
+        seed: 0x100a,
+        allocation: Default::default(),
+    }
+}
+
+/// Star workload: a-b edges (and small a-stars) are motifs, so every
+/// hub edge buffers, and the fallback auction scores the hub vertex.
+fn star_workload() -> Workload {
+    Workload::new(vec![
+        (PatternGraph::star("s3", A, vec![B, B, B]), 70.0),
+        (PatternGraph::path("ab", vec![A, B]), 30.0),
+    ])
+}
+
+fn bench_hub_fallback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_hub_fallback");
+    group.sample_size(10);
+    for degree in [4_000u32, 8_000, 16_000] {
+        group.bench_with_input(
+            BenchmarkId::new("window_64_x_degree", degree),
+            &degree,
+            |b, &degree| {
+                b.iter(|| {
+                    let workload = star_workload();
+                    let mut loom = LoomPartitioner::new(&micro_loom(8, 64), &workload, 2);
+                    // Every edge hangs a fresh leaf off the hub; leaves
+                    // are never assigned before their auction, so the
+                    // zero-bid fallback keeps scoring the hub, whose
+                    // adjacency grows without bound.
+                    for i in 0..degree {
+                        loom.on_edge(&se(i, 0, A, i + 1, B));
+                    }
+                    loom.finish();
+                    loom.stats().fallback_auctions
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_assignment_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_assignment_burst");
+    group.sample_size(10);
+    // Fresh vertex pair per edge: 2 placements per edge, zero reuse —
+    // the pure counter-write regime.
+    let stream: Vec<StreamEdge> = (0..30_000u32)
+        .map(|i| se(i, 2 * i, A, 2 * i + 1, B))
+        .collect();
+    group.bench_function("ldg_fresh_pairs", |b| {
+        b.iter(|| {
+            let mut p = LdgPartitioner::new(8, CapacityModel::Adaptive);
+            for e in &stream {
+                p.on_edge(e);
+            }
+            p.finish();
+            p.state().assigned_count()
+        })
+    });
+    group.bench_function("fennel_fresh_pairs", |b| {
+        b.iter(|| {
+            let mut p = FennelPartitioner::new(8, CapacityModel::Adaptive, FennelParams::default());
+            for e in &stream {
+                p.on_edge(e);
+            }
+            p.finish();
+            p.state().assigned_count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_restream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_restream");
+    group.sample_size(10);
+    // A ring of cliques: enough structure that restream passes do real
+    // scoring work, with hub-free uniform degrees.
+    let mut g = LabeledGraph::with_anonymous_labels(1);
+    let mut all = Vec::new();
+    for _ in 0..120 {
+        let members: Vec<_> = (0..8).map(|_| g.add_vertex(Label(0))).collect();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                g.add_edge(members[i], members[j]);
+            }
+        }
+        all.push(members);
+    }
+    for cidx in 0..all.len() {
+        let next = (cidx + 1) % all.len();
+        g.add_edge(all[cidx][0], all[next][0]);
+    }
+    let stream = GraphStream::from_graph(&g, StreamOrder::Random, 7);
+    group.bench_function("two_passes_clique_ring", |b| {
+        b.iter(|| {
+            let a = restreamed_ldg(&stream, 8, 2, 1.1);
+            a.sizes().iter().sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+/// Keep the generic Loom data path in the suite too: a mixed stream
+/// through `partition_stream` (bypass + buffer + evict) at the micro
+/// scale, so a regression anywhere in the edge loop shows up here
+/// before the full repro run.
+fn bench_loom_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_loom_mixed");
+    group.sample_size(10);
+    let g = loom_core::graph::datasets::generate(DatasetKind::ProvGen, Scale::Tiny, 11);
+    let stream = GraphStream::from_graph(&g, StreamOrder::BreadthFirst, 11);
+    let workload = loom_core::query::workload_for(DatasetKind::ProvGen);
+    group.bench_function("provgen_tiny_window_128", |b| {
+        b.iter(|| {
+            let mut loom =
+                LoomPartitioner::new(&micro_loom(8, 128), &workload, stream.num_labels());
+            partition_stream(&mut loom, &stream);
+            loom.stats().auctions
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hub_fallback,
+    bench_assignment_burst,
+    bench_restream,
+    bench_loom_mixed
+);
+criterion_main!(benches);

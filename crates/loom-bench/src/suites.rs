@@ -240,10 +240,54 @@ pub fn table2(opts: &SuiteOptions) -> String {
         }
         body.push(row);
     }
-    format!(
+    let mut out = format!(
         "## Table 2 — time to partition 10k edges (ms)\n\n{}",
         markdown_table(&["dataset", "LDG", "Fennel", "Loom", "Hash"], &body)
+    );
+
+    // Loom per-phase breakdown, from separate profiled runs (the timed
+    // rows above stay stopwatch-free). Phases: motif matching,
+    // partitioning decisions (bypass placements + auctions), window +
+    // adjacency + counter upkeep.
+    writeln!(
+        out,
+        "\n### Loom per-phase breakdown (ms per 10k edges, profiled run)\n"
     )
+    .unwrap();
+    let mut body = Vec::new();
+    for dataset in DatasetKind::ALL {
+        let cfg = cfg_for(opts, dataset, StreamOrder::BreadthFirst);
+        let graph = datasets::generate(dataset, opts.scale, opts.seed);
+        let workload = workload_for(dataset);
+        let stream = GraphStream::from_graph(&graph, cfg.order, cfg.seed);
+        let loom_cfg = LoomConfig {
+            k: cfg.k,
+            window_size: cfg.window_size,
+            support_threshold: cfg.support_threshold,
+            prime: loom_core::motif::DEFAULT_PRIME,
+            eo: EoParams::default(),
+            capacity_slack: 1.1,
+            capacity: CapacityModel::for_stream(&stream),
+            seed: cfg.seed,
+            allocation: AllocationPolicy::EqualOpportunism,
+        };
+        let mut p = LoomPartitioner::new(&loom_cfg, &workload, stream.num_labels());
+        p.enable_phase_profile();
+        partition_stream(&mut p, &stream);
+        let phases = p.phase_breakdown();
+        let per_10k = |ns: u64| ns as f64 / 1e6 * 10_000.0 / stream.len().max(1) as f64;
+        body.push(vec![
+            dataset.name().to_string(),
+            format!("{:.2}", per_10k(phases.matcher_ns)),
+            format!("{:.2}", per_10k(phases.partitioner_ns)),
+            format!("{:.2}", per_10k(phases.window_ns)),
+        ]);
+    }
+    out.push_str(&markdown_table(
+        &["dataset", "matcher", "partitioner", "window upkeep"],
+        &body,
+    ));
+    out
 }
 
 /// Fig. 9: Loom's ipt across window sizes, per dataset (breadth-first).

@@ -489,8 +489,19 @@ fn print_snapshot(s: &loom_core::engine::Snapshot) {
         Some(v) => format!("  ipt {v:.1}"),
         None => String::new(),
     };
+    // Arena occupancy, for partitioners that keep a match arena: live
+    // vs resident cells and the compaction generation, so an operator
+    // (or ci.sh) can watch reclamation keep residency flat on
+    // unbounded feeds.
+    let arena = match &s.arena {
+        Some(a) => format!(
+            "  arena {}/{} cells {}/{} matches gen {}",
+            a.live_cells, a.total_cells, a.live_matches, a.total_matches, a.generation
+        ),
+        None => String::new(),
+    };
     println!(
-        "snapshot {:>4}  edges {:>10}  vertices {:>9}  capacity {:>12.1}  imbalance {:>5.1}%  cut {:>5.1}% ({}/{}){}",
+        "snapshot {:>4}  edges {:>10}  vertices {:>9}  capacity {:>12.1}  imbalance {:>5.1}%  cut {:>5.1}% ({}/{}){}{}",
         s.seq,
         s.edges,
         s.vertices,
@@ -500,6 +511,7 @@ fn print_snapshot(s: &loom_core::engine::Snapshot) {
         s.cut_edges,
         s.resolved_edges,
         ipt,
+        arena,
     );
 }
 

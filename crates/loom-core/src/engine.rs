@@ -17,6 +17,7 @@
 //! (see `tests/determinism.rs` and the pipeline tests).
 
 use loom_graph::{EdgeSource, LabeledGraph, StreamEdge, Workload};
+use loom_matcher::ArenaOccupancy;
 use loom_partition::{Assignment, PartitionState, StreamPartitioner};
 use loom_query::count_ipt;
 use std::collections::VecDeque;
@@ -70,6 +71,12 @@ pub struct Snapshot {
     /// Frequency-weighted workload ipt over the graph ingested so far,
     /// when the engine carries an ipt probe (None otherwise).
     pub weighted_ipt: Option<f64>,
+    /// Match-arena occupancy (live/dead matches and cells, compaction
+    /// generation) for partitioners that keep one — Loom. `None` for
+    /// the memoryless baselines. Lets a long-running ingest *observe*
+    /// that arena reclamation holds resident memory flat instead of
+    /// trusting that it does.
+    pub arena: Option<ArenaOccupancy>,
 }
 
 impl Snapshot {
@@ -266,6 +273,7 @@ impl OnlineEngine {
             .probe
             .as_ref()
             .map(|p| p.measure(&state.to_assignment()));
+        let arena = self.partitioner.arena();
         Snapshot {
             seq: self.seq,
             edges: self.edges,
@@ -276,6 +284,7 @@ impl OnlineEngine {
             cut_edges: self.cut_edges,
             resolved_edges: self.resolved_edges,
             weighted_ipt,
+            arena,
         }
     }
 
@@ -376,6 +385,47 @@ mod tests {
         let assignment = engine.into_assignment();
         let offline = loom_query::count_ipt(&graph, &assignment, &workload, 50_000).weighted_ipt;
         assert_eq!(probe_ipt.to_bits(), offline.to_bits());
+    }
+
+    #[test]
+    fn arena_occupancy_flows_into_snapshots() {
+        // Loom snapshots carry the match-arena occupancy; memoryless
+        // baselines report None.
+        let graph = loom_graph::datasets::generate(DatasetKind::ProvGen, Scale::Tiny, 3);
+        let stream = GraphStream::from_graph(&graph, StreamOrder::BreadthFirst, 3);
+        let workload = loom_query::workload_for(DatasetKind::ProvGen);
+        let cfg = crate::ExperimentConfig::evaluation_defaults(
+            DatasetKind::ProvGen,
+            Scale::Tiny,
+            StreamOrder::BreadthFirst,
+        );
+        let loom = crate::pipeline::make_partitioner_with_capacity(
+            crate::System::Loom,
+            &cfg,
+            loom_partition::CapacityModel::for_stream(&stream),
+            stream.num_labels(),
+            &workload,
+        );
+        let mut engine = OnlineEngine::new(loom, EngineConfig::default());
+        engine.run(&mut stream.source(), None, |_| {});
+        let snap = engine.snapshot();
+        let arena = snap.arena.expect("Loom snapshots carry arena occupancy");
+        assert!(arena.live_matches <= arena.total_matches);
+        assert!(arena.live_cells <= arena.total_cells);
+        let fin = engine.finish();
+        let drained = fin.arena.expect("arena occupancy after drain");
+        assert_eq!(
+            drained.live_matches, 0,
+            "drained window leaves no live match"
+        );
+
+        let mut ldg_engine = ldg_engine(0);
+        let mut source = SyntheticEdgeSource::new(5, 3);
+        ldg_engine.run(&mut source, Some(500), |_| {});
+        assert!(
+            ldg_engine.snapshot().arena.is_none(),
+            "baselines have no arena"
+        );
     }
 
     #[test]

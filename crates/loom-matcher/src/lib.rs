@@ -20,5 +20,5 @@ pub mod matchlist;
 pub mod window;
 
 pub use matcher::{EdgeFate, MotifMatcher, MAX_MATCHES_PER_ENDPOINT};
-pub use matchlist::{MatchId, MatchList, MatchRef};
+pub use matchlist::{ArenaOccupancy, MatchId, MatchList, MatchRef};
 pub use window::SlidingWindow;

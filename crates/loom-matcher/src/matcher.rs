@@ -59,11 +59,13 @@ pub struct MotifMatcher {
     lut: DeltaLut,
     matches: MatchList,
     match_cap: usize,
-    ops_since_compact: usize,
+    dead_at_last_compact: usize,
     // Scratch buffers reused across on_edge calls so the steady state
     // allocates nothing beyond arena cells and index growth.
-    scratch_connected: Vec<MatchId>,
-    scratch_endpoint: Vec<MatchId>,
+    scratch_connected: Vec<(MatchId, u8)>,
+    scratch_endpoint: Vec<(MatchId, u8)>,
+    scratch_union: Vec<(MatchId, u8, u8)>,
+    scratch_partners: Vec<MatchId>,
     scratch_fresh: Vec<MatchId>,
     join_edges: Vec<StreamEdge>,
     join_remaining: Vec<StreamEdge>,
@@ -81,9 +83,11 @@ impl MotifMatcher {
             lut,
             matches: MatchList::new(),
             match_cap: MAX_MATCHES_PER_ENDPOINT,
-            ops_since_compact: 0,
+            dead_at_last_compact: 0,
             scratch_connected: Vec::new(),
             scratch_endpoint: Vec::new(),
+            scratch_union: Vec::new(),
+            scratch_partners: Vec::new(),
             scratch_fresh: Vec::new(),
             join_edges: Vec::new(),
             join_remaining: Vec::new(),
@@ -115,26 +119,39 @@ impl MotifMatcher {
         self.match_cap = cap;
     }
 
-    /// Collect the capped live matches at both endpoints of `e` into
-    /// `out` (first endpoint's, then the second's minus duplicates) —
-    /// Alg. 2's `matchList(v1) ∪ matchList(v2)`, newest-first under
-    /// the per-endpoint cap: recent matches are the ones whose edges
-    /// will share window residency with `e`.
-    fn collect_endpoint_matches(
-        matches: &MatchList,
-        scratch: &mut Vec<MatchId>,
+    /// The newest `cap` entries of `old ++ fresh` appended to `out`,
+    /// skipping entries already present in `out[..dedup_prefix]` — the
+    /// join step's partner-list reconstruction (see `on_edge`). Pass
+    /// `dedup_prefix = 0` for the first endpoint (nothing to dedup
+    /// against). Both the appended sequence and `out[..dedup_prefix]`
+    /// are ascending by id, so the dedup is a two-pointer merge, not a
+    /// quadratic scan.
+    fn append_capped_tail(
         out: &mut Vec<MatchId>,
-        e: &StreamEdge,
+        old: &[(MatchId, u8)],
+        fresh: &[MatchId],
         cap: usize,
+        dedup_prefix: usize,
     ) {
-        out.clear();
-        matches.recent_matches_at_vertex_into(e.src, cap, out);
-        scratch.clear();
-        matches.recent_matches_at_vertex_into(e.dst, cap, scratch);
-        for &id in scratch.iter() {
-            if !out.contains(&id) {
-                out.push(id);
+        let skip = (old.len() + fresh.len()).saturating_sub(cap);
+        let (old_part, fresh_part) = if skip <= old.len() {
+            (&old[skip..], fresh)
+        } else {
+            (&[][..], &fresh[skip - old.len()..])
+        };
+        let mut pi = 0;
+        for id in old_part
+            .iter()
+            .map(|&(id, _)| id)
+            .chain(fresh_part.iter().copied())
+        {
+            while pi < dedup_prefix && out[pi] < id {
+                pi += 1;
             }
+            if pi < dedup_prefix && out[pi] == id {
+                continue;
+            }
+            out.push(id);
         }
     }
 
@@ -147,17 +164,66 @@ impl MotifMatcher {
             return EdgeFate::Bypass;
         };
 
-        // Existing matches connected to e, before e's own entry exists
-        // (Alg. 2 line 4: matchList(v1) ∪ matchList(v2)).
-        let mut connected = std::mem::take(&mut self.scratch_connected);
-        let mut endpoint = std::mem::take(&mut self.scratch_endpoint);
-        Self::collect_endpoint_matches(
-            &self.matches,
-            &mut endpoint,
-            &mut connected,
-            &e,
-            self.match_cap,
-        );
+        // The capped per-endpoint match lists, read once per edge —
+        // Alg. 2 line 4's matchList(v1) and matchList(v2), newest-first
+        // under the per-endpoint cap: recent matches are the ones whose
+        // edges will share window residency with `e`. Each entry
+        // carries the vertex's degree within the match, recorded at
+        // registration (matches are immutable).
+        let mut src_list = std::mem::take(&mut self.scratch_connected);
+        let mut dst_list = std::mem::take(&mut self.scratch_endpoint);
+        src_list.clear();
+        let src_trunc =
+            self.matches
+                .recent_matches_with_degrees_into(e.src, self.match_cap, &mut src_list);
+        dst_list.clear();
+        let dst_trunc =
+            self.matches
+                .recent_matches_with_degrees_into(e.dst, self.match_cap, &mut dst_list);
+
+        // Their union (src's then dst's minus duplicates): the existing
+        // matches connected to e, before e's own entry exists — as
+        // (id, deg of e.src in match, deg of e.dst in match) triples.
+        // An entry absent from a row has degree 0 at that endpoint...
+        // unless the row read was cap-truncated, in which case the
+        // match may sit behind the cap and the degree must come from a
+        // chain walk (rare: it needs a hub-length row on the *other*
+        // endpoint). This reproduces exactly the degrees the old
+        // per-candidate `degrees()` walks computed.
+        let mut connected = std::mem::take(&mut self.scratch_union);
+        connected.clear();
+        for &(id, du) in &src_list {
+            connected.push((id, du, 0));
+        }
+        // Both lists are ascending by id, so the duplicate detection is
+        // a two-pointer merge (`connected[..src_list.len()]` mirrors
+        // `src_list` position for position) — O(|src| + |dst|), where
+        // a per-entry scan went quadratic at hubs.
+        let mut si = 0;
+        for &(id, ddeg) in &dst_list {
+            while si < src_list.len() && src_list[si].0 < id {
+                si += 1;
+            }
+            if si < src_list.len() && src_list[si].0 == id {
+                connected[si].2 = ddeg;
+            } else {
+                connected.push((id, 0, ddeg));
+            }
+        }
+        if dst_trunc {
+            for t in connected.iter_mut() {
+                if t.2 == 0 {
+                    t.2 = self.matches.get(t.0).degree(e.dst) as u8;
+                }
+            }
+        }
+        if src_trunc {
+            for t in connected.iter_mut() {
+                if t.1 == 0 {
+                    t.1 = self.matches.get(t.0).degree(e.src) as u8;
+                }
+            }
+        }
 
         // The new single-edge match ⟨e, m0⟩.
         let mut fresh = std::mem::take(&mut self.scratch_fresh);
@@ -167,21 +233,26 @@ impl MotifMatcher {
         }
 
         // Extension step (lines 5-8): grow each connected match by e —
-        // one arena cell per successful extension, no edge cloning.
+        // one arena cell per successful extension, no edge cloning, and
+        // (steady state) no chain walks: the endpoint degrees come off
+        // the union triples, `e` cannot already be in a match collected
+        // *before* its own insertion (stream edge ids are fresh), and a
+        // collected match touches at least one endpoint by
+        // construction, so the old per-candidate `contains`/`degrees`
+        // walks have nothing left to compute.
         let max_edges = self.motifs.max_motif_edges();
-        for &id in &connected {
-            let m = self.matches.get(id);
-            if m.len() >= max_edges || m.contains_edge(e.id) {
+        for &(id, du, dv) in &connected {
+            // Dense 2-byte pre-filter before touching the match's Meta.
+            if self.matches.live_len_of(id) >= max_edges {
                 continue;
             }
-            let (du, dv) = m.degrees(e.src, e.dst);
-            if du == 0 && dv == 0 {
-                continue; // not incident to the match sub-graph
-            }
-            let motif = m.motif();
-            let Some(delta) = self.lut.delta_id(e.src_label, du + 1, e.dst_label, dv + 1) else {
+            let Some(delta) =
+                self.lut
+                    .delta_id(e.src_label, du as usize + 1, e.dst_label, dv as usize + 1)
+            else {
                 continue;
             };
+            let motif = self.matches.get(id).motif();
             if let Some(child) = self.motifs.child_with_delta_by_id(motif, delta) {
                 if let Some(nid) = self.matches.insert_extension(id, e, child) {
                     fresh.push(nid);
@@ -193,35 +264,73 @@ impl MotifMatcher {
         // with the other matches at its endpoints and recursively absorb
         // the partner's edges. Pairs not involving e were already
         // evaluated when their own last edge arrived, so restricting one
-        // side to fresh matches loses nothing. Partner lists are
-        // re-collected because the extension step just inserted.
-        let mut partners = connected; // reuse the buffer
-        Self::collect_endpoint_matches(
-            &self.matches,
-            &mut endpoint,
-            &mut partners,
-            &e,
-            self.match_cap,
-        );
+        // side to fresh matches loses nothing. The partner lists would
+        // be the post-insert per-endpoint reads — but no match died
+        // since the pre-insert reads, and every fresh match contains e
+        // (hence sits at both endpoints, appended in insertion order),
+        // so the post-insert list at each endpoint is exactly the
+        // newest-`cap` tail of `pre-insert list ++ fresh`: reconstruct
+        // it from buffers instead of re-walking the index.
+        let mut partners = std::mem::take(&mut self.scratch_partners);
+        partners.clear();
+        if !fresh.is_empty() {
+            Self::append_capped_tail(&mut partners, &src_list, &fresh, self.match_cap, 0);
+            let prefix = partners.len();
+            Self::append_capped_tail(&mut partners, &dst_list, &fresh, self.match_cap, prefix);
+        }
         self.produced.clear();
         self.produced_edges.clear();
+        // Every fresh match contains `e`, so a fresh *partner* can
+        // never join with a fresh base (their overlap is at least
+        // {e}); ids are arena-ordered, so "fresh" is one integer
+        // compare against this round's first fresh id — no chain walk.
+        let first_fresh = fresh.first().copied().unwrap_or(MatchId(u32::MAX));
         for &a in &fresh {
+            let la = self.matches.live_len_of(a);
             for &b in &partners {
-                if a == b {
+                if b >= first_fresh {
+                    continue; // fresh partner: shares e, overlap guaranteed
+                }
+                // Dense 2-byte length pre-filter: at a hub most pairs
+                // die right here, without ever loading a Meta or
+                // walking a cell chain.
+                let lb = self.matches.live_len_of(b);
+                if la + lb > max_edges {
                     continue;
                 }
                 let ma = self.matches.get(a);
                 let mb = self.matches.get(b);
-                if ma.len() + mb.len() > max_edges {
-                    continue;
-                }
                 // Absorb the smaller into the larger (§3: "we consider
                 // each edge from the smaller motif match").
-                let (base_id, base, other) = if ma.len() >= mb.len() {
-                    (a, ma, mb)
-                } else {
-                    (b, mb, ma)
-                };
+                let (base_id, base, other) = if la >= lb { (a, ma, mb) } else { (b, mb, ma) };
+                if other.len() == 1 {
+                    // The dominant shape (the smaller side is a single
+                    // edge) needs no buffers, no recursion and no
+                    // separate overlap pass: one fused walk over the
+                    // base chain gives the endpoint degrees (bailing
+                    // if the edge is already in the base), then the
+                    // same LUT + child step `try_join` would take —
+                    // absorbing one edge IS the whole join.
+                    let x = other.edges().next().expect("len 1");
+                    let Some((du, dv)) = base.degrees_unless_contains(x.src, x.dst, x.id) else {
+                        continue; // overlapping matches are not joinable
+                    };
+                    if du == 0 && dv == 0 {
+                        continue; // not incident to the base sub-graph
+                    }
+                    let Some(delta) = self.lut.delta_id(x.src_label, du + 1, x.dst_label, dv + 1)
+                    else {
+                        continue;
+                    };
+                    let Some(motif) = self.motifs.child_with_delta_by_id(base.motif(), delta)
+                    else {
+                        continue;
+                    };
+                    let start = self.produced_edges.len() as u32;
+                    self.produced_edges.push(x);
+                    self.produced.push((base_id, start, 1, motif));
+                    continue;
+                }
                 if other.edges().any(|x| base.contains_edge(x.id)) {
                     continue; // overlapping matches are not joinable
                 }
@@ -259,14 +368,23 @@ impl MotifMatcher {
         fresh.clear();
         self.scratch_fresh = fresh;
         partners.clear();
-        self.scratch_connected = partners;
-        endpoint.clear();
-        self.scratch_endpoint = endpoint;
+        self.scratch_partners = partners;
+        connected.clear();
+        self.scratch_union = connected;
+        src_list.clear();
+        self.scratch_connected = src_list;
+        dst_list.clear();
+        self.scratch_endpoint = dst_list;
 
-        self.ops_since_compact += 1;
-        if self.ops_since_compact >= 1024 {
-            self.ops_since_compact = 0;
+        // Index maintenance is driven by *kill volume*, not an edge
+        // cadence: sweeps are pointless while nothing has died (the
+        // bypass-heavy regime), and correctness never depends on them
+        // — walks filter on liveness — so the trigger only affects
+        // cost, never behaviour. This is also the only safe point to
+        // compact: no MatchIds are held across on_edge calls.
+        if self.matches.dead() >= self.dead_at_last_compact + 2048 {
             self.matches.compact();
+            self.dead_at_last_compact = self.matches.dead();
         }
         EdgeFate::Buffered
     }
@@ -303,6 +421,23 @@ impl MotifMatcher {
     /// Kill one match without touching its edges (losing bids, §4).
     pub fn kill_match(&mut self, id: MatchId) {
         self.matches.kill(id);
+    }
+
+    /// Current arena occupancy (live/dead matches and cells, plus the
+    /// compaction generation) — the observability hook `loom stream`
+    /// snapshots surface.
+    pub fn arena_occupancy(&self) -> crate::matchlist::ArenaOccupancy {
+        self.matches.occupancy()
+    }
+
+    /// Force a generational arena compaction right now, regardless of
+    /// the dead-match trigger. Safe whenever the caller holds no
+    /// [`MatchId`]s (they are remapped); behaviour is unchanged by
+    /// construction — the property suite drives a reclaiming matcher
+    /// against a never-reclaiming one to prove it.
+    pub fn reclaim_arena(&mut self) {
+        self.matches.reclaim();
+        self.dead_at_last_compact = self.matches.dead();
     }
 }
 

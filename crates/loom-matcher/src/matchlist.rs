@@ -47,12 +47,15 @@ struct Cell {
 /// Per-match metadata. The edges live in the cell chain starting at
 /// `cell`; `edge_fp` is the commutative XOR fingerprint of the edge
 /// set, maintained incrementally so dedup never materialises a key.
+/// Liveness is *not* here: it lives in the dense parallel
+/// `MatchList::live_len` array, because liveness checks run on every
+/// index walk and a 2-byte dense read stays in cache where a 32-byte
+/// `Meta` load would not.
 #[derive(Clone, Copy, Debug)]
 struct Meta {
     cell: u32,
     motif: MotifId,
     len: u16,
-    alive: bool,
     edge_fp: u128,
 }
 
@@ -83,6 +86,7 @@ fn dedup_key(motif: MotifId, edge_fp: u128) -> u128 {
 pub struct MatchRef<'a> {
     list: &'a MatchList,
     meta: &'a Meta,
+    id: MatchId,
 }
 
 impl<'a> MatchRef<'a> {
@@ -95,7 +99,7 @@ impl<'a> MatchRef<'a> {
     /// False once any constituent edge left the window.
     #[inline]
     pub fn alive(&self) -> bool {
-        self.meta.alive
+        self.list.live_len[self.id.index()] != 0
     }
 
     /// Number of edges.
@@ -167,28 +171,102 @@ impl<'a> MatchRef<'a> {
     pub fn degree(&self, v: VertexId) -> usize {
         self.edges().filter(|e| e.touches(v)).count()
     }
+
+    /// Fused extension probe: the degrees of `u` and `v` within the
+    /// match, or `None` if the match already contains edge `skip` —
+    /// the checks [`MatchRef::contains_edge`] + [`MatchRef::degrees`]
+    /// would make, in a single chain walk (the extension step runs
+    /// this once per connected match per arriving edge).
+    pub fn degrees_unless_contains(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        skip: EdgeId,
+    ) -> Option<(usize, usize)> {
+        let mut du = 0;
+        let mut dv = 0;
+        for e in self.edges() {
+            if e.id == skip {
+                return None;
+            }
+            if e.touches(u) {
+                du += 1;
+            }
+            if e.touches(v) {
+                dv += 1;
+            }
+        }
+        Some((du, dv))
+    }
 }
+
+/// Point-in-time occupancy of the match arena, for observability (the
+/// engine surfaces this in `loom stream` snapshots so reclamation is
+/// visible, not assumed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaOccupancy {
+    /// Matches currently alive (all edges still in the window).
+    pub live_matches: usize,
+    /// Match slots in the arena, dead ones included.
+    pub total_matches: usize,
+    /// Cells reachable from a live match (shared tails counted once).
+    pub live_cells: usize,
+    /// Cells in the arena, unreachable garbage included.
+    pub total_cells: usize,
+    /// How many generational compactions have run (the epoch).
+    pub generation: u64,
+}
+
+/// Minimum arena population before a generational compaction is worth
+/// the copy (below this the arena is too small to matter).
+const RECLAIM_MIN_MATCHES: usize = 4_096;
 
 /// Cell arena + indices for all live matches in the window.
 ///
-/// Dead matches keep their (small, fixed-size) `Meta` and cells: ids
-/// are arena-ordered and the matcher's recency cap *is* id order, so
-/// slots are never reused — memory grows with the total number of
-/// matches ever recorded, not the live set. That is the same bound
-/// the previous owned-`Vec` arena had (at a fraction of the bytes per
-/// match); reclaiming it for unbounded service-style streams means a
-/// generation/epoch scheme that preserves id ordering, recorded as a
-/// ROADMAP open item rather than smuggled into this refactor.
+/// Dead matches keep their (small, fixed-size) `Meta` and cells until
+/// the next **generational compaction** ([`MatchList::reclaim`]):
+/// ids are arena-ordered and the matcher's recency cap *is* id order,
+/// so slots are never reused in place — instead, when the dead
+/// outnumber the living (checked on the matcher's deterministic
+/// compaction cadence), the live matches are copied into a fresh
+/// arena *in id order* and every index entry is remapped through a
+/// dense old→new table. The remap is monotone, so relative id order —
+/// the only thing any consumer depends on — survives; resident memory
+/// is thereby bounded by the live (window-resident) match population,
+/// not by matches-ever-seen, which is what lets `loom stream` run on
+/// unbounded sources (DESIGN.md §10).
 #[derive(Clone, Debug, Default)]
 pub struct MatchList {
     cells: Vec<Cell>,
     matches: Vec<Meta>,
-    by_vertex: FxHashMap<VertexId, Vec<MatchId>>,
+    /// Dense per-vertex match lists (ascending id order), each entry
+    /// carrying the vertex's degree *within* that match — matches are
+    /// immutable, so the degree recorded at registration stays true
+    /// for the match's whole life, and the extension step reads it
+    /// straight off the row instead of walking the cell chain. Vertex
+    /// ids index directly — the map hashing this replaced was a
+    /// measurable share of the per-edge index upkeep; rows grow with
+    /// the vertex universe like the partition-side adjacency does.
+    /// Edge ids stay hashed ([`MatchList::by_edge`]): only
+    /// window-resident edges have entries, so a dense edge table
+    /// would grow with the stream.
+    by_vertex: Vec<Vec<(MatchId, u8)>>,
     by_edge: FxHashMap<EdgeId, Vec<MatchId>>,
     dedup: FxHashSet<u128>,
+    /// Dense per-match liveness: the match's edge count while alive,
+    /// 0 once dead. Kept out of `Meta` for cache density — the
+    /// backward index walks check liveness far more often than they
+    /// read anything else about a match.
+    live_len: Vec<u16>,
     live: usize,
+    /// Completed generational compactions (the arena epoch).
+    generation: u64,
     /// Scratch for vertex registration (reused across inserts).
     scratch_vertices: Vec<VertexId>,
+    /// Recycled `by_edge` list vecs: every buffered edge creates one
+    /// entry and its eviction frees it, so without a pool the steady
+    /// state pays a malloc/free pair per edge transit.
+    list_pool: Vec<Vec<MatchId>>,
 }
 
 impl MatchList {
@@ -207,6 +285,19 @@ impl MatchList {
         self.live == 0
     }
 
+    /// Number of dead match slots awaiting compaction.
+    pub fn dead(&self) -> usize {
+        self.matches.len() - self.live
+    }
+
+    /// Edge count of a *live* match, 0 if dead — a 2-byte dense read,
+    /// the cheap pre-filter the extension/join loops use before
+    /// touching a match's `Meta` or cells.
+    #[inline]
+    pub fn live_len_of(&self, id: MatchId) -> usize {
+        self.live_len[id.index()] as usize
+    }
+
     /// Register a new match whose chain head is `cell`, indexing it
     /// under its vertices and edges. The caller has already passed
     /// dedup and pushed the cells.
@@ -218,36 +309,76 @@ impl MatchList {
         let mut cur = cell;
         while cur != NO_CELL {
             let c = self.cells[cur as usize];
+            // One entry per (edge, touched vertex): a self-loop
+            // touches its vertex once, matching `MatchRef::degrees`.
             scratch.push(c.edge.src);
-            scratch.push(c.edge.dst);
-            self.by_edge.entry(c.edge.id).or_default().push(id);
+            if c.edge.dst != c.edge.src {
+                scratch.push(c.edge.dst);
+            }
+            match self.by_edge.entry(c.edge.id) {
+                std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().push(id),
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    let mut ids = self.list_pool.pop().unwrap_or_default();
+                    ids.push(id);
+                    slot.insert(ids);
+                }
+            }
             cur = c.parent;
         }
+        // Sorted multiplicities = per-vertex degrees within the match.
         scratch.sort_unstable();
-        scratch.dedup();
-        for &v in &scratch {
-            self.by_vertex.entry(v).or_default().push(id);
+        if let Some(hi) = scratch.last() {
+            if self.by_vertex.len() <= hi.index() {
+                self.by_vertex.resize_with(hi.index() + 1, Vec::new);
+            }
+        }
+        let live_len = &self.live_len;
+        let mut i = 0;
+        while i < scratch.len() {
+            let v = scratch[i];
+            // Run length = this vertex's degree within the match.
+            let mut run = i + 1;
+            while run < scratch.len() && scratch[run] == v {
+                run += 1;
+            }
+            let deg = (run - i) as u8;
+            i = run;
+            let row = &mut self.by_vertex[v.index()];
+            // Opportunistic row pruning, amortized O(1) per push: when
+            // a row hits a power-of-two length ≥ 64, drop its dead
+            // entries in place (order-preserving, so walks see the
+            // same live sequence). Keeps the dead-entry skip cost of
+            // hub-row backward walks bounded by ~2× the live
+            // population instead of growing until the next global
+            // sweep. `live_len` predates `id`, and so does every
+            // entry already in the row.
+            if row.len() >= 64 && row.len().is_power_of_two() {
+                row.retain(|m| live_len[m.0.index()] != 0);
+            }
+            row.push((id, deg));
         }
         self.scratch_vertices = scratch;
         self.matches.push(Meta {
             cell,
             motif,
             len,
-            alive: true,
             edge_fp,
         });
+        self.live_len.push(len);
         self.live += 1;
         id
     }
 
-    /// Insert the single-edge match `⟨{e}, motif⟩`. Returns `None` if
-    /// an identical match is already — or was ever — recorded while
-    /// its edge was live.
+    /// Insert the single-edge match `⟨{e}, motif⟩`. The caller
+    /// guarantees `e`'s id is not currently in any live match — stream
+    /// edge ids are unique while resident, so a single-edge match
+    /// cannot duplicate a live one and singles skip the dedup set
+    /// entirely (two hash operations per buffered edge the steady
+    /// state never needs). Multi-edge inserts still dedup: the same
+    /// union really is reachable through several extension/join
+    /// orders.
     pub fn insert_single(&mut self, e: StreamEdge, motif: MotifId) -> Option<MatchId> {
         let edge_fp = mix_edge(e.id);
-        if !self.dedup.insert(dedup_key(motif, edge_fp)) {
-            return None;
-        }
         let cell = self.cells.len() as u32;
         self.cells.push(Cell {
             parent: NO_CELL,
@@ -318,17 +449,18 @@ impl MatchList {
         MatchRef {
             list: self,
             meta: &self.matches[id.index()],
+            id,
         }
     }
 
     /// Live matches containing vertex `v` — `matchList(v)` in Alg. 2.
     pub fn matches_at_vertex(&self, v: VertexId) -> Vec<MatchId> {
         self.by_vertex
-            .get(&v)
+            .get(v.index())
             .map(|ids| {
                 ids.iter()
-                    .copied()
-                    .filter(|&id| self.matches[id.index()].alive)
+                    .map(|&(id, _)| id)
+                    .filter(|&id| self.live_len[id.index()] != 0)
                     .collect()
             })
             .unwrap_or_default()
@@ -345,12 +477,12 @@ impl MatchList {
     /// between linear and quadratic total work in hub degree. Dead
     /// entries are left for [`MatchList::compact`] to sweep.
     pub fn recent_matches_at_vertex_into(&self, v: VertexId, cap: usize, out: &mut Vec<MatchId>) {
-        let Some(ids) = self.by_vertex.get(&v) else {
+        let Some(ids) = self.by_vertex.get(v.index()) else {
             return;
         };
         let start = out.len();
-        for &id in ids.iter().rev() {
-            if self.matches[id.index()].alive {
+        for &(id, _) in ids.iter().rev() {
+            if self.live_len[id.index()] != 0 {
                 out.push(id);
                 if out.len() - start >= cap {
                     break;
@@ -358,6 +490,37 @@ impl MatchList {
             }
         }
         out[start..].reverse();
+    }
+
+    /// [`MatchList::recent_matches_at_vertex_into`] carrying each
+    /// entry's in-match degree of `v` — the matcher's extension step
+    /// reads degrees off the row instead of walking cell chains.
+    ///
+    /// Returns `true` if the read stopped at `cap` (so live matches at
+    /// `v` may exist that are *not* in `out` — the caller must not
+    /// conclude "absent ⇒ degree 0" for this vertex).
+    pub fn recent_matches_with_degrees_into(
+        &self,
+        v: VertexId,
+        cap: usize,
+        out: &mut Vec<(MatchId, u8)>,
+    ) -> bool {
+        let Some(ids) = self.by_vertex.get(v.index()) else {
+            return false;
+        };
+        let start = out.len();
+        let mut truncated = false;
+        for &(id, deg) in ids.iter().rev() {
+            if self.live_len[id.index()] != 0 {
+                out.push((id, deg));
+                if out.len() - start >= cap {
+                    truncated = true;
+                    break;
+                }
+            }
+        }
+        out[start..].reverse();
+        truncated
     }
 
     /// Live matches containing edge `e` — the `M_e` of §4.
@@ -376,7 +539,7 @@ impl MatchList {
             out.extend(
                 ids.iter()
                     .copied()
-                    .filter(|&id| self.matches[id.index()].alive),
+                    .filter(|&id| self.live_len[id.index()] != 0),
             );
         }
     }
@@ -384,46 +547,167 @@ impl MatchList {
     /// Kill every match containing edge `e` (the edge left the window).
     /// Returns the number of matches killed.
     pub fn drop_edge(&mut self, e: EdgeId) -> usize {
-        let Some(ids) = self.by_edge.remove(&e) else {
+        let Some(mut ids) = self.by_edge.remove(&e) else {
             return 0;
         };
         let mut killed = 0;
-        for id in ids {
-            let m = &mut self.matches[id.index()];
-            if m.alive {
-                m.alive = false;
+        for &id in &ids {
+            let len = self.live_len[id.index()];
+            if len != 0 {
+                self.live_len[id.index()] = 0;
                 self.live -= 1;
                 killed += 1;
-                self.dedup.remove(&dedup_key(m.motif, m.edge_fp));
+                if len > 1 {
+                    let m = &self.matches[id.index()];
+                    self.dedup.remove(&dedup_key(m.motif, m.edge_fp));
+                }
             }
         }
+        ids.clear();
+        self.list_pool.push(ids);
         killed
     }
 
     /// Kill a single match by id (equal opportunism drops losing
     /// matches from the map, §4). No-op if already dead.
     pub fn kill(&mut self, id: MatchId) {
-        let m = &mut self.matches[id.index()];
-        if m.alive {
-            m.alive = false;
+        let len = self.live_len[id.index()];
+        if len != 0 {
+            self.live_len[id.index()] = 0;
             self.live -= 1;
-            self.dedup.remove(&dedup_key(m.motif, m.edge_fp));
+            if len > 1 {
+                let m = &self.matches[id.index()];
+                self.dedup.remove(&dedup_key(m.motif, m.edge_fp));
+            }
         }
     }
 
-    /// Prune dead entries from the vertex/edge indices. Called
-    /// periodically by the matcher; correctness never depends on it
-    /// (lookups filter on liveness), only memory usage does.
+    /// Periodic maintenance, called by the matcher on a deterministic
+    /// edge-count cadence. Always prunes dead entries from the
+    /// vertex/edge indices; when the dead dominate the arena (and the
+    /// arena is big enough to matter) it additionally runs a full
+    /// generational [`MatchList::reclaim`]. Correctness never depends
+    /// on either (lookups filter on liveness), only memory usage does.
+    ///
+    /// Like [`MatchList::reclaim`], this may invalidate previously
+    /// returned [`MatchId`]s — callers must not hold ids across it.
     pub fn compact(&mut self) {
-        let matches = &self.matches;
-        self.by_vertex.retain(|_, ids| {
-            ids.retain(|id| matches[id.index()].alive);
-            !ids.is_empty()
-        });
+        let dead = self.matches.len() - self.live;
+        if self.matches.len() >= RECLAIM_MIN_MATCHES && dead > self.live {
+            self.reclaim();
+            return;
+        }
+        let live_len = &self.live_len;
+        for ids in &mut self.by_vertex {
+            ids.retain(|&(id, _)| live_len[id.index()] != 0);
+        }
         self.by_edge.retain(|_, ids| {
-            ids.retain(|id| matches[id.index()].alive);
+            ids.retain(|id| live_len[id.index()] != 0);
             !ids.is_empty()
         });
+    }
+
+    /// Generational compaction: rebuild the arena from the live
+    /// matches only, freeing every dead `Meta` and every unreachable
+    /// cell, and remap all index entries through a dense old→new id
+    /// table. Live matches are copied in ascending id order, so the
+    /// remap is **monotone**: relative id order — which the recency
+    /// cap and every index walk depend on — is preserved exactly, and
+    /// shared cell tails stay shared (each old cell is copied at most
+    /// once). O(live matches + live cells + index entries).
+    ///
+    /// All previously returned [`MatchId`]s are invalidated.
+    pub fn reclaim(&mut self) {
+        let old_matches = std::mem::take(&mut self.matches);
+        let old_live_len = std::mem::take(&mut self.live_len);
+        let old_cells = std::mem::take(&mut self.cells);
+        // NO_CELL doubles as the "not copied yet" sentinel: cell ids
+        // are always < old_cells.len() < u32::MAX, so no collision.
+        let mut cell_remap = vec![NO_CELL; old_cells.len()];
+        let mut match_remap = vec![NO_CELL; old_matches.len()];
+        self.matches.reserve(self.live);
+        let mut stack: Vec<u32> = Vec::new();
+        for (old_id, meta) in old_matches.iter().enumerate() {
+            if old_live_len[old_id] == 0 {
+                continue;
+            }
+            // Copy the cell chain bottom-up, stopping at the first
+            // already-copied cell so shared tails are copied once.
+            stack.clear();
+            let mut cur = meta.cell;
+            while cur != NO_CELL && cell_remap[cur as usize] == NO_CELL {
+                stack.push(cur);
+                cur = old_cells[cur as usize].parent;
+            }
+            let mut parent = if cur == NO_CELL {
+                NO_CELL
+            } else {
+                cell_remap[cur as usize]
+            };
+            for &c in stack.iter().rev() {
+                let idx = self.cells.len() as u32;
+                self.cells.push(Cell {
+                    parent,
+                    edge: old_cells[c as usize].edge,
+                });
+                cell_remap[c as usize] = idx;
+                parent = idx;
+            }
+            match_remap[old_id] = self.matches.len() as u32;
+            self.matches.push(Meta {
+                cell: parent,
+                ..*meta
+            });
+            self.live_len.push(old_live_len[old_id]);
+        }
+        debug_assert_eq!(self.matches.len(), self.live);
+        // Remap the indices in place; dead ids drop out. The per-list
+        // order is preserved and the remap is monotone, so every list
+        // stays ascending-by-id (append order).
+        for ids in &mut self.by_vertex {
+            ids.retain_mut(|entry| {
+                let n = match_remap[entry.0.index()];
+                entry.0 = MatchId(n);
+                n != NO_CELL
+            });
+        }
+        self.by_edge.retain(|_, ids| {
+            ids.retain_mut(|id| {
+                let n = match_remap[id.index()];
+                *id = MatchId(n);
+                n != NO_CELL
+            });
+            !ids.is_empty()
+        });
+        // The dedup set keys on (motif, edge-set) fingerprints — id
+        // free — and already holds live entries only.
+        self.generation += 1;
+    }
+
+    /// Current arena occupancy (live-cell counting walks the live
+    /// chains with a visited bitmap — O(total cells) bits + O(live
+    /// cells) work, intended for snapshot cadence, not per edge).
+    pub fn occupancy(&self) -> ArenaOccupancy {
+        let mut visited = vec![false; self.cells.len()];
+        let mut live_cells = 0usize;
+        for (i, meta) in self.matches.iter().enumerate() {
+            if self.live_len[i] == 0 {
+                continue;
+            }
+            let mut cur = meta.cell;
+            while cur != NO_CELL && !visited[cur as usize] {
+                visited[cur as usize] = true;
+                live_cells += 1;
+                cur = self.cells[cur as usize].parent;
+            }
+        }
+        ArenaOccupancy {
+            live_matches: self.live,
+            total_matches: self.matches.len(),
+            live_cells,
+            total_cells: self.cells.len(),
+            generation: self.generation,
+        }
     }
 }
 

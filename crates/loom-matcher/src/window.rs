@@ -8,18 +8,20 @@
 //! unassigned vertices with window presence as residents of `Ptemp`.
 
 use loom_graph::{EdgeId, StreamEdge, VertexId};
-use rustc_hash::{FxHashMap, FxHashSet};
-use std::collections::hash_map::Entry;
+use rustc_hash::FxHashSet;
 use std::collections::VecDeque;
 
-/// A fixed-capacity FIFO of stream edges with O(1) membership checks
-/// and per-vertex degree tracking.
+/// A fixed-capacity FIFO of stream edges with O(1) membership checks.
+///
+/// Per-vertex degrees are computed on demand by scanning the live
+/// edges: nothing on the per-edge hot path reads them, and the
+/// incremental map the window used to carry cost four hash-map
+/// updates per buffered edge transit for observability-only data.
 #[derive(Clone, Debug)]
 pub struct SlidingWindow {
     capacity: usize,
     edges: VecDeque<StreamEdge>,
     present: FxHashSet<EdgeId>,
-    degree: FxHashMap<VertexId, u32>,
 }
 
 impl SlidingWindow {
@@ -34,7 +36,6 @@ impl SlidingWindow {
             capacity,
             edges: VecDeque::with_capacity(capacity + 1),
             present: FxHashSet::with_capacity_and_hasher(capacity + 1, Default::default()),
-            degree: FxHashMap::default(),
         }
     }
 
@@ -63,15 +64,16 @@ impl SlidingWindow {
         self.present.contains(&e)
     }
 
-    /// Degree of `v` counting only window edges (0 if absent).
+    /// Degree of `v` counting only window edges (0 if absent). O(live
+    /// edges) — an observability read, not a hot-path one.
     pub fn degree(&self, v: VertexId) -> usize {
-        self.degree.get(&v).copied().unwrap_or(0) as usize
+        self.iter().filter(|e| e.touches(v)).count()
     }
 
     /// True if any window edge touches `v` — i.e. `v` is visible in the
-    /// temporary partition.
+    /// temporary partition. O(live edges), like [`SlidingWindow::degree`].
     pub fn contains_vertex(&self, v: VertexId) -> bool {
-        self.degree.get(&v).is_some_and(|&d| d > 0)
+        self.iter().any(|e| e.touches(v))
     }
 
     /// Buffer a new edge. If the window was full, the oldest edge is
@@ -80,8 +82,6 @@ impl SlidingWindow {
         debug_assert!(!self.present.contains(&e.id), "duplicate edge {:?}", e.id);
         self.edges.push_back(e);
         self.present.insert(e.id);
-        *self.degree.entry(e.src).or_insert(0) += 1;
-        *self.degree.entry(e.dst).or_insert(0) += 1;
         if self.present.len() > self.capacity {
             self.pop_oldest()
         } else {
@@ -93,7 +93,6 @@ impl SlidingWindow {
     pub fn pop_oldest(&mut self) -> Option<StreamEdge> {
         while let Some(e) = self.edges.pop_front() {
             if self.present.remove(&e.id) {
-                self.drop_degrees(&e);
                 return Some(e);
             }
             // Edge was removed out-of-band (assigned as part of a motif
@@ -108,12 +107,7 @@ impl SlidingWindow {
     ///
     /// Returns true if the edge was present.
     pub fn remove(&mut self, e: &StreamEdge) -> bool {
-        if self.present.remove(&e.id) {
-            self.drop_degrees(e);
-            true
-        } else {
-            false
-        }
+        self.present.remove(&e.id)
     }
 
     /// Drain every remaining edge in arrival order (end-of-stream flush).
@@ -128,17 +122,6 @@ impl SlidingWindow {
     /// Iterate over live edges in arrival order.
     pub fn iter(&self) -> impl Iterator<Item = &StreamEdge> {
         self.edges.iter().filter(|e| self.present.contains(&e.id))
-    }
-
-    fn drop_degrees(&mut self, e: &StreamEdge) {
-        for v in [e.src, e.dst] {
-            if let Entry::Occupied(mut o) = self.degree.entry(v) {
-                *o.get_mut() -= 1;
-                if *o.get() == 0 {
-                    o.remove();
-                }
-            }
-        }
     }
 }
 

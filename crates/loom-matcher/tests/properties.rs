@@ -552,6 +552,94 @@ proptest! {
         }
     }
 
+    /// Generational reclamation is behaviour-free: a matcher whose
+    /// arena is forcibly compacted on an arbitrary cadence (remapping
+    /// every id) produces exactly the same per-edge fates, live match
+    /// sets, and recency-capped per-vertex lists as one that never
+    /// reclaims — under random streams and window-driven eviction
+    /// schedules. This is the contract that lets the id remap run
+    /// mid-stream without touching the determinism suite.
+    #[test]
+    fn arena_reclamation_preserves_matches_and_recency(
+        n_edges in 8usize..72,
+        window_cap in 2usize..12,
+        reclaim_every in 1usize..9,
+        workload_pick in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let (workload, labels) = sweep_workload(workload_pick);
+        let rand = LabelRandomizer::new(labels, DEFAULT_PRIME, 17);
+        let trie = TpsTrie::build(&workload, &rand);
+        let motifs = trie.motifs(0.4);
+
+        let mut plain = MotifMatcher::new(motifs.clone(), rand.clone());
+        let mut reclaiming = MotifMatcher::new(motifs, rand);
+        let mut plain_window = SlidingWindow::new(window_cap);
+        let mut reclaiming_window = SlidingWindow::new(window_cap);
+
+        let edges = random_stream(14, n_edges, labels, seed);
+        for (i, e) in edges.iter().enumerate() {
+            let fa = plain.on_edge(*e);
+            let fb = reclaiming.on_edge(*e);
+            prop_assert_eq!(fa, fb, "edge fate diverged at {:?}", e.id);
+            if fa != EdgeFate::Buffered {
+                continue;
+            }
+            if let Some(old) = plain_window.push(*e) {
+                plain.on_edge_assigned(old.id);
+            }
+            if let Some(old) = reclaiming_window.push(*e) {
+                reclaiming.on_edge_assigned(old.id);
+            }
+            if i % reclaim_every == 0 {
+                let before = reclaiming.arena_occupancy();
+                reclaiming.reclaim_arena();
+                let after = reclaiming.arena_occupancy();
+                // Reclamation frees every dead slot and bumps the epoch.
+                prop_assert_eq!(after.total_matches, after.live_matches);
+                prop_assert_eq!(after.live_matches, before.live_matches);
+                prop_assert_eq!(after.total_cells, after.live_cells);
+                prop_assert_eq!(after.generation, before.generation + 1);
+            }
+            // Same live match sets...
+            prop_assert_eq!(
+                arena_match_set(&plain, &plain_window),
+                arena_match_set(&reclaiming, &reclaiming_window),
+                "live match sets diverged after {:?}", e.id
+            );
+            // ...and the same recency-capped per-vertex reads (the id
+            // values differ after a remap, so compare the *matches*
+            // behind them, in order).
+            for v in 0..14u32 {
+                for cap in [1usize, 3, usize::MAX] {
+                    let mut a_ids = Vec::new();
+                    let mut b_ids = Vec::new();
+                    plain
+                        .match_list()
+                        .recent_matches_at_vertex_into(VertexId(v), cap, &mut a_ids);
+                    reclaiming
+                        .match_list()
+                        .recent_matches_at_vertex_into(VertexId(v), cap, &mut b_ids);
+                    let key = |m: &MotifMatcher, ids: &[loom_matcher::MatchId]| -> Vec<MatchKey> {
+                        ids.iter()
+                            .map(|&id| {
+                                let r = m.get(id);
+                                let mut es: Vec<u32> = r.edges().map(|x| x.id.0).collect();
+                                es.sort_unstable();
+                                (r.motif().0, es)
+                            })
+                            .collect()
+                    };
+                    prop_assert_eq!(
+                        key(&plain, &a_ids),
+                        key(&reclaiming, &b_ids),
+                        "recency order diverged at vertex {} cap {}", v, cap
+                    );
+                }
+            }
+        }
+    }
+
     /// The arena refactor's behavioural contract: on seeded random
     /// streams with window-driven evictions, the arena-backed matcher
     /// yields exactly the same live match set (edge-id sets + motif

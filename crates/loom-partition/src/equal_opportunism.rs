@@ -189,16 +189,19 @@ pub fn auction_with_scratch(
     }
 }
 
+/// §4's support ordering on `(support, num_edges)` keys: descending
+/// support, ties to the smaller match. Shared by [`order_matches`] and
+/// Loom's eviction path (`LoomPartitioner::allocate` sorts bare keys
+/// off the arena) so the two orderings cannot drift apart.
+pub fn support_order(a: (f64, usize), b: (f64, usize)) -> std::cmp::Ordering {
+    b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1))
+}
+
 /// Sort matches the way §4 prescribes: descending support, and among
 /// equal supports the smaller match first ("prioritising the
 /// assignment of the smaller, higher support motif matches").
 pub fn order_matches(matches: &mut [AuctionMatch]) {
-    matches.sort_by(|a, b| {
-        b.support
-            .partial_cmp(&a.support)
-            .unwrap()
-            .then(a.num_edges.cmp(&b.num_edges))
-    });
+    matches.sort_by(|a, b| support_order((a.support, a.num_edges), (b.support, b.num_edges)));
 }
 
 #[cfg(test)]

@@ -6,9 +6,42 @@
 //! balance cap `|S_i| ≤ ν n / k`. The evaluation uses `γ = 1.5` and
 //! `ν = 1.1`, exactly as suggested by Tsourakakis et al. (§5.1, §4).
 
-use crate::state::{Assignment, CapacityModel, OnlineAdjacency, PartitionState};
+use crate::state::{Assignment, CapacityModel, PartitionState};
 use crate::traits::StreamPartitioner;
 use loom_graph::{PartitionId, StreamEdge, VertexId};
+
+/// Fennel's argmax over a per-partition neighbour-count row:
+/// `argmax count_i - α γ |S_i|^(γ-1)` subject to the hard cap, ties to
+/// the smaller partition, falling back to the least-loaded partition
+/// if every partition is at cap. Shared by the edge-stream partitioner
+/// and the vertex-stream variant so the scoring arithmetic (and hence
+/// bit-level behaviour) cannot drift between them.
+pub fn fennel_choose(
+    state: &PartitionState,
+    counts: &[u32],
+    alpha: f64,
+    gamma: f64,
+    cap: f64,
+) -> PartitionId {
+    let mut best: Option<(f64, usize, PartitionId)> = None;
+    for p in state.partitions() {
+        let size = state.size(p);
+        if (size as f64) >= cap {
+            continue; // hard balance constraint
+        }
+        let score = counts[p.index()] as f64 - alpha * gamma * (size as f64).powf(gamma - 1.0);
+        let better = match &best {
+            None => true,
+            Some((bs, bsize, _)) => score > *bs || (score == *bs && size < *bsize),
+        };
+        if better {
+            best = Some((score, size, p));
+        }
+    }
+    // All partitions at cap cannot happen with ν > 1, but stay safe.
+    best.map(|(_, _, p)| p)
+        .unwrap_or_else(|| state.least_loaded())
+}
 
 /// Fennel's tuning parameters.
 #[derive(Clone, Copy, Debug)]
@@ -30,10 +63,19 @@ impl Default for FennelParams {
 
 /// Fennel as an edge-stream partitioner (unassigned endpoints are
 /// placed on arrival, like the LDG variant).
+///
+/// Like [`crate::ldg::LdgPartitioner`], the edge-stream form scores
+/// through the degenerate one-hot case of the
+/// [`crate::state::NeighborCounts`] invariant: an unassigned endpoint
+/// is always a first-sighted vertex whose seen neighbourhood is
+/// exactly the other endpoint, so no adjacency or counter table is
+/// maintained at all — O(k) per decision, flat in stream length
+/// (bit-equivalence with the scan reference is property-tested).
 #[derive(Clone, Debug)]
 pub struct FennelPartitioner {
     state: PartitionState,
-    adjacency: OnlineAdjacency,
+    /// Reused one-hot count row (length k).
+    scratch: Vec<u32>,
     gamma: f64,
     nu: f64,
     /// `(α, cap)` fixed upfront in prescient mode; recomputed from the
@@ -50,7 +92,7 @@ impl FennelPartitioner {
     /// cap `ν · n_t / k` track the stream as it unfolds.
     pub fn new(k: usize, capacity: CapacityModel, params: FennelParams) -> Self {
         let kf = k as f64;
-        let (fixed, adjacency) = match capacity {
+        let fixed = match capacity {
             CapacityModel::Prescient {
                 num_vertices,
                 num_edges,
@@ -58,16 +100,13 @@ impl FennelPartitioner {
                 let n = num_vertices.max(1) as f64;
                 let m = num_edges.max(1) as f64;
                 let alpha = m * kf.powf(params.gamma - 1.0) / n.powf(params.gamma);
-                (
-                    Some((alpha, params.nu * n / kf)),
-                    OnlineAdjacency::with_capacity(num_vertices),
-                )
+                Some((alpha, params.nu * n / kf))
             }
-            CapacityModel::Adaptive => (None, OnlineAdjacency::new()),
+            CapacityModel::Adaptive => None,
         };
         FennelPartitioner {
             state: PartitionState::new(k, capacity, params.nu),
-            adjacency,
+            scratch: vec![0; k],
             gamma: params.gamma,
             nu: params.nu,
             fixed,
@@ -96,33 +135,13 @@ impl FennelPartitioner {
         }
     }
 
-    fn choose(&self, v: VertexId) -> PartitionId {
+    fn choose_first_sight(&mut self, other: VertexId) -> PartitionId {
         let (alpha, cap) = self.alpha_and_cap();
-        let mut counts = vec![0usize; self.state.k()];
-        for &w in self.adjacency.neighbors(v) {
-            if let Some(p) = self.state.partition_of(w) {
-                counts[p.index()] += 1;
-            }
+        self.scratch.fill(0);
+        if let Some(p) = self.state.partition_of(other) {
+            self.scratch[p.index()] += 1;
         }
-        let mut best: Option<(f64, usize, PartitionId)> = None;
-        for p in self.state.partitions() {
-            let size = self.state.size(p);
-            if (size as f64) >= cap {
-                continue; // hard balance constraint
-            }
-            let score = counts[p.index()] as f64
-                - alpha * self.gamma * (size as f64).powf(self.gamma - 1.0);
-            let better = match &best {
-                None => true,
-                Some((bs, bsize, _)) => score > *bs || (score == *bs && size < *bsize),
-            };
-            if better {
-                best = Some((score, size, p));
-            }
-        }
-        // All partitions at cap cannot happen with ν > 1, but stay safe.
-        best.map(|(_, _, p)| p)
-            .unwrap_or_else(|| self.state.least_loaded())
+        fennel_choose(&self.state, &self.scratch, alpha, self.gamma, cap)
     }
 }
 
@@ -133,10 +152,10 @@ impl StreamPartitioner for FennelPartitioner {
 
     fn on_edge(&mut self, e: &StreamEdge) {
         self.edges_seen += 1;
-        self.adjacency.add(e);
-        for v in [e.src, e.dst] {
+        for (v, other) in [(e.src, e.dst), (e.dst, e.src)] {
             if !self.state.is_assigned(v) {
-                let p = self.choose(v);
+                // First sight: N(v) = {other}, see the struct docs.
+                let p = self.choose_first_sight(other);
                 self.state.assign(v, p);
             }
         }

@@ -7,6 +7,8 @@
 //! edges that match no motif. The scoring function is therefore
 //! exported standalone.
 
+#[allow(unused_imports)] // doc link target
+use crate::state::NeighborCounts;
 use crate::state::{Assignment, CapacityModel, OnlineAdjacency, PartitionState};
 use crate::traits::StreamPartitioner;
 use loom_graph::{PartitionId, StreamEdge, VertexId};
@@ -16,8 +18,14 @@ use loom_graph::{PartitionId, StreamEdge, VertexId};
 /// the emptier partition, then the lower id; if every score is zero
 /// (no placed neighbours) the least-loaded partition wins, which keeps
 /// the early stream balanced.
+///
+/// This is the **reference** O(deg) form — it scans the adjacency on
+/// every call. The production partitioners score through a maintained
+/// [`NeighborCounts`] row instead (same integers, so bit-identical
+/// decisions; see the counter-equivalence suite in
+/// `tests/properties.rs`).
 pub fn ldg_choose(state: &PartitionState, adjacency: &OnlineAdjacency, v: VertexId) -> PartitionId {
-    let mut counts = vec![0usize; state.k()];
+    let mut counts = vec![0u32; state.k()];
     for &w in adjacency.neighbors(v) {
         if let Some(p) = state.partition_of(w) {
             counts[p.index()] += 1;
@@ -29,7 +37,7 @@ pub fn ldg_choose(state: &PartitionState, adjacency: &OnlineAdjacency, v: Vertex
 /// The argmax of `count_i * (1 - size_i / C)` over partitions, with
 /// LDG's tie-breaking. `counts` holds the per-partition neighbour
 /// counts (or any non-negative affinity).
-pub fn choose_weighted(state: &PartitionState, counts: &[usize]) -> PartitionId {
+pub fn choose_weighted(state: &PartitionState, counts: &[u32]) -> PartitionId {
     debug_assert_eq!(counts.len(), state.k());
     let mut best: Option<(f64, usize, PartitionId)> = None;
     for p in state.partitions() {
@@ -54,13 +62,25 @@ pub fn choose_weighted(state: &PartitionState, counts: &[usize]) -> PartitionId 
 }
 
 /// LDG as an edge-stream partitioner: when an edge arrives, each
-/// unassigned endpoint is placed by [`ldg_choose`] against the
+/// unassigned endpoint is placed by LDG's rule against the
 /// neighbourhood seen so far (the paper: "LDG may partition either
 /// vertex or edge streams").
+///
+/// The edge-stream variant admits a degenerate, allocation-free form
+/// of the [`NeighborCounts`] invariant: every endpoint of every seen
+/// edge is assigned before `on_edge` returns, so an *unassigned*
+/// vertex is being seen for the first time and its accumulated
+/// neighbourhood is exactly the other endpoint of the current edge —
+/// its counter row is a one-hot of that endpoint's partition (or all
+/// zeros when both arrive together). No adjacency, no counter table,
+/// no O(deg) anything: the per-edge cost is O(k) flat, independent of
+/// stream length. Bit-equivalence with the scan-based [`ldg_choose`]
+/// reference is property-tested in `tests/properties.rs`.
 #[derive(Clone, Debug)]
 pub struct LdgPartitioner {
     state: PartitionState,
-    adjacency: OnlineAdjacency,
+    /// Reused one-hot count row (length k).
+    scratch: Vec<u32>,
 }
 
 impl LdgPartitioner {
@@ -68,15 +88,9 @@ impl LdgPartitioner {
     /// the evaluation's capacity slack (1.1). Pass
     /// [`CapacityModel::Adaptive`] when the stream extent is unknown.
     pub fn new(k: usize, capacity: CapacityModel) -> Self {
-        let adjacency = match capacity {
-            CapacityModel::Prescient { num_vertices, .. } => {
-                OnlineAdjacency::with_capacity(num_vertices)
-            }
-            CapacityModel::Adaptive => OnlineAdjacency::new(),
-        };
         LdgPartitioner {
             state: PartitionState::new(k, capacity, 1.1),
-            adjacency,
+            scratch: vec![0; k],
         }
     }
 }
@@ -87,10 +101,14 @@ impl StreamPartitioner for LdgPartitioner {
     }
 
     fn on_edge(&mut self, e: &StreamEdge) {
-        self.adjacency.add(e);
-        for v in [e.src, e.dst] {
+        for (v, other) in [(e.src, e.dst), (e.dst, e.src)] {
             if !self.state.is_assigned(v) {
-                let p = ldg_choose(&self.state, &self.adjacency, v);
+                // First sight: N(v) = {other}, see the struct docs.
+                self.scratch.fill(0);
+                if let Some(p) = self.state.partition_of(other) {
+                    self.scratch[p.index()] += 1;
+                }
+                let p = choose_weighted(&self.state, &self.scratch);
                 self.state.assign(v, p);
             }
         }

@@ -23,13 +23,13 @@ pub mod vertex_stream;
 pub use equal_opportunism::{
     auction, bid, order_matches, ration, AuctionMatch, AuctionOutcome, EoParams,
 };
-pub use fennel::{FennelParams, FennelPartitioner};
+pub use fennel::{fennel_choose, FennelParams, FennelPartitioner};
 pub use hash::HashPartitioner;
-pub use ldg::{ldg_choose, LdgPartitioner};
-pub use loom::{AllocationPolicy, LoomConfig, LoomPartitioner, LoomStats};
+pub use ldg::{choose_weighted, ldg_choose, LdgPartitioner};
+pub use loom::{AllocationPolicy, LoomConfig, LoomPartitioner, LoomStats, PhaseBreakdown};
 pub use metrics::PartitionMetrics;
 pub use restream::{restream_pass, restreamed_ldg};
-pub use state::{Assignment, CapacityModel, OnlineAdjacency, PartitionState};
+pub use state::{Assignment, CapacityModel, NeighborCounts, OnlineAdjacency, PartitionState};
 pub use taper::{taper_refine, weighted_cut, RefinementResult, TraversalWeights};
 pub use traits::{partition_stream, run_partitioner, StreamPartitioner};
 pub use vertex_stream::{fennel_vertex_stream, ldg_vertex_stream, vertex_stream, VertexArrival};

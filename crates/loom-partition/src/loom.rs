@@ -12,8 +12,8 @@
 //! 3. at end of stream the window drains through the same auction.
 
 use crate::equal_opportunism::{auction_with_scratch, AuctionMatch, EoParams};
-use crate::ldg::ldg_choose;
-use crate::state::{Assignment, CapacityModel, OnlineAdjacency, PartitionState};
+use crate::ldg::choose_weighted;
+use crate::state::{Assignment, CapacityModel, NeighborCounts, OnlineAdjacency, PartitionState};
 use crate::traits::StreamPartitioner;
 use loom_graph::{StreamEdge, Workload};
 use loom_matcher::MatchId;
@@ -85,11 +85,17 @@ impl LoomConfig {
 pub struct LoomPartitioner {
     state: PartitionState,
     adjacency: OnlineAdjacency,
+    /// Maintained `|N(v) ∩ S_i|` rows: the LDG bypass placements and
+    /// the zero-bid auction fallback both read these in O(k) instead
+    /// of rescanning the (hub-heavy) adjacency per decision.
+    counts: NeighborCounts,
     window: SlidingWindow,
     matcher: MotifMatcher,
     eo: EoParams,
     allocation: AllocationPolicy,
     stats: LoomStats,
+    /// `Some` only when phase profiling is enabled.
+    profile: Option<Box<PhaseBreakdown>>,
     // Scratch reused across allocate() calls: one eviction auctions
     // every match of the departing edge, and doing that with fresh
     // allocations per auction was a measurable slice of the hot path.
@@ -115,6 +121,23 @@ pub struct LoomStats {
     pub fallback_auctions: u64,
 }
 
+/// Where a Loom run's wall time went, by pipeline phase. Filled only
+/// when profiling is enabled ([`LoomPartitioner::enable_phase_profile`])
+/// — the timed evaluation runs leave it off so Table 2 measures the
+/// partitioner, not the stopwatch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseBreakdown {
+    /// Motif matching: `MotifMatcher::on_edge` (extension + join +
+    /// index upkeep).
+    pub matcher_ns: u64,
+    /// Partitioning decisions: LDG bypass placements and eviction
+    /// auctions (support ordering, bids, assignment, match kills).
+    pub partitioner_ns: u64,
+    /// Window and adjacency upkeep: buffer push/evict bookkeeping,
+    /// adjacency growth, counter maintenance.
+    pub window_ns: u64,
+}
+
 impl LoomPartitioner {
     /// Build a Loom partitioner for a stream over a `num_labels`-label
     /// alphabet, mining motifs from `workload`. The stream extent is
@@ -124,20 +147,23 @@ impl LoomPartitioner {
         let rand = LabelRandomizer::new(num_labels, config.prime, config.seed);
         let trie = TpsTrie::build(workload, &rand);
         let motifs = trie.motifs(config.support_threshold);
-        let adjacency = match config.capacity {
-            CapacityModel::Prescient { num_vertices, .. } => {
-                OnlineAdjacency::with_capacity(num_vertices)
-            }
-            CapacityModel::Adaptive => OnlineAdjacency::new(),
+        let (adjacency, counts) = match config.capacity {
+            CapacityModel::Prescient { num_vertices, .. } => (
+                OnlineAdjacency::with_capacity(num_vertices),
+                NeighborCounts::with_capacity(config.k, num_vertices),
+            ),
+            CapacityModel::Adaptive => (OnlineAdjacency::new(), NeighborCounts::new(config.k)),
         };
         LoomPartitioner {
             state: PartitionState::new(config.k, config.capacity, config.capacity_slack),
             adjacency,
+            counts,
             window: SlidingWindow::new(config.window_size),
             matcher: MotifMatcher::new(motifs, rand),
             eo: config.eo,
             allocation: config.allocation,
             stats: LoomStats::default(),
+            profile: None,
             scratch_ids: Vec::new(),
             scratch_keys: Vec::new(),
             scratch_counts: Vec::new(),
@@ -149,6 +175,36 @@ impl LoomPartitioner {
     /// Run counters.
     pub fn stats(&self) -> LoomStats {
         self.stats
+    }
+
+    /// Turn on per-phase wall-time accounting (matcher / partitioner /
+    /// window upkeep). Costs a few `Instant::now` calls per edge, so
+    /// the timed evaluation runs keep it off; `repro`'s Table 2 prints
+    /// the breakdown from a separate profiled run.
+    pub fn enable_phase_profile(&mut self) {
+        self.profile = Some(Box::default());
+    }
+
+    /// The phase breakdown accumulated so far (zeros unless
+    /// [`LoomPartitioner::enable_phase_profile`] was called).
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
+        self.profile.as_deref().copied().unwrap_or_default()
+    }
+
+    #[inline]
+    fn clock(&self) -> Option<std::time::Instant> {
+        self.profile.as_ref().map(|_| std::time::Instant::now())
+    }
+
+    #[inline]
+    fn lap(
+        &mut self,
+        since: Option<std::time::Instant>,
+        phase: fn(&mut PhaseBreakdown) -> &mut u64,
+    ) {
+        if let (Some(t), Some(p)) = (since, self.profile.as_deref_mut()) {
+            *phase(p) += t.elapsed().as_nanos() as u64;
+        }
     }
 
     /// Override the matcher's per-endpoint match cap (`usize::MAX` =
@@ -172,8 +228,9 @@ impl LoomPartitioner {
     fn ldg_assign_edge(&mut self, e: &StreamEdge) {
         for v in [e.src, e.dst] {
             if !self.state.is_assigned(v) {
-                let p = ldg_choose(&self.state, &self.adjacency, v);
+                let p = choose_weighted(&self.state, self.counts.counts(v));
                 self.state.assign(v, p);
+                self.counts.on_assign(v, p, &self.adjacency);
             }
         }
     }
@@ -205,10 +262,7 @@ impl LoomPartitioner {
                 .map(|(i, &id)| (self.matcher.support(id), self.matcher.get(id).len(), i)),
         );
         keys.sort_unstable_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap()
-                .then(a.1.cmp(&b.1))
-                .then(a.2.cmp(&b.2))
+            crate::equal_opportunism::support_order((a.0, a.1), (b.0, b.1)).then(a.2.cmp(&b.2))
         });
 
         // Materialise the auction view in sorted order, borrowing match
@@ -249,15 +303,22 @@ impl LoomPartitioner {
             // is then co-located there as a unit, so cold-start motifs
             // stay whole instead of being placed edge-by-edge.
             self.stats.fallback_auctions += 1;
-            let mut counts = vec![0usize; self.state.k()];
+            // Sum the maintained counter rows of the top match's
+            // vertices — bit-identical to the old per-vertex adjacency
+            // scans (each row *is* that vertex's scan result), but
+            // O(match · k) instead of O(match · deg): this was the
+            // LDG-fallback hub-scan cost ROADMAP pinned as the next
+            // perf lever. (`scratch_counts` is free again: the auction
+            // that filled it has already produced `outcome`.)
+            let counts = &mut self.scratch_counts;
+            counts.clear();
+            counts.resize(self.state.k(), 0);
             for v in &view[0].vertices {
-                for &w in self.adjacency.neighbors(*v) {
-                    if let Some(p) = self.state.partition_of(w) {
-                        counts[p.index()] += 1;
-                    }
+                for (acc, &c) in counts.iter_mut().zip(self.counts.counts(*v)) {
+                    *acc += c;
                 }
             }
-            outcome.winner = crate::ldg::choose_weighted(&self.state, &counts);
+            outcome.winner = choose_weighted(&self.state, counts);
             outcome.take = 1;
         }
 
@@ -282,6 +343,7 @@ impl LoomPartitioner {
             for v in [edge.src, edge.dst] {
                 if !self.state.is_assigned(v) {
                     self.state.assign(v, outcome.winner);
+                    self.counts.on_assign(v, outcome.winner, &self.adjacency);
                 }
             }
             if edge.id != e.id {
@@ -333,30 +395,53 @@ impl StreamPartitioner for LoomPartitioner {
     }
 
     fn on_edge(&mut self, e: &StreamEdge) {
+        let t = self.clock();
         self.adjacency.add(e);
-        match self.matcher.on_edge(*e) {
+        self.counts.on_edge_arrival(e, &self.state);
+        self.lap(t, |p| &mut p.window_ns);
+        let t = self.clock();
+        let fate = self.matcher.on_edge(*e);
+        self.lap(t, |p| &mut p.matcher_ns);
+        match fate {
             EdgeFate::Bypass => {
                 self.stats.bypassed += 1;
                 // §3: assigned immediately, never displaces window edges.
+                let t = self.clock();
                 self.ldg_assign_edge(e);
+                self.lap(t, |p| &mut p.partitioner_ns);
             }
             EdgeFate::Buffered => {
                 self.stats.buffered += 1;
-                if let Some(old) = self.window.push(*e) {
+                let t = self.clock();
+                let evicted = self.window.push(*e);
+                self.lap(t, |p| &mut p.window_ns);
+                if let Some(old) = evicted {
+                    let t = self.clock();
                     self.allocate(old);
+                    self.lap(t, |p| &mut p.partitioner_ns);
                 }
             }
         }
     }
 
     fn finish(&mut self) {
-        while let Some(e) = self.window.pop_oldest() {
+        loop {
+            let t = self.clock();
+            let next = self.window.pop_oldest();
+            self.lap(t, |p| &mut p.window_ns);
+            let Some(e) = next else { break };
+            let t = self.clock();
             self.allocate(e);
+            self.lap(t, |p| &mut p.partitioner_ns);
         }
     }
 
     fn state(&self) -> &PartitionState {
         &self.state
+    }
+
+    fn arena(&self) -> Option<loom_matcher::ArenaOccupancy> {
+        Some(self.matcher.arena_occupancy())
     }
 
     fn into_assignment(self: Box<Self>) -> Assignment {

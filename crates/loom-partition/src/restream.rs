@@ -10,7 +10,7 @@
 //! one but fully informed on pass two.
 
 use crate::ldg::choose_weighted;
-use crate::state::{Assignment, CapacityModel, OnlineAdjacency, PartitionState};
+use crate::state::{Assignment, CapacityModel, NeighborCounts, OnlineAdjacency, PartitionState};
 use loom_graph::{GraphStream, VertexId};
 
 /// One restream pass: replay `stream`, assigning each vertex on first
@@ -20,7 +20,14 @@ use loom_graph::{GraphStream, VertexId};
 /// Unlike the first pass, the *full* adjacency is already known (the
 /// stream was seen once), so every vertex is scored with its complete
 /// neighbourhood — that completeness is exactly what a restream pass
-/// buys over one-pass streaming \[22\].
+/// buys over one-pass streaming \[22\]. Scoring reads maintained
+/// [`NeighborCounts`] rows seeded from the prior placement: a full
+/// pre-pass over the edges credits every neighbour's prior partition,
+/// and each current-pass placement *moves* the assignee's credit from
+/// its prior partition to the new one — so a row always equals the
+/// scan `cur(w).or(prior(w))` would produce, at O(k) per decision
+/// instead of O(deg) (the hub rows used to be rescanned once per
+/// incident vertex, per pass).
 pub fn restream_pass(stream: &GraphStream, prior: &Assignment, slack: f64) -> Assignment {
     let k = prior.k();
     let mut state = PartitionState::prescient(k, stream.num_vertices(), slack);
@@ -28,24 +35,37 @@ pub fn restream_pass(stream: &GraphStream, prior: &Assignment, slack: f64) -> As
     for e in stream.iter() {
         adjacency.add(e);
     }
+    let mut counts = NeighborCounts::with_capacity(k, stream.num_vertices());
+    for e in stream.iter() {
+        if let Some(p) = prior.partition_of(e.dst) {
+            counts.credit(e.src, p);
+        }
+        if let Some(p) = prior.partition_of(e.src) {
+            counts.credit(e.dst, p);
+        }
+    }
     for e in stream.iter() {
         for v in [e.src, e.dst] {
             if !state.is_assigned(v) {
-                let p = choose(&state, &adjacency, prior, v);
+                let p = choose_weighted(&state, counts.counts(v));
                 state.assign(v, p);
+                counts.on_reassign(v, prior.partition_of(v), p, &adjacency);
             }
         }
     }
     state.into_assignment()
 }
 
-fn choose(
+/// The scan-based reference scorer the counter rows replace — kept for
+/// the bit-equivalence property test (`tests/properties.rs`).
+#[doc(hidden)]
+pub fn reference_restream_choose(
     state: &PartitionState,
     adjacency: &OnlineAdjacency,
     prior: &Assignment,
     v: VertexId,
 ) -> loom_graph::PartitionId {
-    let mut counts = vec![0usize; state.k()];
+    let mut counts = vec![0u32; state.k()];
     for &w in adjacency.neighbors(v) {
         // Current pass wins; fall back to where the previous pass put
         // the neighbour (it will land nearby unless the restream has

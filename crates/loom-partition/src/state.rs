@@ -364,6 +364,134 @@ impl OnlineAdjacency {
     }
 }
 
+/// Incrementally maintained per-vertex partition-neighbour counters —
+/// the O(k)-per-decision replacement for the O(deg) adjacency scans
+/// (DESIGN.md §10).
+///
+/// Invariant: `counts(v)[p]` equals the number of entries `w` in the
+/// companion [`OnlineAdjacency`]'s `neighbors(v)` with `w` assigned to
+/// partition `p` (counted with multiplicity, exactly as a scan would).
+/// The invariant is maintained by two O(1)/O(deg) hooks:
+///
+/// - [`NeighborCounts::on_edge_arrival`], called right after the edge
+///   is added to the adjacency: each endpoint whose *other* endpoint
+///   is already assigned gains one count — the scan would now see that
+///   neighbour too;
+/// - [`NeighborCounts::on_assign`], called when a vertex is
+///   permanently placed: one walk over the assignee's current
+///   adjacency credits the new placement to every neighbour's row.
+///
+/// Every (adjacency entry, assignment) pair is thus counted exactly
+/// once — at whichever of the two events happens second — so reads are
+/// bit-identical to the verbatim scan (property-tested in
+/// `tests/properties.rs` against reference implementations).
+#[derive(Clone, Debug)]
+pub struct NeighborCounts {
+    k: usize,
+    /// Flat `[vertex][partition]` counters.
+    counts: Vec<u32>,
+    /// All-zero row returned for vertices never seen (keeps reads
+    /// allocation-free without forcing registration on read).
+    zeros: Vec<u32>,
+}
+
+impl NeighborCounts {
+    /// Empty counter table for `k` partitions.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        NeighborCounts {
+            k,
+            counts: Vec::new(),
+            zeros: vec![0; k],
+        }
+    }
+
+    /// Counter table pre-sized for `num_vertices` vertices (a capacity
+    /// hint for prescient runs; behaviour is identical).
+    pub fn with_capacity(k: usize, num_vertices: usize) -> Self {
+        let mut c = Self::new(k);
+        c.counts = vec![0; num_vertices * k];
+        c
+    }
+
+    #[inline]
+    fn ensure(&mut self, v: VertexId) {
+        let need = (v.index() + 1) * self.k;
+        if self.counts.len() < need {
+            self.counts.resize(need, 0);
+        }
+    }
+
+    /// The per-partition assigned-neighbour counts of `v` — the
+    /// `|N(v) ∩ S_i|` row, read in O(k).
+    #[inline]
+    pub fn counts(&self, v: VertexId) -> &[u32] {
+        let start = v.index() * self.k;
+        match self.counts.get(start..start + self.k) {
+            Some(row) => row,
+            None => &self.zeros,
+        }
+    }
+
+    /// Record an arrived edge *after* it was added to the adjacency:
+    /// if an endpoint is already assigned, the other endpoint's row
+    /// gains that placement (the scan would now see the new entry).
+    #[inline]
+    pub fn on_edge_arrival(&mut self, e: &StreamEdge, state: &PartitionState) {
+        if let Some(p) = state.partition_of(e.dst) {
+            self.ensure(e.src);
+            self.counts[e.src.index() * self.k + p.index()] += 1;
+        }
+        if let Some(p) = state.partition_of(e.src) {
+            self.ensure(e.dst);
+            self.counts[e.dst.index() * self.k + p.index()] += 1;
+        }
+    }
+
+    /// Record the permanent placement of `v` on `p`: every current
+    /// neighbour's row gains the placement, with multiplicity. One
+    /// O(deg(v)) walk per *assignment* (each vertex is assigned once),
+    /// in exchange for O(k) *decisions* forever after.
+    pub fn on_assign(&mut self, v: VertexId, p: PartitionId, adjacency: &OnlineAdjacency) {
+        for &w in adjacency.neighbors(v) {
+            self.ensure(w);
+            self.counts[w.index() * self.k + p.index()] += 1;
+        }
+    }
+
+    /// Move a previously credited placement of `v` from partition
+    /// `from` to `to` in every neighbour's row — the restream pass uses
+    /// this when the current pass overrides a prior-pass placement.
+    pub fn on_reassign(
+        &mut self,
+        v: VertexId,
+        from: Option<PartitionId>,
+        to: PartitionId,
+        adjacency: &OnlineAdjacency,
+    ) {
+        for &w in adjacency.neighbors(v) {
+            self.ensure(w);
+            let row = w.index() * self.k;
+            if let Some(q) = from {
+                self.counts[row + q.index()] -= 1;
+            }
+            self.counts[row + to.index()] += 1;
+        }
+    }
+
+    /// Credit `v`'s row directly (the vertex-stream variants maintain
+    /// rows from each arrival's own neighbour list instead of a shared
+    /// adjacency).
+    #[inline]
+    pub fn credit(&mut self, v: VertexId, p: PartitionId) {
+        self.ensure(v);
+        self.counts[v.index() * self.k + p.index()] += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

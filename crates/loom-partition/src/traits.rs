@@ -3,6 +3,7 @@
 
 use crate::state::{Assignment, PartitionState};
 use loom_graph::{GraphStream, StreamEdge};
+use loom_matcher::ArenaOccupancy;
 
 /// A single-pass edge-stream partitioner.
 ///
@@ -23,6 +24,13 @@ pub trait StreamPartitioner {
 
     /// The live partition state.
     fn state(&self) -> &PartitionState;
+
+    /// Occupancy of the partitioner's match arena, if it has one
+    /// (Loom does; the memoryless baselines return `None`). Surfaced
+    /// in engine snapshots so arena reclamation is observable.
+    fn arena(&self) -> Option<ArenaOccupancy> {
+        None
+    }
 
     /// Consume the partitioner, returning the final assignment.
     fn into_assignment(self: Box<Self>) -> Assignment;

@@ -12,8 +12,9 @@
 //! residual term because every placement is fully informed — our
 //! edge-stream LDG runs at its cap instead (see EXPERIMENTS.md).
 
-use crate::state::{Assignment, PartitionState};
-use loom_graph::{GraphStream, LabeledGraph, PartitionId, StreamOrder, VertexId};
+use crate::fennel::fennel_choose;
+use crate::state::{Assignment, NeighborCounts, PartitionState};
+use loom_graph::{GraphStream, LabeledGraph, StreamOrder, VertexId};
 
 /// One element of a vertex stream: a vertex and its neighbours.
 #[derive(Clone, Debug)]
@@ -57,22 +58,29 @@ pub fn vertex_stream(g: &LabeledGraph, order: StreamOrder, seed: u64) -> Vec<Ver
 /// Vertex-stream LDG \[30\]: place each arriving vertex at
 /// `argmax |N(v) ∩ S_i| · (1 - |S_i|/C)` over its *full* neighbourhood
 /// (only already-placed neighbours count, as in the original).
+///
+/// Scoring reads a maintained [`NeighborCounts`] row per arrival:
+/// because each vertex is placed exactly once — at its arrival, which
+/// carries its full neighbour list — crediting the placement to every
+/// listed neighbour keeps each future arrival's row equal to the scan
+/// of its own list (the graph is undirected, so `w ∈ N(v)` iff
+/// `v ∈ N(w)`, with the same multiplicity).
 pub fn ldg_vertex_stream(stream: &[VertexArrival], k: usize, num_vertices: usize) -> Assignment {
     let mut state = PartitionState::prescient(k, num_vertices, 1.0);
+    let mut counts = NeighborCounts::with_capacity(k, num_vertices);
     for arrival in stream {
-        let mut counts = vec![0usize; k];
-        for &w in &arrival.neighbors {
-            if let Some(p) = state.partition_of(w) {
-                counts[p.index()] += 1;
-            }
-        }
-        let p = crate::ldg::choose_weighted(&state, &counts);
+        let p = crate::ldg::choose_weighted(&state, counts.counts(arrival.vertex));
         state.assign(arrival.vertex, p);
+        for &w in &arrival.neighbors {
+            counts.credit(w, p);
+        }
     }
     state.into_assignment()
 }
 
-/// Vertex-stream Fennel \[31\] with γ = 1.5, ν = 1.1.
+/// Vertex-stream Fennel \[31\] with γ = 1.5, ν = 1.1. Scores through
+/// the same maintained counter rows as [`ldg_vertex_stream`] and the
+/// same [`fennel_choose`] arithmetic as the edge-stream partitioner.
 pub fn fennel_vertex_stream(
     stream: &[VertexArrival],
     k: usize,
@@ -86,32 +94,13 @@ pub fn fennel_vertex_stream(
     let alpha = m * (k as f64).powf(gamma - 1.0) / n.powf(gamma);
     let cap = nu * n / k as f64;
     let mut state = PartitionState::prescient(k, num_vertices, nu);
+    let mut counts = NeighborCounts::with_capacity(k, num_vertices);
     for arrival in stream {
-        let mut counts = vec![0usize; k];
-        for &w in &arrival.neighbors {
-            if let Some(p) = state.partition_of(w) {
-                counts[p.index()] += 1;
-            }
-        }
-        let mut best: Option<(f64, usize, PartitionId)> = None;
-        for p in state.partitions() {
-            let size = state.size(p);
-            if (size as f64) >= cap {
-                continue;
-            }
-            let score = counts[p.index()] as f64 - alpha * gamma * (size as f64).powf(gamma - 1.0);
-            let better = match &best {
-                None => true,
-                Some((bs, bsize, _)) => score > *bs || (score == *bs && size < *bsize),
-            };
-            if better {
-                best = Some((score, size, p));
-            }
-        }
-        let p = best
-            .map(|(_, _, p)| p)
-            .unwrap_or_else(|| state.least_loaded());
+        let p = fennel_choose(&state, counts.counts(arrival.vertex), alpha, gamma, cap);
         state.assign(arrival.vertex, p);
+        for &w in &arrival.neighbors {
+            counts.credit(w, p);
+        }
     }
     state.into_assignment()
 }
