@@ -3,9 +3,9 @@
 
 use loom_graph::{EdgeId, Label, PartitionId, StreamEdge, VertexId};
 use loom_partition::{
-    auction, ldg_choose, ration, AuctionMatch, CapacityModel, EoParams, FennelParams,
-    FennelPartitioner, HashPartitioner, LdgPartitioner, OnlineAdjacency, PartitionState,
-    StreamPartitioner,
+    auction, choose_weighted, fennel_choose, ldg_choose, ration, AuctionMatch, CapacityModel,
+    EoParams, FennelParams, FennelPartitioner, HashPartitioner, LdgPartitioner, NeighborCounts,
+    OnlineAdjacency, PartitionState, StreamPartitioner,
 };
 use proptest::prelude::*;
 use rand::Rng;
@@ -292,6 +292,374 @@ proptest! {
         }
         for p in s.partitions() {
             prop_assert_eq!(s.residual(p).to_bits(), r.residual(p).to_bits());
+        }
+    }
+}
+
+/// Verbatim scan-based reference partitioners — the pre-counter code,
+/// kept as behavioural oracles: the production partitioners now score
+/// through maintained `NeighborCounts` rows, and these re-derive every
+/// score by scanning `OnlineAdjacency::neighbors` at decision time.
+/// The counter suite below asserts bit-equality of the resulting
+/// assignments on random streams under both capacity models.
+mod scan_reference {
+    use super::*;
+
+    pub struct ScanLdg {
+        pub state: PartitionState,
+        pub adjacency: OnlineAdjacency,
+    }
+
+    impl ScanLdg {
+        pub fn new(k: usize, capacity: CapacityModel) -> Self {
+            ScanLdg {
+                state: PartitionState::new(k, capacity, 1.1),
+                adjacency: OnlineAdjacency::new(),
+            }
+        }
+
+        pub fn on_edge(&mut self, e: &StreamEdge) {
+            self.adjacency.add(e);
+            for v in [e.src, e.dst] {
+                if !self.state.is_assigned(v) {
+                    let p = ldg_choose(&self.state, &self.adjacency, v);
+                    self.state.assign(v, p);
+                }
+            }
+        }
+    }
+
+    pub struct ScanFennel {
+        pub state: PartitionState,
+        pub adjacency: OnlineAdjacency,
+        gamma: f64,
+        nu: f64,
+        fixed: Option<(f64, f64)>,
+        edges_seen: usize,
+    }
+
+    impl ScanFennel {
+        pub fn new(k: usize, capacity: CapacityModel, params: FennelParams) -> Self {
+            let kf = k as f64;
+            let fixed = match capacity {
+                CapacityModel::Prescient {
+                    num_vertices,
+                    num_edges,
+                } => {
+                    let n = num_vertices.max(1) as f64;
+                    let m = num_edges.max(1) as f64;
+                    Some((
+                        m * kf.powf(params.gamma - 1.0) / n.powf(params.gamma),
+                        params.nu * n / kf,
+                    ))
+                }
+                CapacityModel::Adaptive => None,
+            };
+            ScanFennel {
+                state: PartitionState::new(k, capacity, params.nu),
+                adjacency: OnlineAdjacency::new(),
+                gamma: params.gamma,
+                nu: params.nu,
+                fixed,
+                edges_seen: 0,
+            }
+        }
+
+        fn alpha_and_cap(&self) -> (f64, f64) {
+            match self.fixed {
+                Some(pair) => pair,
+                None => {
+                    let kf = self.state.k() as f64;
+                    let n = self.state.assigned_count().max(1) as f64;
+                    let m = self.edges_seen.max(1) as f64;
+                    (
+                        m * kf.powf(self.gamma - 1.0) / n.powf(self.gamma),
+                        self.nu * n / kf,
+                    )
+                }
+            }
+        }
+
+        pub fn on_edge(&mut self, e: &StreamEdge) {
+            self.edges_seen += 1;
+            self.adjacency.add(e);
+            for v in [e.src, e.dst] {
+                if !self.state.is_assigned(v) {
+                    let (alpha, cap) = self.alpha_and_cap();
+                    let mut counts = vec![0u32; self.state.k()];
+                    for &w in self.adjacency.neighbors(v) {
+                        if let Some(p) = self.state.partition_of(w) {
+                            counts[p.index()] += 1;
+                        }
+                    }
+                    let p = fennel_choose(&self.state, &counts, alpha, self.gamma, cap);
+                    self.state.assign(v, p);
+                }
+            }
+        }
+    }
+}
+
+/// A stream with deliberate hubs and occasional duplicate pairs, so the
+/// counter maintenance is exercised with multiplicity > 1 entries.
+fn hubby_edges(n_vertices: usize, n_edges: usize, seed: u64) -> Vec<StreamEdge> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n_edges)
+        .map(|i| {
+            let u = if rng.gen_bool(0.3) {
+                0 // hub
+            } else {
+                rng.gen_range(0..n_vertices) as u32
+            };
+            let mut v = rng.gen_range(0..n_vertices) as u32;
+            if v == u {
+                v = (v + 1) % n_vertices as u32;
+            }
+            StreamEdge {
+                id: EdgeId(i as u32),
+                src: VertexId(u),
+                dst: VertexId(v),
+                src_label: Label(0),
+                dst_label: Label(0),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tentpole contract: counter-scored LDG and Fennel are
+    /// bit-identical to the verbatim scan references, edge by edge, on
+    /// random hub-heavy streams (with repeated pairs) under both
+    /// capacity models.
+    #[test]
+    fn counter_scoring_equals_scan_reference(
+        k in 2usize..8,
+        n_edges in 1usize..160,
+        prescient in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let n = 48usize;
+        let edges = hubby_edges(n, n_edges, seed);
+        let capacity = if prescient {
+            CapacityModel::prescient(n, n_edges)
+        } else {
+            CapacityModel::Adaptive
+        };
+
+        let mut ldg = LdgPartitioner::new(k, capacity);
+        let mut ldg_ref = scan_reference::ScanLdg::new(k, capacity);
+        let mut fennel = FennelPartitioner::new(k, capacity, FennelParams::default());
+        let mut fennel_ref =
+            scan_reference::ScanFennel::new(k, capacity, FennelParams::default());
+
+        for e in &edges {
+            ldg.on_edge(e);
+            ldg_ref.on_edge(e);
+            fennel.on_edge(e);
+            fennel_ref.on_edge(e);
+            for v in [e.src, e.dst] {
+                prop_assert_eq!(
+                    ldg.state().partition_of(v),
+                    ldg_ref.state.partition_of(v),
+                    "LDG diverged from scan reference at {:?} (edge {:?})", v, e.id
+                );
+                prop_assert_eq!(
+                    fennel.state().partition_of(v),
+                    fennel_ref.state.partition_of(v),
+                    "Fennel diverged from scan reference at {:?} (edge {:?})", v, e.id
+                );
+            }
+        }
+    }
+
+    /// The `NeighborCounts` invariant itself, under an arbitrary
+    /// interleaving of edge arrivals and (possibly late) assignments —
+    /// the Loom pattern, where window-buffered vertices accumulate
+    /// adjacency long before they are placed: every row always equals
+    /// the verbatim scan of the companion adjacency.
+    #[test]
+    fn neighbor_counts_match_scan_under_interleaving(
+        k in 2usize..6,
+        ops in 1usize..120,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 24u32;
+        let mut state = PartitionState::new(k, CapacityModel::Adaptive, 1.1);
+        let mut adjacency = OnlineAdjacency::new();
+        let mut counts = NeighborCounts::new(k);
+        let mut next_edge = 0u32;
+        for _ in 0..ops {
+            if rng.gen_bool(0.6) {
+                // An edge arrives (self-loops allowed on purpose).
+                let e = StreamEdge {
+                    id: EdgeId(next_edge),
+                    src: VertexId(rng.gen_range(0..n)),
+                    dst: VertexId(rng.gen_range(0..n)),
+                    src_label: Label(0),
+                    dst_label: Label(0),
+                };
+                next_edge += 1;
+                adjacency.add(&e);
+                counts.on_edge_arrival(&e, &state);
+            } else {
+                // A (so far unassigned) vertex is permanently placed —
+                // possibly long after its adjacency accumulated.
+                let v = VertexId(rng.gen_range(0..n));
+                if !state.is_assigned(v) {
+                    let p = PartitionId(rng.gen_range(0..k) as u32);
+                    state.assign(v, p);
+                    counts.on_assign(v, p, &adjacency);
+                }
+            }
+            // Invariant: every row equals the scan.
+            for v in 0..n {
+                let v = VertexId(v);
+                let mut scan = vec![0u32; k];
+                for &w in adjacency.neighbors(v) {
+                    if let Some(p) = state.partition_of(w) {
+                        scan[p.index()] += 1;
+                    }
+                }
+                prop_assert_eq!(
+                    counts.counts(v),
+                    scan.as_slice(),
+                    "counter row diverged from scan at {:?}", v
+                );
+            }
+        }
+    }
+
+    /// Restream: the counter-seeded pass is bit-identical to one driven
+    /// by the scan-based reference chooser.
+    #[test]
+    fn restream_counters_equal_scan_reference(
+        k in 2usize..6,
+        n_edges in 2usize..100,
+        seed in any::<u64>(),
+    ) {
+        use loom_partition::restream::reference_restream_choose;
+        let n = 32usize;
+        let edges = hubby_edges(n, n_edges, seed);
+        let graph_stream = {
+            // Materialise via a LabeledGraph so both passes see the
+            // same stream object.
+            let mut g = loom_graph::LabeledGraph::with_anonymous_labels(1);
+            for _ in 0..n {
+                g.add_vertex(Label(0));
+            }
+            for e in &edges {
+                g.add_edge_checked(e.src, e.dst);
+            }
+            loom_graph::GraphStream::from_graph(&g, loom_graph::StreamOrder::Random, seed)
+        };
+        // A prior assignment from a plain LDG pass.
+        let mut first = LdgPartitioner::new(k, CapacityModel::Adaptive);
+        for e in graph_stream.iter() {
+            first.on_edge(e);
+        }
+        let prior = Box::new(first).into_assignment();
+
+        // Reference pass: scan-based chooser, same protocol.
+        let mut ref_state = PartitionState::prescient(k, graph_stream.num_vertices(), 1.1);
+        let mut ref_adj = OnlineAdjacency::with_capacity(graph_stream.num_vertices());
+        for e in graph_stream.iter() {
+            ref_adj.add(e);
+        }
+        for e in graph_stream.iter() {
+            for v in [e.src, e.dst] {
+                if !ref_state.is_assigned(v) {
+                    let p = reference_restream_choose(&ref_state, &ref_adj, &prior, v);
+                    ref_state.assign(v, p);
+                }
+            }
+        }
+        let reference = ref_state.into_assignment();
+
+        let counter = loom_partition::restream_pass(&graph_stream, &prior, 1.1);
+        for v in 0..graph_stream.num_vertices() as u32 {
+            prop_assert_eq!(
+                counter.partition_of(VertexId(v)),
+                reference.partition_of(VertexId(v)),
+                "restream diverged at vertex {}", v
+            );
+        }
+    }
+
+    /// Vertex-stream variants: counter-credited scoring equals the
+    /// scan of each arrival's own neighbour list.
+    #[test]
+    fn vertex_stream_counters_equal_scan_reference(
+        k in 2usize..6,
+        n in 4usize..48,
+        extra_edges in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        use loom_partition::{fennel_vertex_stream, ldg_vertex_stream, vertex_stream};
+        let mut g = loom_graph::LabeledGraph::with_anonymous_labels(1);
+        for _ in 0..n {
+            g.add_vertex(Label(0));
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for i in 0..(n - 1 + extra_edges) {
+            let (u, v) = if i < n - 1 {
+                (i as u32, i as u32 + 1) // spanning path keeps it connected
+            } else {
+                (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32)
+            };
+            if u != v {
+                g.add_edge_checked(VertexId(u), VertexId(v));
+            }
+        }
+        let stream = vertex_stream(&g, loom_graph::StreamOrder::Random, seed);
+
+        // Scan references: score each arrival by scanning its own list.
+        let mut ldg_state = PartitionState::prescient(k, n, 1.0);
+        for a in &stream {
+            let mut counts = vec![0u32; k];
+            for &w in &a.neighbors {
+                if let Some(p) = ldg_state.partition_of(w) {
+                    counts[p.index()] += 1;
+                }
+            }
+            let p = choose_weighted(&ldg_state, &counts);
+            ldg_state.assign(a.vertex, p);
+        }
+        let ldg_ref = ldg_state.into_assignment();
+        let ldg_counter = ldg_vertex_stream(&stream, k, n);
+
+        let gamma = 1.5f64;
+        let nu = 1.1f64;
+        let alpha = (g.num_edges().max(1) as f64) * (k as f64).powf(gamma - 1.0)
+            / (n.max(1) as f64).powf(gamma);
+        let cap = nu * n.max(1) as f64 / k as f64;
+        let mut fennel_state = PartitionState::prescient(k, n, nu);
+        for a in &stream {
+            let mut counts = vec![0u32; k];
+            for &w in &a.neighbors {
+                if let Some(p) = fennel_state.partition_of(w) {
+                    counts[p.index()] += 1;
+                }
+            }
+            let p = fennel_choose(&fennel_state, &counts, alpha, gamma, cap);
+            fennel_state.assign(a.vertex, p);
+        }
+        let fennel_ref = fennel_state.into_assignment();
+        let fennel_counter = fennel_vertex_stream(&stream, k, n, g.num_edges());
+
+        for v in 0..n as u32 {
+            prop_assert_eq!(
+                ldg_counter.partition_of(VertexId(v)),
+                ldg_ref.partition_of(VertexId(v)),
+                "vertex-stream LDG diverged at {}", v
+            );
+            prop_assert_eq!(
+                fennel_counter.partition_of(VertexId(v)),
+                fennel_ref.partition_of(VertexId(v)),
+                "vertex-stream Fennel diverged at {}", v
+            );
         }
     }
 }
