@@ -4,35 +4,106 @@
 # Every dependency is an in-workspace path crate (see shims/), so no
 # step below ever touches a registry; --offline just makes that
 # explicit and turns any accidental network dependency into an error.
+#
+# Usage: ci.sh [--quick|--full]
+#
+#   --full  (default) everything: lints, bench compile, the 1M-edge
+#           bounded-memory smoke, and the perf/quality regression gate
+#           against the committed BENCH_results.json.
+#   --quick the fast pre-commit loop: build, tests, fmt, the micro
+#           bench suites and a 200k-edge smoke; skips clippy, the full
+#           bench compile and the perf gate.
+#
+# The run is split into named stages; a failure reports the stage by
+# name, and a per-stage timing table prints on every exit.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== tier-1: build =="
+MODE=full
+case "${1:---full}" in
+  --quick) MODE=quick ;;
+  --full) MODE=full ;;
+  *) echo "usage: ci.sh [--quick|--full]" >&2; exit 2 ;;
+esac
+
+STAGE_NAMES=()
+STAGE_SECS=()
+CURRENT_STAGE=""
+STAGE_START=0
+FAILED_STAGE=""
+
+finish_stage() {
+  if [ -n "$CURRENT_STAGE" ]; then
+    STAGE_NAMES+=("$CURRENT_STAGE")
+    STAGE_SECS+=($((SECONDS - STAGE_START)))
+    CURRENT_STAGE=""
+  fi
+}
+
+stage() {
+  finish_stage
+  CURRENT_STAGE="$1"
+  STAGE_START=$SECONDS
+  echo
+  echo "== $1 =="
+}
+
+report() {
+  local status=$?
+  if [ $status -ne 0 ] && [ -n "$CURRENT_STAGE" ]; then
+    FAILED_STAGE="$CURRENT_STAGE"
+  fi
+  finish_stage
+  echo
+  echo "-- ci stage timings ($MODE mode) --"
+  local i total=0
+  for i in "${!STAGE_NAMES[@]}"; do
+    printf '   %-32s %4ds\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+    total=$((total + STAGE_SECS[i]))
+  done
+  printf '   %-32s %4ds\n' total "$total"
+  if [ $status -ne 0 ]; then
+    echo "ci: FAILED in stage '${FAILED_STAGE:-unknown}' (exit $status)" >&2
+  else
+    echo "ci: all green ($MODE mode)"
+  fi
+}
+trap report EXIT
+
+stage "tier-1: build"
 cargo build --release --offline
 
-echo "== tier-1: test =="
+stage "tier-1: test"
 cargo test -q --offline
 
-echo "== format =="
+stage "format"
 cargo fmt --check
 
-echo "== lints =="
-cargo clippy --offline --workspace --all-targets -- -D warnings
+if [ "$MODE" = full ]; then
+  stage "lints (clippy -D warnings)"
+  cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== benches compile =="
-cargo bench --offline --no-run -q
+  stage "benches compile"
+  cargo bench --offline --no-run -q
+fi
 
-echo "== matcher micro-suite (quick: one timed iteration per bench) =="
+stage "matcher micro-suite (1 sample)"
 # Keeps the hub-scaling / match-dense / bypass-heavy benches from
 # rotting: they must build AND run end to end on every CI pass.
 LOOM_BENCH_SAMPLES=1 cargo bench --offline -q --bench matcher_micro
 
-echo "== partition micro-suite (quick: one timed iteration per bench) =="
+stage "partition micro-suite (1 sample)"
 # Same contract for the scoring/assignment hot paths: hub-fallback,
 # assignment-burst, restream, and the mixed Loom edge loop.
 LOOM_BENCH_SAMPLES=1 cargo bench --offline -q --bench partition_micro
 
-echo "== stream smoke (10k+ edges over stdin, online engine) =="
+stage "adjacency micro-suite (1 sample)"
+# And for the bounded neighbourhood store: unbounded baseline vs
+# bounded churn (expiry + generational compaction) vs full counter
+# maintenance under eviction.
+LOOM_BENCH_SAMPLES=1 cargo bench --offline -q --bench adjacency_churn
+
+stage "stream smoke (stdin ingest, online engine)"
 # A small-scale generate emits ~15k edges; stream must ingest them from
 # stdin (never materialised) and print >= 2 mid-stream snapshots.
 SNAPSHOTS=$(./target/release/loom generate --dataset dblp --scale small --seed 7 2>/dev/null \
@@ -44,37 +115,68 @@ if [ "$SNAPSHOTS" -lt 3 ]; then
 fi
 echo "stream smoke: $SNAPSHOTS snapshots"
 
-echo "== long-running loom stream smoke (arena reclamation plateaus) =="
-# 200k synthetic edges through the full Loom partitioner with a
-# bounded window: the match arena's resident cell count must plateau
-# (bounded by a function of the window), not grow with edges seen.
-# The snapshot lines carry "arena <live>/<total> cells ... gen <g>";
-# we assert (a) the final resident total is far below the count of
-# matches ever recorded (reclamation actually ran: gen > 0), and
-# (b) the last snapshot's resident cells are within 6x of the
-# smallest mid-stream snapshot — a plateau, not a ramp.
-WORKLOAD=target/ci-arena-workload.wl
+stage "long stream smoke (bounded-memory plateaus)"
+# Synthetic edges through the full Loom partitioner with a bounded
+# window: BOTH stream-length-proportional stores must plateau, not
+# grow with edges seen —
+#   arena <live>/<total> cells ... gen <g>   (match-arena reclamation)
+#   adjacency <live>/<total> entries gen <g> (neighbourhood retention)
+# For each we assert (a) at least one generational compaction ran
+# (gen >= 1) and (b) the last snapshot's resident total is within 6x
+# of the smallest mid-stream snapshot — a plateau, not a ramp. Full
+# mode drives 1M edges under the default window-tied horizon (64
+# windows); quick mode drives 200k.
+if [ "$MODE" = full ]; then
+  SMOKE_EDGES=1000000
+  SMOKE_EVERY=100000
+else
+  SMOKE_EDGES=200000
+  SMOKE_EVERY=20000
+fi
+WORKLOAD=target/ci-smoke-workload.wl
 ./target/release/loom workload --dataset dblp --out "$WORKLOAD" 2>/dev/null
 ./target/release/loom stream --k 4 --system loom --source synthetic \
-    --max-edges 200000 --window 1024 --snapshot-every 20000 \
+    --max-edges "$SMOKE_EDGES" --window 1024 --snapshot-every "$SMOKE_EVERY" \
     --workload "$WORKLOAD" --labels 4 2>/dev/null \
   | awk '
-    /^snapshot .* arena / {
-      for (i = 1; i <= NF; i++) if ($i == "arena") { split($(i+1), c, "/"); }
-      for (i = 1; i <= NF; i++) if ($i == "gen") { gen = $(i+1); }
-      total = c[2];
-      n += 1;
-      if (n == 1 || total < min_total) min_total = total;
-      last_total = total; last_gen = gen;
+    /^snapshot .* arena .* adjacency / {
+      # First "gen" on the line belongs to the arena, second to the
+      # adjacency (the printer emits "arena ... gen G  adjacency ...
+      # gen G").
+      ngen = 0
+      for (i = 1; i <= NF; i++) {
+        if ($i == "arena") split($(i+1), ac, "/")
+        if ($i == "adjacency") split($(i+1), jc, "/")
+        if ($i == "gen") gens[++ngen] = $(i+1)
+      }
+      n += 1
+      if (n == 1 || ac[2] < min_arena) min_arena = ac[2]
+      if (n == 1 || jc[2] < min_adj) min_adj = jc[2]
+      last_arena = ac[2]; last_adj = jc[2]
+      arena_gen = gens[1]; adj_gen = gens[2]
     }
     END {
-      if (n < 5) { print "arena smoke: only " n " arena snapshots" > "/dev/stderr"; exit 1 }
-      if (last_gen + 0 < 1) { print "arena smoke: no compaction ran (gen " last_gen ")" > "/dev/stderr"; exit 1 }
-      if (last_total + 0 > 6 * min_total) {
-        print "arena smoke: resident cells grew " min_total " -> " last_total " (no plateau)" > "/dev/stderr"; exit 1
+      if (n < 5) { print "long smoke: only " n " parsable snapshots" > "/dev/stderr"; exit 1 }
+      if (arena_gen + 0 < 1) { print "long smoke: arena never compacted (gen " arena_gen ")" > "/dev/stderr"; exit 1 }
+      if (last_arena + 0 > 6 * min_arena) {
+        print "long smoke: arena cells grew " min_arena " -> " last_arena " (no plateau)" > "/dev/stderr"; exit 1
       }
-      print "arena smoke: resident cells plateau at " last_total " (min " min_total ", gen " last_gen ")"
+      if (adj_gen + 0 < 1) { print "long smoke: adjacency never compacted (gen " adj_gen ")" > "/dev/stderr"; exit 1 }
+      if (last_adj + 0 > 6 * min_adj) {
+        print "long smoke: adjacency entries grew " min_adj " -> " last_adj " (no plateau)" > "/dev/stderr"; exit 1
+      }
+      print "long smoke: arena plateau at " last_arena " cells (min " min_arena ", gen " arena_gen ")"
+      print "long smoke: adjacency plateau at " last_adj " entries (min " min_adj ", gen " adj_gen ")"
     }'
 rm -f "$WORKLOAD"
 
-echo "ci: all green"
+if [ "$MODE" = full ]; then
+  stage "perf gate (regenerate vs committed BENCH_results.json)"
+  # Regenerates the bench summary (small scale, seed 42) and compares
+  # it against the committed copy: weighted_ipt/imbalance must match
+  # exactly, ms_per_10k_edges may not regress more than 30%. The
+  # before/after table prints to stderr.
+  ./target/release/repro --scale small --seed 42 \
+    --bench-json target/ci-bench-fresh.json \
+    --compare-bench BENCH_results.json > /dev/null
+fi

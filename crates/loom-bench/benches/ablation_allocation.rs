@@ -27,6 +27,7 @@ fn loom_config(
         capacity: CapacityModel::for_stream(stream),
         seed: cfg.seed,
         allocation: policy,
+        adjacency_horizon: Default::default(),
     }
 }
 

@@ -1,0 +1,108 @@
+//! Adjacency-churn micro-suite: the bounded neighbourhood store's hot
+//! path (DESIGN.md §11), isolated from the rest of Loom.
+//!
+//! - **unbounded-baseline** — the grow-forever store the rework
+//!   replaced as the default for online runs: pure appends, no ring,
+//!   no expiry. The floor the bounded variants are measured against.
+//! - **bounded-churn** — the same stream through a biting horizon:
+//!   every add also ages out the oldest edge (two O(1) head bumps +
+//!   ring pop) and periodically triggers a generational compaction.
+//!   The per-edge overhead of bounded memory is the gap to the
+//!   baseline.
+//! - **bounded-with-counts** — adds the `NeighborCounts` maintenance
+//!   the Loom hot path actually runs: arrival credits and expiry
+//!   debits against a fully assigned state. This is the end-to-end
+//!   cost of keeping "row == retained scan" true under eviction.
+//!
+//! Quick mode for CI: `LOOM_BENCH_SAMPLES=1 cargo bench --bench
+//! adjacency_churn` runs one timed iteration per benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_core::graph::{EdgeId, Label, StreamEdge, VertexId};
+use loom_core::partition::{CapacityModel, NeighborCounts, OnlineAdjacency, PartitionState};
+
+/// A hub-heavy rotating stream: every third edge touches vertex 0, the
+/// rest walk a 4k-vertex ring — long-lived rows churn while idle rows
+/// age to fully-dead (the compaction's free-the-row path).
+fn churn_edges(n: usize) -> Vec<StreamEdge> {
+    (0..n)
+        .map(|i| {
+            let (src, dst) = if i % 3 == 0 {
+                (0u32, 1 + (i % 4_000) as u32)
+            } else {
+                let a = 1 + (i % 4_000) as u32;
+                (a, 1 + ((i + 7) % 4_000) as u32)
+            };
+            StreamEdge {
+                id: EdgeId(i as u32),
+                src: VertexId(src),
+                dst: VertexId(dst),
+                src_label: Label(0),
+                dst_label: Label(0),
+            }
+        })
+        .collect()
+}
+
+fn bench_adjacency_churn(c: &mut Criterion) {
+    let edges = churn_edges(200_000);
+    let mut group = c.benchmark_group("adjacency_churn");
+    group.sample_size(10);
+
+    group.bench_function("unbounded_baseline_200k", |b| {
+        b.iter(|| {
+            let mut adj = OnlineAdjacency::new();
+            for e in &edges {
+                adj.add(e);
+            }
+            adj.occupancy().resident_entries
+        })
+    });
+
+    for horizon in [4_096u64, 65_536] {
+        group.bench_with_input(
+            BenchmarkId::new("bounded_churn_200k", horizon),
+            &horizon,
+            |b, &horizon| {
+                b.iter(|| {
+                    let mut adj = OnlineAdjacency::bounded(horizon);
+                    for e in &edges {
+                        adj.add(e);
+                    }
+                    let occ = adj.occupancy();
+                    assert!(occ.generation >= 1, "churn bench must compact");
+                    occ.resident_entries
+                })
+            },
+        );
+    }
+
+    group.bench_function("bounded_with_counts_200k", |b| {
+        // A fully assigned state so every arrival credits and every
+        // expiry debits — the worst case for counter maintenance.
+        let k = 8;
+        let mut state = PartitionState::new(k, CapacityModel::Adaptive, 1.1);
+        for v in 0..4_001u32 {
+            state.assign(VertexId(v), loom_core::graph::PartitionId(v % k as u32));
+        }
+        b.iter(|| {
+            let mut adj = OnlineAdjacency::bounded(4_096);
+            let mut counts = NeighborCounts::new(k);
+            let mut expired = Vec::new();
+            for e in &edges {
+                expired.clear();
+                adj.add_expiring_into(e, &mut expired);
+                counts.on_edge_arrival(e, &state);
+                for &(u, v) in &expired {
+                    counts.on_edge_expired(u, v, &state);
+                }
+            }
+            adj.occupancy().generation
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_adjacency_churn);
+criterion_main!(benches);

@@ -57,6 +57,7 @@ fn micro_loom(k: usize, window: usize) -> LoomConfig {
         capacity: CapacityModel::Adaptive,
         seed: 0x100a,
         allocation: Default::default(),
+        adjacency_horizon: Default::default(),
     }
 }
 

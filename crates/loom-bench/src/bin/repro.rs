@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations|online]
 //!       [--scale tiny|small|medium|large] [--seed N] [--jsonl PATH]
-//!       [--bench-json PATH|none]
+//!       [--bench-json PATH|none] [--compare-bench PATH]
 //! ```
 //!
 //! Prints paper-style markdown tables to stdout; with `--jsonl` also
@@ -12,6 +12,12 @@
 //! ms/10k-edges and weighted ipt averaged over the run's ipt cells) so
 //! the perf trajectory is tracked PR over PR — `--bench-json none`
 //! suppresses it.
+//!
+//! `--compare-bench PATH` turns the run into the CI regression gate:
+//! the fresh summary is compared against the committed copy at PATH
+//! (quality numbers must match exactly, throughput may not regress
+//! more than 30%), a before/after table is printed to stderr, and the
+//! process exits non-zero on any violation.
 
 use loom_bench::suites::{self, SuiteOptions};
 use loom_core::graph::Scale;
@@ -22,7 +28,13 @@ struct Args {
     options: SuiteOptions,
     jsonl: Option<String>,
     bench_json: Option<String>,
+    compare_bench: Option<String>,
 }
+
+/// Throughput tolerance of the regression gate: `ms_per_10k_edges`
+/// may exceed the committed baseline by at most this fraction
+/// (wall-clock noise allowance; quality numbers get zero tolerance).
+const GATE_MS_TOLERANCE: f64 = 0.30;
 
 /// The experiment names `--experiment` accepts.
 const EXPERIMENTS: [&str; 9] = [
@@ -42,6 +54,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
     let mut options = SuiteOptions::default();
     let mut jsonl = None;
     let mut bench_json = Some("BENCH_results.json".to_string());
+    let mut compare_bench = None;
     let mut i = 0;
     while i < argv.len() {
         let take_value = |i: &mut usize| -> Result<String, String> {
@@ -71,9 +84,10 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
                 let v = take_value(&mut i)?;
                 bench_json = if v == "none" { None } else { Some(v) };
             }
+            "--compare-bench" => compare_bench = Some(take_value(&mut i)?),
             "--help" | "-h" => {
                 println!(
-                    "repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations|online]\n      [--scale tiny|small|medium|large] [--seed N] [--jsonl PATH]\n      [--bench-json PATH|none]"
+                    "repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations|online]\n      [--scale tiny|small|medium|large] [--seed N] [--jsonl PATH]\n      [--bench-json PATH|none] [--compare-bench PATH]"
                 );
                 std::process::exit(0);
             }
@@ -94,6 +108,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
         options,
         jsonl,
         bench_json,
+        compare_bench,
     })
 }
 
@@ -167,11 +182,49 @@ fn main() {
         eprintln!("wrote {} result rows to {path}", all_results.len() * 4);
     }
 
-    if let Some(path) = args.bench_json {
-        let summary = suites::bench_summary(&suites_run, &opts, &all_results);
-        let mut f = std::fs::File::create(&path).expect("create bench json");
+    let summary = suites::bench_summary(&suites_run, &opts, &all_results);
+    // Read the committed baseline BEFORE any write: with the default
+    // --bench-json path, `--compare-bench BENCH_results.json` names
+    // the same file the fresh summary is about to land in, and a
+    // write-then-read would gate the fresh run against itself.
+    let baseline = args.compare_bench.as_ref().map(|path| {
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
+        loom_bench::BenchSummary::parse(&committed)
+            .unwrap_or_else(|e| panic!("committed baseline {path} unparsable: {e}"))
+    });
+    if let Some(path) = &args.bench_json {
+        if args.compare_bench.as_deref() == Some(path.as_str()) {
+            eprintln!(
+                "note: --bench-json and --compare-bench both name {path}; \
+                 gating against the previous contents, then refreshing the file"
+            );
+        }
+        let mut f = std::fs::File::create(path).expect("create bench json");
         f.write_all(summary.as_bytes()).expect("write bench json");
         eprintln!("wrote bench summary to {path}");
+    }
+
+    // The CI regression gate: compare the fresh summary against the
+    // committed baseline. The table goes to stderr so `repro ... >
+    // /dev/null` (CI hides the suite markdown) still shows it.
+    if let (Some(path), Some(baseline)) = (args.compare_bench, baseline) {
+        let fresh = loom_bench::BenchSummary::parse(&summary)
+            .expect("the summary this run just produced must parse");
+        let report = loom_bench::compare(&baseline, &fresh, GATE_MS_TOLERANCE);
+        eprintln!("## Perf gate: fresh run vs committed {path}\n");
+        eprintln!("{}", report.table);
+        if report.passed() {
+            eprintln!(
+                "perf gate: ok (quality bit-stable, throughput within {:.0}%)",
+                GATE_MS_TOLERANCE * 100.0
+            );
+        } else {
+            for f in &report.failures {
+                eprintln!("perf gate FAILURE: {f}");
+            }
+            std::process::exit(1);
+        }
     }
 }
 

@@ -18,6 +18,8 @@
 //! `BENCH_results.json` summary (per-system ms/10k-edges and weighted
 //! ipt); the criterion benches measure the hot paths behind them.
 
+pub mod bench_compare;
 pub mod suites;
 
+pub use bench_compare::{compare, BenchSummary, GateReport};
 pub use suites::{ablations, bench_summary, fig4, fig7, fig8, fig9, online, table1, table2};

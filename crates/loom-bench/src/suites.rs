@@ -270,6 +270,7 @@ pub fn table2(opts: &SuiteOptions) -> String {
             capacity: CapacityModel::for_stream(&stream),
             seed: cfg.seed,
             allocation: AllocationPolicy::EqualOpportunism,
+            adjacency_horizon: Default::default(),
         };
         let mut p = LoomPartitioner::new(&loom_cfg, &workload, stream.num_labels());
         p.enable_phase_profile();
@@ -363,6 +364,7 @@ pub fn ablations(opts: &SuiteOptions) -> String {
                 capacity: CapacityModel::for_stream(&stream),
                 seed: cfg.seed,
                 allocation: policy,
+                adjacency_horizon: Default::default(),
             };
             let mut p = LoomPartitioner::new(&loom_cfg, &workload, stream.num_labels());
             partition_stream(&mut p, &stream);
@@ -470,6 +472,7 @@ pub fn ablations(opts: &SuiteOptions) -> String {
                 capacity: CapacityModel::for_stream(&stream),
                 seed: cfg.seed,
                 allocation: AllocationPolicy::EqualOpportunism,
+                adjacency_horizon: Default::default(),
             };
             let mut p = LoomPartitioner::new(&loom_cfg, &workload, stream.num_labels());
             p.set_match_cap(cap);

@@ -30,6 +30,8 @@ commands:
   stream     --k N [--input FILE|-] [--source text|synthetic]
              [--system hash|ldg|fennel|loom] [--workload FILE]
              [--snapshot-every N] [--max-edges N] [--window N]
+             [--adjacency-horizon N|unbounded (loom only: edges kept in
+              the scored neighbourhood; default 64 windows)]
              [--threshold 0.4] [--seed N] [--labels N]
              [--probe-limit N (enables the exact mid-stream ipt probe;
               materialises the feed — avoid on unbounded streams)]
@@ -232,6 +234,7 @@ fn partition(args: &Args) -> Result<()> {
                 capacity: CapacityModel::for_stream(&stream),
                 seed,
                 allocation: Default::default(),
+                adjacency_horizon: Default::default(),
             };
             let loom = LoomPartitioner::new(&config, &workload, graph.num_labels());
             run_partitioner_boxed(Box::new(loom), &stream)
@@ -345,6 +348,37 @@ fn stream_cmd(args: &Args) -> Result<()> {
     let seed = args.parsed_or("seed", 42u64)?;
     let window = args.parsed_or("window", 1_024usize)?;
     let threshold = args.parsed_or("threshold", 0.4f64)?;
+    // Adjacency retention: how many recent edges stay in the scored
+    // neighbourhood. Defaults to 64 sliding windows, the bounded-
+    // memory setting an unbounded ingest wants; "unbounded" restores
+    // the grow-forever store.
+    let adjacency_horizon_flag = args.optional("adjacency-horizon");
+    // The baselines keep no adjacency at all (DESIGN.md §10), so a
+    // retention horizon on them would be a silent no-op — reject it
+    // rather than let an operator believe they bounded anything.
+    if adjacency_horizon_flag.is_some() && !system.eq_ignore_ascii_case("loom") {
+        return Err(format!(
+            "--adjacency-horizon only applies to --system loom ({system} keeps no adjacency)"
+        )
+        .into());
+    }
+    let adjacency_horizon = match adjacency_horizon_flag.as_deref() {
+        None => loom_core::partition::AdjacencyHorizon::default(),
+        Some("unbounded") => loom_core::partition::AdjacencyHorizon::Unbounded,
+        Some(v) => {
+            let n = v
+                .parse::<u64>()
+                .map_err(|e| format!("bad value for --adjacency-horizon: {e}"))?;
+            if n == 0 {
+                return Err(
+                    "--adjacency-horizon 0 would score against an empty neighbourhood; \
+                     pass 'unbounded' to disable retention"
+                        .into(),
+                );
+            }
+            loom_core::partition::AdjacencyHorizon::Edges(n)
+        }
+    };
     // The exact-ipt probe materialises the ingested subgraph and runs
     // count_ipt at every snapshot — quadratic on long feeds — so it is
     // strictly opt-in: give --probe-limit to enable it.
@@ -429,6 +463,7 @@ fn stream_cmd(args: &Args) -> Result<()> {
                 capacity: CapacityModel::Adaptive,
                 seed,
                 allocation: Default::default(),
+                adjacency_horizon,
             };
             Box::new(LoomPartitioner::new(&config, w, num_labels))
         }
@@ -500,8 +535,18 @@ fn print_snapshot(s: &loom_core::engine::Snapshot) {
         ),
         None => String::new(),
     };
+    // Adjacency retention, same shape: retained vs resident entries
+    // and the compaction generation, so the other stream-length-
+    // proportional store is observable too.
+    let adjacency = match &s.adjacency {
+        Some(a) => format!(
+            "  adjacency {}/{} entries gen {}",
+            a.live_entries, a.resident_entries, a.generation
+        ),
+        None => String::new(),
+    };
     println!(
-        "snapshot {:>4}  edges {:>10}  vertices {:>9}  capacity {:>12.1}  imbalance {:>5.1}%  cut {:>5.1}% ({}/{}){}{}",
+        "snapshot {:>4}  edges {:>10}  vertices {:>9}  capacity {:>12.1}  imbalance {:>5.1}%  cut {:>5.1}% ({}/{}){}{}{}",
         s.seq,
         s.edges,
         s.vertices,
@@ -512,6 +557,7 @@ fn print_snapshot(s: &loom_core::engine::Snapshot) {
         s.resolved_edges,
         ipt,
         arena,
+        adjacency,
     );
 }
 

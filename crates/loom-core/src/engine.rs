@@ -18,7 +18,7 @@
 
 use loom_graph::{EdgeSource, LabeledGraph, StreamEdge, Workload};
 use loom_matcher::ArenaOccupancy;
-use loom_partition::{Assignment, PartitionState, StreamPartitioner};
+use loom_partition::{AdjacencyOccupancy, Assignment, PartitionState, StreamPartitioner};
 use loom_query::count_ipt;
 use std::collections::VecDeque;
 
@@ -77,6 +77,12 @@ pub struct Snapshot {
     /// that arena reclamation holds resident memory flat instead of
     /// trusting that it does.
     pub arena: Option<ArenaOccupancy>,
+    /// Streaming-adjacency occupancy (retained/resident entries and
+    /// compaction generation) for partitioners that keep one — Loom.
+    /// `None` for the adjacency-free baselines. The companion of
+    /// [`Snapshot::arena`] for the other stream-length-proportional
+    /// store retention bounds (DESIGN.md §11).
+    pub adjacency: Option<AdjacencyOccupancy>,
 }
 
 impl Snapshot {
@@ -274,6 +280,7 @@ impl OnlineEngine {
             .as_ref()
             .map(|p| p.measure(&state.to_assignment()));
         let arena = self.partitioner.arena();
+        let adjacency = self.partitioner.adjacency();
         Snapshot {
             seq: self.seq,
             edges: self.edges,
@@ -285,6 +292,7 @@ impl OnlineEngine {
             resolved_edges: self.resolved_edges,
             weighted_ipt,
             arena,
+            adjacency,
         }
     }
 
@@ -412,6 +420,15 @@ mod tests {
         let arena = snap.arena.expect("Loom snapshots carry arena occupancy");
         assert!(arena.live_matches <= arena.total_matches);
         assert!(arena.live_cells <= arena.total_cells);
+        let adjacency = snap
+            .adjacency
+            .expect("Loom snapshots carry adjacency occupancy");
+        assert!(adjacency.live_entries <= adjacency.resident_entries);
+        assert_eq!(
+            adjacency.entries_ever,
+            2 * snap.edges,
+            "two directed entries per ingested edge"
+        );
         let fin = engine.finish();
         let drained = fin.arena.expect("arena occupancy after drain");
         assert_eq!(
@@ -422,9 +439,11 @@ mod tests {
         let mut ldg_engine = ldg_engine(0);
         let mut source = SyntheticEdgeSource::new(5, 3);
         ldg_engine.run(&mut source, Some(500), |_| {});
+        let baseline_snap = ldg_engine.snapshot();
+        assert!(baseline_snap.arena.is_none(), "baselines have no arena");
         assert!(
-            ldg_engine.snapshot().arena.is_none(),
-            "baselines have no arena"
+            baseline_snap.adjacency.is_none(),
+            "edge-stream baselines keep no adjacency"
         );
     }
 

@@ -106,6 +106,7 @@ pub fn make_partitioner_with_capacity(
                 capacity,
                 seed: config.seed,
                 allocation: loom_partition::loom::AllocationPolicy::EqualOpportunism,
+                adjacency_horizon: Default::default(),
             };
             Box::new(LoomPartitioner::new(&loom_cfg, workload, num_labels))
         }

@@ -19,8 +19,10 @@ use loom_graph::{PartitionId, StreamEdge, VertexId};
 /// (no placed neighbours) the least-loaded partition wins, which keeps
 /// the early stream balanced.
 ///
-/// This is the **reference** O(deg) form — it scans the adjacency on
-/// every call. The production partitioners score through a maintained
+/// This is the **reference** O(deg) form — it scans the *retained*
+/// adjacency on every call (everything ever seen in unbounded mode;
+/// the recent neighbourhood under a retention horizon, DESIGN.md §11).
+/// The production partitioners score through a maintained
 /// [`NeighborCounts`] row instead (same integers, so bit-identical
 /// decisions; see the counter-equivalence suite in
 /// `tests/properties.rs`).

@@ -29,7 +29,10 @@ pub use ldg::{choose_weighted, ldg_choose, LdgPartitioner};
 pub use loom::{AllocationPolicy, LoomConfig, LoomPartitioner, LoomStats, PhaseBreakdown};
 pub use metrics::PartitionMetrics;
 pub use restream::{restream_pass, restreamed_ldg};
-pub use state::{Assignment, CapacityModel, NeighborCounts, OnlineAdjacency, PartitionState};
+pub use state::{
+    AdjacencyHorizon, AdjacencyOccupancy, Assignment, CapacityModel, NeighborCounts,
+    OnlineAdjacency, PartitionState,
+};
 pub use taper::{taper_refine, weighted_cut, RefinementResult, TraversalWeights};
 pub use traits::{partition_stream, run_partitioner, StreamPartitioner};
 pub use vertex_stream::{fennel_vertex_stream, ldg_vertex_stream, vertex_stream, VertexArrival};

@@ -13,9 +13,11 @@
 
 use crate::equal_opportunism::{auction_with_scratch, AuctionMatch, EoParams};
 use crate::ldg::choose_weighted;
-use crate::state::{Assignment, CapacityModel, NeighborCounts, OnlineAdjacency, PartitionState};
+use crate::state::{
+    AdjacencyHorizon, Assignment, CapacityModel, NeighborCounts, OnlineAdjacency, PartitionState,
+};
 use crate::traits::StreamPartitioner;
-use loom_graph::{StreamEdge, Workload};
+use loom_graph::{StreamEdge, VertexId, Workload};
 use loom_matcher::MatchId;
 use loom_matcher::{EdgeFate, MotifMatcher, SlidingWindow};
 use loom_motif::{LabelRandomizer, TpsTrie};
@@ -60,6 +62,15 @@ pub struct LoomConfig {
     /// Allocation policy (equal opportunism unless running the
     /// naive-greedy ablation).
     pub allocation: AllocationPolicy,
+    /// How long arrived edges stay in the streaming adjacency the
+    /// scoring heuristics read (DESIGN.md §11). The default ties the
+    /// retention horizon to the sliding window
+    /// ([`AdjacencyHorizon::Windows`]), which resolves to unbounded
+    /// under a prescient capacity model — replayed evaluation runs are
+    /// bit-identical to the grow-forever behaviour — and to
+    /// `64 × window_size` edges on adaptive (unbounded) streams, which
+    /// caps resident adjacency memory.
+    pub adjacency_horizon: AdjacencyHorizon,
 }
 
 impl LoomConfig {
@@ -77,6 +88,7 @@ impl LoomConfig {
             capacity: CapacityModel::Adaptive,
             seed: 0x100a,
             allocation: AllocationPolicy::EqualOpportunism,
+            adjacency_horizon: AdjacencyHorizon::default(),
         }
     }
 }
@@ -103,6 +115,7 @@ pub struct LoomPartitioner {
     scratch_keys: Vec<(f64, usize, usize)>,
     scratch_counts: Vec<u32>,
     scratch_edges: Vec<StreamEdge>,
+    scratch_expired: Vec<(VertexId, VertexId)>,
     view_pool: Vec<AuctionMatch>,
 }
 
@@ -147,12 +160,18 @@ impl LoomPartitioner {
         let rand = LabelRandomizer::new(num_labels, config.prime, config.seed);
         let trie = TpsTrie::build(workload, &rand);
         let motifs = trie.motifs(config.support_threshold);
+        let horizon = config
+            .adjacency_horizon
+            .resolve(config.window_size, &config.capacity);
         let (adjacency, counts) = match config.capacity {
             CapacityModel::Prescient { num_vertices, .. } => (
-                OnlineAdjacency::with_capacity(num_vertices),
+                OnlineAdjacency::with_retention(horizon, num_vertices),
                 NeighborCounts::with_capacity(config.k, num_vertices),
             ),
-            CapacityModel::Adaptive => (OnlineAdjacency::new(), NeighborCounts::new(config.k)),
+            CapacityModel::Adaptive => (
+                OnlineAdjacency::with_retention(horizon, 0),
+                NeighborCounts::new(config.k),
+            ),
         };
         LoomPartitioner {
             state: PartitionState::new(config.k, config.capacity, config.capacity_slack),
@@ -168,8 +187,15 @@ impl LoomPartitioner {
             scratch_keys: Vec::new(),
             scratch_counts: Vec::new(),
             scratch_edges: Vec::new(),
+            scratch_expired: Vec::new(),
             view_pool: Vec::new(),
         }
+    }
+
+    /// Occupancy of the streaming adjacency (retained / resident /
+    /// ever / compaction generation).
+    pub fn adjacency_occupancy(&self) -> crate::state::AdjacencyOccupancy {
+        self.adjacency.occupancy()
     }
 
     /// Run counters.
@@ -396,8 +422,16 @@ impl StreamPartitioner for LoomPartitioner {
 
     fn on_edge(&mut self, e: &StreamEdge) {
         let t = self.clock();
-        self.adjacency.add(e);
+        self.scratch_expired.clear();
+        self.adjacency
+            .add_expiring_into(e, &mut self.scratch_expired);
         self.counts.on_edge_arrival(e, &self.state);
+        // Edges that just aged out of the retention horizon leave the
+        // scored neighbourhood: debit them so every counter row stays
+        // equal to a scan of the *retained* adjacency.
+        for &(u, v) in &self.scratch_expired {
+            self.counts.on_edge_expired(u, v, &self.state);
+        }
         self.lap(t, |p| &mut p.window_ns);
         let t = self.clock();
         let fate = self.matcher.on_edge(*e);
@@ -444,6 +478,10 @@ impl StreamPartitioner for LoomPartitioner {
         Some(self.matcher.arena_occupancy())
     }
 
+    fn adjacency(&self) -> Option<crate::state::AdjacencyOccupancy> {
+        Some(self.adjacency.occupancy())
+    }
+
     fn into_assignment(self: Box<Self>) -> Assignment {
         self.state.into_assignment()
     }
@@ -470,6 +508,7 @@ mod tests {
             capacity: CapacityModel::prescient(num_vertices, 0),
             seed: 7,
             allocation: AllocationPolicy::EqualOpportunism,
+            adjacency_horizon: AdjacencyHorizon::default(),
         }
     }
 

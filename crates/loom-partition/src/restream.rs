@@ -20,7 +20,15 @@ use loom_graph::{GraphStream, VertexId};
 /// Unlike the first pass, the *full* adjacency is already known (the
 /// stream was seen once), so every vertex is scored with its complete
 /// neighbourhood — that completeness is exactly what a restream pass
-/// buys over one-pass streaming \[22\]. Scoring reads maintained
+/// buys over one-pass streaming \[22\]. The pass therefore builds its
+/// adjacency unbounded: a restream replays a *materialised* stream of
+/// known extent, which is precisely the setting where the retention
+/// horizon must not bite (the same rule the window-tied default
+/// applies to prescient runs, DESIGN.md §11); the seeding and the
+/// `on_reassign` credit moves below walk whatever
+/// [`OnlineAdjacency::neighbors`] retains, so a deliberately bounded
+/// adjacency would degrade gracefully rather than corrupt rows.
+/// Scoring reads maintained
 /// [`NeighborCounts`] rows seeded from the prior placement: a full
 /// pre-pass over the edges credits every neighbour's prior partition,
 /// and each current-pass placement *moves* the assignee's credit from

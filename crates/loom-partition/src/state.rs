@@ -16,6 +16,7 @@
 //! meaningful when nobody knows `n`.
 
 use loom_graph::{PartitionId, StreamEdge, VertexId};
+use std::collections::VecDeque;
 
 /// Sentinel for "not yet assigned".
 const UNASSIGNED: u32 = u32::MAX;
@@ -316,51 +317,314 @@ impl Assignment {
     }
 }
 
+/// Retention policy for the streaming adjacency: how far back in the
+/// stream a vertex's recorded neighbourhood reaches (DESIGN.md §11).
+///
+/// The paper's heuristics are written against "the local neighbourhood
+/// of each new element *at the time it arrives*" (§1.2), and on a
+/// stream "of unknown, possibly unbounded, extent" (§1.3) keeping that
+/// neighbourhood forever is the last stream-length-proportional state
+/// in the partitioners. Loom's scoring only ever needs the
+/// query-relevant recent neighbourhood — the window-bounded motif
+/// matches — so the default ties retention to the sliding window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdjacencyHorizon {
+    /// Keep every edge ever seen (the paper's implicit setting, and
+    /// the right choice for materialised replays).
+    Unbounded,
+    /// Retain only the neighbourhood contributed by the most recent
+    /// `n` edges of the stream.
+    Edges(u64),
+    /// Retain the last `m × window_size` edges, resolved when the
+    /// partitioner is built. Under a prescient capacity model the
+    /// stream extent is known and finite, so the window-tied default
+    /// resolves to [`AdjacencyHorizon::Unbounded`] — the horizon never
+    /// bites a paper-pipeline replay. Adaptive (truly online) runs get
+    /// the bounded store.
+    Windows(u64),
+}
+
+impl AdjacencyHorizon {
+    /// The default retention, in sliding windows: edges fall out of
+    /// the adjacency 64 windows after they arrived. Far beyond any
+    /// motif-match lifetime (matches die with their window residency)
+    /// yet a fixed multiple of the one knob the operator already
+    /// tunes.
+    pub const DEFAULT_WINDOW_MULTIPLE: u64 = 64;
+
+    /// Resolve to a concrete retention: `None` = unbounded, `Some(n)`
+    /// = keep the last `n` edges.
+    pub fn resolve(self, window_size: usize, capacity: &CapacityModel) -> Option<u64> {
+        match self {
+            AdjacencyHorizon::Unbounded => None,
+            AdjacencyHorizon::Edges(n) => Some(n.max(1)),
+            AdjacencyHorizon::Windows(m) => match capacity {
+                // Extent known upfront: the window-tied default must
+                // never perturb a replayed evaluation run, so it
+                // resolves to unbounded (zero retention bookkeeping on
+                // the paper path). Force aging in prescient runs with
+                // an explicit `Edges(n)`.
+                CapacityModel::Prescient { .. } => None,
+                CapacityModel::Adaptive => Some(m.max(1).saturating_mul(window_size.max(1) as u64)),
+            },
+        }
+    }
+}
+
+impl Default for AdjacencyHorizon {
+    fn default() -> Self {
+        AdjacencyHorizon::Windows(Self::DEFAULT_WINDOW_MULTIPLE)
+    }
+}
+
+/// Occupancy of an [`OnlineAdjacency`], mirroring the match arena's
+/// [`loom_matcher`-style] occupancy stat: how many neighbourhood
+/// entries are retained (live), how many are resident (live + aged-out
+/// entries awaiting compaction), how many were ever recorded, and how
+/// many generational compactions have run. Surfaced through engine
+/// snapshots so a long-running ingest can *observe* that retention
+/// holds resident memory flat instead of trusting that it does.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdjacencyOccupancy {
+    /// Entries within the retention horizon (2 per retained edge).
+    pub live_entries: usize,
+    /// Entries physically resident, aged-out ones included.
+    pub resident_entries: usize,
+    /// Directed entries ever recorded (2 per edge seen).
+    pub entries_ever: u64,
+    /// Completed generational compactions.
+    pub generation: u64,
+}
+
+/// Minimum resident population before a compaction is worth the copy
+/// (mirrors the match arena's floor; below this the store is too small
+/// to matter).
+const ADJACENCY_RECLAIM_MIN_ENTRIES: usize = 4_096;
+
+/// One vertex's neighbour list. Entries are appended in arrival order
+/// and age out in the same order, so the retained neighbourhood is
+/// always the suffix starting at `head`; the dead prefix stays
+/// resident until the next generational compaction.
+#[derive(Clone, Debug, Default)]
+struct AdjacencyRow {
+    nbrs: Vec<VertexId>,
+    /// Index of the first retained entry.
+    head: usize,
+}
+
+impl AdjacencyRow {
+    #[inline]
+    fn retained(&self) -> &[VertexId] {
+        &self.nbrs[self.head..]
+    }
+}
+
 /// Streaming adjacency: the neighbourhood each vertex has accumulated
-/// so far in the stream. LDG, Fennel and Loom's fallback all score
-/// against this view — "the local neighbourhood of each new element
-/// *at the time it arrives*" (§1.2). Growable: vertices register on
-/// the first edge that touches them.
+/// *within the retention horizon*. LDG, Fennel and Loom's fallback all
+/// score against this view — "the local neighbourhood of each new
+/// element *at the time it arrives*" (§1.2). Growable: vertices
+/// register on the first edge that touches them.
+///
+/// With a bounded horizon the store is generational (DESIGN.md §11):
+/// edges older than the horizon age out of both endpoints' rows in
+/// O(1) (rows consume strictly in arrival order, so aging is a head
+/// bump, never a scan), and when the dead prefixes outnumber the live
+/// entries a deterministic compaction copies the retained suffixes
+/// down and frees fully-dead rows — resident memory is bounded by a
+/// small multiple of the horizon, not by the stream length. Unbounded
+/// mode keeps the original grow-forever behaviour bit for bit.
 #[derive(Clone, Debug, Default)]
 pub struct OnlineAdjacency {
-    neighbors: Vec<Vec<VertexId>>,
+    rows: Vec<AdjacencyRow>,
+    /// `None` = unbounded.
+    horizon: Option<u64>,
+    /// Arrival-ordered ring of the retained edges (bounded mode only):
+    /// the expiry queue. Never longer than the horizon.
+    recent: VecDeque<(VertexId, VertexId)>,
+    /// Rows with a non-empty dead prefix (`head > 0`), each recorded
+    /// exactly once: compaction visits only these, so its cost scales
+    /// with the aged rows, not with every vertex ever seen.
+    aged_rows: Vec<u32>,
+    /// Entries within the horizon.
+    live: usize,
+    /// Entries resident but aged out (awaiting compaction).
+    dead: usize,
+    /// Directed entries ever recorded.
+    ever: u64,
+    /// Completed compactions.
+    generation: u64,
 }
 
 impl OnlineAdjacency {
-    /// An empty adjacency; vertices register as edges arrive.
+    /// An empty unbounded adjacency; vertices register as edges arrive.
     pub fn new() -> Self {
         OnlineAdjacency::default()
     }
 
-    /// An empty adjacency pre-sized for `num_vertices` vertices (a
-    /// capacity hint for prescient runs; behaviour is identical).
+    /// An empty unbounded adjacency pre-sized for `num_vertices`
+    /// vertices (a capacity hint for prescient runs; behaviour is
+    /// identical).
     pub fn with_capacity(num_vertices: usize) -> Self {
-        OnlineAdjacency {
-            neighbors: vec![Vec::new(); num_vertices],
+        Self::with_retention(None, num_vertices)
+    }
+
+    /// An empty adjacency that retains only the last `horizon` edges.
+    ///
+    /// # Panics
+    /// Panics if `horizon == 0`.
+    pub fn bounded(horizon: u64) -> Self {
+        assert!(horizon > 0, "retention horizon must be positive");
+        Self::with_retention(Some(horizon), 0)
+    }
+
+    /// General constructor: `None` = unbounded, `Some(n)` = retain the
+    /// last `n` edges; `num_vertices` is a row-capacity hint.
+    pub fn with_retention(horizon: Option<u64>, num_vertices: usize) -> Self {
+        if let Some(h) = horizon {
+            assert!(h > 0, "retention horizon must be positive");
         }
+        OnlineAdjacency {
+            rows: (0..num_vertices).map(|_| AdjacencyRow::default()).collect(),
+            horizon,
+            ..OnlineAdjacency::default()
+        }
+    }
+
+    /// The retention horizon in edges (`None` = unbounded).
+    #[inline]
+    pub fn horizon(&self) -> Option<u64> {
+        self.horizon
     }
 
     /// Record an arrived edge (both directions), growing the vertex
-    /// range as needed.
+    /// range as needed. In bounded mode the edge that falls off the
+    /// horizon (if any) is aged out silently; callers that maintain
+    /// derived state from the adjacency (see [`NeighborCounts`]) must
+    /// use [`OnlineAdjacency::add_expiring_into`] instead, so they can
+    /// observe the expiry.
     pub fn add(&mut self, e: &StreamEdge) {
-        let hi = e.src.index().max(e.dst.index());
-        if self.neighbors.len() <= hi {
-            self.neighbors.resize_with(hi + 1, Vec::new);
+        self.insert(e);
+        if self.expire_oldest().is_some() {
+            self.maybe_compact();
         }
-        self.neighbors[e.src.index()].push(e.dst);
-        self.neighbors[e.dst.index()].push(e.src);
     }
 
-    /// Neighbours of `v` seen so far (empty for unseen vertices).
+    /// [`OnlineAdjacency::add`], pushing the edge (if any) that aged
+    /// out of the horizon onto `expired` — the hook point for keeping
+    /// [`NeighborCounts`] rows equal to the *retained* scan.
+    pub fn add_expiring_into(&mut self, e: &StreamEdge, expired: &mut Vec<(VertexId, VertexId)>) {
+        self.insert(e);
+        if let Some(old) = self.expire_oldest() {
+            expired.push(old);
+            self.maybe_compact();
+        }
+    }
+
+    fn insert(&mut self, e: &StreamEdge) {
+        let hi = e.src.index().max(e.dst.index());
+        if self.rows.len() <= hi {
+            self.rows.resize_with(hi + 1, AdjacencyRow::default);
+        }
+        self.rows[e.src.index()].nbrs.push(e.dst);
+        self.rows[e.dst.index()].nbrs.push(e.src);
+        self.live += 2;
+        self.ever += 2;
+        if self.horizon.is_some() {
+            self.recent.push_back((e.src, e.dst));
+        }
+    }
+
+    /// Age out the oldest retained edge if the ring has outgrown the
+    /// horizon. Rows fill and drain in the same global arrival order,
+    /// so the expiring entry is always each endpoint row's current
+    /// head — an O(1) bump, asserted in debug builds.
+    fn expire_oldest(&mut self) -> Option<(VertexId, VertexId)> {
+        let h = self.horizon? as usize;
+        if self.recent.len() <= h {
+            return None;
+        }
+        let (u, v) = self.recent.pop_front().expect("ring longer than horizon");
+        for (from, to) in [(u, v), (v, u)] {
+            let row = &mut self.rows[from.index()];
+            debug_assert_eq!(
+                row.nbrs.get(row.head),
+                Some(&to),
+                "adjacency aged out of arrival order at {from:?}"
+            );
+            if row.head == 0 {
+                // First dead entry since the last compaction: remember
+                // the row (head > 0 ⇔ recorded once in `aged_rows`).
+                self.aged_rows.push(from.0);
+            }
+            row.head += 1;
+        }
+        self.live -= 2;
+        self.dead += 2;
+        Some((u, v))
+    }
+
+    /// Deterministic generational compaction, mirroring the match
+    /// arena's trigger: when the dead prefixes outnumber the live
+    /// entries (and the store is big enough to matter), copy each aged
+    /// row's retained suffix to its front and free fully-dead rows.
+    /// Amortized O(1) per add — each compaction visits only the rows
+    /// that aged since the last one (never the full, unboundedly
+    /// growing vertex range), does work proportional to their resident
+    /// entries, and reclaims at least half of the store.
+    fn maybe_compact(&mut self) {
+        if self.dead <= self.live || self.live + self.dead < ADJACENCY_RECLAIM_MIN_ENTRIES {
+            return;
+        }
+        for idx in std::mem::take(&mut self.aged_rows) {
+            let row = &mut self.rows[idx as usize];
+            debug_assert!(row.head > 0, "aged row recorded without a dead prefix");
+            if row.head == row.nbrs.len() {
+                // An idle vertex whose whole neighbourhood aged out:
+                // release the allocation entirely.
+                row.nbrs = Vec::new();
+            } else {
+                row.nbrs.drain(..row.head);
+                // A once-hot row keeps its peak capacity forever
+                // otherwise; give back the overhang.
+                let want = row.nbrs.len().max(4) * 2;
+                if row.nbrs.capacity() > want * 2 {
+                    row.nbrs.shrink_to(want);
+                }
+            }
+            row.head = 0;
+        }
+        self.dead = 0;
+        self.generation += 1;
+    }
+
+    /// Test-only visibility: rows currently carrying a dead prefix.
+    #[doc(hidden)]
+    pub fn aged_row_count(&self) -> usize {
+        self.aged_rows.len()
+    }
+
+    /// Neighbours of `v` within the retention horizon (empty for
+    /// unseen vertices; every neighbour ever seen in unbounded mode).
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        self.neighbors.get(v.index()).map_or(&[], Vec::as_slice)
+        self.rows.get(v.index()).map_or(&[], AdjacencyRow::retained)
     }
 
-    /// Degree of `v` seen so far.
+    /// Degree of `v` within the retention horizon.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
         self.neighbors(v).len()
+    }
+
+    /// Point-in-time occupancy (retained / resident / ever /
+    /// generation).
+    pub fn occupancy(&self) -> AdjacencyOccupancy {
+        AdjacencyOccupancy {
+            live_entries: self.live,
+            resident_entries: self.live + self.dead,
+            entries_ever: self.ever,
+            generation: self.generation,
+        }
     }
 }
 
@@ -368,10 +632,13 @@ impl OnlineAdjacency {
 /// the O(k)-per-decision replacement for the O(deg) adjacency scans
 /// (DESIGN.md §10).
 ///
-/// Invariant: `counts(v)[p]` equals the number of entries `w` in the
-/// companion [`OnlineAdjacency`]'s `neighbors(v)` with `w` assigned to
-/// partition `p` (counted with multiplicity, exactly as a scan would).
-/// The invariant is maintained by two O(1)/O(deg) hooks:
+/// Invariant (restated against retention, DESIGN.md §11): `counts(v)[p]`
+/// equals the number of entries `w` in the companion
+/// [`OnlineAdjacency`]'s **retained** `neighbors(v)` with `w` assigned
+/// to partition `p` (counted with multiplicity, exactly as a scan of
+/// the retained row would). In unbounded mode "retained" is "ever
+/// seen" and this is the original invariant. It is maintained by three
+/// O(1)/O(deg) hooks:
 ///
 /// - [`NeighborCounts::on_edge_arrival`], called right after the edge
 ///   is added to the adjacency: each endpoint whose *other* endpoint
@@ -379,12 +646,23 @@ impl OnlineAdjacency {
 ///   neighbour too;
 /// - [`NeighborCounts::on_assign`], called when a vertex is
 ///   permanently placed: one walk over the assignee's current
-///   adjacency credits the new placement to every neighbour's row.
+///   *retained* adjacency credits the new placement to every
+///   neighbour's row;
+/// - [`NeighborCounts::on_edge_expired`], called for each edge the
+///   bounded adjacency ages out: each endpoint whose other endpoint is
+///   assigned *now* loses one count — the retained scan no longer sees
+///   that neighbour.
 ///
 /// Every (adjacency entry, assignment) pair is thus counted exactly
-/// once — at whichever of the two events happens second — so reads are
-/// bit-identical to the verbatim scan (property-tested in
-/// `tests/properties.rs` against reference implementations).
+/// once while both are in effect — credited at whichever of the two
+/// events happens second, debited when the entry ages out. The debit
+/// mirrors the credit exactly: expiry processing is eager (it runs
+/// inside every add, before any decision reads a row), so an entry
+/// that aged out before its endpoint was assigned was never credited
+/// and is never debited. Reads are therefore bit-identical to the
+/// verbatim retained scan (property-tested in `tests/properties.rs`
+/// against reference implementations, including under
+/// arrival/assignment/expiry interleavings).
 #[derive(Clone, Debug)]
 pub struct NeighborCounts {
     k: usize,
@@ -451,14 +729,40 @@ impl NeighborCounts {
         }
     }
 
-    /// Record the permanent placement of `v` on `p`: every current
-    /// neighbour's row gains the placement, with multiplicity. One
-    /// O(deg(v)) walk per *assignment* (each vertex is assigned once),
-    /// in exchange for O(k) *decisions* forever after.
+    /// Record the permanent placement of `v` on `p`: every currently
+    /// *retained* neighbour's row gains the placement, with
+    /// multiplicity. One O(deg(v)) walk per *assignment* (each vertex
+    /// is assigned once), in exchange for O(k) *decisions* forever
+    /// after. Adjacency entries of `v` that already aged out are
+    /// correctly skipped: their reverse entries aged out at the same
+    /// instant, so the retained scan of a neighbour's row must not see
+    /// the placement either.
     pub fn on_assign(&mut self, v: VertexId, p: PartitionId, adjacency: &OnlineAdjacency) {
         for &w in adjacency.neighbors(v) {
             self.ensure(w);
             self.counts[w.index() * self.k + p.index()] += 1;
+        }
+    }
+
+    /// Record that the edge `(u, v)` aged out of the bounded
+    /// adjacency: each endpoint whose other endpoint is currently
+    /// assigned loses that placement from its row — the retained scan
+    /// no longer sees the entry. Exact mirror of
+    /// [`NeighborCounts::on_edge_arrival`]; call it with every pair
+    /// drained by [`OnlineAdjacency::add_expiring_into`].
+    #[inline]
+    pub fn on_edge_expired(&mut self, u: VertexId, v: VertexId, state: &PartitionState) {
+        if let Some(p) = state.partition_of(v) {
+            self.ensure(u);
+            let slot = &mut self.counts[u.index() * self.k + p.index()];
+            debug_assert!(*slot > 0, "expiry debit without a matching credit");
+            *slot -= 1;
+        }
+        if let Some(p) = state.partition_of(u) {
+            self.ensure(v);
+            let slot = &mut self.counts[v.index() * self.k + p.index()];
+            debug_assert!(*slot > 0, "expiry debit without a matching credit");
+            *slot -= 1;
         }
     }
 
@@ -584,6 +888,182 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_rejected() {
         PartitionState::prescient(0, 10, 1.0);
+    }
+
+    fn edge(id: u32, src: u32, dst: u32) -> StreamEdge {
+        use loom_graph::{EdgeId, Label};
+        StreamEdge {
+            id: EdgeId(id),
+            src: VertexId(src),
+            dst: VertexId(dst),
+            src_label: Label(0),
+            dst_label: Label(0),
+        }
+    }
+
+    #[test]
+    fn bounded_adjacency_ages_out_old_edges() {
+        let mut adj = OnlineAdjacency::bounded(2);
+        adj.add(&edge(0, 0, 1));
+        adj.add(&edge(1, 0, 2));
+        assert_eq!(adj.neighbors(VertexId(0)), &[VertexId(1), VertexId(2)]);
+        // Edge 0 falls off the 2-edge horizon.
+        adj.add(&edge(2, 0, 3));
+        assert_eq!(adj.neighbors(VertexId(0)), &[VertexId(2), VertexId(3)]);
+        assert_eq!(adj.neighbors(VertexId(1)), &[] as &[VertexId]);
+        assert_eq!(adj.degree(VertexId(1)), 0);
+        let occ = adj.occupancy();
+        assert_eq!(occ.live_entries, 4);
+        assert_eq!(occ.entries_ever, 6);
+        assert!(occ.resident_entries >= occ.live_entries);
+    }
+
+    #[test]
+    fn bounded_adjacency_reports_expired_edges() {
+        let mut adj = OnlineAdjacency::bounded(1);
+        let mut expired = Vec::new();
+        adj.add_expiring_into(&edge(0, 3, 4), &mut expired);
+        assert!(expired.is_empty(), "nothing beyond the horizon yet");
+        adj.add_expiring_into(&edge(1, 4, 5), &mut expired);
+        assert_eq!(expired, vec![(VertexId(3), VertexId(4))]);
+    }
+
+    #[test]
+    fn unbounded_adjacency_never_expires() {
+        let mut adj = OnlineAdjacency::new();
+        let mut expired = Vec::new();
+        for i in 0..100u32 {
+            adj.add_expiring_into(&edge(i, 0, i + 1), &mut expired);
+        }
+        assert!(expired.is_empty());
+        assert_eq!(adj.degree(VertexId(0)), 100);
+        let occ = adj.occupancy();
+        assert_eq!(occ.live_entries, 200);
+        assert_eq!(occ.resident_entries, 200);
+        assert_eq!(occ.generation, 0);
+        assert_eq!(adj.horizon(), None);
+    }
+
+    #[test]
+    fn bounded_adjacency_handles_self_loops_and_duplicates() {
+        let mut adj = OnlineAdjacency::bounded(2);
+        adj.add(&edge(0, 7, 7)); // self-loop: two entries in one row
+        adj.add(&edge(1, 7, 8));
+        assert_eq!(
+            adj.neighbors(VertexId(7)),
+            &[VertexId(7), VertexId(7), VertexId(8)]
+        );
+        adj.add(&edge(2, 7, 8)); // duplicate pair; self-loop ages out
+        assert_eq!(adj.neighbors(VertexId(7)), &[VertexId(8), VertexId(8)]);
+        assert_eq!(adj.neighbors(VertexId(8)), &[VertexId(7), VertexId(7)]);
+    }
+
+    #[test]
+    fn bounded_adjacency_compacts_and_bounds_residency() {
+        // Horizon far below the minimum-compaction floor would never
+        // compact; use one big enough that dead > live crosses it.
+        let horizon = 4_096u64;
+        let mut adj = OnlineAdjacency::bounded(horizon);
+        for i in 0..40_000u32 {
+            // A hub plus rotating partners: row 0 churns hard.
+            adj.add(&edge(i, 0, 1 + (i % 1_000)));
+        }
+        let occ = adj.occupancy();
+        assert_eq!(occ.live_entries, 2 * horizon as usize);
+        assert!(occ.generation >= 1, "compaction never ran");
+        assert!(
+            occ.resident_entries <= 4 * horizon as usize + 2,
+            "residency {} not bounded by the horizon",
+            occ.resident_entries
+        );
+        assert_eq!(occ.entries_ever, 80_000);
+        // The hub's retained degree equals the horizon (every retained
+        // edge touches it).
+        assert_eq!(adj.degree(VertexId(0)), horizon as usize);
+        // Compaction work scales with the rows that aged since the
+        // last generation, never the whole vertex range: the tracked
+        // set is a subset of the 1001 touched vertices and resets each
+        // generation.
+        assert!(adj.aged_row_count() <= 1_001);
+    }
+
+    #[test]
+    fn compaction_visits_only_aged_rows() {
+        let mut adj = OnlineAdjacency::bounded(2_048);
+        // One-shot vertices with ever-growing ids: every row ages to
+        // fully-dead, the unbounded-service worst case.
+        for i in 0..20_000u32 {
+            adj.add(&edge(i, 2 * i, 2 * i + 1));
+        }
+        let occ = adj.occupancy();
+        assert!(occ.generation >= 1);
+        assert_eq!(occ.live_entries, 2 * 2_048);
+        // Aged-but-uncompacted rows are bounded by the dead entries
+        // (each aged row holds at least one), not by the 40k-vertex id
+        // space.
+        assert!(adj.aged_row_count() <= occ.resident_entries - occ.live_entries);
+        // Content survives: the most recent edge's endpoints see each
+        // other, fully-aged early rows are empty.
+        assert_eq!(adj.neighbors(VertexId(39_999)), &[VertexId(39_998)]);
+        assert_eq!(adj.degree(VertexId(0)), 0);
+    }
+
+    #[test]
+    fn horizon_resolution_rules() {
+        let prescient = CapacityModel::prescient(1_000, 5_000);
+        let adaptive = CapacityModel::Adaptive;
+        assert_eq!(AdjacencyHorizon::Unbounded.resolve(10, &adaptive), None);
+        assert_eq!(
+            AdjacencyHorizon::Edges(7).resolve(10, &adaptive),
+            Some(7),
+            "explicit horizons are respected as-is"
+        );
+        assert_eq!(
+            AdjacencyHorizon::Edges(7).resolve(10, &prescient),
+            Some(7),
+            "explicit horizons bite even in prescient mode"
+        );
+        assert_eq!(
+            AdjacencyHorizon::Windows(64).resolve(1_024, &adaptive),
+            Some(65_536)
+        );
+        assert_eq!(
+            AdjacencyHorizon::Windows(64).resolve(1_024, &prescient),
+            None,
+            "window-tied default never bites a replay of known extent"
+        );
+        assert_eq!(
+            AdjacencyHorizon::default(),
+            AdjacencyHorizon::Windows(AdjacencyHorizon::DEFAULT_WINDOW_MULTIPLE)
+        );
+    }
+
+    #[test]
+    fn expiry_hook_keeps_counts_equal_to_retained_scan() {
+        let k = 3;
+        let mut state = PartitionState::new(k, CapacityModel::Adaptive, 1.1);
+        let mut adj = OnlineAdjacency::bounded(3);
+        let mut counts = NeighborCounts::new(k);
+        let mut expired = Vec::new();
+        state.assign(VertexId(1), PartitionId(0));
+        state.assign(VertexId(2), PartitionId(1));
+        for (i, (u, v)) in [(0, 1), (0, 2), (0, 1), (0, 2), (0, 1)].iter().enumerate() {
+            let e = edge(i as u32, *u, *v);
+            expired.clear();
+            adj.add_expiring_into(&e, &mut expired);
+            counts.on_edge_arrival(&e, &state);
+            for &(a, b) in &expired {
+                counts.on_edge_expired(a, b, &state);
+            }
+            // Row 0 must equal a scan of the retained adjacency.
+            let mut scan = vec![0u32; k];
+            for &w in adj.neighbors(VertexId(0)) {
+                if let Some(p) = state.partition_of(w) {
+                    scan[p.index()] += 1;
+                }
+            }
+            assert_eq!(counts.counts(VertexId(0)), scan.as_slice(), "edge {i}");
+        }
     }
 
     #[test]

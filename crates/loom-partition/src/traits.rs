@@ -1,7 +1,7 @@
 //! The common interface of all streaming partitioners in the
 //! evaluation (Hash, LDG, Fennel, Loom — §5.1).
 
-use crate::state::{Assignment, PartitionState};
+use crate::state::{AdjacencyOccupancy, Assignment, PartitionState};
 use loom_graph::{GraphStream, StreamEdge};
 use loom_matcher::ArenaOccupancy;
 
@@ -29,6 +29,15 @@ pub trait StreamPartitioner {
     /// (Loom does; the memoryless baselines return `None`). Surfaced
     /// in engine snapshots so arena reclamation is observable.
     fn arena(&self) -> Option<ArenaOccupancy> {
+        None
+    }
+
+    /// Occupancy of the partitioner's streaming adjacency, if it
+    /// keeps one (Loom does; the edge-stream baselines keep none
+    /// since the incremental-scoring rework). Surfaced in engine
+    /// snapshots so adjacency retention is observable on unbounded
+    /// ingests.
+    fn adjacency(&self) -> Option<AdjacencyOccupancy> {
         None
     }
 

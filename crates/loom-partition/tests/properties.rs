@@ -3,9 +3,9 @@
 
 use loom_graph::{EdgeId, Label, PartitionId, StreamEdge, VertexId};
 use loom_partition::{
-    auction, choose_weighted, fennel_choose, ldg_choose, ration, AuctionMatch, CapacityModel,
-    EoParams, FennelParams, FennelPartitioner, HashPartitioner, LdgPartitioner, NeighborCounts,
-    OnlineAdjacency, PartitionState, StreamPartitioner,
+    auction, choose_weighted, fennel_choose, ldg_choose, ration, AdjacencyHorizon, AuctionMatch,
+    CapacityModel, EoParams, FennelParams, FennelPartitioner, HashPartitioner, LdgPartitioner,
+    NeighborCounts, OnlineAdjacency, PartitionState, StreamPartitioner,
 };
 use proptest::prelude::*;
 use rand::Rng;
@@ -426,6 +426,44 @@ fn hubby_edges(n_vertices: usize, n_edges: usize, seed: u64) -> Vec<StreamEdge> 
         .collect()
 }
 
+/// A labelled stream for Loom runs: a-b-c chains (each one a motif
+/// match for the path workload) interleaved with non-motif c-c edges
+/// (bypass traffic), in a seed-shuffled arrival order.
+fn chain_stream(n_chains: usize, seed: u64) -> (Vec<StreamEdge>, usize, loom_graph::Workload) {
+    use loom_graph::{PatternGraph, Workload};
+    const A: Label = Label(0);
+    const B: Label = Label(1);
+    const C: Label = Label(2);
+    let mut edges = Vec::new();
+    for i in 0..n_chains as u32 {
+        let (a, b, c) = (3 * i, 3 * i + 1, 3 * i + 2);
+        edges.push((a, A, b, B));
+        edges.push((b, B, c, C));
+        if i > 0 {
+            // Cross-chain c-c edge: matches nothing, bypasses the window.
+            edges.push((c, C, c - 3, C));
+        }
+    }
+    // Seeded Fisher-Yates (the rand shim has no shuffle helper).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    for i in (1..edges.len()).rev() {
+        edges.swap(i, rng.gen_range(0..=i));
+    }
+    let stream = edges
+        .into_iter()
+        .enumerate()
+        .map(|(id, (src, sl, dst, dl))| StreamEdge {
+            id: EdgeId(id as u32),
+            src: VertexId(src),
+            dst: VertexId(dst),
+            src_label: sl,
+            dst_label: dl,
+        })
+        .collect();
+    let workload = Workload::new(vec![(PatternGraph::path("q", vec![A, B, C]), 1.0)]);
+    (stream, 3, workload)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -585,6 +623,156 @@ proptest! {
                 reference.partition_of(VertexId(v)),
                 "restream diverged at vertex {}", v
             );
+        }
+    }
+
+    /// Tentpole contract of the bounded adjacency: a Loom run whose
+    /// retention horizon covers the whole stream extent is bit-equal —
+    /// per-vertex assignments and every run counter — to an unbounded
+    /// twin; nothing ever ages out, so the aged store must be a
+    /// perfect impostor. A third twin with a biting horizon must keep
+    /// its resident entries within the compaction bound regardless of
+    /// stream length.
+    #[test]
+    fn aged_adjacency_matches_unbounded_twin(
+        k in 2usize..5,
+        window in 2usize..24,
+        n_chains in 4usize..60,
+        seed in any::<u64>(),
+    ) {
+        let (edges, num_labels, workload) = chain_stream(n_chains, seed);
+        let extent = edges.len() as u64;
+        let run = |horizon: AdjacencyHorizon| {
+            let config = loom_partition::LoomConfig {
+                k,
+                window_size: window,
+                support_threshold: 0.4,
+                prime: 251,
+                eo: EoParams::default(),
+                capacity_slack: 1.1,
+                capacity: CapacityModel::Adaptive,
+                seed: 7,
+                allocation: Default::default(),
+                adjacency_horizon: horizon,
+            };
+            let mut p = loom_partition::LoomPartitioner::new(&config, &workload, num_labels);
+            for e in &edges {
+                p.on_edge(e);
+            }
+            p.finish();
+            p
+        };
+        let unbounded = run(AdjacencyHorizon::Unbounded);
+        let covering = run(AdjacencyHorizon::Edges(extent));
+        let stats_a = unbounded.stats();
+        let stats_b = covering.stats();
+        prop_assert_eq!(stats_a.bypassed, stats_b.bypassed);
+        prop_assert_eq!(stats_a.buffered, stats_b.buffered);
+        prop_assert_eq!(stats_a.auctions, stats_b.auctions);
+        prop_assert_eq!(stats_a.matches_assigned, stats_b.matches_assigned);
+        prop_assert_eq!(stats_a.fallback_auctions, stats_b.fallback_auctions);
+        for e in &edges {
+            for v in [e.src, e.dst] {
+                prop_assert_eq!(
+                    covering.state().partition_of(v),
+                    unbounded.state().partition_of(v),
+                    "covering horizon diverged from unbounded twin at {:?}", v
+                );
+            }
+        }
+        let occ = covering.adjacency_occupancy();
+        prop_assert_eq!(occ.live_entries, 2 * edges.len(), "nothing may age out");
+        prop_assert_eq!(occ.generation, 0, "no compaction without expiry");
+
+        // A biting horizon: outputs may differ, residency must not grow
+        // past the compaction bound (dead can outnumber live only below
+        // the minimum-population floor).
+        let horizon = 1 + (seed % 64);
+        let bitten = run(AdjacencyHorizon::Edges(horizon));
+        let occ = bitten.adjacency_occupancy();
+        prop_assert!(occ.live_entries <= 2 * horizon as usize);
+        let bound = (4 * horizon as usize + 4).max(4_096 + 4);
+        prop_assert!(
+            occ.resident_entries <= bound,
+            "resident {} exceeds the compaction bound {}",
+            occ.resident_entries,
+            bound
+        );
+        prop_assert_eq!(occ.entries_ever, 2 * extent);
+    }
+
+    /// The restated `NeighborCounts` invariant under arbitrary
+    /// interleavings of edge arrivals, (possibly late) assignments and
+    /// horizon evictions: every counter row always equals a scan of
+    /// the *retained* adjacency, recomputed here from an independent
+    /// shadow log of the stream (not from the store under test).
+    #[test]
+    fn neighbor_counts_match_retained_scan_under_eviction(
+        k in 2usize..6,
+        horizon in 1u64..24,
+        ops in 1usize..140,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 20u32;
+        let mut state = PartitionState::new(k, CapacityModel::Adaptive, 1.1);
+        let mut adjacency = OnlineAdjacency::bounded(horizon);
+        let mut counts = NeighborCounts::new(k);
+        let mut expired = Vec::new();
+        // The shadow: every edge ever, in arrival order. Retained =
+        // the last `horizon` of them.
+        let mut log: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut next_edge = 0u32;
+        for _ in 0..ops {
+            if rng.gen_bool(0.6) {
+                let e = StreamEdge {
+                    id: EdgeId(next_edge),
+                    src: VertexId(rng.gen_range(0..n)),
+                    dst: VertexId(rng.gen_range(0..n)),
+                    src_label: Label(0),
+                    dst_label: Label(0),
+                };
+                next_edge += 1;
+                log.push((e.src, e.dst));
+                expired.clear();
+                adjacency.add_expiring_into(&e, &mut expired);
+                counts.on_edge_arrival(&e, &state);
+                for &(u, v) in &expired {
+                    counts.on_edge_expired(u, v, &state);
+                }
+            } else {
+                let v = VertexId(rng.gen_range(0..n));
+                if !state.is_assigned(v) {
+                    let p = PartitionId(rng.gen_range(0..k) as u32);
+                    state.assign(v, p);
+                    counts.on_assign(v, p, &adjacency);
+                }
+            }
+            // Oracle: scan the retained suffix of the shadow log.
+            let retained_from = log.len().saturating_sub(horizon as usize);
+            let mut scan = vec![vec![0u32; k]; n as usize];
+            for &(u, w) in &log[retained_from..] {
+                if let Some(p) = state.partition_of(w) {
+                    scan[u.index()][p.index()] += 1;
+                }
+                if let Some(p) = state.partition_of(u) {
+                    scan[w.index()][p.index()] += 1;
+                }
+            }
+            for v in 0..n {
+                let v = VertexId(v);
+                prop_assert_eq!(
+                    counts.counts(v),
+                    scan[v.index()].as_slice(),
+                    "counter row diverged from the retained scan at {:?}", v
+                );
+                // The store's own retained view agrees with the shadow.
+                let mut from_log = 0usize;
+                for &(u, w) in &log[retained_from..] {
+                    from_log += (u == v) as usize + (w == v) as usize;
+                }
+                prop_assert_eq!(adjacency.degree(v), from_log);
+            }
         }
     }
 

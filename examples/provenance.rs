@@ -28,6 +28,7 @@ fn run_loom(
         capacity: CapacityModel::for_stream(stream),
         seed: 11,
         allocation: Default::default(),
+        adjacency_horizon: Default::default(),
     };
     let mut loom = LoomPartitioner::new(&config, workload, stream.num_labels());
     partition_stream(&mut loom, stream);
@@ -108,6 +109,7 @@ fn main() {
             capacity: CapacityModel::for_stream(&stream),
             seed: 11,
             allocation: Default::default(),
+            adjacency_horizon: Default::default(),
         };
         // partitioned for the OLD workload
         let mut loom = LoomPartitioner::new(&config, &workload, stream.num_labels());

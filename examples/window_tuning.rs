@@ -37,6 +37,7 @@ fn main() {
                 capacity: CapacityModel::for_stream(&stream),
                 seed: 3,
                 allocation: Default::default(),
+                adjacency_horizon: Default::default(),
             };
             let mut loom = LoomPartitioner::new(&config, &workload, stream.num_labels());
             partition_stream(&mut loom, &stream);

@@ -140,6 +140,7 @@ proptest! {
             capacity: loom_core::partition::CapacityModel::for_stream(&stream),
             seed,
             allocation: Default::default(),
+            adjacency_horizon: Default::default(),
         };
         let mut loom = LoomPartitioner::new(&config, &workload, stream.num_labels());
         loom_core::partition::partition_stream(&mut loom, &stream);

@@ -117,6 +117,7 @@ fn full_loom_run_on_figure1_workload() {
         capacity: loom_core::partition::CapacityModel::for_stream(&stream),
         seed: 5,
         allocation: Default::default(),
+        adjacency_horizon: Default::default(),
     };
     let mut loom = LoomPartitioner::new(&config, &workload, stream.num_labels());
     loom_core::partition::partition_stream(&mut loom, &stream);
