@@ -76,6 +76,14 @@ cargo build --release --offline
 stage "tier-1: test"
 cargo test -q --offline
 
+stage "batch-equivalence suite"
+# The batched-ingest contract, by name: batch mode must be
+# bit-identical to edge-at-a-time for every batch size (assignments,
+# stats, snapshots, arena/adjacency occupancy). Already part of the
+# tier-1 run above; re-running the one suite is cheap and makes a
+# violation name itself in the stage table.
+cargo test -q --offline -p loom-core --test batch_equivalence
+
 stage "format"
 cargo fmt --check
 
@@ -126,17 +134,26 @@ stage "long stream smoke (bounded-memory plateaus)"
 # of the smallest mid-stream snapshot — a plateau, not a ramp. Full
 # mode drives 1M edges under the default window-tied horizon (64
 # windows); quick mode drives 200k.
+#
+# Full mode drives the ingest through the batched path (the engine
+# default); quick mode forces the edge-at-a-time loop, so both CLI
+# ingest paths see end-to-end coverage and the plateau assertions —
+# which batch equivalence guarantees are mode-independent — hold
+# identically for each.
 if [ "$MODE" = full ]; then
   SMOKE_EDGES=1000000
   SMOKE_EVERY=100000
+  SMOKE_BATCH=256
 else
   SMOKE_EDGES=200000
   SMOKE_EVERY=20000
+  SMOKE_BATCH=1
 fi
 WORKLOAD=target/ci-smoke-workload.wl
 ./target/release/loom workload --dataset dblp --out "$WORKLOAD" 2>/dev/null
 ./target/release/loom stream --k 4 --system loom --source synthetic \
     --max-edges "$SMOKE_EDGES" --window 1024 --snapshot-every "$SMOKE_EVERY" \
+    --batch "$SMOKE_BATCH" \
     --workload "$WORKLOAD" --labels 4 2>/dev/null \
   | awk '
     /^snapshot .* arena .* adjacency / {
@@ -175,8 +192,21 @@ if [ "$MODE" = full ]; then
   # Regenerates the bench summary (small scale, seed 42) and compares
   # it against the committed copy: weighted_ipt/imbalance must match
   # exactly, ms_per_10k_edges may not regress more than 30%. The
-  # before/after table prints to stderr.
+  # before/after table prints to stderr. repro's exit codes separate
+  # the failure kinds — report each by name rather than a bare
+  # non-zero, because the operator action differs:
+  #   1 = a real regression (investigate the slowdown / quality drift)
+  #   3 = the committed baseline is missing or corrupt (re-generate
+  #       and commit BENCH_results.json; nothing regressed)
+  GATE_STATUS=0
   ./target/release/repro --scale small --seed 42 \
     --bench-json target/ci-bench-fresh.json \
-    --compare-bench BENCH_results.json > /dev/null
+    --compare-bench BENCH_results.json > /dev/null || GATE_STATUS=$?
+  case "$GATE_STATUS" in
+    0) ;;
+    3) echo "perf gate: committed BENCH_results.json unreadable — refresh the baseline (exit 3)" >&2
+       exit 3 ;;
+    *) echo "perf gate: regression against the committed baseline (exit $GATE_STATUS)" >&2
+       exit "$GATE_STATUS" ;;
+  esac
 fi

@@ -238,6 +238,41 @@ mod tests {
     }
 
     #[test]
+    fn truncated_baseline_is_a_named_error_not_a_panic() {
+        // A partially-written baseline (interrupted run, bad merge)
+        // must surface as Err naming the first missing field — the
+        // gate binary maps any such Err to its own exit code.
+        let full = sample(2.943, 19998.9554);
+        assert!(BenchSummary::parse("").unwrap_err().contains("scale"));
+        // Cut before the systems object: header parses, rows do not.
+        let cut = &full[..full.find("\"systems\"").unwrap()];
+        assert!(BenchSummary::parse(cut).unwrap_err().contains("systems"));
+        // Cut mid-row: the row line that survives is complete (rows
+        // are one line each), but the second system vanishes — still
+        // a parse success, so the *gate* must flag the missing system.
+        let cut = &full[..full.find("\"Loom\"").unwrap()];
+        let partial = BenchSummary::parse(cut).expect("complete rows still parse");
+        assert_eq!(partial.systems.len(), 1);
+        let fresh = BenchSummary::parse(&full).unwrap();
+        let report = compare(&partial, &fresh, 0.30);
+        assert!(
+            !report.passed(),
+            "a system missing from the baseline must fail the gate"
+        );
+    }
+
+    #[test]
+    fn corrupt_row_names_the_field() {
+        let broken = sample(2.943, 19998.9554)
+            .replace("\"weighted_ipt\": 19998.9554", "\"weighted_ipt\": oops");
+        let err = BenchSummary::parse(&broken).unwrap_err();
+        assert!(
+            err.contains("Loom") && err.contains("weighted_ipt"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
     fn parses_the_committed_baseline() {
         // The actual committed file must always stay parsable.
         let text = include_str!("../../../BENCH_results.json");

@@ -18,6 +18,11 @@
 //! (quality numbers must match exactly, throughput may not regress
 //! more than 30%), a before/after table is printed to stderr, and the
 //! process exits non-zero on any violation.
+//!
+//! Exit codes: `0` pass, `1` perf-gate violation, `2` bad invocation,
+//! `3` the committed baseline at PATH is missing or unparsable (the
+//! gate could not run — distinct from a regression so CI can report
+//! "refresh/commit the baseline" instead of "investigate a slowdown").
 
 use loom_bench::suites::{self, SuiteOptions};
 use loom_core::graph::Scale;
@@ -187,11 +192,18 @@ fn main() {
     // --bench-json path, `--compare-bench BENCH_results.json` names
     // the same file the fresh summary is about to land in, and a
     // write-then-read would gate the fresh run against itself.
+    // A missing or corrupt baseline is NOT a perf regression: it exits
+    // with its own code (3) so CI can tell "the gate fired" (1) from
+    // "the gate could not run" (3) and from "bad invocation" (2).
     let baseline = args.compare_bench.as_ref().map(|path| {
-        let committed = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
-        loom_bench::BenchSummary::parse(&committed)
-            .unwrap_or_else(|e| panic!("committed baseline {path} unparsable: {e}"))
+        let committed = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read committed baseline {path}: {e}");
+            std::process::exit(3);
+        });
+        loom_bench::BenchSummary::parse(&committed).unwrap_or_else(|e| {
+            eprintln!("error: committed baseline {path} unparsable: {e}");
+            std::process::exit(3);
+        })
     });
     if let Some(path) = &args.bench_json {
         if args.compare_bench.as_deref() == Some(path.as_str()) {

@@ -566,6 +566,7 @@ pub fn online(opts: &SuiteOptions) -> String {
                     EngineConfig {
                         snapshot_every: 0,
                         track_cuts: false,
+                        ..EngineConfig::default()
                     },
                 );
                 engine.run(&mut stream.source(), None, |_| {});

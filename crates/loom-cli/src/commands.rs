@@ -29,6 +29,8 @@ commands:
   evaluate   --graph FILE --workload FILE --assignment FILE [--limit N]
   stream     --k N [--input FILE|-] [--source text|synthetic]
              [--system hash|ldg|fennel|loom] [--workload FILE]
+             [--batch N (ingest batch size; 1 = edge-at-a-time,
+              bit-identical either way; default 256)]
              [--snapshot-every N] [--max-edges N] [--window N]
              [--adjacency-horizon N|unbounded (loom only: edges kept in
               the scored neighbourhood; default 64 windows)]
@@ -345,6 +347,13 @@ fn stream_cmd(args: &Args) -> Result<()> {
     // 0 keeps the engine's documented meaning: no periodic snapshots
     // (the final one still prints).
     let max_edges = args.parsed_or("max-edges", 0u64)?;
+    // Ingest batch size. Batched and edge-at-a-time ingest are
+    // bit-identical (tests/batch_equivalence.rs), so this is purely a
+    // throughput knob; 1 forces the edge-at-a-time loop.
+    let batch = args.parsed_or("batch", loom_core::pipeline::DEFAULT_BATCH)?;
+    if batch == 0 {
+        return Err("--batch must be >= 1 (1 = edge-at-a-time)".into());
+    }
     let seed = args.parsed_or("seed", 42u64)?;
     let window = args.parsed_or("window", 1_024usize)?;
     let threshold = args.parsed_or("threshold", 0.4f64)?;
@@ -474,6 +483,7 @@ fn stream_cmd(args: &Args) -> Result<()> {
         partitioner,
         EngineConfig {
             snapshot_every,
+            batch_size: batch,
             ..EngineConfig::default()
         },
     );
@@ -494,6 +504,10 @@ fn stream_cmd(args: &Args) -> Result<()> {
         last_printed = Some((s.edges, s.vertices, s.cut_edges, s.resolved_edges));
         print_snapshot(s);
     });
+    // A feed that stopped on a fatal ingest error (malformed line,
+    // read failure) is not a feed that ended: report what was
+    // partitioned, then exit non-zero so pipelines notice.
+    let ingest_error = source.error().map(String::from);
     let fin = engine.finish();
     // When ingest ends exactly on the cadence, finish() can repeat the
     // just-printed data point (unless the flush changed it, e.g. Loom
@@ -514,6 +528,9 @@ fn stream_cmd(args: &Args) -> Result<()> {
         let assignment = engine.into_assignment();
         let mut w = out_writer(Some(path))?;
         write_assignment_rows(&assignment, &mut w)?;
+    }
+    if let Some(e) = ingest_error {
+        return Err(format!("ingest stopped after {} edges: {e}", fin.edges).into());
     }
     Ok(())
 }
@@ -582,6 +599,12 @@ impl loom_core::graph::EdgeSource for ClampLabels {
 
     fn extent(&self) -> loom_core::graph::SourceExtent {
         self.inner.extent()
+    }
+
+    fn error(&self) -> Option<&str> {
+        // Not forwarding this would silently swallow a text feed's
+        // fatal ingest error on every `--system loom` run.
+        self.inner.error()
     }
 
     fn num_labels(&self) -> usize {

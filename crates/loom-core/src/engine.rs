@@ -34,6 +34,17 @@ pub struct EngineConfig {
     /// e.g. the timed paper pipeline — so the wrapped partitioner's
     /// cost is measured unpolluted; snapshots then report 0/0.
     pub track_cuts: bool,
+    /// Ingest batch size for [`OnlineEngine::run`]: edges are pulled
+    /// from the source and handed to the partitioner in groups of up
+    /// to this many (0 or 1 — the default — keeps the edge-at-a-time
+    /// path). Batching amortises the per-edge source and dispatch
+    /// overhead and lets the partitioner pre-stage pure per-batch work;
+    /// it is **bit-identical** to edge-at-a-time ingest — same
+    /// assignments, stats, snapshots (batches split at the snapshot
+    /// cadence, so every snapshot still observes exactly the same edge
+    /// count) — enforced by `tests/batch_equivalence.rs`. The bench's
+    /// preferred size is [`crate::pipeline::DEFAULT_BATCH`].
+    pub batch_size: usize,
 }
 
 impl Default for EngineConfig {
@@ -41,6 +52,7 @@ impl Default for EngineConfig {
         EngineConfig {
             snapshot_every: 0,
             track_cuts: true,
+            batch_size: 0,
         }
     }
 }
@@ -228,21 +240,89 @@ impl OnlineEngine {
         }
     }
 
+    /// Feed a batch of edges, in order, calling `on_snapshot` at each
+    /// cadence firing. Bit-identical to calling
+    /// [`OnlineEngine::ingest`] per edge: the batch is split at the
+    /// snapshot cadence, so every periodic snapshot still observes
+    /// exactly the edge counts it would have edge-at-a-time, and cut
+    /// tracking settles fully at every snapshot (between snapshots the
+    /// eager prefix drain runs once per batch instead of once per
+    /// edge — the counters it feeds are only ever *read* through a
+    /// snapshot's `settle`, which drains everything resolved either
+    /// way).
+    pub fn ingest_batch(&mut self, edges: &[StreamEdge], mut on_snapshot: impl FnMut(&Snapshot)) {
+        let mut rest = edges;
+        while !rest.is_empty() {
+            let until_cadence = if self.config.snapshot_every > 0 {
+                let every = self.config.snapshot_every as u64;
+                (every - self.edges % every) as usize
+            } else {
+                rest.len()
+            };
+            let (chunk, tail) = rest.split_at(until_cadence.min(rest.len()));
+            rest = tail;
+            self.partitioner.on_batch(chunk);
+            self.edges += chunk.len() as u64;
+            if let Some(probe) = &mut self.probe {
+                for e in chunk {
+                    probe.ingest(e);
+                }
+            }
+            if self.config.track_cuts {
+                self.pending.extend(chunk.iter().copied());
+                let state = self.partitioner.state();
+                while let Some(front) = self.pending.front() {
+                    match (state.partition_of(front.src), state.partition_of(front.dst)) {
+                        (Some(a), Some(b)) => {
+                            self.resolved_edges += 1;
+                            self.cut_edges += (a != b) as u64;
+                            self.pending.pop_front();
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            if self.config.snapshot_every > 0
+                && self.edges.is_multiple_of(self.config.snapshot_every as u64)
+            {
+                on_snapshot(&self.snapshot());
+            }
+        }
+    }
+
     /// Drain `source` into the engine, calling `on_snapshot` at each
     /// cadence firing, until the source ends or `max_edges` edges have
     /// been ingested (`None` = until the source ends — do not pass
-    /// `None` for infinite sources).
+    /// `None` for infinite sources). Pulls and ingests in batches of
+    /// [`EngineConfig::batch_size`] when one is configured.
     pub fn run<S: EdgeSource + ?Sized>(
         &mut self,
         source: &mut S,
         max_edges: Option<u64>,
         mut on_snapshot: impl FnMut(&Snapshot),
     ) {
-        while max_edges.is_none_or(|m| self.edges < m) {
-            let Some(e) = source.next_edge() else { break };
-            if let Some(s) = self.ingest(&e) {
-                on_snapshot(&s);
+        let batch = self.config.batch_size;
+        if batch <= 1 {
+            while max_edges.is_none_or(|m| self.edges < m) {
+                let Some(e) = source.next_edge() else { break };
+                if let Some(s) = self.ingest(&e) {
+                    on_snapshot(&s);
+                }
             }
+            return;
+        }
+        let mut buf: Vec<StreamEdge> = Vec::with_capacity(batch);
+        loop {
+            let want = match max_edges {
+                Some(m) if self.edges >= m => break,
+                Some(m) => ((m - self.edges).min(batch as u64)) as usize,
+                None => batch,
+            };
+            buf.clear();
+            if source.next_batch_into(&mut buf, want) == 0 {
+                break;
+            }
+            self.ingest_batch(&buf, &mut on_snapshot);
         }
     }
 

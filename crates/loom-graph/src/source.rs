@@ -44,10 +44,35 @@ pub trait EdgeSource {
     /// sources never return `None`; callers bound their own ingest.
     fn next_edge(&mut self) -> Option<StreamEdge>;
 
+    /// Pull up to `max` edges into `out` (appended), returning how
+    /// many arrived. Zero means end of stream. The default loops
+    /// [`EdgeSource::next_edge`]; sources with cheaper bulk access
+    /// (a materialised stream) override it. Batched consumers (the
+    /// engine's batch mode) must observe the *same edge sequence* as
+    /// one-at-a-time consumers — this is part of the determinism
+    /// contract the batch-equivalence suite enforces.
+    fn next_batch_into(&mut self, out: &mut Vec<StreamEdge>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            let Some(e) = self.next_edge() else { break };
+            out.push(e);
+            n += 1;
+        }
+        n
+    }
+
     /// What this source knows about its extent before emitting
     /// anything. Defaults to nothing — the honest online answer.
     fn extent(&self) -> SourceExtent {
         SourceExtent::UNKNOWN
+    }
+
+    /// A fatal ingest error, if the source stopped because of one
+    /// (`None` while edges still flow, and for sources that cannot
+    /// fail). Checked after [`EdgeSource::next_edge`] returns `None`:
+    /// a feed ending in an error is not the same as a feed ending.
+    fn error(&self) -> Option<&str> {
+        None
     }
 
     /// Size of the label alphabet edges are drawn from, as far as the
@@ -78,6 +103,15 @@ impl EdgeSource for StreamCursor<'_> {
         let e = self.stream.edges().get(self.pos).copied();
         self.pos += e.is_some() as usize;
         e
+    }
+
+    fn next_batch_into(&mut self, out: &mut Vec<StreamEdge>, max: usize) -> usize {
+        // The stream is materialised: a batch is one slice copy.
+        let edges = self.stream.edges();
+        let n = max.min(edges.len() - self.pos.min(edges.len()));
+        out.extend_from_slice(&edges[self.pos..self.pos + n]);
+        self.pos += n;
+        n
     }
 
     fn extent(&self) -> SourceExtent {
@@ -114,10 +148,16 @@ impl GraphStream {
 ///
 /// This is a superset of the `.lg` graph format (see `io`), so
 /// `loom generate ... | loom stream` works end to end. `v` records
-/// accumulate a growing label table; endpoints without a recorded
-/// label get [`Label`] 0. Malformed lines are counted in
-/// [`TextEdgeSource::skipped`] and skipped — a live feed should not
-/// die to one bad row.
+/// accumulate a growing label table. A feed that declares *no* `v`
+/// records is a bare edge list: every endpoint gets [`Label`] 0, the
+/// documented default. A feed that *does* declare a label table must
+/// cover every endpoint it names — an edge endpoint beyond the table
+/// is a mislabeled feed, and silently coercing it to label 0 would
+/// corrupt motif matching for the rest of the run (the matcher keys
+/// every delta on labels). That case ends the stream with a fatal
+/// [`TextEdgeSource::error`] naming the offending line. Merely
+/// malformed lines are still counted in [`TextEdgeSource::skipped`]
+/// and skipped — a live feed should not die to one bad row.
 pub struct TextEdgeSource<R: BufRead> {
     reader: R,
     labels: Vec<Label>,
@@ -125,6 +165,9 @@ pub struct TextEdgeSource<R: BufRead> {
     next_id: u32,
     skipped: usize,
     line: String,
+    /// 1-based number of the line currently in `line`.
+    line_no: usize,
+    error: Option<String>,
 }
 
 impl<R: BufRead> TextEdgeSource<R> {
@@ -137,6 +180,8 @@ impl<R: BufRead> TextEdgeSource<R> {
             next_id: 0,
             skipped: 0,
             line: String::new(),
+            line_no: 0,
+            error: None,
         }
     }
 
@@ -150,8 +195,21 @@ impl<R: BufRead> TextEdgeSource<R> {
         self.next_id as usize
     }
 
-    fn label_of(&self, v: VertexId) -> Label {
-        self.labels.get(v.index()).copied().unwrap_or(Label(0))
+    /// Label of `v`. `Err` when the feed declared a label table that
+    /// does not cover `v` — a mislabeled feed, fatal (see the type
+    /// docs). `Label(0)` when no table was declared at all.
+    fn label_of(&self, v: VertexId) -> Result<Label, String> {
+        match self.labels.get(v.index()) {
+            Some(&l) => Ok(l),
+            None if self.labels.is_empty() => Ok(Label(0)),
+            None => Err(format!(
+                "line {}: vertex {} is beyond the declared label table ({} `v` records) — \
+                 mislabeled feed",
+                self.line_no,
+                v.0,
+                self.labels.len()
+            )),
+        }
     }
 
     /// Parse one non-edge record; returns true if the line was
@@ -189,34 +247,49 @@ impl<R: BufRead> TextEdgeSource<R> {
         }
     }
 
-    fn parse_edge(&mut self) -> Option<StreamEdge> {
+    /// Parse the edge line in `self.line`. `Ok(None)` = malformed
+    /// (skip and count), `Err` = fatal ingest error (mislabeled feed).
+    fn parse_edge(&mut self) -> Result<Option<StreamEdge>, String> {
         let line = self.line.trim();
         let mut parts = line.split_whitespace();
-        let first = parts.next()?;
-        let u: u32 = if first == "e" { parts.next()? } else { first }
-            .parse()
-            .ok()?;
-        let v: u32 = parts.next()?.parse().ok()?;
+        let Some(first) = parts.next() else {
+            return Ok(None);
+        };
+        let tok = if first == "e" {
+            match parts.next() {
+                Some(t) => t,
+                None => return Ok(None),
+            }
+        } else {
+            first
+        };
+        let (Ok(u), Some(Ok(v))) = (tok.parse::<u32>(), parts.next().map(str::parse::<u32>)) else {
+            return Ok(None);
+        };
         let (src, dst) = (VertexId(u), VertexId(v));
         let e = StreamEdge {
             id: EdgeId(self.next_id),
             src,
             dst,
-            src_label: self.label_of(src),
-            dst_label: self.label_of(dst),
+            src_label: self.label_of(src)?,
+            dst_label: self.label_of(dst)?,
         };
         self.next_id += 1;
-        Some(e)
+        Ok(Some(e))
     }
 }
 
 impl<R: BufRead> EdgeSource for TextEdgeSource<R> {
     fn next_edge(&mut self) -> Option<StreamEdge> {
+        if self.error.is_some() {
+            // A fatal feed error is sticky: the stream stays ended.
+            return None;
+        }
         loop {
             self.line.clear();
             match self.reader.read_line(&mut self.line) {
                 Ok(0) => return None,
-                Ok(_) => {}
+                Ok(_) => self.line_no += 1,
                 Err(_) => {
                     // A reader error makes no progress, so retrying
                     // would spin forever on a persistently failing
@@ -230,14 +303,22 @@ impl<R: BufRead> EdgeSource for TextEdgeSource<R> {
                 continue;
             }
             match self.parse_edge() {
-                Some(e) => return Some(e),
-                None => self.skipped += 1,
+                Ok(Some(e)) => return Some(e),
+                Ok(None) => self.skipped += 1,
+                Err(msg) => {
+                    self.error = Some(msg);
+                    return None;
+                }
             }
         }
     }
 
     fn num_labels(&self) -> usize {
         self.num_labels
+    }
+
+    fn error(&self) -> Option<&str> {
+        self.error.as_deref()
     }
 }
 
@@ -295,6 +376,24 @@ impl SyntheticEdgeSource {
         let x = mix64(self.seed ^ (v.0 as u64).wrapping_mul(0xd1342543de82ef95));
         Label((x % self.num_labels as u64) as u16)
     }
+
+    /// The dst to use when the sampled endpoints collide. For any
+    /// universe ≥ 2 this is the `+1 mod universe` bump, which can
+    /// never land back on `src`. A degenerate universe (≤ 1) has no
+    /// distinct resident to bump to — `+1 mod 1` would re-emit `src`
+    /// as a self-loop, and `mod 0` would divide by zero — so the bump
+    /// steps outside the sampled range instead. The current
+    /// constructor keeps the universe ≥ 16, so this guard changes no
+    /// emitted byte today; it pins the invariant for any future
+    /// parameterisation (the determinism suites assume loop-free
+    /// streams).
+    fn bumped_dst(src: VertexId, universe: u64) -> VertexId {
+        if universe <= 1 {
+            VertexId(src.0 + 1)
+        } else {
+            VertexId((src.0 + 1) % universe as u32)
+        }
+    }
 }
 
 /// SplitMix64 finaliser.
@@ -310,7 +409,7 @@ impl EdgeSource for SyntheticEdgeSource {
         let src = self.pick_vertex(1, universe);
         let mut dst = self.pick_vertex(2, universe);
         if dst == src {
-            dst = VertexId((dst.0 + 1) % universe as u32);
+            dst = Self::bumped_dst(src, universe);
         }
         let e = StreamEdge {
             id: EdgeId(self.emitted as u32),
@@ -373,10 +472,55 @@ mod tests {
 
     #[test]
     fn text_source_defaults_unknown_labels_to_zero() {
+        // A bare edge list (no `v` records at all) stays the
+        // documented label-0 default.
         let mut src = TextEdgeSource::new("5 9\n".as_bytes());
         let e = src.next_edge().unwrap();
         assert_eq!(e.src_label, Label(0));
         assert_eq!(e.dst_label, Label(0));
+        assert!(src.error().is_none());
+    }
+
+    #[test]
+    fn text_source_rejects_mislabeled_feed() {
+        // Regression: an endpoint beyond a *declared* label table used
+        // to coerce silently to label 0, corrupting motif matching for
+        // the rest of the run. It must end the stream with an error
+        // naming the offending line instead.
+        let text = "# header\nv 0\nv 1\ne 0 1\ne 0 7\ne 1 0\n";
+        let mut src = TextEdgeSource::new(text.as_bytes());
+        assert!(src.next_edge().is_some(), "covered edge flows");
+        assert_eq!(src.next_edge(), None, "mislabeled edge is fatal");
+        let err = src.error().expect("error recorded");
+        assert!(err.contains("line 5"), "names the offending line: {err}");
+        assert!(err.contains("vertex 7"), "names the vertex: {err}");
+        // Fatal errors are sticky: the feed does not resume past one.
+        assert_eq!(src.next_edge(), None);
+        assert_eq!(src.emitted(), 1);
+    }
+
+    #[test]
+    fn batch_reads_match_single_reads() {
+        let mut g = LabeledGraph::with_anonymous_labels(1);
+        let vs: Vec<_> = (0..6).map(|_| g.add_vertex(Label(0))).collect();
+        for w in vs.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        let stream = GraphStream::from_graph(&g, StreamOrder::AsGenerated, 1);
+        // StreamCursor's slice fast path, in uneven chunks.
+        let mut batched = Vec::new();
+        let mut src = stream.source();
+        assert_eq!(src.next_batch_into(&mut batched, 2), 2);
+        assert_eq!(src.next_batch_into(&mut batched, 100), 3);
+        assert_eq!(src.next_batch_into(&mut batched, 4), 0, "exhausted");
+        assert_eq!(batched.as_slice(), stream.edges());
+        // The default (next_edge-looping) implementation agrees.
+        let mut via_default = Vec::new();
+        let mut text = TextEdgeSource::new("0 1\n1 2\n2 3\n".as_bytes());
+        assert_eq!(text.next_batch_into(&mut via_default, 2), 2);
+        assert_eq!(text.next_batch_into(&mut via_default, 2), 1);
+        assert_eq!(via_default.len(), 3);
+        assert_eq!(via_default[2].id, EdgeId(2));
     }
 
     #[test]
@@ -413,5 +557,54 @@ mod tests {
             assert_ne!(e.src, e.dst);
             assert!(e.src_label.index() < 5 && e.dst_label.index() < 5);
         }
+    }
+
+    #[test]
+    fn collision_bump_never_emits_a_self_loop() {
+        // Regression: at a tiny universe the `% universe` bump could
+        // re-emit src (universe 1: (src+1) % 1 == 0 == src) or divide
+        // by zero (universe 0). The guard must yield a distinct dst
+        // for every universe.
+        for universe in 0..=4u64 {
+            let residents = universe.max(1) as u32;
+            for src in 0..residents {
+                let dst = SyntheticEdgeSource::bumped_dst(VertexId(src), universe);
+                assert_ne!(dst, VertexId(src), "universe {universe}, src {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_source_is_byte_stable() {
+        // Pin the emitted bytes so determinism suites (and the
+        // committed bench) notice any accidental generator drift —
+        // the self-loop guard above must not change today's stream.
+        let mut s = SyntheticEdgeSource::new(7, 4);
+        let first: Vec<(u32, u32, u16, u16)> = (0..8)
+            .map(|_| {
+                let e = s.next_edge().unwrap();
+                (e.src.0, e.dst.0, e.src_label.0, e.dst_label.0)
+            })
+            .collect();
+        assert_eq!(
+            first,
+            expected_first_edges(),
+            "SyntheticEdgeSource(seed 7, 4 labels) drifted"
+        );
+    }
+
+    /// The first eight edges of `SyntheticEdgeSource::new(7, 4)`,
+    /// captured when the self-loop guard landed.
+    fn expected_first_edges() -> Vec<(u32, u32, u16, u16)> {
+        vec![
+            (0, 9, 0, 0),
+            (0, 2, 0, 3),
+            (13, 1, 2, 1),
+            (13, 3, 2, 2),
+            (10, 9, 0, 0),
+            (1, 14, 1, 3),
+            (15, 4, 3, 3),
+            (12, 0, 3, 0),
+        ]
     }
 }

@@ -31,18 +31,32 @@ pub struct StreamEdge {
 }
 
 impl StreamEdge {
+    /// The endpoint opposite to `v`, or `None` if `v` is not an
+    /// endpoint of this edge — the checked form for callers that
+    /// cannot statically guarantee incidence (e.g. code walking a
+    /// vertex's edge list rebuilt from an index that may lag).
+    pub fn try_other(&self, v: VertexId) -> Option<VertexId> {
+        if v == self.src {
+            Some(self.dst)
+        } else if v == self.dst {
+            Some(self.src)
+        } else {
+            None
+        }
+    }
+
     /// The endpoint opposite to `v`.
     ///
-    /// # Panics
-    /// Panics if `v` is not an endpoint of this edge.
+    /// # Invariant
+    /// `v` must be an endpoint of this edge; callers that cannot
+    /// guarantee that must use [`StreamEdge::try_other`]. Violations
+    /// panic in debug builds. Release builds return `src` — a defined,
+    /// deterministic answer — instead of aborting: a single bad lookup
+    /// (a caller bug) must not kill a million-edge ingest that a
+    /// checked caller would have survived.
     pub fn other(&self, v: VertexId) -> VertexId {
-        if v == self.src {
-            self.dst
-        } else if v == self.dst {
-            self.src
-        } else {
-            panic!("{v:?} is not an endpoint of {:?}", self.id)
-        }
+        debug_assert!(self.touches(v), "{v:?} is not an endpoint of {:?}", self.id);
+        self.try_other(v).unwrap_or(self.src)
     }
 
     /// True if `v` is one of this edge's endpoints.
@@ -301,12 +315,27 @@ mod tests {
         let e = s.edges()[0];
         assert_eq!(e.other(e.src), e.dst);
         assert_eq!(e.other(e.dst), e.src);
+        assert_eq!(e.try_other(e.src), Some(e.dst));
+        assert_eq!(e.try_other(e.dst), Some(e.src));
         assert!(e.touches(e.src) && e.touches(e.dst));
     }
 
     #[test]
+    fn try_other_rejects_non_endpoint() {
+        // Regression: `other` used to hard-panic on a non-endpoint in
+        // all builds, so one bad lookup could abort an unbounded
+        // ingest. The checked form reports the bug instead.
+        let g = sample_graph();
+        let s = GraphStream::from_graph(&g, StreamOrder::AsGenerated, 0);
+        let e = s.edges()[0];
+        assert_eq!(e.try_other(VertexId(999)), None);
+        assert!(!e.touches(VertexId(999)));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "not an endpoint")]
-    fn other_panics_for_non_endpoint() {
+    fn other_asserts_incidence_in_debug() {
         let g = sample_graph();
         let s = GraphStream::from_graph(&g, StreamOrder::AsGenerated, 0);
         s.edges()[0].other(VertexId(999));

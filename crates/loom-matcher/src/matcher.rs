@@ -58,6 +58,10 @@ pub struct MotifMatcher {
     motifs: MotifIndex,
     lut: DeltaLut,
     matches: MatchList,
+    // Dense motif-id → support table: the allocation step reads one
+    // support per candidate match, and an 8-byte indexed load beats
+    // chasing into the trie's `Motif` structs.
+    supports: Vec<f64>,
     match_cap: usize,
     dead_at_last_compact: usize,
     // Scratch buffers reused across on_edge calls so the steady state
@@ -78,10 +82,14 @@ impl MotifMatcher {
     /// label/degree → delta tables from the run's randomizer.
     pub fn new(motifs: MotifIndex, rand: LabelRandomizer) -> Self {
         let lut = DeltaLut::build(&motifs, &rand);
+        let supports = (0..motifs.len())
+            .map(|i| motifs.get(MotifId(i as u32)).support)
+            .collect();
         MotifMatcher {
             motifs,
             lut,
             matches: MatchList::new(),
+            supports,
             match_cap: MAX_MATCHES_PER_ENDPOINT,
             dead_at_last_compact: 0,
             scratch_connected: Vec::new(),
@@ -155,14 +163,31 @@ impl MotifMatcher {
         }
     }
 
+    /// Classify an edge against the single-edge motif gate: the motif
+    /// its buffered processing starts from, or `None` for a bypass.
+    /// This is a *pure* function of the immutable LUT/motif tables —
+    /// no matcher state — which is what lets the batched ingest path
+    /// pre-classify a whole batch up front (the probes share the hot
+    /// LUT rows) and stay bit-identical to edge-at-a-time processing.
+    #[inline]
+    pub fn classify(&self, e: &StreamEdge) -> Option<MotifId> {
+        let single = self.lut.delta_id(e.src_label, 1, e.dst_label, 1)?;
+        self.motifs.single_edge_motif_by_id(single)
+    }
+
     /// Process a new stream edge (Alg. 2's outer loop body).
     pub fn on_edge(&mut self, e: StreamEdge) -> EdgeFate {
-        let Some(single) = self.lut.delta_id(e.src_label, 1, e.dst_label, 1) else {
-            return EdgeFate::Bypass;
-        };
-        let Some(m0) = self.motifs.single_edge_motif_by_id(single) else {
-            return EdgeFate::Bypass;
-        };
+        match self.classify(&e) {
+            None => EdgeFate::Bypass,
+            Some(m0) => self.on_edge_classified(e, m0),
+        }
+    }
+
+    /// [`MotifMatcher::on_edge`] with the single-edge gate already
+    /// resolved by [`MotifMatcher::classify`]. Callers must pass the
+    /// `m0` classify returned for *this* edge.
+    pub fn on_edge_classified(&mut self, e: StreamEdge, m0: MotifId) -> EdgeFate {
+        debug_assert_eq!(self.classify(&e), Some(m0));
 
         // The capped per-endpoint match lists, read once per edge —
         // Alg. 2 line 4's matchList(v1) and matchList(v2), newest-first
@@ -242,7 +267,7 @@ impl MotifMatcher {
         // walks have nothing left to compute.
         let max_edges = self.motifs.max_motif_edges();
         for &(id, du, dv) in &connected {
-            // Dense 2-byte pre-filter before touching the match's Meta.
+            // Dense pre-filter before touching the match's Meta.
             if self.matches.live_len_of(id) >= max_edges {
                 continue;
             }
@@ -252,7 +277,9 @@ impl MotifMatcher {
             else {
                 continue;
             };
-            let motif = self.matches.get(id).motif();
+            // Same dense word as the pre-filter — the Meta cache line
+            // never loads on this path.
+            let motif = self.matches.live_motif_of(id);
             if let Some(child) = self.motifs.child_with_delta_by_id(motif, delta) {
                 if let Some(nid) = self.matches.insert_extension(id, e, child) {
                     fresh.push(nid);
@@ -409,6 +436,19 @@ impl MotifMatcher {
     /// `supp(m_k)`).
     pub fn support(&self, id: MatchId) -> f64 {
         self.motifs.get(self.matches.get(id).motif()).support
+    }
+
+    /// `(supp(m_k), |E_k|)` of a *live* match, off the dense tables —
+    /// the allocation step sorts candidates by exactly this pair, and
+    /// reading it here costs two indexed loads instead of a `Meta`
+    /// cache line plus a trie node per candidate.
+    #[inline]
+    pub fn support_and_len(&self, id: MatchId) -> (f64, usize) {
+        let motif = self.matches.live_motif_of(id);
+        (
+            self.supports[motif.0 as usize],
+            self.matches.live_len_of(id),
+        )
     }
 
     /// Notify the matcher that an edge left the window (assigned):

@@ -48,8 +48,8 @@ struct Cell {
 /// `cell`; `edge_fp` is the commutative XOR fingerprint of the edge
 /// set, maintained incrementally so dedup never materialises a key.
 /// Liveness is *not* here: it lives in the dense parallel
-/// `MatchList::live_len` array, because liveness checks run on every
-/// index walk and a 2-byte dense read stays in cache where a 32-byte
+/// `MatchList::live_info` array, because liveness checks run on every
+/// index walk and a 4-byte dense read stays in cache where a 32-byte
 /// `Meta` load would not.
 #[derive(Clone, Copy, Debug)]
 struct Meta {
@@ -68,6 +68,18 @@ fn mix_edge(e: EdgeId) -> u128 {
     x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9_94d0_49bb_1331_11eb);
     x ^= x >> 67;
     x.wrapping_mul(0x2545_f491_4f6c_dd1d_8a5c_d789_635d_2dff)
+}
+
+/// Pack a live match's `(motif, edge count)` into one dense word for
+/// `MatchList::live_info`: motif in the high 24 bits, length in the
+/// low 8. Lengths are capped by the largest motif's edge count
+/// (single digits, §2.3) and motif ids by the trie population, so
+/// neither bound is ever approached in practice.
+#[inline]
+fn pack_info(motif: MotifId, len: u16) -> u32 {
+    debug_assert!(len > 0 && len <= 0xff, "match length {len} out of range");
+    debug_assert!(motif.0 < (1 << 24), "motif id {} out of range", motif.0);
+    (motif.0 << 8) | len as u32
 }
 
 /// Fold the motif id into an edge-set fingerprint: the dedup key is a
@@ -99,7 +111,7 @@ impl<'a> MatchRef<'a> {
     /// False once any constituent edge left the window.
     #[inline]
     pub fn alive(&self) -> bool {
-        self.list.live_len[self.id.index()] != 0
+        self.list.live_info[self.id.index()] != 0
     }
 
     /// Number of edges.
@@ -253,11 +265,13 @@ pub struct MatchList {
     by_vertex: Vec<Vec<(MatchId, u8)>>,
     by_edge: FxHashMap<EdgeId, Vec<MatchId>>,
     dedup: FxHashSet<u128>,
-    /// Dense per-match liveness: the match's edge count while alive,
-    /// 0 once dead. Kept out of `Meta` for cache density — the
-    /// backward index walks check liveness far more often than they
-    /// read anything else about a match.
-    live_len: Vec<u16>,
+    /// Dense per-match liveness, packed `(motif << 8) | edge count`
+    /// while alive, 0 once dead. Kept out of `Meta` for cache density
+    /// — the backward index walks check liveness far more often than
+    /// they read anything else about a match, and the extension loop's
+    /// per-candidate motif read rides along in the same 4-byte load
+    /// instead of costing a `Meta` cache line.
+    live_info: Vec<u32>,
     live: usize,
     /// Completed generational compactions (the arena epoch).
     generation: u64,
@@ -290,12 +304,24 @@ impl MatchList {
         self.matches.len() - self.live
     }
 
-    /// Edge count of a *live* match, 0 if dead — a 2-byte dense read,
+    /// Edge count of a *live* match, 0 if dead — a dense 4-byte read,
     /// the cheap pre-filter the extension/join loops use before
     /// touching a match's `Meta` or cells.
     #[inline]
     pub fn live_len_of(&self, id: MatchId) -> usize {
-        self.live_len[id.index()] as usize
+        (self.live_info[id.index()] & 0xff) as usize
+    }
+
+    /// Motif of a *live* match, off the same dense word
+    /// [`MatchList::live_len_of`] reads — undefined (returns motif 0)
+    /// for dead matches, so callers must check liveness first.
+    #[inline]
+    pub fn live_motif_of(&self, id: MatchId) -> MotifId {
+        debug_assert!(
+            self.live_info[id.index()] != 0,
+            "motif read on a dead match"
+        );
+        MotifId(self.live_info[id.index()] >> 8)
     }
 
     /// Register a new match whose chain head is `cell`, indexing it
@@ -332,7 +358,7 @@ impl MatchList {
                 self.by_vertex.resize_with(hi.index() + 1, Vec::new);
             }
         }
-        let live_len = &self.live_len;
+        let live_info = &self.live_info;
         let mut i = 0;
         while i < scratch.len() {
             let v = scratch[i];
@@ -343,19 +369,13 @@ impl MatchList {
             }
             let deg = (run - i) as u8;
             i = run;
-            let row = &mut self.by_vertex[v.index()];
-            // Opportunistic row pruning, amortized O(1) per push: when
-            // a row hits a power-of-two length ≥ 64, drop its dead
-            // entries in place (order-preserving, so walks see the
-            // same live sequence). Keeps the dead-entry skip cost of
-            // hub-row backward walks bounded by ~2× the live
-            // population instead of growing until the next global
-            // sweep. `live_len` predates `id`, and so does every
-            // entry already in the row.
-            if row.len() >= 64 && row.len().is_power_of_two() {
-                row.retain(|m| live_len[m.0.index()] != 0);
-            }
-            row.push((id, deg));
+            // Opportunistic row pruning via push_row, amortized O(1)
+            // per push. Keeps the dead-entry skip cost of hub-row
+            // backward walks bounded by ~2× the live population (this
+            // is also what bounds the rows now that compact() never
+            // sweeps them). `live_info` predates `id`, and so does
+            // every entry already in the row.
+            Self::push_row(&mut self.by_vertex[v.index()], live_info, id, deg);
         }
         self.scratch_vertices = scratch;
         self.matches.push(Meta {
@@ -364,9 +384,21 @@ impl MatchList {
             len,
             edge_fp,
         });
-        self.live_len.push(len);
+        self.live_info.push(pack_info(motif, len));
         self.live += 1;
         id
+    }
+
+    /// Amortized per-row index pruning, shared by [`MatchList::register`]
+    /// and the single-edge fast path: when a row hits a power-of-two
+    /// length ≥ 64, drop its dead entries in place (order-preserving,
+    /// so walks see the same live sequence) before appending.
+    #[inline]
+    fn push_row(row: &mut Vec<(MatchId, u8)>, live_info: &[u32], id: MatchId, deg: u8) {
+        if row.len() >= 64 && row.len().is_power_of_two() {
+            row.retain(|m| live_info[m.0.index()] != 0);
+        }
+        row.push((id, deg));
     }
 
     /// Insert the single-edge match `⟨{e}, motif⟩`. The caller
@@ -377,14 +409,52 @@ impl MatchList {
     /// state never needs). Multi-edge inserts still dedup: the same
     /// union really is reachable through several extension/join
     /// orders.
+    ///
+    /// Specialized past [`MatchList::register`]: a one-edge chain needs
+    /// no walk, no vertex sort and no run-length pass — the index
+    /// updates are written out directly (same rows, same order, same
+    /// pruning cadence as the generic path would produce). This runs
+    /// once per buffered edge, the highest-frequency insert by far.
     pub fn insert_single(&mut self, e: StreamEdge, motif: MotifId) -> Option<MatchId> {
         let edge_fp = mix_edge(e.id);
+        let id = MatchId(self.matches.len() as u32);
         let cell = self.cells.len() as u32;
         self.cells.push(Cell {
             parent: NO_CELL,
             edge: e,
         });
-        Some(self.register(cell, motif, 1, edge_fp))
+        match self.by_edge.entry(e.id) {
+            std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().push(id),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let mut ids = self.list_pool.pop().unwrap_or_default();
+                ids.push(id);
+                slot.insert(ids);
+            }
+        }
+        // Rows in ascending vertex order, exactly as register()'s
+        // sorted walk would visit them; a self-loop touches its vertex
+        // once (matching `MatchRef::degrees`).
+        let (lo, hi) = if e.src <= e.dst {
+            (e.src, e.dst)
+        } else {
+            (e.dst, e.src)
+        };
+        if self.by_vertex.len() <= hi.index() {
+            self.by_vertex.resize_with(hi.index() + 1, Vec::new);
+        }
+        Self::push_row(&mut self.by_vertex[lo.index()], &self.live_info, id, 1);
+        if lo != hi {
+            Self::push_row(&mut self.by_vertex[hi.index()], &self.live_info, id, 1);
+        }
+        self.matches.push(Meta {
+            cell,
+            motif,
+            len: 1,
+            edge_fp,
+        });
+        self.live_info.push(pack_info(motif, 1));
+        self.live += 1;
+        Some(id)
     }
 
     /// Insert the extension of `parent` by edge `e` as a new match for
@@ -460,7 +530,7 @@ impl MatchList {
             .map(|ids| {
                 ids.iter()
                     .map(|&(id, _)| id)
-                    .filter(|&id| self.live_len[id.index()] != 0)
+                    .filter(|&id| self.live_info[id.index()] != 0)
                     .collect()
             })
             .unwrap_or_default()
@@ -482,7 +552,7 @@ impl MatchList {
         };
         let start = out.len();
         for &(id, _) in ids.iter().rev() {
-            if self.live_len[id.index()] != 0 {
+            if self.live_info[id.index()] != 0 {
                 out.push(id);
                 if out.len() - start >= cap {
                     break;
@@ -511,7 +581,7 @@ impl MatchList {
         let start = out.len();
         let mut truncated = false;
         for &(id, deg) in ids.iter().rev() {
-            if self.live_len[id.index()] != 0 {
+            if self.live_info[id.index()] != 0 {
                 out.push((id, deg));
                 if out.len() - start >= cap {
                     truncated = true;
@@ -539,7 +609,7 @@ impl MatchList {
             out.extend(
                 ids.iter()
                     .copied()
-                    .filter(|&id| self.live_len[id.index()] != 0),
+                    .filter(|&id| self.live_info[id.index()] != 0),
             );
         }
     }
@@ -552,12 +622,12 @@ impl MatchList {
         };
         let mut killed = 0;
         for &id in &ids {
-            let len = self.live_len[id.index()];
-            if len != 0 {
-                self.live_len[id.index()] = 0;
+            let info = self.live_info[id.index()];
+            if info != 0 {
+                self.live_info[id.index()] = 0;
                 self.live -= 1;
                 killed += 1;
-                if len > 1 {
+                if info & 0xff > 1 {
                     let m = &self.matches[id.index()];
                     self.dedup.remove(&dedup_key(m.motif, m.edge_fp));
                 }
@@ -571,11 +641,11 @@ impl MatchList {
     /// Kill a single match by id (equal opportunism drops losing
     /// matches from the map, §4). No-op if already dead.
     pub fn kill(&mut self, id: MatchId) {
-        let len = self.live_len[id.index()];
-        if len != 0 {
-            self.live_len[id.index()] = 0;
+        let info = self.live_info[id.index()];
+        if info != 0 {
+            self.live_info[id.index()] = 0;
             self.live -= 1;
-            if len > 1 {
+            if info & 0xff > 1 {
                 let m = &self.matches[id.index()];
                 self.dedup.remove(&dedup_key(m.motif, m.edge_fp));
             }
@@ -583,11 +653,21 @@ impl MatchList {
     }
 
     /// Periodic maintenance, called by the matcher on a deterministic
-    /// edge-count cadence. Always prunes dead entries from the
-    /// vertex/edge indices; when the dead dominate the arena (and the
-    /// arena is big enough to matter) it additionally runs a full
-    /// generational [`MatchList::reclaim`]. Correctness never depends
-    /// on either (lookups filter on liveness), only memory usage does.
+    /// edge-count cadence: run a full generational
+    /// [`MatchList::reclaim`] when the dead dominate the arena (and
+    /// the arena is big enough to matter). Correctness never depends
+    /// on it (lookups filter on liveness), only memory usage does.
+    ///
+    /// No index sweep happens here: dead index entries are already
+    /// bounded without one. `by_vertex` rows prune themselves on the
+    /// power-of-two push cadence (see [`MatchList::register`]), so a
+    /// row carries at most ~2× its live population; `by_edge` rows
+    /// exist only for window-resident edges and vanish whole in
+    /// [`MatchList::drop_edge`] when the edge leaves. The global
+    /// sweeps this method used to run on every cadence firing were
+    /// O(all index entries) of pure overhead on top of those bounds —
+    /// and removing them is unobservable, because every read path
+    /// filters dead entries out anyway.
     ///
     /// Like [`MatchList::reclaim`], this may invalidate previously
     /// returned [`MatchId`]s — callers must not hold ids across it.
@@ -595,16 +675,7 @@ impl MatchList {
         let dead = self.matches.len() - self.live;
         if self.matches.len() >= RECLAIM_MIN_MATCHES && dead > self.live {
             self.reclaim();
-            return;
         }
-        let live_len = &self.live_len;
-        for ids in &mut self.by_vertex {
-            ids.retain(|&(id, _)| live_len[id.index()] != 0);
-        }
-        self.by_edge.retain(|_, ids| {
-            ids.retain(|id| live_len[id.index()] != 0);
-            !ids.is_empty()
-        });
     }
 
     /// Generational compaction: rebuild the arena from the live
@@ -619,7 +690,7 @@ impl MatchList {
     /// All previously returned [`MatchId`]s are invalidated.
     pub fn reclaim(&mut self) {
         let old_matches = std::mem::take(&mut self.matches);
-        let old_live_len = std::mem::take(&mut self.live_len);
+        let old_live_info = std::mem::take(&mut self.live_info);
         let old_cells = std::mem::take(&mut self.cells);
         // NO_CELL doubles as the "not copied yet" sentinel: cell ids
         // are always < old_cells.len() < u32::MAX, so no collision.
@@ -628,7 +699,7 @@ impl MatchList {
         self.matches.reserve(self.live);
         let mut stack: Vec<u32> = Vec::new();
         for (old_id, meta) in old_matches.iter().enumerate() {
-            if old_live_len[old_id] == 0 {
+            if old_live_info[old_id] == 0 {
                 continue;
             }
             // Copy the cell chain bottom-up, stopping at the first
@@ -658,7 +729,7 @@ impl MatchList {
                 cell: parent,
                 ..*meta
             });
-            self.live_len.push(old_live_len[old_id]);
+            self.live_info.push(old_live_info[old_id]);
         }
         debug_assert_eq!(self.matches.len(), self.live);
         // Remap the indices in place; dead ids drop out. The per-list
@@ -691,7 +762,7 @@ impl MatchList {
         let mut visited = vec![false; self.cells.len()];
         let mut live_cells = 0usize;
         for (i, meta) in self.matches.iter().enumerate() {
-            if self.live_len[i] == 0 {
+            if self.live_info[i] == 0 {
                 continue;
             }
             let mut cur = meta.cell;
@@ -851,13 +922,39 @@ mod tests {
     }
 
     #[test]
-    fn compact_prunes_indices() {
+    fn compact_leaves_queries_clean_without_a_sweep() {
+        // compact() no longer sweeps the indices below the reclaim
+        // threshold — every read path must still filter dead entries
+        // on its own.
         let mut ml = MatchList::new();
         let a = ml.insert_single(se(0, 1, 2), MotifId(0)).unwrap();
         ml.insert_single(se(1, 2, 3), MotifId(0)).unwrap();
         ml.kill(a);
         ml.compact();
+        assert_eq!(ml.generation, 0, "tiny arena: no reclaim");
         assert!(ml.matches_at_vertex(VertexId(1)).is_empty());
         assert_eq!(ml.matches_at_vertex(VertexId(2)).len(), 1);
+        let mut out = Vec::new();
+        ml.matches_at_edge_into(EdgeId(0), &mut out);
+        assert!(out.is_empty(), "dead match filtered from by_edge reads");
+    }
+
+    #[test]
+    fn register_prunes_hub_rows_on_the_push_cadence() {
+        // The per-row amortized pruning is what bounds by_vertex rows
+        // now that compact() never sweeps them: kill everything at a
+        // hub, keep inserting, and the row must stay ~2× live instead
+        // of growing with matches-ever.
+        let mut ml = MatchList::new();
+        for i in 0..4_000u32 {
+            let id = ml.insert_single(se(i, 1, 10 + i), MotifId(0)).unwrap();
+            ml.kill(id);
+        }
+        assert_eq!(ml.len(), 0);
+        let row_len = ml.by_vertex[1].len();
+        assert!(
+            row_len <= 2_048,
+            "hub row grew unboundedly: {row_len} entries for 0 live matches"
+        );
     }
 }

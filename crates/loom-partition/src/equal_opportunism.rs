@@ -114,6 +114,25 @@ pub fn auction_with_scratch(
     counts: &mut Vec<u32>,
 ) -> AuctionOutcome {
     debug_assert!(!matches.is_empty(), "auction needs at least one match");
+    // All-zero fast path: if no match vertex is placed anywhere, every
+    // count below is 0, every rationed total is 0.0, `best` is never
+    // set, and the outcome is forced to the zero-bid fallback — so
+    // return it directly and skip the count table and the per-partition
+    // loop. Bit-identical by construction (same winner, take 1, bid
+    // 0.0); it matters because early-stream and hub-poor evictions make
+    // this the *majority* auction on some datasets. The scan early-exits
+    // on the first placed vertex, so informative auctions pay at most
+    // one extra lookup.
+    let any_resident = matches
+        .iter()
+        .any(|m| m.vertices.iter().any(|&v| state.partition_of(v).is_some()));
+    if !any_resident {
+        return AuctionOutcome {
+            winner: state.least_loaded(),
+            take: 1,
+            total_bid: 0.0,
+        };
+    }
     // Pre-count each match's resident vertices per partition in ONE
     // pass over the vertex lists. The bid loop below then reads the
     // count instead of re-scanning every match's vertices once per

@@ -116,6 +116,7 @@ pub struct LoomPartitioner {
     scratch_counts: Vec<u32>,
     scratch_edges: Vec<StreamEdge>,
     scratch_expired: Vec<(VertexId, VertexId)>,
+    scratch_classes: Vec<Option<loom_motif::MotifId>>,
     view_pool: Vec<AuctionMatch>,
 }
 
@@ -188,6 +189,7 @@ impl LoomPartitioner {
             scratch_counts: Vec::new(),
             scratch_edges: Vec::new(),
             scratch_expired: Vec::new(),
+            scratch_classes: Vec::new(),
             view_pool: Vec::new(),
         }
     }
@@ -281,21 +283,41 @@ impl LoomPartitioner {
         // the stable sort the previous revision used.
         let mut keys = std::mem::take(&mut self.scratch_keys);
         keys.clear();
-        keys.extend(
-            match_ids
-                .iter()
-                .enumerate()
-                .map(|(i, &id)| (self.matcher.support(id), self.matcher.get(id).len(), i)),
-        );
+        keys.extend(match_ids.iter().enumerate().map(|(i, &id)| {
+            let (support, len) = self.matcher.support_and_len(id);
+            (support, len, i)
+        }));
         keys.sort_unstable_by(|a, b| {
             crate::equal_opportunism::support_order((a.0, a.1), (b.0, b.1)).then(a.2.cmp(&b.2))
         });
 
+        // Residency pre-scan, straight off the arena chains: does any
+        // partition hold any vertex of the cluster? If not, the auction
+        // is information-free under *both* policies — every bid/count
+        // is zero, `total_bid` comes back 0.0, and the LDG fallback
+        // below overrides both `winner` and `take` — so materialising
+        // any view beyond the top match (which the fallback scores) is
+        // pure waste. The scan reads the same cells `vertices_into`
+        // would walk, minus the sort/dedup, and early-exits on the
+        // first assigned endpoint, so the resident case pays at most a
+        // prefix of one extra chain walk.
+        // O(1) short-circuit first: the evictee is an edge of *every*
+        // match in `M_e`, so an assigned evictee endpoint already
+        // proves residency without touching a single chain.
+        let any_resident = self.state.is_assigned(e.src)
+            || self.state.is_assigned(e.dst)
+            || match_ids.iter().any(|&id| {
+                self.matcher.get(id).edges().any(|edge| {
+                    self.state.is_assigned(edge.src) || self.state.is_assigned(edge.dst)
+                })
+            });
+
         // Materialise the auction view in sorted order, borrowing match
         // data from the arena into pooled `AuctionMatch` slots whose
         // vertex buffers are reused across auctions — no per-auction
-        // view clones or rebuilds.
-        let n = keys.len();
+        // view clones or rebuilds. An information-free auction needs
+        // only the top match.
+        let n = if any_resident { keys.len() } else { 1 };
         while self.view_pool.len() < n {
             self.view_pool.push(AuctionMatch {
                 vertices: Vec::new(),
@@ -303,7 +325,7 @@ impl LoomPartitioner {
                 num_edges: 0,
             });
         }
-        for (j, &(support, num_edges, orig)) in keys.iter().enumerate() {
+        for (j, &(support, num_edges, orig)) in keys.iter().take(n).enumerate() {
             let slot = &mut self.view_pool[j];
             self.matcher
                 .get(match_ids[orig])
@@ -313,11 +335,25 @@ impl LoomPartitioner {
         }
         let view = &self.view_pool[..n];
 
-        let mut outcome = match self.allocation {
-            AllocationPolicy::EqualOpportunism => {
-                auction_with_scratch(&self.state, &self.eo, view, &mut self.scratch_counts)
+        let mut outcome = if !any_resident {
+            // Zero-information auction: both policies would return
+            // `total_bid == 0.0` (equal-opportunism via its all-zero
+            // fast path, naive greedy with every count zero), and the
+            // fallback below unconditionally overrides `winner` and
+            // `take` on that signal — so the placeholder winner is
+            // never observed.
+            crate::equal_opportunism::AuctionOutcome {
+                winner: loom_graph::PartitionId(0),
+                take: 1,
+                total_bid: 0.0,
             }
-            AllocationPolicy::NaiveGreedy => naive_greedy(&self.state, view),
+        } else {
+            match self.allocation {
+                AllocationPolicy::EqualOpportunism => {
+                    auction_with_scratch(&self.state, &self.eo, view, &mut self.scratch_counts)
+                }
+                AllocationPolicy::NaiveGreedy => naive_greedy(&self.state, view),
+            }
         };
         if outcome.total_bid == 0.0 {
             // No partition holds any of the cluster's vertices: the
@@ -387,6 +423,51 @@ impl LoomPartitioner {
         match_ids.clear();
         self.scratch_ids = match_ids;
     }
+
+    /// One edge's full effect sequence, with the single-edge gate
+    /// already resolved (`class` = [`MotifMatcher::classify`] of `e`).
+    /// Both ingest paths funnel here: `on_edge` classifies inline,
+    /// `on_batch` classifies the batch up front.
+    fn step(&mut self, e: &StreamEdge, class: Option<loom_motif::MotifId>) {
+        let t = self.clock();
+        self.scratch_expired.clear();
+        self.adjacency
+            .add_expiring_into(e, &mut self.scratch_expired);
+        self.counts.on_edge_arrival(e, &self.state);
+        // Edges that just aged out of the retention horizon leave the
+        // scored neighbourhood: debit them so every counter row stays
+        // equal to a scan of the *retained* adjacency.
+        for &(u, v) in &self.scratch_expired {
+            self.counts.on_edge_expired(u, v, &self.state);
+        }
+        self.lap(t, |p| &mut p.window_ns);
+        let t = self.clock();
+        let fate = match class {
+            None => EdgeFate::Bypass,
+            Some(m0) => self.matcher.on_edge_classified(*e, m0),
+        };
+        self.lap(t, |p| &mut p.matcher_ns);
+        match fate {
+            EdgeFate::Bypass => {
+                self.stats.bypassed += 1;
+                // §3: assigned immediately, never displaces window edges.
+                let t = self.clock();
+                self.ldg_assign_edge(e);
+                self.lap(t, |p| &mut p.partitioner_ns);
+            }
+            EdgeFate::Buffered => {
+                self.stats.buffered += 1;
+                let t = self.clock();
+                let evicted = self.window.push(*e);
+                self.lap(t, |p| &mut p.window_ns);
+                if let Some(old) = evicted {
+                    let t = self.clock();
+                    self.allocate(old);
+                    self.lap(t, |p| &mut p.partitioner_ns);
+                }
+            }
+        }
+    }
 }
 
 /// §4's naive strawman: the whole cluster goes to the partition sharing
@@ -421,41 +502,32 @@ impl StreamPartitioner for LoomPartitioner {
     }
 
     fn on_edge(&mut self, e: &StreamEdge) {
-        let t = self.clock();
-        self.scratch_expired.clear();
-        self.adjacency
-            .add_expiring_into(e, &mut self.scratch_expired);
-        self.counts.on_edge_arrival(e, &self.state);
-        // Edges that just aged out of the retention horizon leave the
-        // scored neighbourhood: debit them so every counter row stays
-        // equal to a scan of the *retained* adjacency.
-        for &(u, v) in &self.scratch_expired {
-            self.counts.on_edge_expired(u, v, &self.state);
+        let class = self.matcher.classify(e);
+        self.step(e, class);
+    }
+
+    fn on_batch(&mut self, batch: &[StreamEdge]) {
+        // Pre-classify the whole batch against the single-edge motif
+        // gate. The gate is a pure function of the immutable LUT and
+        // motif tables (no matcher state), so resolving it for every
+        // edge up front — while those tables sit hot in cache —
+        // cannot observe or change anything the per-edge steps do:
+        // bit-identity with edge-at-a-time ingest is structural here,
+        // and the equivalence suite checks it anyway.
+        //
+        // Everything *stateful* (adjacency/counter upkeep, match
+        // growth, window pushes, eviction auctions) stays strictly in
+        // arrival order inside `step`: an eviction auction mutates the
+        // match list and counters that the very next edge in the batch
+        // observes, so none of it can legally be deferred to the batch
+        // boundary (DESIGN.md §12).
+        let mut classes = std::mem::take(&mut self.scratch_classes);
+        classes.clear();
+        classes.extend(batch.iter().map(|e| self.matcher.classify(e)));
+        for (e, &class) in batch.iter().zip(&classes) {
+            self.step(e, class);
         }
-        self.lap(t, |p| &mut p.window_ns);
-        let t = self.clock();
-        let fate = self.matcher.on_edge(*e);
-        self.lap(t, |p| &mut p.matcher_ns);
-        match fate {
-            EdgeFate::Bypass => {
-                self.stats.bypassed += 1;
-                // §3: assigned immediately, never displaces window edges.
-                let t = self.clock();
-                self.ldg_assign_edge(e);
-                self.lap(t, |p| &mut p.partitioner_ns);
-            }
-            EdgeFate::Buffered => {
-                self.stats.buffered += 1;
-                let t = self.clock();
-                let evicted = self.window.push(*e);
-                self.lap(t, |p| &mut p.window_ns);
-                if let Some(old) = evicted {
-                    let t = self.clock();
-                    self.allocate(old);
-                    self.lap(t, |p| &mut p.partitioner_ns);
-                }
-            }
-        }
+        self.scratch_classes = classes;
     }
 
     fn finish(&mut self) {

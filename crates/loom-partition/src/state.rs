@@ -401,21 +401,81 @@ pub struct AdjacencyOccupancy {
 /// to matter).
 const ADJACENCY_RECLAIM_MIN_ENTRIES: usize = 4_096;
 
+/// Inline slots per adjacency row: with the two u32 counters and the
+/// spill Vec this makes the row exactly 64 bytes — one cache line —
+/// so recording an edge at a low-degree vertex touches the row array
+/// and nothing else. The evaluation graphs' mean degree is ~3.4, so
+/// the overwhelming majority of rows never leave the inline regime;
+/// only hubs pay for a heap spill.
+const INLINE_ROW: usize = 8;
+
+/// Sentinel in `inline_len` marking a row whose entries live in the
+/// spill Vec.
+const ROW_SPILLED: u32 = u32::MAX;
+
 /// One vertex's neighbour list. Entries are appended in arrival order
 /// and age out in the same order, so the retained neighbourhood is
 /// always the suffix starting at `head`; the dead prefix stays
 /// resident until the next generational compaction.
-#[derive(Clone, Debug, Default)]
+///
+/// Storage is inline-first: the first [`INLINE_ROW`] entries live in
+/// the row struct itself, and the row *spills* — copies everything
+/// into `nbrs` and appends there from then on — only when it outgrows
+/// them. The entry sequence a reader observes is identical either
+/// way; the representation is pure layout.
+#[derive(Clone, Debug)]
 struct AdjacencyRow {
+    inline: [VertexId; INLINE_ROW],
+    /// Entry count while inline; [`ROW_SPILLED`] once spilled.
+    inline_len: u32,
+    /// Index of the first retained entry (into [`AdjacencyRow::entries`]).
+    head: u32,
+    /// Spill storage; empty until the row outgrows the inline slots.
     nbrs: Vec<VertexId>,
-    /// Index of the first retained entry.
-    head: usize,
+}
+
+impl Default for AdjacencyRow {
+    fn default() -> Self {
+        AdjacencyRow {
+            inline: [VertexId(0); INLINE_ROW],
+            inline_len: 0,
+            head: 0,
+            nbrs: Vec::new(),
+        }
+    }
 }
 
 impl AdjacencyRow {
+    /// Every resident entry, dead prefix included, in arrival order.
+    #[inline]
+    fn entries(&self) -> &[VertexId] {
+        if self.inline_len == ROW_SPILLED {
+            &self.nbrs
+        } else {
+            &self.inline[..self.inline_len as usize]
+        }
+    }
+
     #[inline]
     fn retained(&self) -> &[VertexId] {
-        &self.nbrs[self.head..]
+        &self.entries()[self.head as usize..]
+    }
+
+    #[inline]
+    fn push(&mut self, to: VertexId) {
+        let len = self.inline_len;
+        if (len as usize) < INLINE_ROW {
+            self.inline[len as usize] = to;
+            self.inline_len = len + 1;
+        } else if len == ROW_SPILLED {
+            self.nbrs.push(to);
+        } else {
+            // Outgrew the inline slots: spill everything to the heap.
+            self.nbrs.reserve(2 * INLINE_ROW);
+            self.nbrs.extend_from_slice(&self.inline);
+            self.nbrs.push(to);
+            self.inline_len = ROW_SPILLED;
+        }
     }
 }
 
@@ -525,8 +585,8 @@ impl OnlineAdjacency {
         if self.rows.len() <= hi {
             self.rows.resize_with(hi + 1, AdjacencyRow::default);
         }
-        self.rows[e.src.index()].nbrs.push(e.dst);
-        self.rows[e.dst.index()].nbrs.push(e.src);
+        self.rows[e.src.index()].push(e.dst);
+        self.rows[e.dst.index()].push(e.src);
         self.live += 2;
         self.ever += 2;
         if self.horizon.is_some() {
@@ -547,7 +607,7 @@ impl OnlineAdjacency {
         for (from, to) in [(u, v), (v, u)] {
             let row = &mut self.rows[from.index()];
             debug_assert_eq!(
-                row.nbrs.get(row.head),
+                row.entries().get(row.head as usize),
                 Some(&to),
                 "adjacency aged out of arrival order at {from:?}"
             );
@@ -578,17 +638,33 @@ impl OnlineAdjacency {
         for idx in std::mem::take(&mut self.aged_rows) {
             let row = &mut self.rows[idx as usize];
             debug_assert!(row.head > 0, "aged row recorded without a dead prefix");
-            if row.head == row.nbrs.len() {
+            let head = row.head as usize;
+            if row.inline_len != ROW_SPILLED {
+                // Inline row: slide the retained suffix to the front.
+                let len = row.inline_len as usize;
+                row.inline.copy_within(head..len, 0);
+                row.inline_len = (len - head) as u32;
+            } else if head == row.nbrs.len() {
                 // An idle vertex whose whole neighbourhood aged out:
-                // release the allocation entirely.
+                // release the allocation entirely and return to the
+                // inline regime.
                 row.nbrs = Vec::new();
+                row.inline_len = 0;
             } else {
-                row.nbrs.drain(..row.head);
-                // A once-hot row keeps its peak capacity forever
-                // otherwise; give back the overhang.
-                let want = row.nbrs.len().max(4) * 2;
-                if row.nbrs.capacity() > want * 2 {
-                    row.nbrs.shrink_to(want);
+                row.nbrs.drain(..head);
+                if row.nbrs.len() <= INLINE_ROW {
+                    // Cooled back below the inline threshold: move the
+                    // survivors home and free the spill.
+                    row.inline[..row.nbrs.len()].copy_from_slice(&row.nbrs);
+                    row.inline_len = row.nbrs.len() as u32;
+                    row.nbrs = Vec::new();
+                } else {
+                    // A once-hot row keeps its peak capacity forever
+                    // otherwise; give back the overhang.
+                    let want = row.nbrs.len().max(4) * 2;
+                    if row.nbrs.capacity() > want * 2 {
+                        row.nbrs.shrink_to(want);
+                    }
                 }
             }
             row.head = 0;

@@ -18,6 +18,25 @@ pub trait StreamPartitioner {
     /// Process one arriving edge.
     fn on_edge(&mut self, e: &StreamEdge);
 
+    /// Process a batch of arriving edges, in arrival order.
+    ///
+    /// Semantically this IS `batch.iter().for_each(|e| on_edge(e))` —
+    /// the default does exactly that — and every override must stay
+    /// **bit-identical** to it: same assignments, stats, and internal
+    /// occupancy for any batch partitioning of the same stream. An
+    /// override may only amortise work that provably cannot observe
+    /// or affect per-edge state ordering (e.g. Loom pre-resolves each
+    /// edge's single-edge motif gate, a pure function of immutable
+    /// tables, for the whole batch up front). The batch-equivalence
+    /// suite (`loom-core/tests/batch_equivalence.rs`) enforces the
+    /// contract; see DESIGN.md §12 for why eviction/expiry work must
+    /// NOT be deferred to batch boundaries.
+    fn on_batch(&mut self, batch: &[StreamEdge]) {
+        for e in batch {
+            self.on_edge(e);
+        }
+    }
+
     /// End of stream: flush internal buffers (no-op for the
     /// memoryless baselines).
     fn finish(&mut self);
