@@ -84,6 +84,13 @@ stage "batch-equivalence suite"
 # violation name itself in the stage table.
 cargo test -q --offline -p loom-core --test batch_equivalence
 
+stage "parallel-equivalence suite"
+# The parallel-ingest contract, by name: multi-worker ingest must be
+# bit-identical to sequential for every worker count and batch size
+# (DESIGN.md §13), and a worker panic must surface as a clean engine
+# error naming batch and edge, never a hang. Also in tier-1 above.
+cargo test -q --offline -p loom-core --test parallel_equivalence
+
 stage "format"
 cargo fmt --check
 
@@ -110,6 +117,13 @@ stage "adjacency micro-suite (1 sample)"
 # bounded churn (expiry + generational compaction) vs full counter
 # maintenance under eviction.
 LOOM_BENCH_SAMPLES=1 cargo bench --offline -q --bench adjacency_churn
+
+stage "scaling micro-suite (1 sample)"
+# The parallel ingest pipeline across 1/2/4/8 workers on match-dense,
+# hub-heavy and hash-sharded streams: must build and run end to end
+# every CI pass (scaling itself is only asserted on multi-core hosts,
+# in the full-mode smoke below).
+LOOM_BENCH_SAMPLES=1 cargo bench --offline -q --bench scaling_micro
 
 stage "stream smoke (stdin ingest, online engine)"
 # A small-scale generate emits ~15k edges; stream must ingest them from
@@ -151,11 +165,26 @@ else
 fi
 WORKLOAD=target/ci-smoke-workload.wl
 ./target/release/loom workload --dataset dblp --out "$WORKLOAD" 2>/dev/null
-./target/release/loom stream --k 4 --system loom --source synthetic \
-    --max-edges "$SMOKE_EDGES" --window 1024 --snapshot-every "$SMOKE_EVERY" \
-    --batch "$SMOKE_BATCH" \
-    --workload "$WORKLOAD" --labels 4 2>/dev/null \
-  | awk '
+smoke_run() { # smoke_run THREADS OUTFILE  (prints wall seconds)
+  local t0=$SECONDS
+  ./target/release/loom stream --k 4 --system loom --source synthetic \
+      --max-edges "$SMOKE_EDGES" --window 1024 --snapshot-every "$SMOKE_EVERY" \
+      --batch "$SMOKE_BATCH" --threads "$1" \
+      --workload "$WORKLOAD" --labels 4 2>/dev/null > "$2"
+  echo $((SECONDS - t0))
+}
+if [ "$MODE" = full ]; then
+  # Full mode drives the smoke twice — sequential and at 4 ingest
+  # workers — so the 1M-edge run also exercises the parallel pipeline
+  # end to end. The plateau assertions below read the t4 output.
+  T1_SECS=$(smoke_run 1 target/ci-smoke-t1.txt)
+  T4_SECS=$(smoke_run 4 target/ci-smoke-t4.txt)
+  SMOKE_OUT=target/ci-smoke-t4.txt
+else
+  T1_SECS=$(smoke_run 1 target/ci-smoke-t1.txt)
+  SMOKE_OUT=target/ci-smoke-t1.txt
+fi
+awk '
     /^snapshot .* arena .* adjacency / {
       # First "gen" on the line belongs to the arena, second to the
       # adjacency (the printer emits "arena ... gen G  adjacency ...
@@ -184,7 +213,38 @@ WORKLOAD=target/ci-smoke-workload.wl
       }
       print "long smoke: arena plateau at " last_arena " cells (min " min_arena ", gen " arena_gen ")"
       print "long smoke: adjacency plateau at " last_adj " entries (min " min_adj ", gen " adj_gen ")"
-    }'
+    }' "$SMOKE_OUT"
+
+if [ "$MODE" = full ]; then
+  stage "parallel ingest equivalence (CLI, t4 vs t1)"
+  # The only permitted difference between the t1 and t4 runs is the
+  # per-snapshot phase-timing suffix ("threads N probe Xms commit Yms",
+  # absent at t1 by design): every counter, size vector, capacity and
+  # occupancy digit must match. This is the end-to-end CLI face of
+  # crates/loom-core/tests/parallel_equivalence.rs.
+  sed 's/  threads .*$//' target/ci-smoke-t4.txt > target/ci-smoke-t4-stripped.txt
+  if ! diff -u target/ci-smoke-t1.txt target/ci-smoke-t4-stripped.txt; then
+    echo "parallel equivalence: t4 output diverged from t1" >&2
+    exit 1
+  fi
+  echo "parallel equivalence: t1 and t4 outputs identical (timing suffix aside)"
+  echo "parallel smoke timing: t1 ${T1_SECS}s, t4 ${T4_SECS}s ($(nproc) core(s))"
+  # Speedup is only a meaningful assertion when the host has real
+  # parallelism; on 1-2 cores the extra workers measure coordination
+  # overhead, which the threads=1 default never pays.
+  CORES=$(nproc)
+  if [ "$CORES" -ge 4 ] && [ "$T1_SECS" -ge 10 ]; then
+    # >= 1.6x at 4 workers (integer-second arithmetic: 10*t4 <= 6.25*t1,
+    # i.e. 16*t4 <= 10*t1).
+    if [ $((16 * T4_SECS)) -gt $((10 * T1_SECS)) ]; then
+      echo "parallel smoke: expected >=1.6x speedup at 4 workers on $CORES cores (t1 ${T1_SECS}s, t4 ${T4_SECS}s)" >&2
+      exit 1
+    fi
+    echo "parallel smoke: speedup gate passed"
+  else
+    echo "parallel smoke: speedup gate skipped ($CORES core(s), t1 ${T1_SECS}s)"
+  fi
+fi
 rm -f "$WORKLOAD"
 
 if [ "$MODE" = full ]; then

@@ -1,0 +1,179 @@
+//! Ingest-scaling micro-suite: the parallel probe pipeline of
+//! DESIGN.md §13 across worker counts, under the two stream shapes
+//! that bound its headroom.
+//!
+//! - **match-dense** — shuffled a–b–c chains plus hub edges: almost
+//!   every edge classifies as a motif edge and runs a real matcher
+//!   probe, so the fanned-out phase dominates and scaling headroom is
+//!   maximal. Commits invalidate in-flight probes constantly, so this
+//!   also prices the recompute path.
+//! - **hub-heavy** — every edge hangs a fresh leaf off one hub: probes
+//!   are cheap, the sequential commit stage (auction fallbacks on the
+//!   hub) dominates, and Amdahl caps the speedup near 1× — worker
+//!   counts must not *cost* anything here.
+//! - **hash-sharded** — the near-stateless baseline: classification
+//!   is a hash, the sequential tail is first-seen assignment.
+//!
+//! Results are bit-identical across worker counts by contract
+//! (`crates/loom-core/tests/parallel_equivalence.rs`); each benchmark
+//! returns a stat the shim prints so a divergence across the sweep is
+//! visible right in the bench output. This host may be single-core —
+//! worker counts above `loom_runtime::available_parallelism()` then
+//! measure the coordination overhead of the pool, not speedup; CI only
+//! asserts scaling when the parallelism is real (ci.sh).
+//!
+//! Quick mode for CI: `LOOM_BENCH_SAMPLES=1 cargo bench --bench
+//! scaling_micro` runs one timed iteration per benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_core::graph::{EdgeId, Label, StreamEdge, VertexId};
+use loom_core::partition::{
+    CapacityModel, EoParams, HashPartitioner, LoomConfig, LoomPartitioner, StreamPartitioner,
+};
+use loom_core::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+
+const A: Label = Label(0);
+const B: Label = Label(1);
+const C: Label = Label(2);
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+const BATCH: usize = 256;
+
+fn se(id: u32, src: u32, sl: Label, dst: u32, dl: Label) -> StreamEdge {
+    StreamEdge {
+        id: EdgeId(id),
+        src: VertexId(src),
+        dst: VertexId(dst),
+        src_label: sl,
+        dst_label: dl,
+    }
+}
+
+fn micro_loom(k: usize, window: usize) -> LoomConfig {
+    LoomConfig {
+        k,
+        window_size: window,
+        support_threshold: 0.3,
+        prime: loom_core::motif::DEFAULT_PRIME,
+        eo: EoParams::default(),
+        capacity_slack: 1.1,
+        capacity: CapacityModel::Adaptive,
+        seed: 0x5ca1e,
+        allocation: Default::default(),
+        adjacency_horizon: Default::default(),
+    }
+}
+
+/// Path workload over three labels: a–b and b–c edges all probe.
+fn chain_workload() -> Workload {
+    Workload::new(vec![(PatternGraph::path("q", vec![A, B, C]), 1.0)])
+}
+
+/// Match-dense stream: shuffled a–b–c chains + hub→b edges (the
+/// parallel-equivalence suite's adversarial shape, at bench size).
+fn match_dense_stream(n_chains: u32) -> Vec<StreamEdge> {
+    let mut raw = Vec::new();
+    for i in 0..n_chains {
+        let (a, b, c) = (3 * i + 1, 3 * i + 2, 3 * i + 3);
+        raw.push((a, A, b, B));
+        raw.push((b, B, c, C));
+        raw.push((0, A, b, B));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xd15e);
+    for i in (1..raw.len()).rev() {
+        raw.swap(i, rng.gen_range(0..=i));
+    }
+    raw.iter()
+        .enumerate()
+        .map(|(id, &(s, sl, d, dl))| se(id as u32, s, sl, d, dl))
+        .collect()
+}
+
+/// Hub-heavy stream: every edge a fresh leaf off vertex 0.
+fn hub_stream(degree: u32) -> Vec<StreamEdge> {
+    (0..degree).map(|i| se(i, 0, A, i + 1, B)).collect()
+}
+
+fn drive(p: &mut dyn StreamPartitioner, threads: usize, stream: &[StreamEdge]) {
+    p.set_threads(threads);
+    for chunk in stream.chunks(BATCH) {
+        p.try_on_batch(chunk)
+            .expect("bench streams inject no panics");
+    }
+    p.finish();
+}
+
+fn bench_match_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_match_dense");
+    group.sample_size(10);
+    let stream = match_dense_stream(12_000);
+    let workload = chain_workload();
+    for threads in WORKERS {
+        group.bench_with_input(
+            BenchmarkId::new("chains_36k_edges", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut loom = LoomPartitioner::new(&micro_loom(8, 256), &workload, 3);
+                    drive(&mut loom, threads, &stream);
+                    loom.stats().matches_assigned
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hub_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_hub_heavy");
+    group.sample_size(10);
+    let stream = hub_stream(24_000);
+    let workload = Workload::new(vec![
+        (PatternGraph::star("s3", A, vec![B, B, B]), 70.0),
+        (PatternGraph::path("ab", vec![A, B]), 30.0),
+    ]);
+    for threads in WORKERS {
+        group.bench_with_input(
+            BenchmarkId::new("hub_24k_edges", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut loom = LoomPartitioner::new(&micro_loom(8, 64), &workload, 2);
+                    drive(&mut loom, threads, &stream);
+                    loom.stats().fallback_auctions
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hash_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_hash_sharded");
+    group.sample_size(10);
+    let stream = match_dense_stream(12_000);
+    for threads in WORKERS {
+        group.bench_with_input(
+            BenchmarkId::new("chains_36k_edges", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut hash = HashPartitioner::new(8, 42);
+                    drive(&mut hash, threads, &stream);
+                    hash.state().assigned_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_match_dense,
+    bench_hub_heavy,
+    bench_hash_sharded
+);
+criterion_main!(benches);

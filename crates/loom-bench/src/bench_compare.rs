@@ -24,6 +24,10 @@ pub struct SystemSummary {
     pub weighted_ipt: f64,
     /// Mean imbalance across ipt cells.
     pub imbalance: f64,
+    /// Ingest worker count the row's timed legs ran with (1 =
+    /// sequential; summaries written before the field existed parse
+    /// as 1).
+    pub threads: u64,
     /// Number of ipt cells averaged.
     pub cells: u64,
 }
@@ -87,6 +91,7 @@ impl BenchSummary {
                 ms_per_10k_edges: get("ms_per_10k_edges")?,
                 weighted_ipt: get("weighted_ipt")?,
                 imbalance: get("imbalance")?,
+                threads: number_after(line, "threads").unwrap_or(1.0) as u64,
                 cells: get("cells")? as u64,
                 name: name.clone(),
             };
@@ -176,6 +181,13 @@ pub fn compare(baseline: &BenchSummary, fresh: &BenchSummary, ms_tolerance: f64)
                 base.name, base.cells, new.cells
             ));
         }
+        if new.threads != base.threads {
+            status = "FAIL";
+            failures.push(format!(
+                "{}: ingest worker count changed {} -> {} (throughput rows are only comparable at the same thread count)",
+                base.name, base.threads, new.threads
+            ));
+        }
         if new.ms_per_10k_edges > base.ms_per_10k_edges * (1.0 + ms_tolerance) {
             status = "FAIL";
             failures.push(format!(
@@ -220,7 +232,7 @@ mod tests {
 
     fn sample(ms: f64, ipt: f64) -> String {
         format!(
-            "{{\n  \"scale\": \"small\",\n  \"seed\": 42,\n  \"suites\": [\"fig7\", \"fig8\"],\n  \"cells\": 24,\n  \"systems\": {{\n    \"Hash\": {{\"ms_per_10k_edges\": 0.111, \"weighted_ipt\": 38985.4146, \"imbalance\": 0.05314, \"cells\": 24}},\n    \"Loom\": {{\"ms_per_10k_edges\": {ms}, \"weighted_ipt\": {ipt}, \"imbalance\": 0.08989, \"cells\": 24}}\n  }}\n}}\n"
+            "{{\n  \"scale\": \"small\",\n  \"seed\": 42,\n  \"suites\": [\"fig7\", \"fig8\"],\n  \"cells\": 24,\n  \"systems\": {{\n    \"Hash\": {{\"ms_per_10k_edges\": 0.111, \"weighted_ipt\": 38985.4146, \"imbalance\": 0.05314, \"threads\": 1, \"cells\": 24}},\n    \"Loom\": {{\"ms_per_10k_edges\": {ms}, \"weighted_ipt\": {ipt}, \"imbalance\": 0.08989, \"threads\": 1, \"cells\": 24}},\n    \"Loom@t4\": {{\"ms_per_10k_edges\": {ms}, \"weighted_ipt\": {ipt}, \"imbalance\": 0.08989, \"threads\": 4, \"cells\": 24}}\n  }}\n}}\n"
         )
     }
 
@@ -230,11 +242,34 @@ mod tests {
         assert_eq!(s.scale, "small");
         assert_eq!(s.seed, 42);
         assert_eq!(s.cells, 24);
-        assert_eq!(s.systems.len(), 2);
+        assert_eq!(s.systems.len(), 3);
         assert_eq!(s.systems[1].name, "Loom");
         assert_eq!(s.systems[1].ms_per_10k_edges, 2.943);
         assert_eq!(s.systems[1].weighted_ipt, 19998.9554);
+        assert_eq!(s.systems[1].threads, 1);
         assert_eq!(s.systems[1].cells, 24);
+        assert_eq!(s.systems[2].name, "Loom@t4");
+        assert_eq!(s.systems[2].threads, 4);
+    }
+
+    #[test]
+    fn missing_threads_parses_as_sequential() {
+        // Summaries written before the parallel-ingest work carry no
+        // "threads" key; they must parse as threads = 1, not error.
+        let legacy = sample(2.0, 19998.9554).replace("\"threads\": 1, ", "");
+        let s = BenchSummary::parse(&legacy).unwrap();
+        assert_eq!(s.systems[0].threads, 1);
+        assert_eq!(s.systems[1].threads, 1);
+    }
+
+    #[test]
+    fn thread_count_change_fails_the_gate() {
+        let base = BenchSummary::parse(&sample(2.0, 19998.9554)).unwrap();
+        let mut fresh = base.clone();
+        fresh.systems[1].threads = 4;
+        let r = compare(&base, &fresh, 0.30);
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("worker count"), "{:?}", r.failures);
     }
 
     #[test]

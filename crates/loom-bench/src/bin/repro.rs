@@ -2,9 +2,14 @@
 //!
 //! ```text
 //! repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations|online]
-//!       [--scale tiny|small|medium|large] [--seed N] [--jsonl PATH]
+//!       [--scale tiny|small|medium|large] [--seed N] [--threads N] [--jsonl PATH]
 //!       [--bench-json PATH|none] [--compare-bench PATH]
 //! ```
+//!
+//! `--threads N` runs every timed partition leg with N ingest workers
+//! (default 1 = sequential). Quality numbers are bit-identical for any
+//! value — parallelism only fans out the pure probe phase (DESIGN.md
+//! §13) — so this moves only the throughput columns.
 //!
 //! Prints paper-style markdown tables to stdout; with `--jsonl` also
 //! writes machine-readable result rows for the ipt experiments. Every
@@ -84,6 +89,14 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad seed: {e}"))?
             }
+            "--threads" | "-t" => {
+                options.threads = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+                if options.threads == 0 {
+                    return Err("--threads must be >= 1 (1 = sequential)".into());
+                }
+            }
             "--jsonl" => jsonl = Some(take_value(&mut i)?),
             "--bench-json" => {
                 let v = take_value(&mut i)?;
@@ -92,7 +105,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
             "--compare-bench" => compare_bench = Some(take_value(&mut i)?),
             "--help" | "-h" => {
                 println!(
-                    "repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations|online]\n      [--scale tiny|small|medium|large] [--seed N] [--jsonl PATH]\n      [--bench-json PATH|none] [--compare-bench PATH]"
+                    "repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations|online]\n      [--scale tiny|small|medium|large] [--seed N] [--threads N] [--jsonl PATH]\n      [--bench-json PATH|none] [--compare-bench PATH]"
                 );
                 std::process::exit(0);
             }
@@ -187,7 +200,23 @@ fn main() {
         eprintln!("wrote {} result rows to {path}", all_results.len() * 4);
     }
 
-    let summary = suites::bench_summary(&suites_run, &opts, &all_results);
+    // The parallel-ingest trajectory row: rerun the Loom legs at 4
+    // ingest workers (quality provably identical, throughput tracked
+    // PR over PR as "Loom@t4"). Only when a summary is actually
+    // consumed — the rerun costs a full Loom pass per ipt cell.
+    const PARALLEL_ROW_THREADS: usize = 4;
+    let loom_t4 =
+        if !all_results.is_empty() && (args.bench_json.is_some() || args.compare_bench.is_some()) {
+            suites::loom_parallel_rerun(&all_results, PARALLEL_ROW_THREADS)
+        } else {
+            Vec::new()
+        };
+    let summary = suites::bench_summary(
+        &suites_run,
+        &opts,
+        &all_results,
+        Some((PARALLEL_ROW_THREADS, &loom_t4)),
+    );
     // Read the committed baseline BEFORE any write: with the default
     // --bench-json path, `--compare-bench BENCH_results.json` names
     // the same file the fresh summary is about to land in, and a

@@ -20,6 +20,10 @@ pub struct SuiteOptions {
     pub scale: Scale,
     /// Master seed.
     pub seed: u64,
+    /// Ingest worker count for every timed partition leg (1 = fully
+    /// sequential). Quality numbers are bit-identical for any value
+    /// (DESIGN.md §13); this only moves the throughput columns.
+    pub threads: usize,
 }
 
 impl Default for SuiteOptions {
@@ -27,6 +31,7 @@ impl Default for SuiteOptions {
         SuiteOptions {
             scale: Scale::Small,
             seed: 42,
+            threads: 1,
         }
     }
 }
@@ -34,6 +39,7 @@ impl Default for SuiteOptions {
 fn cfg_for(opts: &SuiteOptions, dataset: DatasetKind, order: StreamOrder) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::evaluation_defaults(dataset, opts.scale, order);
     cfg.seed = opts.seed;
+    cfg.threads = opts.threads.max(1);
     cfg
 }
 
@@ -569,7 +575,9 @@ pub fn online(opts: &SuiteOptions) -> String {
                         ..EngineConfig::default()
                     },
                 );
-                engine.run(&mut stream.source(), None, |_| {});
+                engine
+                    .run(&mut stream.source(), None, |_| {})
+                    .expect("materialised-stream ingest cannot fail");
                 engine.finish();
                 let a = engine.into_assignment();
                 let m = PartitionMetrics::measure(&graph, &a);
@@ -611,14 +619,77 @@ pub fn jsonl(results: &[loom_core::ExperimentResult]) -> String {
     out
 }
 
+/// Re-run the Loom leg of every ipt cell at `threads` ingest workers
+/// and return the timed rows — the `Loom@t{threads}` line of the bench
+/// summary, which tracks the *parallel* ingest trajectory PR over PR.
+///
+/// Parallel ingest is bit-identical to sequential by contract
+/// (`crates/loom-core/tests/parallel_equivalence.rs`), so the quality
+/// numbers of the rerun must equal the sequential Loom rows to every
+/// digit; this asserts it per cell rather than trusting the suite.
+pub fn loom_parallel_rerun(
+    results: &[loom_core::ExperimentResult],
+    threads: usize,
+) -> Vec<loom_core::SystemResult> {
+    let mut rows = Vec::new();
+    for r in results {
+        let Some(seq) = r.system(System::Loom) else {
+            continue;
+        };
+        let mut cfg = r.config.clone();
+        cfg.threads = threads;
+        let graph = datasets::generate(cfg.dataset, cfg.scale, cfg.seed);
+        let workload = workload_for(cfg.dataset);
+        let stream = GraphStream::from_graph(&graph, cfg.order, cfg.seed);
+        let (assignment, took) = loom_core::partition_timed(System::Loom, &cfg, &stream, &workload);
+        let metrics = PartitionMetrics::measure(&graph, &assignment);
+        let report = count_ipt(&graph, &assignment, &workload, cfg.limit_per_query);
+        assert_eq!(
+            report.weighted_ipt.to_bits(),
+            seq.weighted_ipt.to_bits(),
+            "Loom@t{threads} weighted_ipt diverged from sequential Loom on {:?}",
+            cfg.dataset
+        );
+        assert_eq!(
+            metrics.imbalance.to_bits(),
+            seq.metrics.imbalance.to_bits(),
+            "Loom@t{threads} imbalance diverged from sequential Loom on {:?}",
+            cfg.dataset
+        );
+        rows.push(loom_core::SystemResult {
+            system: System::Loom,
+            weighted_ipt: report.weighted_ipt,
+            total_ipt: report.total_ipt(),
+            matches: report.total_matches(),
+            metrics,
+            partition_time: took,
+            edges: graph.num_edges(),
+        });
+    }
+    rows
+}
+
+fn summary_row(name: &str, threads: usize, rows: &[&loom_core::SystemResult]) -> String {
+    let n = rows.len() as f64;
+    let ms = rows.iter().map(|s| s.ms_per_10k_edges()).sum::<f64>() / n;
+    let ipt = rows.iter().map(|s| s.weighted_ipt).sum::<f64>() / n;
+    let imb = rows.iter().map(|s| s.metrics.imbalance).sum::<f64>() / n;
+    format!(
+        "    \"{name}\": {{\"ms_per_10k_edges\": {ms:.3}, \"weighted_ipt\": {ipt:.4}, \"imbalance\": {imb:.5}, \"threads\": {threads}, \"cells\": {}}}",
+        rows.len(),
+    )
+}
+
 /// Machine-readable run summary for `BENCH_results.json`: per-system
 /// mean throughput (ms/10k edges) and weighted ipt across every ipt
 /// experiment cell the run produced, keyed by the suites that ran.
-/// Tracks the perf trajectory PR over PR.
+/// Tracks the perf trajectory PR over PR. `parallel_loom` adds an
+/// extra `Loom@t{N}` row from [`loom_parallel_rerun`].
 pub fn bench_summary(
     suites_run: &[&str],
     opts: &SuiteOptions,
     results: &[loom_core::ExperimentResult],
+    parallel_loom: Option<(usize, &[loom_core::SystemResult])>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -634,27 +705,22 @@ pub fn bench_summary(
         results.len(),
     ));
     out.push_str("  \"systems\": {\n");
-    let mut first = true;
+    let mut lines = Vec::new();
     for sys in System::ALL {
         let rows: Vec<&loom_core::SystemResult> =
             results.iter().filter_map(|r| r.system(sys)).collect();
         if rows.is_empty() {
             continue;
         }
-        let n = rows.len() as f64;
-        let ms = rows.iter().map(|s| s.ms_per_10k_edges()).sum::<f64>() / n;
-        let ipt = rows.iter().map(|s| s.weighted_ipt).sum::<f64>() / n;
-        let imb = rows.iter().map(|s| s.metrics.imbalance).sum::<f64>() / n;
-        if !first {
-            out.push_str(",\n");
-        }
-        first = false;
-        out.push_str(&format!(
-            "    \"{}\": {{\"ms_per_10k_edges\": {ms:.3}, \"weighted_ipt\": {ipt:.4}, \"imbalance\": {imb:.5}, \"cells\": {}}}",
-            sys.name(),
-            rows.len(),
-        ));
+        lines.push(summary_row(sys.name(), opts.threads.max(1), &rows));
     }
+    if let Some((threads, rows)) = parallel_loom {
+        if !rows.is_empty() {
+            let refs: Vec<&loom_core::SystemResult> = rows.iter().collect();
+            lines.push(summary_row(&format!("Loom@t{threads}"), threads, &refs));
+        }
+    }
+    out.push_str(&lines.join(",\n"));
     out.push_str("\n  }\n}\n");
     out
 }
@@ -667,6 +733,7 @@ mod tests {
         SuiteOptions {
             scale: Scale::Tiny,
             seed: 42,
+            threads: 1,
         }
     }
 

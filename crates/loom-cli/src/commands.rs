@@ -31,6 +31,9 @@ commands:
              [--system hash|ldg|fennel|loom] [--workload FILE]
              [--batch N (ingest batch size; 1 = edge-at-a-time,
               bit-identical either way; default 256)]
+             [--threads N (ingest worker count; default 1 = sequential;
+              results are bit-identical for any value — workers only
+              fan out the pure probe phase)]
              [--snapshot-every N] [--max-edges N] [--window N]
              [--adjacency-horizon N|unbounded (loom only: edges kept in
               the scored neighbourhood; default 64 windows)]
@@ -354,6 +357,13 @@ fn stream_cmd(args: &Args) -> Result<()> {
     if batch == 0 {
         return Err("--batch must be >= 1 (1 = edge-at-a-time)".into());
     }
+    // Ingest worker count. Like --batch, purely a throughput knob:
+    // assignments, stats and snapshots are bit-identical for any value
+    // (tests/parallel_equivalence.rs).
+    let threads = args.parsed_or("threads", 1usize)?;
+    if threads == 0 {
+        return Err("--threads must be >= 1 (1 = sequential)".into());
+    }
     let seed = args.parsed_or("seed", 42u64)?;
     let window = args.parsed_or("window", 1_024usize)?;
     let threshold = args.parsed_or("threshold", 0.4f64)?;
@@ -450,7 +460,7 @@ fn stream_cmd(args: &Args) -> Result<()> {
         });
     }
 
-    let partitioner: Box<dyn StreamPartitioner> = match system.to_ascii_lowercase().as_str() {
+    let mut partitioner: Box<dyn StreamPartitioner> = match system.to_ascii_lowercase().as_str() {
         "hash" => Box::new(HashPartitioner::new(k, seed)),
         "ldg" => Box::new(LdgPartitioner::new(k, CapacityModel::Adaptive)),
         "fennel" => Box::new(FennelPartitioner::new(
@@ -478,6 +488,7 @@ fn stream_cmd(args: &Args) -> Result<()> {
         }
         other => return Err(format!("unknown system '{other}'").into()),
     };
+    partitioner.set_threads(threads);
 
     let mut engine = OnlineEngine::new(
         partitioner,
@@ -500,10 +511,14 @@ fn stream_cmd(args: &Args) -> Result<()> {
         Some(max_edges)
     };
     let mut last_printed: Option<(u64, usize, u64, u64)> = None;
+    // A worker panic during a parallel batch surfaces as a clean
+    // engine error naming the batch and the stream-global edge; the
+    // partitioner's state is unspecified afterwards, so bail before
+    // finish() rather than drain a poisoned window.
     engine.run(source.as_mut(), budget, |s| {
         last_printed = Some((s.edges, s.vertices, s.cut_edges, s.resolved_edges));
         print_snapshot(s);
-    });
+    })?;
     // A feed that stopped on a fatal ingest error (malformed line,
     // read failure) is not a feed that ended: report what was
     // partitioned, then exit non-zero so pipelines notice.
@@ -562,8 +577,20 @@ fn print_snapshot(s: &loom_core::engine::Snapshot) {
         ),
         None => String::new(),
     };
+    // Parallel-ingest phase split, only when running with more than
+    // one worker — threads=1 output stays byte-identical to the
+    // sequential builds (ci.sh diffs the two directly).
+    let ingest = match &s.ingest {
+        Some(p) => format!(
+            "  threads {}  probe {:.0}ms commit {:.0}ms",
+            p.threads,
+            p.probe_ns as f64 / 1e6,
+            p.commit_ns as f64 / 1e6
+        ),
+        None => String::new(),
+    };
     println!(
-        "snapshot {:>4}  edges {:>10}  vertices {:>9}  capacity {:>12.1}  imbalance {:>5.1}%  cut {:>5.1}% ({}/{}){}{}{}",
+        "snapshot {:>4}  edges {:>10}  vertices {:>9}  capacity {:>12.1}  imbalance {:>5.1}%  cut {:>5.1}% ({}/{}){}{}{}{}",
         s.seq,
         s.edges,
         s.vertices,
@@ -575,6 +602,7 @@ fn print_snapshot(s: &loom_core::engine::Snapshot) {
         ipt,
         arena,
         adjacency,
+        ingest,
     );
 }
 

@@ -18,9 +18,38 @@
 
 use loom_graph::{EdgeSource, LabeledGraph, StreamEdge, Workload};
 use loom_matcher::ArenaOccupancy;
-use loom_partition::{AdjacencyOccupancy, Assignment, PartitionState, StreamPartitioner};
+use loom_partition::{
+    AdjacencyOccupancy, Assignment, IngestPhases, PartitionState, StreamPartitioner,
+};
 use loom_query::count_ipt;
 use std::collections::VecDeque;
+
+/// A fatal ingest failure: a worker panicked while probing an edge of
+/// a parallel batch. The engine names the batch and the stream-global
+/// edge so the failure is reproducible; the run is abandoned (the
+/// partitioner's state after an error is unspecified).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineError {
+    /// 1-based ordinal of the failing batch (as handed to the
+    /// partitioner — cadence splitting counts).
+    pub batch: u64,
+    /// 0-based stream-global index of the failing edge.
+    pub edge_index: u64,
+    /// The worker's panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ingest failed in batch {} at edge {}: {}",
+            self.batch, self.edge_index, self.message
+        )
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Engine knobs.
 #[derive(Clone, Copy, Debug)]
@@ -95,6 +124,12 @@ pub struct Snapshot {
     /// [`Snapshot::arena`] for the other stream-length-proportional
     /// store retention bounds (DESIGN.md §11).
     pub adjacency: Option<AdjacencyOccupancy>,
+    /// Worker count and per-phase wall-time (parallel probe vs
+    /// sequential commit) of the partitioner's ingest pipeline, when
+    /// it runs with more than one worker. `None` single-threaded, so
+    /// every threads=1 consumer's output stays byte-identical to the
+    /// sequential builds.
+    pub ingest: Option<IngestPhases>,
 }
 
 impl Snapshot {
@@ -151,6 +186,9 @@ pub struct OnlineEngine {
     partitioner: Box<dyn StreamPartitioner>,
     config: EngineConfig,
     edges: u64,
+    /// Batches handed to the partitioner so far (cadence splitting
+    /// counts) — names the failing batch in [`EngineError`].
+    batches: u64,
     seq: usize,
     /// Ingested edges whose endpoints are not both assigned yet
     /// (bounded by the partitioner's buffering — Loom's window).
@@ -169,6 +207,7 @@ impl OnlineEngine {
             partitioner,
             config,
             edges: 0,
+            batches: 0,
             seq: 0,
             pending: VecDeque::new(),
             cut_edges: 0,
@@ -250,7 +289,16 @@ impl OnlineEngine {
     /// edge — the counters it feeds are only ever *read* through a
     /// snapshot's `settle`, which drains everything resolved either
     /// way).
-    pub fn ingest_batch(&mut self, edges: &[StreamEdge], mut on_snapshot: impl FnMut(&Snapshot)) {
+    ///
+    /// `Err` means a worker panicked probing an edge of a parallel
+    /// batch ([`loom_partition::IngestError`]): the error names the
+    /// batch and the stream-global edge, and the run must be
+    /// abandoned. Sequential ingest (threads = 1) cannot fail.
+    pub fn ingest_batch(
+        &mut self,
+        edges: &[StreamEdge],
+        mut on_snapshot: impl FnMut(&Snapshot),
+    ) -> Result<(), EngineError> {
         let mut rest = edges;
         while !rest.is_empty() {
             let until_cadence = if self.config.snapshot_every > 0 {
@@ -261,7 +309,14 @@ impl OnlineEngine {
             };
             let (chunk, tail) = rest.split_at(until_cadence.min(rest.len()));
             rest = tail;
-            self.partitioner.on_batch(chunk);
+            self.batches += 1;
+            self.partitioner
+                .try_on_batch(chunk)
+                .map_err(|e| EngineError {
+                    batch: self.batches,
+                    edge_index: self.edges + e.edge_offset as u64,
+                    message: e.message,
+                })?;
             self.edges += chunk.len() as u64;
             if let Some(probe) = &mut self.probe {
                 for e in chunk {
@@ -288,6 +343,7 @@ impl OnlineEngine {
                 on_snapshot(&self.snapshot());
             }
         }
+        Ok(())
     }
 
     /// Drain `source` into the engine, calling `on_snapshot` at each
@@ -295,12 +351,16 @@ impl OnlineEngine {
     /// been ingested (`None` = until the source ends — do not pass
     /// `None` for infinite sources). Pulls and ingests in batches of
     /// [`EngineConfig::batch_size`] when one is configured.
+    ///
+    /// `Err` propagates a worker panic from a parallel batch (see
+    /// [`OnlineEngine::ingest_batch`]); the edge-at-a-time path cannot
+    /// fail.
     pub fn run<S: EdgeSource + ?Sized>(
         &mut self,
         source: &mut S,
         max_edges: Option<u64>,
         mut on_snapshot: impl FnMut(&Snapshot),
-    ) {
+    ) -> Result<(), EngineError> {
         let batch = self.config.batch_size;
         if batch <= 1 {
             while max_edges.is_none_or(|m| self.edges < m) {
@@ -309,7 +369,7 @@ impl OnlineEngine {
                     on_snapshot(&s);
                 }
             }
-            return;
+            return Ok(());
         }
         let mut buf: Vec<StreamEdge> = Vec::with_capacity(batch);
         loop {
@@ -322,8 +382,9 @@ impl OnlineEngine {
             if source.next_batch_into(&mut buf, want) == 0 {
                 break;
             }
-            self.ingest_batch(&buf, &mut on_snapshot);
+            self.ingest_batch(&buf, &mut on_snapshot)?;
         }
+        Ok(())
     }
 
     /// Fold newly-resolved pending edges into the running cut counters.
@@ -361,6 +422,7 @@ impl OnlineEngine {
             .map(|p| p.measure(&state.to_assignment()));
         let arena = self.partitioner.arena();
         let adjacency = self.partitioner.adjacency();
+        let ingest = self.partitioner.ingest_phases();
         Snapshot {
             seq: self.seq,
             edges: self.edges,
@@ -373,6 +435,7 @@ impl OnlineEngine {
             weighted_ipt,
             arena,
             adjacency,
+            ingest,
         }
     }
 
@@ -411,7 +474,9 @@ mod tests {
         let mut engine = ldg_engine(1_000);
         let mut source = SyntheticEdgeSource::new(11, 4);
         let mut snaps = Vec::new();
-        engine.run(&mut source, Some(5_000), |s| snaps.push(s.clone()));
+        engine
+            .run(&mut source, Some(5_000), |s| snaps.push(s.clone()))
+            .unwrap();
         assert_eq!(snaps.len(), 5);
         assert_eq!(snaps[0].edges, 1_000);
         assert_eq!(snaps[4].edges, 5_000);
@@ -447,7 +512,7 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        engine.run(&mut stream.source(), None, |_| {});
+        engine.run(&mut stream.source(), None, |_| {}).unwrap();
         engine.finish();
         let engine_a = engine.into_assignment();
 
@@ -464,7 +529,7 @@ mod tests {
         let boxed: Box<dyn StreamPartitioner> = Box::new(HashPartitioner::new(4, 5));
         let mut engine = OnlineEngine::new(boxed, EngineConfig::default())
             .with_ipt_probe(workload.clone(), 50_000);
-        engine.run(&mut stream.source(), None, |_| {});
+        engine.run(&mut stream.source(), None, |_| {}).unwrap();
         let fin = engine.finish();
         let probe_ipt = fin.weighted_ipt.expect("probe attached");
 
@@ -495,7 +560,7 @@ mod tests {
             &workload,
         );
         let mut engine = OnlineEngine::new(loom, EngineConfig::default());
-        engine.run(&mut stream.source(), None, |_| {});
+        engine.run(&mut stream.source(), None, |_| {}).unwrap();
         let snap = engine.snapshot();
         let arena = snap.arena.expect("Loom snapshots carry arena occupancy");
         assert!(arena.live_matches <= arena.total_matches);
@@ -518,7 +583,7 @@ mod tests {
 
         let mut ldg_engine = ldg_engine(0);
         let mut source = SyntheticEdgeSource::new(5, 3);
-        ldg_engine.run(&mut source, Some(500), |_| {});
+        ldg_engine.run(&mut source, Some(500), |_| {}).unwrap();
         let baseline_snap = ldg_engine.snapshot();
         assert!(baseline_snap.arena.is_none(), "baselines have no arena");
         assert!(
@@ -538,9 +603,11 @@ mod tests {
             },
         );
         let mut source = SyntheticEdgeSource::new(2, 2);
-        engine.run(&mut source, Some(100), |s| {
-            assert_eq!(s.resolved_edges, s.edges);
-        });
+        engine
+            .run(&mut source, Some(100), |s| {
+                assert_eq!(s.resolved_edges, s.edges);
+            })
+            .unwrap();
         let s = engine.snapshot();
         assert!(s.vertices > 0);
         assert!(engine.state().is_assigned(VertexId(0)));

@@ -29,7 +29,7 @@ pub mod pipeline;
 pub mod report;
 
 pub use config::{ExperimentConfig, System};
-pub use engine::{EngineConfig, OnlineEngine, Snapshot};
+pub use engine::{EngineConfig, EngineError, OnlineEngine, Snapshot};
 pub use pipeline::{
     make_partitioner, partition_timed, run_experiment, run_experiment_with, ExperimentResult,
     SystemResult,
@@ -44,7 +44,7 @@ pub use loom_query as query;
 /// Everything a typical caller needs, in one import.
 pub mod prelude {
     pub use crate::config::{ExperimentConfig, System};
-    pub use crate::engine::{EngineConfig, OnlineEngine, Snapshot};
+    pub use crate::engine::{EngineConfig, EngineError, OnlineEngine, Snapshot};
     pub use crate::pipeline::{run_experiment, run_experiment_with, ExperimentResult};
     pub use loom_graph::{
         DatasetKind, EdgeSource, GraphStream, Label, LabeledGraph, PatternGraph, Scale,

@@ -87,7 +87,7 @@ pub fn make_partitioner_with_capacity(
     num_labels: usize,
     workload: &Workload,
 ) -> Box<dyn StreamPartitioner> {
-    match system {
+    let mut p: Box<dyn StreamPartitioner> = match system {
         System::Hash => Box::new(HashPartitioner::new(config.k, config.seed)),
         System::Ldg => Box::new(LdgPartitioner::new(config.k, capacity)),
         System::Fennel => Box::new(FennelPartitioner::new(
@@ -110,7 +110,9 @@ pub fn make_partitioner_with_capacity(
             };
             Box::new(LoomPartitioner::new(&loom_cfg, workload, num_labels))
         }
-    }
+    };
+    p.set_threads(config.threads.max(1));
+    p
 }
 
 /// Construct one of the four partitioners for a materialised stream —
@@ -163,7 +165,9 @@ pub fn partition_timed(
         },
     );
     let start = Instant::now();
-    engine.run(&mut stream.source(), None, |_| {});
+    engine
+        .run(&mut stream.source(), None, |_| {})
+        .expect("materialised-stream ingest cannot fail");
     engine.finish();
     let elapsed = start.elapsed();
     (engine.into_assignment(), elapsed)

@@ -176,7 +176,9 @@ fn engine_run(
         edges: edges.to_vec(),
         pos: 0,
     };
-    engine.run(&mut source, None, |s| snaps.push(s.clone()));
+    engine
+        .run(&mut source, None, |s| snaps.push(s.clone()))
+        .unwrap();
     let fin = engine.finish();
     let max_v = edges
         .iter()
@@ -368,7 +370,9 @@ fn snapshots_fire_inside_batches_and_respect_max_edges() {
             edges: edges.clone(),
             pos: 0,
         };
-        engine.run(&mut source, Some(105), |s| snaps.push(s.clone()));
+        engine
+            .run(&mut source, Some(105), |s| snaps.push(s.clone()))
+            .unwrap();
         assert_eq!(engine.edges_ingested(), 105, "batch {batch_size}");
         (snaps, engine.finish())
     };

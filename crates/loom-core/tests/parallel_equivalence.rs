@@ -1,0 +1,403 @@
+//! Parallel-equivalence oracle: multi-worker ingest is **bit-identical**
+//! to sequential ingest, for any worker count and any batch size
+//! (DESIGN.md §13).
+//!
+//! The parallel pipeline fans out only the pure per-edge work (the
+//! single-edge classification and the read-only matcher probe) and
+//! commits strictly in arrival order, recomputing any probe that an
+//! earlier commit invalidated. These tests pin the contract against a
+//! sequential twin:
+//!
+//! * the partitioner layer — `try_on_batch` at worker counts {1, 2, 4,
+//!   8} × batch sizes {1, 64, 256, 1024} vs a twin driven through
+//!   `on_edge`, compared on final assignments, every `LoomStats`
+//!   counter, window occupancy, and the arena/adjacency occupancy
+//!   structs;
+//! * the engine layer — the complete periodic snapshot sequence
+//!   (every field except the observability-only `ingest` phase
+//!   timings, floats by bit pattern) plus the final drained snapshot
+//!   and assignment;
+//! * the failure path — an injected worker panic surfaces as a clean
+//!   `EngineError` naming the batch and the stream-global edge, after
+//!   every edge *before* it has committed, instead of hanging.
+//!
+//! Streams are the same adversarial shape as the batch-equivalence
+//! suite: hub-heavy shuffled motif soups with a small window and a
+//! biting adjacency horizon, so commits invalidate in-flight probes
+//! constantly (the interesting case — a stream of independent edges
+//! would validate every probe and prove nothing).
+
+use loom_core::engine::{EngineConfig, OnlineEngine, Snapshot};
+use loom_graph::{EdgeId, EdgeSource, Label, PatternGraph, StreamEdge, VertexId, Workload};
+use loom_partition::{
+    AdjacencyHorizon, CapacityModel, EoParams, HashPartitioner, LoomConfig, LoomPartitioner,
+    StreamPartitioner,
+};
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+
+const A: Label = Label(0);
+const B: Label = Label(1);
+const C: Label = Label(2);
+
+/// A hub-heavy labelled motif stream (see `batch_equivalence.rs`):
+/// a–b–c chains, hub→b edges piling matches onto one vertex, and
+/// non-motif c–c bypass edges, shuffled into a seeded arrival order.
+fn hub_stream(n_chains: usize, seed: u64) -> (Vec<StreamEdge>, Workload) {
+    let hub = 0u32;
+    let mut edges = Vec::new();
+    for i in 0..n_chains as u32 {
+        let (a, b, c) = (3 * i + 1, 3 * i + 2, 3 * i + 3);
+        edges.push((a, A, b, B));
+        edges.push((b, B, c, C));
+        edges.push((hub, A, b, B));
+        if i > 0 {
+            edges.push((c, C, c - 3, C));
+        }
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    for i in (1..edges.len()).rev() {
+        edges.swap(i, rng.gen_range(0..=i));
+    }
+    let stream = edges
+        .into_iter()
+        .enumerate()
+        .map(|(id, (src, sl, dst, dl))| StreamEdge {
+            id: EdgeId(id as u32),
+            src: VertexId(src),
+            dst: VertexId(dst),
+            src_label: sl,
+            dst_label: dl,
+        })
+        .collect();
+    let workload = Workload::new(vec![(PatternGraph::path("q", vec![A, B, C]), 1.0)]);
+    (stream, workload)
+}
+
+fn loom(
+    k: usize,
+    window: usize,
+    horizon: u64,
+    workload: &Workload,
+    num_labels: usize,
+) -> LoomPartitioner {
+    let config = LoomConfig {
+        k,
+        window_size: window,
+        support_threshold: 0.4,
+        prime: 251,
+        eo: EoParams::default(),
+        capacity_slack: 1.1,
+        capacity: CapacityModel::Adaptive,
+        seed: 7,
+        allocation: Default::default(),
+        adjacency_horizon: AdjacencyHorizon::Edges(horizon),
+    };
+    LoomPartitioner::new(&config, workload, num_labels)
+}
+
+/// Drive a Loom partitioner through `try_on_batch` at the given worker
+/// count and uniform batch size, then finish.
+fn run_parallel(
+    edges: &[StreamEdge],
+    workload: &Workload,
+    k: usize,
+    window: usize,
+    horizon: u64,
+    threads: usize,
+    batch: usize,
+) -> LoomPartitioner {
+    let mut p = loom(k, window, horizon, workload, 3);
+    p.set_threads(threads);
+    for chunk in edges.chunks(batch) {
+        p.try_on_batch(chunk).expect("no panic injected");
+    }
+    p.finish();
+    p
+}
+
+fn assert_partitioners_identical(
+    seq: &LoomPartitioner,
+    par: &LoomPartitioner,
+    ctx: &str,
+    edges: &[StreamEdge],
+) {
+    let (a, b) = (seq.stats(), par.stats());
+    assert_eq!(a.bypassed, b.bypassed, "{ctx}: bypassed");
+    assert_eq!(a.buffered, b.buffered, "{ctx}: buffered");
+    assert_eq!(a.auctions, b.auctions, "{ctx}: auctions");
+    assert_eq!(
+        a.matches_assigned, b.matches_assigned,
+        "{ctx}: matches_assigned"
+    );
+    assert_eq!(
+        a.fallback_auctions, b.fallback_auctions,
+        "{ctx}: fallback_auctions"
+    );
+    assert_eq!(seq.window_len(), par.window_len(), "{ctx}: window_len");
+    assert_eq!(seq.arena(), par.arena(), "{ctx}: arena occupancy");
+    assert_eq!(
+        seq.adjacency_occupancy(),
+        par.adjacency_occupancy(),
+        "{ctx}: adjacency occupancy"
+    );
+    for e in edges {
+        for v in [e.src, e.dst] {
+            assert_eq!(
+                seq.state().partition_of(v),
+                par.state().partition_of(v),
+                "{ctx}: assignment diverged at {v:?}"
+            );
+        }
+    }
+}
+
+/// Every-field snapshot equality except the observability-only
+/// `ingest` phase timings (wall-clock is allowed to differ; nothing
+/// else is). Floats compared by bit pattern.
+fn assert_snap_eq(a: &Snapshot, b: &Snapshot, ctx: &str) {
+    assert_eq!(a.seq, b.seq, "{ctx}: seq");
+    assert_eq!(a.edges, b.edges, "{ctx}: edges");
+    assert_eq!(a.vertices, b.vertices, "{ctx}: vertices");
+    assert_eq!(a.sizes, b.sizes, "{ctx}: sizes");
+    assert_eq!(
+        a.capacity.to_bits(),
+        b.capacity.to_bits(),
+        "{ctx}: capacity"
+    );
+    assert_eq!(
+        a.imbalance.to_bits(),
+        b.imbalance.to_bits(),
+        "{ctx}: imbalance"
+    );
+    assert_eq!(a.cut_edges, b.cut_edges, "{ctx}: cut_edges");
+    assert_eq!(a.resolved_edges, b.resolved_edges, "{ctx}: resolved_edges");
+    assert_eq!(
+        a.weighted_ipt.map(f64::to_bits),
+        b.weighted_ipt.map(f64::to_bits),
+        "{ctx}: weighted_ipt"
+    );
+    assert_eq!(a.arena, b.arena, "{ctx}: arena occupancy");
+    assert_eq!(a.adjacency, b.adjacency, "{ctx}: adjacency occupancy");
+}
+
+struct VecSource {
+    edges: Vec<StreamEdge>,
+    pos: usize,
+}
+
+impl EdgeSource for VecSource {
+    fn next_edge(&mut self) -> Option<StreamEdge> {
+        let e = self.edges.get(self.pos).copied();
+        self.pos += e.is_some() as usize;
+        e
+    }
+}
+
+/// The acceptance cross: worker counts {1, 2, 4, 8} × batch sizes
+/// {1, 64, 256, 1024} on a stream long enough that arena and adjacency
+/// compaction fire mid-batch, every cell bit-identical to the
+/// sequential twin.
+#[test]
+fn worker_count_and_batch_size_cross_matches_sequential_twin() {
+    let (edges, workload) = hub_stream(2_400, 0x517e);
+    let (k, window, horizon) = (4, 16, 96);
+    let mut seq = loom(k, window, horizon, &workload, 3);
+    for e in &edges {
+        seq.on_edge(e);
+    }
+    seq.finish();
+    // The stream must actually exercise reclaim under parallel ingest,
+    // or the generation-stamp half of probe validation goes untested.
+    assert!(
+        seq.arena().expect("Loom has an arena").generation >= 1,
+        "stream too short: arena never compacted"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        for batch in [1usize, 64, 256, 1024] {
+            let par = run_parallel(&edges, &workload, k, window, horizon, threads, batch);
+            assert_partitioners_identical(
+                &seq,
+                &par,
+                &format!("threads {threads}, batch {batch}"),
+                &edges,
+            );
+        }
+    }
+}
+
+/// Sharded Hash ingest is bit-identical to sequential Hash ingest
+/// (first-seen endpoint assignment stays in arrival order).
+#[test]
+fn hash_sharded_ingest_matches_sequential_twin() {
+    let (edges, _) = hub_stream(400, 0xba5e);
+    let mut seq = HashPartitioner::new(8, 3);
+    for e in &edges {
+        seq.on_edge(e);
+    }
+    seq.finish();
+    for threads in [2usize, 4, 8] {
+        for batch in [3usize, 256, 1024] {
+            let mut par = HashPartitioner::new(8, 3);
+            par.set_threads(threads);
+            for chunk in edges.chunks(batch) {
+                par.try_on_batch(chunk).unwrap();
+            }
+            par.finish();
+            for e in &edges {
+                for v in [e.src, e.dst] {
+                    assert_eq!(
+                        seq.state().partition_of(v),
+                        par.state().partition_of(v),
+                        "threads {threads}, batch {batch}: diverged at {v:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Engine layer: the complete periodic snapshot sequence and the final
+/// assignment are identical across worker counts, with the cadence
+/// deliberately splitting batches mid-flight.
+#[test]
+fn engine_snapshots_identical_across_worker_counts() {
+    let (edges, workload) = hub_stream(200, 0xcade);
+    let run = |threads: usize| {
+        let mut p: Box<dyn StreamPartitioner> = Box::new(loom(3, 10, 48, &workload, 3));
+        p.set_threads(threads);
+        let mut engine = OnlineEngine::new(
+            p,
+            EngineConfig {
+                snapshot_every: 97,
+                track_cuts: true,
+                batch_size: 256,
+            },
+        );
+        let mut snaps = Vec::new();
+        let mut source = VecSource {
+            edges: edges.clone(),
+            pos: 0,
+        };
+        engine
+            .run(&mut source, None, |s| snaps.push(s.clone()))
+            .unwrap();
+        let fin = engine.finish();
+        let max_v = edges.iter().flat_map(|e| [e.src.0, e.dst.0]).max().unwrap();
+        let assignment = engine.into_assignment();
+        let parts: Vec<_> = (0..=max_v)
+            .map(|v| assignment.partition_of(VertexId(v)))
+            .collect();
+        (snaps, fin, parts)
+    };
+    let (seq_snaps, seq_fin, seq_parts) = run(1);
+    assert!(seq_snaps.len() > 3, "cadence must fire mid-stream");
+    assert!(
+        seq_fin.ingest.is_none(),
+        "threads=1 snapshots must not carry phase timings"
+    );
+    for threads in [2usize, 4] {
+        let (snaps, fin, parts) = run(threads);
+        assert_eq!(snaps.len(), seq_snaps.len(), "threads {threads}: count");
+        for (s, r) in snaps.iter().zip(&seq_snaps) {
+            assert_snap_eq(s, r, &format!("threads {threads}, snapshot {}", r.seq));
+            let ingest = s.ingest.expect("parallel snapshots carry phase timings");
+            assert_eq!(ingest.threads, threads, "threads {threads}: worker count");
+        }
+        assert_snap_eq(&fin, &seq_fin, &format!("threads {threads}, final"));
+        assert_eq!(parts, seq_parts, "threads {threads}: final assignment");
+    }
+}
+
+/// An injected worker panic propagates as a clean `EngineError` naming
+/// the batch and the stream-global edge — the pool never hangs, and
+/// every edge before the failure has committed.
+#[test]
+fn worker_panic_surfaces_batch_and_edge_not_a_hang() {
+    let (edges, workload) = hub_stream(60, 0xdead);
+    let mut p = loom(3, 8, 40, &workload, 3);
+    p.set_threads(4);
+    // hub_stream ids enumerate the shuffled stream, so EdgeId(137) is
+    // the edge at stream position 137.
+    p.inject_probe_panic_at(EdgeId(137));
+    let boxed: Box<dyn StreamPartitioner> = Box::new(p);
+    let mut engine = OnlineEngine::new(
+        boxed,
+        EngineConfig {
+            snapshot_every: 0,
+            track_cuts: false,
+            batch_size: 50,
+        },
+    );
+    let mut source = VecSource {
+        edges: edges.clone(),
+        pos: 0,
+    };
+    let err = engine
+        .run(&mut source, None, |_| {})
+        .expect_err("injected panic must propagate");
+    // Edge 137 sits in the third 50-edge batch, at offset 37.
+    assert_eq!(err.batch, 3, "failing batch ordinal");
+    assert_eq!(err.edge_index, 137, "stream-global edge index");
+    assert!(
+        err.message.contains("injected"),
+        "panic message preserved: {}",
+        err.message
+    );
+    assert!(
+        err.to_string().contains("batch 3") && err.to_string().contains("edge 137"),
+        "display names batch and edge: {err}"
+    );
+    // The engine stopped at the failing batch — edges of earlier
+    // batches were ingested, later ones never pulled.
+    assert_eq!(engine.edges_ingested(), 100, "two clean batches committed");
+}
+
+/// The same injection on a single-threaded run is inert: the hook only
+/// arms the parallel probe path, so threads=1 ingest cannot fail.
+#[test]
+fn panic_injection_is_inert_when_sequential() {
+    let (edges, workload) = hub_stream(60, 0xdead);
+    let mut p = loom(3, 8, 40, &workload, 3);
+    p.inject_probe_panic_at(EdgeId(137));
+    for chunk in edges.chunks(50) {
+        p.try_on_batch(chunk)
+            .expect("sequential ingest cannot fail");
+    }
+    p.finish();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomised twin: worker counts {2, 4, 8} × batch sizes {2, 64,
+    /// 1024} over random hub streams, windows and horizons — the same
+    /// adversarial distribution as the batch-equivalence suite.
+    #[test]
+    fn parallel_ingest_matches_sequential_twin(
+        k in 2usize..5,
+        window in 2usize..16,
+        n_chains in 4usize..28,
+        seed in any::<u64>(),
+    ) {
+        let (edges, workload) = hub_stream(n_chains, seed);
+        let horizon = 1 + (seed % 32);
+        let mut seq = loom(k, window, horizon, &workload, 3);
+        for e in &edges {
+            seq.on_edge(e);
+        }
+        seq.finish();
+        for threads in [2usize, 4, 8] {
+            for batch in [2usize, 64, 1024] {
+                let par = run_parallel(&edges, &workload, k, window, horizon, threads, batch);
+                assert_partitioners_identical(
+                    &seq,
+                    &par,
+                    &format!("threads {threads}, batch {batch}"),
+                    &edges,
+                );
+            }
+        }
+    }
+}

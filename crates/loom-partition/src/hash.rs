@@ -6,14 +6,41 @@
 //! Hash's on the same dataset.
 
 use crate::state::{Assignment, CapacityModel, PartitionState};
-use crate::traits::StreamPartitioner;
+use crate::traits::{IngestError, IngestPhases, StreamPartitioner};
 use loom_graph::{PartitionId, StreamEdge, VertexId};
+use loom_runtime::WorkerPool;
 
 /// Hash partitioner: `partition(v) = hash(v) mod k`.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct HashPartitioner {
     state: PartitionState,
     seed: u64,
+    /// Worker count for batch ingest (1 = fully sequential). The hash
+    /// itself is a pure per-vertex function, so the fan-out shards the
+    /// target computation and only the first-seen assignment walk
+    /// stays sequential.
+    threads: usize,
+    pool: Option<WorkerPool>,
+    /// Per-batch `(target(src), target(dst))`, index-aligned with the
+    /// batch; reused across batches.
+    targets: Vec<(PartitionId, PartitionId)>,
+    probe_ns: u64,
+    commit_ns: u64,
+}
+
+impl Clone for HashPartitioner {
+    fn clone(&self) -> Self {
+        HashPartitioner {
+            state: self.state.clone(),
+            seed: self.seed,
+            threads: self.threads,
+            // The pool holds OS threads; a clone builds its own lazily.
+            pool: None,
+            targets: Vec::new(),
+            probe_ns: self.probe_ns,
+            commit_ns: self.commit_ns,
+        }
+    }
 }
 
 impl HashPartitioner {
@@ -27,13 +54,40 @@ impl HashPartitioner {
             // is exact for both known and unbounded streams.
             state: PartitionState::new(k, CapacityModel::Adaptive, 1.1),
             seed,
+            threads: 1,
+            pool: None,
+            targets: Vec::new(),
+            probe_ns: 0,
+            commit_ns: 0,
         }
     }
 
     fn target(&self, v: VertexId) -> PartitionId {
-        PartitionId((splitmix64(v.0 as u64 ^ self.seed) % self.state.k() as u64) as u32)
+        target_of(self.state.k(), self.seed, v)
     }
 }
+
+/// The placement rule as a free function of `(k, seed)`, so the
+/// parallel fan-out can compute targets without borrowing the
+/// partitioner.
+fn target_of(k: usize, seed: u64, v: VertexId) -> PartitionId {
+    PartitionId((splitmix64(v.0 as u64 ^ seed) % k as u64) as u32)
+}
+
+/// Raw cursor into the target array, shared across workers. Chunks
+/// tile the batch without overlap and the pool joins the job before
+/// `run` returns, so every slot has exactly one writer within the
+/// buffer's lifetime.
+#[derive(Clone, Copy)]
+struct TargetPtr(*mut (PartitionId, PartitionId));
+
+unsafe impl Send for TargetPtr {}
+unsafe impl Sync for TargetPtr {}
+
+/// Edges per fan-out chunk. Hashing is uniform and cheap, so chunks
+/// are larger than Loom's probe chunks — the claim overhead dominates
+/// otherwise.
+const HASH_CHUNK: usize = 256;
 
 /// SplitMix64 finaliser — a cheap, well-mixed integer hash.
 fn splitmix64(mut x: u64) -> u64 {
@@ -55,6 +109,81 @@ impl StreamPartitioner for HashPartitioner {
                 self.state.assign(v, p);
             }
         }
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        if threads != self.threads {
+            self.threads = threads;
+            self.pool = None;
+        }
+    }
+
+    fn try_on_batch(&mut self, batch: &[StreamEdge]) -> Result<(), IngestError> {
+        if self.threads <= 1 || batch.len() < 2 {
+            self.on_batch(batch);
+            return Ok(());
+        }
+        let t_probe = std::time::Instant::now();
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::new(self.threads));
+        }
+        if self.targets.len() < batch.len() {
+            self.targets
+                .resize(batch.len(), (PartitionId(0), PartitionId(0)));
+        }
+        let chunks = batch.len().div_ceil(HASH_CHUNK);
+        let slots = TargetPtr(self.targets.as_mut_ptr());
+        let (k, seed) = (self.state.k(), self.seed);
+        let task = |ci: usize| {
+            // Rebind so the closure captures the `Sync` wrapper, not
+            // the raw pointer field (edition-2021 disjoint capture).
+            #[allow(clippy::redundant_locals)]
+            let slots = slots;
+            let lo = ci * HASH_CHUNK;
+            let hi = batch.len().min(lo + HASH_CHUNK);
+            for (i, e) in batch[lo..hi].iter().enumerate().map(|(j, e)| (lo + j, e)) {
+                let t = (target_of(k, seed, e.src), target_of(k, seed, e.dst));
+                // SAFETY: slot `i` belongs to chunk `ci` alone; see
+                // `TargetPtr`.
+                unsafe { *slots.0.add(i) = t };
+            }
+        };
+        let fanout = self
+            .pool
+            .as_ref()
+            .expect("pool built above")
+            .run(chunks, &task);
+        self.probe_ns += t_probe.elapsed().as_nanos() as u64;
+        if let Err(p) = fanout {
+            return Err(IngestError {
+                edge_offset: p.chunk * HASH_CHUNK,
+                message: p.message,
+            });
+        }
+
+        // First-seen wins, so the assignment walk stays sequential in
+        // arrival order — bit-identical to `on_edge` per edge.
+        let t_commit = std::time::Instant::now();
+        for (i, e) in batch.iter().enumerate() {
+            let (ps, pd) = self.targets[i];
+            if !self.state.is_assigned(e.src) {
+                self.state.assign(e.src, ps);
+            }
+            if !self.state.is_assigned(e.dst) {
+                self.state.assign(e.dst, pd);
+            }
+        }
+        self.commit_ns += t_commit.elapsed().as_nanos() as u64;
+        Ok(())
+    }
+
+    fn ingest_phases(&self) -> Option<IngestPhases> {
+        (self.threads > 1).then_some(IngestPhases {
+            threads: self.threads,
+            probe_ns: self.probe_ns,
+            commit_ns: self.commit_ns,
+        })
     }
 
     fn finish(&mut self) {}

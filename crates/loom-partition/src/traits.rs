@@ -5,6 +5,49 @@ use crate::state::{AdjacencyOccupancy, Assignment, PartitionState};
 use loom_graph::{GraphStream, StreamEdge};
 use loom_matcher::ArenaOccupancy;
 
+/// A batch ingest failure surfaced by
+/// [`StreamPartitioner::try_on_batch`]: a worker panicked while
+/// probing one edge of the batch. The partitioner never hangs on a
+/// worker panic — the pool runs every chunk to completion and the
+/// lowest-offset failure is reported deterministically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IngestError {
+    /// Offset of the failing edge *within the batch* (the engine
+    /// translates this into a stream-global edge index).
+    pub edge_offset: usize,
+    /// The worker's panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked at batch offset {}: {}",
+            self.edge_offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Cumulative wall-time split of a parallel ingest, surfaced in engine
+/// snapshots when a partitioner runs with more than one worker:
+/// `probe_ns` is the fanned-out pure phase (classification + read-only
+/// matcher probes), `commit_ns` the sequential stateful phase (arena
+/// writes, eviction auctions, counter/adjacency upkeep). Timing is
+/// observability only — it never feeds back into any decision, so
+/// determinism is untouched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestPhases {
+    /// Worker count the partitioner is running with.
+    pub threads: usize,
+    /// Cumulative wall-clock nanoseconds in the parallel probe phase.
+    pub probe_ns: u64,
+    /// Cumulative wall-clock nanoseconds in the sequential commit phase.
+    pub commit_ns: u64,
+}
+
 /// A single-pass edge-stream partitioner.
 ///
 /// Implementations see each edge exactly once, in arrival order, and
@@ -35,6 +78,33 @@ pub trait StreamPartitioner {
         for e in batch {
             self.on_edge(e);
         }
+    }
+
+    /// Set the worker count for batch ingest (1 = fully sequential,
+    /// the default). The bit-identity contract of
+    /// [`StreamPartitioner::on_batch`] extends over thread counts: a
+    /// partitioner may only parallelise work whose merged result is
+    /// provably independent of worker scheduling (DESIGN.md §13).
+    /// Partitioners whose per-edge work is inherently sequential (LDG
+    /// and Fennel score against partition sizes mutated by every
+    /// placement) ignore this — the default is a no-op.
+    fn set_threads(&mut self, _threads: usize) {}
+
+    /// [`StreamPartitioner::on_batch`] with worker-panic propagation:
+    /// the parallel ingest path. The default (and every sequential
+    /// partitioner) just delegates to `on_batch` and cannot fail.
+    /// After an `Err`, the partitioner's state is unspecified — the
+    /// engine abandons the run and surfaces the error.
+    fn try_on_batch(&mut self, batch: &[StreamEdge]) -> Result<(), IngestError> {
+        self.on_batch(batch);
+        Ok(())
+    }
+
+    /// Per-phase wall-time of the parallel ingest so far, or `None`
+    /// when running single-threaded (so the threads=1 output of every
+    /// consumer stays byte-identical to the sequential builds).
+    fn ingest_phases(&self) -> Option<IngestPhases> {
+        None
     }
 
     /// End of stream: flush internal buffers (no-op for the
