@@ -91,6 +91,14 @@ stage "parallel-equivalence suite"
 # error naming batch and edge, never a hang. Also in tier-1 above.
 cargo test -q --offline -p loom-core --test parallel_equivalence
 
+stage "shard-equivalence suite"
+# The sharded-state contract, by name: shard-owned vertex state must
+# be bit-identical to the flat layout for every (shard count, worker
+# count, batch size) — including Hash's shard-parallel commit and the
+# degenerate shapes (more shards than vertices, a single-vertex
+# universe). DESIGN.md §14. Also in tier-1 above.
+cargo test -q --offline -p loom-core --test shard_equivalence
+
 stage "format"
 cargo fmt --check
 
@@ -165,23 +173,25 @@ else
 fi
 WORKLOAD=target/ci-smoke-workload.wl
 ./target/release/loom workload --dataset dblp --out "$WORKLOAD" 2>/dev/null
-smoke_run() { # smoke_run THREADS OUTFILE  (prints wall seconds)
+smoke_run() { # smoke_run THREADS SHARDS OUTFILE  (prints wall seconds)
   local t0=$SECONDS
   ./target/release/loom stream --k 4 --system loom --source synthetic \
       --max-edges "$SMOKE_EDGES" --window 1024 --snapshot-every "$SMOKE_EVERY" \
-      --batch "$SMOKE_BATCH" --threads "$1" \
-      --workload "$WORKLOAD" --labels 4 2>/dev/null > "$2"
+      --batch "$SMOKE_BATCH" --threads "$1" --shards "$2" \
+      --workload "$WORKLOAD" --labels 4 2>/dev/null > "$3"
   echo $((SECONDS - t0))
 }
 if [ "$MODE" = full ]; then
-  # Full mode drives the smoke twice — sequential and at 4 ingest
-  # workers — so the 1M-edge run also exercises the parallel pipeline
-  # end to end. The plateau assertions below read the t4 output.
-  T1_SECS=$(smoke_run 1 target/ci-smoke-t1.txt)
-  T4_SECS=$(smoke_run 4 target/ci-smoke-t4.txt)
+  # Full mode drives the smoke three times — sequential, at 4 ingest
+  # workers, and at 4 workers x 4 shards — so the 1M-edge run also
+  # exercises the parallel pipeline and the sharded state layout end
+  # to end. The plateau assertions below read the t4 output.
+  T1_SECS=$(smoke_run 1 1 target/ci-smoke-t1.txt)
+  T4_SECS=$(smoke_run 4 1 target/ci-smoke-t4.txt)
+  S4_SECS=$(smoke_run 4 4 target/ci-smoke-t4s4.txt)
   SMOKE_OUT=target/ci-smoke-t4.txt
 else
-  T1_SECS=$(smoke_run 1 target/ci-smoke-t1.txt)
+  T1_SECS=$(smoke_run 1 1 target/ci-smoke-t1.txt)
   SMOKE_OUT=target/ci-smoke-t1.txt
 fi
 awk '
@@ -228,7 +238,7 @@ if [ "$MODE" = full ]; then
     exit 1
   fi
   echo "parallel equivalence: t1 and t4 outputs identical (timing suffix aside)"
-  echo "parallel smoke timing: t1 ${T1_SECS}s, t4 ${T4_SECS}s ($(nproc) core(s))"
+  echo "parallel smoke timing: t1 ${T1_SECS}s, t4 ${T4_SECS}s, t4s4 ${S4_SECS}s ($(nproc) core(s))"
   # Speedup is only a meaningful assertion when the host has real
   # parallelism; on 1-2 cores the extra workers measure coordination
   # overhead, which the threads=1 default never pays.
@@ -244,6 +254,18 @@ if [ "$MODE" = full ]; then
   else
     echo "parallel smoke: speedup gate skipped ($CORES core(s), t1 ${T1_SECS}s)"
   fi
+
+  stage "sharded ingest equivalence (CLI, t4s4 vs t1)"
+  # Same contract for the sharded layout (DESIGN.md §14): the 1M-edge
+  # run at 4 workers x 4 shards must match the unsharded sequential
+  # run on every digit, timing suffix aside. This is the end-to-end
+  # CLI face of crates/loom-core/tests/shard_equivalence.rs.
+  sed 's/  threads .*$//' target/ci-smoke-t4s4.txt > target/ci-smoke-t4s4-stripped.txt
+  if ! diff -u target/ci-smoke-t1.txt target/ci-smoke-t4s4-stripped.txt; then
+    echo "shard equivalence: t4s4 output diverged from unsharded t1" >&2
+    exit 1
+  fi
+  echo "shard equivalence: t4s4 and t1 outputs identical (timing suffix aside)"
 fi
 rm -f "$WORKLOAD"
 
@@ -258,10 +280,14 @@ if [ "$MODE" = full ]; then
   #   1 = a real regression (investigate the slowdown / quality drift)
   #   3 = the committed baseline is missing or corrupt (re-generate
   #       and commit BENCH_results.json; nothing regressed)
+  # Each gate run also appends a one-line JSON summary (timestamp,
+  # parallelism, per-system ms/quality, pass/fail) to the git-ignored
+  # BENCH_history.jsonl, so perf drift across local runs is greppable.
   GATE_STATUS=0
   ./target/release/repro --scale small --seed 42 \
     --bench-json target/ci-bench-fresh.json \
-    --compare-bench BENCH_results.json > /dev/null || GATE_STATUS=$?
+    --compare-bench BENCH_results.json \
+    --history BENCH_history.jsonl > /dev/null || GATE_STATUS=$?
   case "$GATE_STATUS" in
     0) ;;
     3) echo "perf gate: committed BENCH_results.json unreadable — refresh the baseline (exit 3)" >&2

@@ -97,6 +97,16 @@ fn hub_stream(degree: u32) -> Vec<StreamEdge> {
 }
 
 fn drive(p: &mut dyn StreamPartitioner, threads: usize, stream: &[StreamEdge]) {
+    drive_sharded(p, threads, 1, stream)
+}
+
+fn drive_sharded(
+    p: &mut dyn StreamPartitioner,
+    threads: usize,
+    shards: usize,
+    stream: &[StreamEdge],
+) {
+    p.set_shards(shards);
     p.set_threads(threads);
     for chunk in stream.chunks(BATCH) {
         p.try_on_batch(chunk)
@@ -170,10 +180,49 @@ fn bench_hash_sharded(c: &mut Criterion) {
     group.finish();
 }
 
+/// Shard-count sweep (DESIGN.md §14): Hash with a truly shard-parallel
+/// commit at matched (threads, shards), and Loom — whose commits stay
+/// on the ordered merge — at t4 across shard counts, which prices the
+/// sharded-layout resolution overhead in isolation.
+fn bench_shard_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_shards");
+    group.sample_size(10);
+    let stream = match_dense_stream(12_000);
+    for (threads, shards) in [(1usize, 1usize), (2, 2), (4, 4), (8, 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("hash_chains_36k_edges", format!("t{threads}_s{shards}")),
+            &(threads, shards),
+            |b, &(threads, shards)| {
+                b.iter(|| {
+                    let mut hash = HashPartitioner::new(8, 42);
+                    drive_sharded(&mut hash, threads, shards, &stream);
+                    hash.state().assigned_count()
+                })
+            },
+        );
+    }
+    let workload = chain_workload();
+    for shards in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("loom_chains_36k_edges_t4", format!("s{shards}")),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut loom = LoomPartitioner::new(&micro_loom(8, 256), &workload, 3);
+                    drive_sharded(&mut loom, 4, shards, &stream);
+                    loom.stats().matches_assigned
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_match_dense,
     bench_hub_heavy,
-    bench_hash_sharded
+    bench_hash_sharded,
+    bench_shard_sweep
 );
 criterion_main!(benches);

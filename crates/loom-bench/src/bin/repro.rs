@@ -2,14 +2,19 @@
 //!
 //! ```text
 //! repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations|online]
-//!       [--scale tiny|small|medium|large] [--seed N] [--threads N] [--jsonl PATH]
-//!       [--bench-json PATH|none] [--compare-bench PATH]
+//!       [--scale tiny|small|medium|large] [--seed N] [--threads N|auto] [--jsonl PATH]
+//!       [--bench-json PATH|none] [--compare-bench PATH] [--history PATH]
 //! ```
 //!
 //! `--threads N` runs every timed partition leg with N ingest workers
-//! (default 1 = sequential). Quality numbers are bit-identical for any
-//! value — parallelism only fans out the pure probe phase (DESIGN.md
-//! §13) — so this moves only the throughput columns.
+//! (default 1 = sequential; `auto` resolves the machine's parallelism
+//! and prints it). Quality numbers are bit-identical for any value —
+//! parallelism only fans out the pure probe phase (DESIGN.md §13) —
+//! so this moves only the throughput columns.
+//!
+//! `--history PATH` (with `--compare-bench`) appends one JSON line per
+//! gate run to PATH — the cross-PR perf trajectory log; CI points it
+//! at the git-ignored `BENCH_history.jsonl`.
 //!
 //! Prints paper-style markdown tables to stdout; with `--jsonl` also
 //! writes machine-readable result rows for the ipt experiments. Every
@@ -39,6 +44,7 @@ struct Args {
     jsonl: Option<String>,
     bench_json: Option<String>,
     compare_bench: Option<String>,
+    history: Option<String>,
 }
 
 /// Throughput tolerance of the regression gate: `ms_per_10k_edges`
@@ -65,6 +71,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
     let mut jsonl = None;
     let mut bench_json = Some("BENCH_results.json".to_string());
     let mut compare_bench = None;
+    let mut history = None;
     let mut i = 0;
     while i < argv.len() {
         let take_value = |i: &mut usize| -> Result<String, String> {
@@ -90,11 +97,15 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("bad seed: {e}"))?
             }
             "--threads" | "-t" => {
-                options.threads = take_value(&mut i)?
-                    .parse()
-                    .map_err(|e| format!("bad thread count: {e}"))?;
-                if options.threads == 0 {
-                    return Err("--threads must be >= 1 (1 = sequential)".into());
+                let v = take_value(&mut i)?;
+                if v == "auto" {
+                    options.threads = loom_core::runtime::available_parallelism();
+                    eprintln!("--threads auto resolved to {}", options.threads);
+                } else {
+                    options.threads = v.parse().map_err(|e| format!("bad thread count: {e}"))?;
+                    if options.threads == 0 {
+                        return Err("--threads must be >= 1 (1 = sequential), or 'auto'".into());
+                    }
                 }
             }
             "--jsonl" => jsonl = Some(take_value(&mut i)?),
@@ -103,9 +114,10 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
                 bench_json = if v == "none" { None } else { Some(v) };
             }
             "--compare-bench" => compare_bench = Some(take_value(&mut i)?),
+            "--history" => history = Some(take_value(&mut i)?),
             "--help" | "-h" => {
                 println!(
-                    "repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations|online]\n      [--scale tiny|small|medium|large] [--seed N] [--threads N] [--jsonl PATH]\n      [--bench-json PATH|none] [--compare-bench PATH]"
+                    "repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations|online]\n      [--scale tiny|small|medium|large] [--seed N] [--threads N|auto] [--jsonl PATH]\n      [--bench-json PATH|none] [--compare-bench PATH] [--history PATH]"
                 );
                 std::process::exit(0);
             }
@@ -127,6 +139,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
         jsonl,
         bench_json,
         compare_bench,
+        history,
     })
 }
 
@@ -255,6 +268,17 @@ fn main() {
         let report = loom_bench::compare(&baseline, &fresh, GATE_MS_TOLERANCE);
         eprintln!("## Perf gate: fresh run vs committed {path}\n");
         eprintln!("{}", report.table);
+        for n in &report.notes {
+            eprintln!("perf gate note: {n}");
+        }
+        // Record the run in the perf-trajectory log (git-ignored, one
+        // JSON line per gate run) before any exit path.
+        if let Some(hpath) = &args.history {
+            match append_history(hpath, &fresh, report.passed()) {
+                Ok(()) => eprintln!("appended gate summary to {hpath}"),
+                Err(e) => eprintln!("warning: cannot append history to {hpath}: {e}"),
+            }
+        }
         if report.passed() {
             eprintln!(
                 "perf gate: ok (quality bit-stable, throughput within {:.0}%)",
@@ -267,6 +291,45 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Append one JSON line summarising a perf-gate run to `path` — the
+/// cross-PR perf trajectory (`BENCH_history.jsonl`, git-ignored): when
+/// it ran, on what machine shape, whether the gate passed, and every
+/// system's throughput/quality numbers.
+fn append_history(
+    path: &str,
+    fresh: &loom_bench::BenchSummary,
+    passed: bool,
+) -> std::io::Result<()> {
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut line = format!(
+        "{{\"ts\": {ts}, \"scale\": \"{}\", \"seed\": {}, \"parallelism\": {}, \"cells\": {}, \"gate\": \"{}\", \"systems\": {{",
+        fresh.scale,
+        fresh.seed,
+        fresh.parallelism,
+        fresh.cells,
+        if passed { "pass" } else { "fail" },
+    );
+    for (i, s) in fresh.systems.iter().enumerate() {
+        if i > 0 {
+            line.push_str(", ");
+        }
+        line.push_str(&format!(
+            "\"{}\": {{\"ms_per_10k_edges\": {}, \"weighted_ipt\": {}, \"imbalance\": {}, \"threads\": {}}}",
+            s.name, s.ms_per_10k_edges, s.weighted_ipt, s.imbalance, s.threads
+        ));
+    }
+    line.push_str("}}\n");
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(line.as_bytes())
 }
 
 #[cfg(test)]

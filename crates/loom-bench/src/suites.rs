@@ -694,9 +694,14 @@ pub fn bench_summary(
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
-        "  \"scale\": \"{}\",\n  \"seed\": {},\n  \"suites\": [{}],\n  \"cells\": {},\n",
+        "  \"scale\": \"{}\",\n  \"seed\": {},\n  \"parallelism\": {},\n  \"suites\": [{}],\n  \"cells\": {},\n",
         opts.scale.name(),
         opts.seed,
+        // The measuring machine's effective parallelism: rows timed at
+        // more workers than this recorded pool overhead, not speedup,
+        // so the perf gate knows when a throughput comparison would be
+        // apples to oranges (bench_compare skips it with a notice).
+        loom_core::runtime::available_parallelism(),
         suites_run
             .iter()
             .map(|s| format!("\"{s}\""))

@@ -31,9 +31,12 @@ commands:
              [--system hash|ldg|fennel|loom] [--workload FILE]
              [--batch N (ingest batch size; 1 = edge-at-a-time,
               bit-identical either way; default 256)]
-             [--threads N (ingest worker count; default 1 = sequential;
+             [--threads N|auto (ingest worker count; default 1 =
+              sequential; auto = the machine's parallelism, printed;
               results are bit-identical for any value — workers only
               fan out the pure probe phase)]
+             [--shards N (shard count for the per-vertex state columns;
+              default 1 = flat; bit-identical for any value)]
              [--snapshot-every N] [--max-edges N] [--window N]
              [--adjacency-horizon N|unbounded (loom only: edges kept in
               the scored neighbourhood; default 64 windows)]
@@ -91,6 +94,29 @@ fn parse_order(name: &str) -> Result<StreamOrder> {
         "dfs" | "depth-first" => StreamOrder::DepthFirst,
         other => return Err(format!("unknown order '{other}'").into()),
     })
+}
+
+/// Parse a `--threads` value: a positive count, or `auto` to resolve
+/// the machine's effective parallelism (printed, so runs are
+/// attributable).
+fn parse_threads_flag(flag: Option<String>) -> Result<usize> {
+    match flag.as_deref() {
+        None => Ok(1),
+        Some("auto") => {
+            let n = loom_core::runtime::available_parallelism();
+            eprintln!("--threads auto resolved to {n}");
+            Ok(n)
+        }
+        Some(v) => {
+            let n = v
+                .parse::<usize>()
+                .map_err(|e| format!("bad value for --threads: {e}"))?;
+            if n == 0 {
+                return Err("--threads must be >= 1 (1 = sequential), or 'auto'".into());
+            }
+            Ok(n)
+        }
+    }
 }
 
 fn out_writer(path: Option<String>) -> Result<Box<dyn Write>> {
@@ -359,10 +385,14 @@ fn stream_cmd(args: &Args) -> Result<()> {
     }
     // Ingest worker count. Like --batch, purely a throughput knob:
     // assignments, stats and snapshots are bit-identical for any value
-    // (tests/parallel_equivalence.rs).
-    let threads = args.parsed_or("threads", 1usize)?;
-    if threads == 0 {
-        return Err("--threads must be >= 1 (1 = sequential)".into());
+    // (tests/parallel_equivalence.rs). "auto" asks the machine.
+    let threads = parse_threads_flag(args.optional("threads"))?;
+    // Shard count for the per-vertex state columns: the third pure
+    // throughput knob, bit-identical for any value
+    // (loom-core/tests/shard_equivalence.rs).
+    let shards = args.parsed_or("shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be >= 1 (1 = the flat layout)".into());
     }
     let seed = args.parsed_or("seed", 42u64)?;
     let window = args.parsed_or("window", 1_024usize)?;
@@ -488,6 +518,9 @@ fn stream_cmd(args: &Args) -> Result<()> {
         }
         other => return Err(format!("unknown system '{other}'").into()),
     };
+    // Shards before threads: set_shards re-keys the (still empty)
+    // state columns the threaded commit path will own.
+    partitioner.set_shards(shards);
     partitioner.set_threads(threads);
 
     let mut engine = OnlineEngine::new(

@@ -40,6 +40,7 @@ pub use loom_matcher as matcher;
 pub use loom_motif as motif;
 pub use loom_partition as partition;
 pub use loom_query as query;
+pub use loom_runtime as runtime;
 
 /// Everything a typical caller needs, in one import.
 pub mod prelude {

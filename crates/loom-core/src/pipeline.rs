@@ -111,6 +111,9 @@ pub fn make_partitioner_with_capacity(
             Box::new(LoomPartitioner::new(&loom_cfg, workload, num_labels))
         }
     };
+    // Shards before threads: set_shards requires a pre-ingest store
+    // and re-keys the columns the threaded commit path will own.
+    p.set_shards(config.shards.max(1));
     p.set_threads(config.threads.max(1));
     p
 }

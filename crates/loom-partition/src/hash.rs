@@ -119,6 +119,10 @@ impl StreamPartitioner for HashPartitioner {
         }
     }
 
+    fn set_shards(&mut self, shards: usize) {
+        self.state.set_shards(shards);
+    }
+
     fn try_on_batch(&mut self, batch: &[StreamEdge]) -> Result<(), IngestError> {
         if self.threads <= 1 || batch.len() < 2 {
             self.on_batch(batch);
@@ -162,9 +166,46 @@ impl StreamPartitioner for HashPartitioner {
             });
         }
 
+        let t_commit = std::time::Instant::now();
+        if self.state.shards() > 1 {
+            // Shard-parallel commit: the hash target is a pure
+            // function of the vertex id and first-seen-wins is decided
+            // per vertex, so each shard task can walk the whole batch
+            // in arrival order claiming only the endpoints it owns —
+            // exactly the edges the sequential walk would have
+            // assigned, in the same order, with no cross-shard writes.
+            let targets = &self.targets[..batch.len()];
+            let pool = self.pool.as_ref().expect("pool built above");
+            // Pre-grow the flat column to what the sequential walk
+            // would have left behind: one past the largest endpoint
+            // (every endpoint gets assigned, so the lengths match).
+            let extent = batch
+                .iter()
+                .map(|e| e.src.0.max(e.dst.0) as usize + 1)
+                .max()
+                .unwrap_or(0);
+            let result = self.state.commit_shards_parallel(pool, extent, &|sc| {
+                for (e, &(ps, pd)) in batch.iter().zip(targets) {
+                    if sc.owns(e.src) && !sc.is_assigned(e.src) {
+                        sc.assign(e.src, ps);
+                    }
+                    if sc.owns(e.dst) && !sc.is_assigned(e.dst) {
+                        sc.assign(e.dst, pd);
+                    }
+                }
+            });
+            self.commit_ns += t_commit.elapsed().as_nanos() as u64;
+            return result.map_err(|p| IngestError {
+                // A shard task walks the whole batch, so the panic
+                // cannot be pinned to one edge offset; report the
+                // batch start and name the shard in the message.
+                edge_offset: 0,
+                message: format!("commit shard {}: {}", p.chunk, p.message),
+            });
+        }
+
         // First-seen wins, so the assignment walk stays sequential in
         // arrival order — bit-identical to `on_edge` per edge.
-        let t_commit = std::time::Instant::now();
         for (i, e) in batch.iter().enumerate() {
             let (ps, pd) = self.targets[i];
             if !self.state.is_assigned(e.src) {

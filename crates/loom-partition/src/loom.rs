@@ -718,6 +718,20 @@ impl StreamPartitioner for LoomPartitioner {
         }
     }
 
+    /// Re-key all three per-vertex stores (assignment columns, counter
+    /// rows, adjacency rows) into `shards` shard-owned columns. For
+    /// Loom this is layout-only: every commit effect (counter
+    /// credits/debits, adjacency appends/expiries, window pushes,
+    /// eviction auctions) is order-entangled with the auctions that
+    /// interleave with it, so commits drain through the sequential
+    /// arrival-order merge regardless of shard count (DESIGN.md §14) —
+    /// Loom's parallel win stays the probe fan-out.
+    fn set_shards(&mut self, shards: usize) {
+        self.state.set_shards(shards);
+        self.counts.set_shards(shards);
+        self.adjacency.set_shards(shards);
+    }
+
     fn try_on_batch(&mut self, batch: &[StreamEdge]) -> Result<(), IngestError> {
         if self.threads <= 1 || batch.len() < 2 {
             self.on_batch(batch);

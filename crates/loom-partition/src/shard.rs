@@ -1,0 +1,173 @@
+//! Vertex-id sharding for the shard-owned state layout (DESIGN.md §14).
+//!
+//! Every stateful per-vertex store in this crate ([`crate::state`]'s
+//! assignment columns, counter rows and adjacency rows) is physically
+//! split into `N` shard-owned columns keyed by `vertex_id mod N`: shard
+//! `s` owns the vertices `{s, s + N, s + 2N, ...}`, and vertex `v`
+//! lives at *slot* `v div N` of its owning shard. The mapping is a pure
+//! function of the vertex id, so any worker can resolve ownership
+//! without coordination — that is what lets shard-local commit effects
+//! run on the owning worker while the sequence-numbered merge keeps the
+//! order-sensitive effects in arrival order.
+//!
+//! `N = 1` (the default everywhere) degenerates to the pre-shard flat
+//! layout: shard 0 owns everything and `slot == vertex_id`. Power-of-
+//! two shard counts resolve with a mask and a shift; other counts pay
+//! one integer div/mod per resolution.
+
+use loom_graph::VertexId;
+
+/// The pluggable vertex→shard ownership map: `shard_of(v) = v mod N`,
+/// `slot_of(v) = v div N`. Copy-cheap so hot paths can carry it by
+/// value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: u32,
+    /// `shards - 1` when `shards` is a power of two (mask fast path).
+    mask: u32,
+    /// `log2(shards)` when `shards` is a power of two.
+    shift: u32,
+    pow2: bool,
+}
+
+impl Default for ShardMap {
+    fn default() -> Self {
+        ShardMap::new(1)
+    }
+}
+
+impl ShardMap {
+    /// Map for `shards` shards (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1) as u32;
+        let pow2 = shards.is_power_of_two();
+        ShardMap {
+            shards,
+            mask: if pow2 { shards - 1 } else { 0 },
+            shift: if pow2 { shards.trailing_zeros() } else { 0 },
+            pow2,
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard owning `v`.
+    #[inline]
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        if self.pow2 {
+            (v.0 & self.mask) as usize
+        } else {
+            (v.0 % self.shards) as usize
+        }
+    }
+
+    /// The slot of `v` within its owning shard's columns.
+    #[inline]
+    pub fn slot_of(&self, v: VertexId) -> usize {
+        if self.pow2 {
+            (v.0 >> self.shift) as usize
+        } else {
+            (v.0 / self.shards) as usize
+        }
+    }
+
+    /// Both coordinates at once.
+    #[inline]
+    pub fn resolve(&self, v: VertexId) -> (usize, usize) {
+        (self.shard_of(v), self.slot_of(v))
+    }
+
+    /// Inverse of [`ShardMap::resolve`]: the global vertex index stored
+    /// at `(shard, slot)`.
+    #[inline]
+    pub fn vertex_index(&self, shard: usize, slot: usize) -> usize {
+        slot * self.shards as usize + shard
+    }
+
+    /// How many of the vertices `0..num_vertices` shard `shard` owns —
+    /// the exact per-shard column length for a pre-registered
+    /// (prescient) universe.
+    pub fn slots_for(&self, shard: usize, num_vertices: usize) -> usize {
+        let n = self.shards as usize;
+        if shard < num_vertices {
+            (num_vertices - shard - 1) / n + 1
+        } else {
+            0
+        }
+    }
+}
+
+/// Point-in-time occupancy of one state shard — the observability face
+/// of the per-shard capacity model (DESIGN.md §14): what the shard has
+/// registered, what it has permanently assigned, and the extent it
+/// projects for pre-sizing. The global capacity constraint `C` is the
+/// *exact integer aggregate* over shards (so it is bit-identical for
+/// any shard count); these numbers exist to watch skew, not to steer
+/// placement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardOccupancy {
+    /// Shard index.
+    pub shard: usize,
+    /// Slots registered in this shard's columns (vertices seen or
+    /// pre-registered).
+    pub registered: usize,
+    /// Vertices this shard has permanently assigned.
+    pub assigned: usize,
+    /// The shard's projected vertex-universe extent: registered slots
+    /// scaled back to the global id space, floored by the warm-up
+    /// slack so an early-stream estimate never collapses to zero.
+    pub extent_estimate: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_is_the_identity_layout() {
+        let m = ShardMap::new(1);
+        for v in [0u32, 1, 7, 1_000_000] {
+            assert_eq!(m.shard_of(VertexId(v)), 0);
+            assert_eq!(m.slot_of(VertexId(v)), v as usize);
+        }
+        assert_eq!(m, ShardMap::default());
+    }
+
+    #[test]
+    fn pow2_and_general_maps_agree_on_mod_div() {
+        for shards in [1usize, 2, 3, 4, 5, 7, 8, 16, 64] {
+            let m = ShardMap::new(shards);
+            assert_eq!(m.shards(), shards);
+            for v in 0..200u32 {
+                let (s, slot) = m.resolve(VertexId(v));
+                assert_eq!(s, v as usize % shards, "shard of {v} at N={shards}");
+                assert_eq!(slot, v as usize / shards, "slot of {v} at N={shards}");
+                assert_eq!(m.vertex_index(s, slot), v as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn slots_for_partitions_the_universe_exactly() {
+        for shards in [1usize, 2, 3, 4, 5, 8] {
+            let m = ShardMap::new(shards);
+            for nv in [0usize, 1, 2, 7, 100, 101] {
+                let total: usize = (0..shards).map(|s| m.slots_for(s, nv)).sum();
+                assert_eq!(total, nv, "N={shards}, nv={nv}");
+                for s in 0..shards {
+                    let expect = (s..nv).step_by(shards).count();
+                    assert_eq!(m.slots_for(s, nv), expect, "N={shards}, nv={nv}, s={s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        assert_eq!(ShardMap::new(0).shards(), 1);
+    }
+}

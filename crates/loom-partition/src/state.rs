@@ -15,11 +15,21 @@
 //! ([`CapacityModel::Adaptive`]) so the residual/rationing terms stay
 //! meaningful when nobody knows `n`.
 
+use crate::shard::{ShardMap, ShardOccupancy};
 use loom_graph::{PartitionId, StreamEdge, VertexId};
+use loom_runtime::{ChunkPanic, WorkerPool};
 use std::collections::VecDeque;
 
 /// Sentinel for "not yet assigned".
 const UNASSIGNED: u32 = u32::MAX;
+
+/// Warm-up slack for per-shard extent estimation (DESIGN.md §14): a
+/// shard that owns fewer registered slots than this projects this many
+/// instead — so the early stream, where per-shard extents are all
+/// noise, never reports a collapsed estimate. Purely an observability
+/// constant: it never feeds a placement decision, so it cannot perturb
+/// results.
+const SHARD_WARMUP_SLOTS: usize = 64;
 
 /// Where the capacity constraint `C` of §4 comes from.
 ///
@@ -70,15 +80,57 @@ impl CapacityModel {
     }
 }
 
+/// One shard's size/assigned accumulators. The assignment column
+/// itself stays ONE flat vertex-indexed vector (so the `shards = 1`
+/// hot path pays zero extra indirection over the pre-shard layout) in
+/// which shard `s` *owns* the striped indices `{s, s + N, ...}` — see
+/// [`ShardMap`]. The global aggregates are always the exact integer
+/// sums of these accumulators — that is the whole per-shard capacity
+/// story (DESIGN.md §14): integer addition is associative and
+/// order-free, so the aggregated `C` is bit-identical for any shard
+/// count.
+#[derive(Clone, Debug)]
+struct ShardAccum {
+    /// Per-partition assigned counts for the vertices this shard owns.
+    sizes: Vec<usize>,
+    /// Vertices this shard has permanently assigned.
+    assigned: usize,
+}
+
+impl ShardAccum {
+    fn empty(k: usize) -> Self {
+        ShardAccum {
+            sizes: vec![0; k],
+            assigned: 0,
+        }
+    }
+}
+
 /// Assignment of vertices to `k` partitions, with sizes and capacity.
+///
+/// The assignment column is one flat vertex-indexed vector in which
+/// shard `s` *owns* the striped indices `{s, s + N, ...}` (default: 1
+/// shard, everything) — see [`ShardMap`] and DESIGN.md §14. In sharded
+/// mode the global `sizes`/`assigned` aggregates are maintained
+/// alongside per-shard accumulators on the sequential path and
+/// resynced by exact integer summation after a parallel shard commit,
+/// so every capacity read is bit-identical for any shard count.
 #[derive(Clone, Debug)]
 pub struct PartitionState {
     k: usize,
     slack: f64,
     /// `Some(C)` in prescient mode; `None` recomputes from the count.
     fixed_capacity: Option<f64>,
+    map: ShardMap,
+    /// Flat vertex→partition column (the pre-shard layout): shard `s`
+    /// owns the striped indices `{s, s + N, ...}`. Layout-independent,
+    /// so `set_shards` never re-keys it.
     assignment: Vec<u32>,
+    /// Per-shard accumulators, indexed by shard.
+    accums: Vec<ShardAccum>,
+    /// Exact aggregate of the shard-local `sizes`.
     sizes: Vec<usize>,
+    /// Exact aggregate of the shard-local `assigned`.
     assigned: usize,
 }
 
@@ -104,10 +156,46 @@ impl PartitionState {
             k,
             slack,
             fixed_capacity,
+            map: ShardMap::new(1),
             assignment: vec![UNASSIGNED; reserve],
+            accums: vec![ShardAccum::empty(k)],
             sizes: vec![0; k],
             assigned: 0,
         }
+    }
+
+    /// Re-key the state into `shards` shard ownership stripes (clamped
+    /// to at least 1). A pure layout knob — results are bit-identical
+    /// for any value — so it must be called before any vertex is
+    /// assigned. The flat assignment column itself is stripe-owned in
+    /// place, so only the accumulators rebuild.
+    ///
+    /// # Panics
+    /// Panics if any vertex has already been assigned.
+    pub fn set_shards(&mut self, shards: usize) {
+        let shards = shards.max(1);
+        if shards == self.map.shards() {
+            return;
+        }
+        assert_eq!(
+            self.assigned, 0,
+            "set_shards must run before ingest (got {} assigned vertices)",
+            self.assigned
+        );
+        self.map = ShardMap::new(shards);
+        self.accums = (0..shards).map(|_| ShardAccum::empty(self.k)).collect();
+    }
+
+    /// Number of shard-owned state columns (1 = the flat layout).
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.map.shards()
+    }
+
+    /// The vertex→shard ownership map in use.
+    #[inline]
+    pub fn shard_map(&self) -> ShardMap {
+        self.map
     }
 
     /// Convenience: the pre-refactor constructor — `k` partitions over
@@ -147,7 +235,6 @@ impl PartitionState {
 
     /// Vertices this state has ever been told about (the registered id
     /// range; prescient states pre-register the full range).
-    #[inline]
     pub fn num_vertices(&self) -> usize {
         self.assignment.len()
     }
@@ -156,7 +243,7 @@ impl PartitionState {
     /// range are simply unassigned, never an error.
     #[inline]
     pub fn partition_of(&self, v: VertexId) -> Option<PartitionId> {
-        match self.assignment.get(v.index()) {
+        match self.assignment.get(v.0 as usize) {
             Some(&UNASSIGNED) | None => None,
             Some(&p) => Some(PartitionId(p)),
         }
@@ -173,21 +260,31 @@ impl PartitionState {
     /// partition is a bug (streaming partitioners never refine, §1.2)
     /// and panics.
     pub fn assign(&mut self, v: VertexId, p: PartitionId) {
-        if self.assignment.len() <= v.index() {
-            self.assignment.resize(v.index() + 1, UNASSIGNED);
+        let idx = v.0 as usize;
+        if self.assignment.len() <= idx {
+            self.assignment.resize(idx + 1, UNASSIGNED);
         }
-        let slot = &mut self.assignment[v.index()];
-        if *slot == p.0 {
+        let cell = &mut self.assignment[idx];
+        if *cell == p.0 {
             return;
         }
         assert_eq!(
-            *slot, UNASSIGNED,
+            *cell, UNASSIGNED,
             "streaming re-assignment of {v:?}: {} -> {}",
-            *slot, p.0
+            *cell, p.0
         );
-        *slot = p.0;
+        *cell = p.0;
         self.sizes[p.index()] += 1;
         self.assigned += 1;
+        // In sharded mode the owning shard's accumulators ride along.
+        // The flat default skips them entirely (they would mirror the
+        // globals cell for cell) so it pays nothing over the pre-shard
+        // layout; `shard_occupancy` answers from the globals instead.
+        if self.map.shards() > 1 {
+            let acc = &mut self.accums[self.map.shard_of(v)];
+            acc.sizes[p.index()] += 1;
+            acc.assigned += 1;
+        }
     }
 
     /// Vertices currently in partition `p`.
@@ -241,7 +338,9 @@ impl PartitionState {
     }
 
     /// A point-in-time [`Assignment`] copy (the engine's mid-stream
-    /// snapshots use this; unassigned vertices stay unassigned).
+    /// snapshots use this; unassigned vertices stay unassigned). The
+    /// column is already flat and vertex-indexed, so the result is
+    /// layout-independent by construction.
     pub fn to_assignment(&self) -> Assignment {
         Assignment {
             k: self.k,
@@ -255,6 +354,198 @@ impl PartitionState {
             k: self.k,
             assignment: self.assignment,
         }
+    }
+
+    /// Per-shard occupancy (registered slots, assigned vertices,
+    /// projected extent) — the observability face of the per-shard
+    /// capacity model. Placement never reads these (DESIGN.md §14).
+    pub fn shard_occupancy(&self) -> Vec<ShardOccupancy> {
+        if self.map.shards() == 1 {
+            // Flat mode keeps no per-shard accumulators (the globals
+            // ARE shard 0's accumulators).
+            return vec![ShardOccupancy {
+                shard: 0,
+                registered: self.assignment.len(),
+                assigned: self.assigned,
+                extent_estimate: self.assignment.len().max(SHARD_WARMUP_SLOTS),
+            }];
+        }
+        self.accums
+            .iter()
+            .enumerate()
+            .map(|(s, acc)| {
+                let registered = self.map.slots_for(s, self.assignment.len());
+                ShardOccupancy {
+                    shard: s,
+                    registered,
+                    assigned: acc.assigned,
+                    extent_estimate: registered.max(SHARD_WARMUP_SLOTS) * self.map.shards(),
+                }
+            })
+            .collect()
+    }
+
+    /// Recompute the global aggregates as exact integer sums of the
+    /// shard-local accumulators — the sequence-free half of the merge
+    /// after a parallel shard commit. Addition over `usize` is
+    /// associative and order-free, so the result is bit-identical to
+    /// having maintained the aggregates edge at a time.
+    fn resync_aggregates(&mut self) {
+        self.assigned = self.accums.iter().map(|a| a.assigned).sum();
+        for p in 0..self.k {
+            self.sizes[p] = self.accums.iter().map(|a| a.sizes[p]).sum();
+        }
+    }
+
+    /// Run one commit task per shard across `pool`, each with exclusive
+    /// mutable access to its own index stripe of the flat assignment
+    /// column, then resync the global aggregates. This is the
+    /// shard-parallel commit path for placements that are pure
+    /// per-vertex functions (Hash): each task must only touch vertices
+    /// it [`ShardCommit::owns`] (enforced — every accessor checks
+    /// ownership and panics otherwise, so stripes are disjoint by
+    /// construction), and determinism follows because every vertex's
+    /// sightings are processed by exactly one task in arrival order.
+    ///
+    /// `registered_extent` must be at least one past the largest vertex
+    /// id the closure will touch: the column is grown (sequentially,
+    /// before the fan-out) to exactly that length, matching the length
+    /// the sequential walk would have left behind, because tasks cannot
+    /// grow the shared column concurrently.
+    ///
+    /// On a panic inside a task, all remaining shards still execute and
+    /// the lowest-indexed shard's panic is returned (the pool's
+    /// deterministic-panic discipline); the state is left with
+    /// consistent aggregates but unspecified assignments, exactly like
+    /// any other failed parallel batch.
+    pub fn commit_shards_parallel(
+        &mut self,
+        pool: &WorkerPool,
+        registered_extent: usize,
+        f: &(dyn Fn(&mut ShardCommit<'_>) + Sync),
+    ) -> Result<(), ChunkPanic> {
+        // The flat default maintains no per-shard accumulators (see
+        // `assign`), so the post-join resync would zero the globals.
+        // There is nothing to parallelise over one stripe anyway.
+        assert!(
+            self.map.shards() > 1,
+            "commit_shards_parallel requires a sharded state (set_shards > 1)"
+        );
+        if self.assignment.len() < registered_extent {
+            self.assignment.resize(registered_extent, UNASSIGNED);
+        }
+        /// Raw cursor into the flat assignment column. Task `s` only
+        /// touches indices `i` with `i mod N == s` (ownership-checked
+        /// in every [`ShardCommit`] accessor), tasks tile `0..N`
+        /// without overlap, and the pool joins the job before `run`
+        /// returns — every cell has exactly one accessor within the
+        /// borrow's lifetime.
+        #[derive(Clone, Copy)]
+        struct CellsPtr(*mut u32);
+        unsafe impl Send for CellsPtr {}
+        unsafe impl Sync for CellsPtr {}
+        /// Same discipline for the per-shard accumulator array: task
+        /// `s` dereferences only index `s`.
+        #[derive(Clone, Copy)]
+        struct AccumsPtr(*mut ShardAccum);
+        unsafe impl Send for AccumsPtr {}
+        unsafe impl Sync for AccumsPtr {}
+
+        let cells = CellsPtr(self.assignment.as_mut_ptr());
+        let len = self.assignment.len();
+        let accums = AccumsPtr(self.accums.as_mut_ptr());
+        let map = self.map;
+        let result = pool.run(self.accums.len(), &|s| {
+            // Rebind so the closure captures the `Sync` wrappers, not
+            // the raw pointer fields (edition-2021 disjoint capture).
+            #[allow(clippy::redundant_locals)]
+            let cells = cells;
+            #[allow(clippy::redundant_locals)]
+            let accums = accums;
+            // SAFETY: task `s` is the sole accessor of accumulator `s`
+            // and of stripe `s` of the cells; see the wrapper docs.
+            let accum = unsafe { &mut *accums.0.add(s) };
+            f(&mut ShardCommit {
+                cells: cells.0,
+                len,
+                accum,
+                map,
+                index: s,
+            });
+        });
+        self.resync_aggregates();
+        result
+    }
+}
+
+/// Exclusive commit view of one ownership stripe of the partition
+/// state, handed to each task of
+/// [`PartitionState::commit_shards_parallel`]. Every accessor checks
+/// that the vertex is owned by this shard and panics otherwise — that
+/// check is what makes the concurrent stripes disjoint, so it is
+/// enforced in release builds too.
+pub struct ShardCommit<'a> {
+    cells: *mut u32,
+    len: usize,
+    accum: &'a mut ShardAccum,
+    map: ShardMap,
+    index: usize,
+}
+
+impl ShardCommit<'_> {
+    /// Index of the shard this view commits into.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// True if this shard owns `v`.
+    #[inline]
+    pub fn owns(&self, v: VertexId) -> bool {
+        self.map.shard_of(v) == self.index
+    }
+
+    #[inline]
+    fn owned_index(&self, v: VertexId) -> usize {
+        assert!(self.owns(v), "shard {} does not own {v:?}", self.index);
+        v.0 as usize
+    }
+
+    /// True if `v` (which must be owned) is already assigned.
+    #[inline]
+    pub fn is_assigned(&self, v: VertexId) -> bool {
+        let idx = self.owned_index(v);
+        // SAFETY: `idx` is in this task's exclusive stripe (checked
+        // above); cells beyond the pre-grown length are unregistered.
+        idx < self.len && unsafe { *self.cells.add(idx) } != UNASSIGNED
+    }
+
+    /// Stripe-local [`PartitionState::assign`]: same idempotence and
+    /// re-assignment panic semantics, updating the shard-local
+    /// accumulators (the global aggregates resync after the join).
+    /// The column must have been pre-grown past `v` (the
+    /// `registered_extent` contract); panics otherwise.
+    #[inline]
+    pub fn assign(&mut self, v: VertexId, p: PartitionId) {
+        let idx = self.owned_index(v);
+        assert!(
+            idx < self.len,
+            "{v:?} is beyond the pre-grown extent {}",
+            self.len
+        );
+        // SAFETY: `idx` is in this task's exclusive stripe.
+        let cell = unsafe { &mut *self.cells.add(idx) };
+        if *cell == p.0 {
+            return;
+        }
+        assert_eq!(
+            *cell, UNASSIGNED,
+            "streaming re-assignment of {v:?}: {} -> {}",
+            *cell, p.0
+        );
+        *cell = p.0;
+        self.accum.sizes[p.index()] += 1;
+        self.accum.assigned += 1;
     }
 }
 
@@ -493,8 +784,12 @@ impl AdjacencyRow {
 /// down and frees fully-dead rows — resident memory is bounded by a
 /// small multiple of the horizon, not by the stream length. Unbounded
 /// mode keeps the original grow-forever behaviour bit for bit.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct OnlineAdjacency {
+    /// Vertex→shard ownership map (DESIGN.md §14). Rows stay in ONE
+    /// flat vertex-indexed vector — shard `s` owns the striped indices
+    /// `{s, s + N, ...}` — so the flat default pays zero indirection.
+    map: ShardMap,
     rows: Vec<AdjacencyRow>,
     /// `None` = unbounded.
     horizon: Option<u64>,
@@ -513,6 +808,12 @@ pub struct OnlineAdjacency {
     ever: u64,
     /// Completed compactions.
     generation: u64,
+}
+
+impl Default for OnlineAdjacency {
+    fn default() -> Self {
+        Self::with_retention(None, 0)
+    }
 }
 
 impl OnlineAdjacency {
@@ -544,16 +845,69 @@ impl OnlineAdjacency {
             assert!(h > 0, "retention horizon must be positive");
         }
         OnlineAdjacency {
+            map: ShardMap::new(1),
             rows: (0..num_vertices).map(|_| AdjacencyRow::default()).collect(),
             horizon,
-            ..OnlineAdjacency::default()
+            recent: VecDeque::new(),
+            aged_rows: Vec::new(),
+            live: 0,
+            dead: 0,
+            ever: 0,
+            generation: 0,
         }
+    }
+
+    /// Re-key the rows into `shards` ownership stripes (clamped to at
+    /// least 1). A pure layout knob — the rows are vertex-indexed
+    /// either way and the entry sequences every reader observes are
+    /// identical — so it must run before any edge is recorded.
+    ///
+    /// # Panics
+    /// Panics if any entry has already been recorded.
+    pub fn set_shards(&mut self, shards: usize) {
+        let shards = shards.max(1);
+        if shards == self.map.shards() {
+            return;
+        }
+        assert_eq!(
+            self.ever, 0,
+            "set_shards must run before ingest (got {} recorded entries)",
+            self.ever
+        );
+        self.map = ShardMap::new(shards);
+    }
+
+    /// Number of row ownership stripes (1 = the flat layout).
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.map.shards()
     }
 
     /// The retention horizon in edges (`None` = unbounded).
     #[inline]
     pub fn horizon(&self) -> Option<u64> {
         self.horizon
+    }
+
+    #[inline]
+    fn row(&self, v: VertexId) -> Option<&AdjacencyRow> {
+        self.rows.get(v.0 as usize)
+    }
+
+    /// The row of `v`, growing the vertex range as needed.
+    #[inline]
+    fn row_mut_grow(&mut self, v: VertexId) -> &mut AdjacencyRow {
+        let idx = v.0 as usize;
+        if self.rows.len() <= idx {
+            self.rows.resize_with(idx + 1, AdjacencyRow::default);
+        }
+        &mut self.rows[idx]
+    }
+
+    /// The row of `v`, which must already be registered.
+    #[inline]
+    fn row_mut(&mut self, v: VertexId) -> &mut AdjacencyRow {
+        &mut self.rows[v.0 as usize]
     }
 
     /// Record an arrived edge (both directions), growing the vertex
@@ -581,12 +935,8 @@ impl OnlineAdjacency {
     }
 
     fn insert(&mut self, e: &StreamEdge) {
-        let hi = e.src.index().max(e.dst.index());
-        if self.rows.len() <= hi {
-            self.rows.resize_with(hi + 1, AdjacencyRow::default);
-        }
-        self.rows[e.src.index()].push(e.dst);
-        self.rows[e.dst.index()].push(e.src);
+        self.row_mut_grow(e.src).push(e.dst);
+        self.row_mut_grow(e.dst).push(e.src);
         self.live += 2;
         self.ever += 2;
         if self.horizon.is_some() {
@@ -605,7 +955,7 @@ impl OnlineAdjacency {
         }
         let (u, v) = self.recent.pop_front().expect("ring longer than horizon");
         for (from, to) in [(u, v), (v, u)] {
-            let row = &mut self.rows[from.index()];
+            let row = &mut self.rows[from.0 as usize];
             debug_assert_eq!(
                 row.entries().get(row.head as usize),
                 Some(&to),
@@ -636,7 +986,7 @@ impl OnlineAdjacency {
             return;
         }
         for idx in std::mem::take(&mut self.aged_rows) {
-            let row = &mut self.rows[idx as usize];
+            let row = self.row_mut(VertexId(idx));
             debug_assert!(row.head > 0, "aged row recorded without a dead prefix");
             let head = row.head as usize;
             if row.inline_len != ROW_SPILLED {
@@ -683,7 +1033,7 @@ impl OnlineAdjacency {
     /// unseen vertices; every neighbour ever seen in unbounded mode).
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        self.rows.get(v.index()).map_or(&[], AdjacencyRow::retained)
+        self.row(v).map_or(&[], AdjacencyRow::retained)
     }
 
     /// Degree of `v` within the retention horizon.
@@ -742,7 +1092,11 @@ impl OnlineAdjacency {
 #[derive(Clone, Debug)]
 pub struct NeighborCounts {
     k: usize,
-    /// Flat `[vertex][partition]` counters.
+    /// Vertex→shard ownership map; counter rows live in shard-owned
+    /// one flat vertex-indexed `[vertex][partition]` table in which
+    /// shard `s` owns the striped rows `{s, s + N, ...}` (DESIGN.md
+    /// §14) — flat so the default layout pays zero indirection.
+    map: ShardMap,
     counts: Vec<u32>,
     /// All-zero row returned for vertices never seen (keeps reads
     /// allocation-free without forcing registration on read).
@@ -758,6 +1112,7 @@ impl NeighborCounts {
         assert!(k > 0, "k must be positive");
         NeighborCounts {
             k,
+            map: ShardMap::new(1),
             counts: Vec::new(),
             zeros: vec![0; k],
         }
@@ -771,19 +1126,51 @@ impl NeighborCounts {
         c
     }
 
+    /// Re-key the counter rows into `shards` ownership stripes
+    /// (clamped to at least 1). A pure layout knob — the table is
+    /// vertex-indexed either way; must run before any counter is
+    /// touched.
+    ///
+    /// # Panics
+    /// Panics if any counter row has already been registered.
+    pub fn set_shards(&mut self, shards: usize) {
+        let shards = shards.max(1);
+        if shards == self.map.shards() {
+            return;
+        }
+        assert!(
+            self.counts.iter().all(|&n| n == 0),
+            "set_shards must run before ingest (live counter rows exist)"
+        );
+        self.map = ShardMap::new(shards);
+    }
+
+    /// Number of counter-row ownership stripes (1 = the flat layout).
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.map.shards()
+    }
+
     #[inline]
     fn ensure(&mut self, v: VertexId) {
-        let need = (v.index() + 1) * self.k;
+        let need = (v.0 as usize + 1) * self.k;
         if self.counts.len() < need {
             self.counts.resize(need, 0);
         }
+    }
+
+    /// Mutable counter cell for `(v, p)`, registering `v` as needed.
+    #[inline]
+    fn cell_mut(&mut self, v: VertexId, p: PartitionId) -> &mut u32 {
+        self.ensure(v);
+        &mut self.counts[v.0 as usize * self.k + p.index()]
     }
 
     /// The per-partition assigned-neighbour counts of `v` — the
     /// `|N(v) ∩ S_i|` row, read in O(k).
     #[inline]
     pub fn counts(&self, v: VertexId) -> &[u32] {
-        let start = v.index() * self.k;
+        let start = v.0 as usize * self.k;
         match self.counts.get(start..start + self.k) {
             Some(row) => row,
             None => &self.zeros,
@@ -796,12 +1183,10 @@ impl NeighborCounts {
     #[inline]
     pub fn on_edge_arrival(&mut self, e: &StreamEdge, state: &PartitionState) {
         if let Some(p) = state.partition_of(e.dst) {
-            self.ensure(e.src);
-            self.counts[e.src.index() * self.k + p.index()] += 1;
+            *self.cell_mut(e.src, p) += 1;
         }
         if let Some(p) = state.partition_of(e.src) {
-            self.ensure(e.dst);
-            self.counts[e.dst.index() * self.k + p.index()] += 1;
+            *self.cell_mut(e.dst, p) += 1;
         }
     }
 
@@ -815,8 +1200,7 @@ impl NeighborCounts {
     /// the placement either.
     pub fn on_assign(&mut self, v: VertexId, p: PartitionId, adjacency: &OnlineAdjacency) {
         for &w in adjacency.neighbors(v) {
-            self.ensure(w);
-            self.counts[w.index() * self.k + p.index()] += 1;
+            *self.cell_mut(w, p) += 1;
         }
     }
 
@@ -829,16 +1213,14 @@ impl NeighborCounts {
     #[inline]
     pub fn on_edge_expired(&mut self, u: VertexId, v: VertexId, state: &PartitionState) {
         if let Some(p) = state.partition_of(v) {
-            self.ensure(u);
-            let slot = &mut self.counts[u.index() * self.k + p.index()];
-            debug_assert!(*slot > 0, "expiry debit without a matching credit");
-            *slot -= 1;
+            let cell = self.cell_mut(u, p);
+            debug_assert!(*cell > 0, "expiry debit without a matching credit");
+            *cell -= 1;
         }
         if let Some(p) = state.partition_of(u) {
-            self.ensure(v);
-            let slot = &mut self.counts[v.index() * self.k + p.index()];
-            debug_assert!(*slot > 0, "expiry debit without a matching credit");
-            *slot -= 1;
+            let cell = self.cell_mut(v, p);
+            debug_assert!(*cell > 0, "expiry debit without a matching credit");
+            *cell -= 1;
         }
     }
 
@@ -853,12 +1235,10 @@ impl NeighborCounts {
         adjacency: &OnlineAdjacency,
     ) {
         for &w in adjacency.neighbors(v) {
-            self.ensure(w);
-            let row = w.index() * self.k;
             if let Some(q) = from {
-                self.counts[row + q.index()] -= 1;
+                *self.cell_mut(w, q) -= 1;
             }
-            self.counts[row + to.index()] += 1;
+            *self.cell_mut(w, to) += 1;
         }
     }
 
@@ -867,8 +1247,7 @@ impl NeighborCounts {
     /// adjacency).
     #[inline]
     pub fn credit(&mut self, v: VertexId, p: PartitionId) {
-        self.ensure(v);
-        self.counts[v.index() * self.k + p.index()] += 1;
+        *self.cell_mut(v, p) += 1;
     }
 }
 

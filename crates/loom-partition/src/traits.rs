@@ -90,6 +90,17 @@ pub trait StreamPartitioner {
     /// placement) ignore this — the default is a no-op.
     fn set_threads(&mut self, _threads: usize) {}
 
+    /// Set the number of shard-owned vertex-state columns (1 = the
+    /// flat layout, the default). Like [`set_threads`], a pure
+    /// layout/throughput knob under the same bit-identity contract:
+    /// results are identical for ANY shard count (DESIGN.md §14), and
+    /// the shard-equivalence suite enforces it. Must be called before
+    /// any edge is ingested (implementations panic otherwise). The
+    /// default is a no-op for partitioners with no shardable state.
+    ///
+    /// [`set_threads`]: StreamPartitioner::set_threads
+    fn set_shards(&mut self, _shards: usize) {}
+
     /// [`StreamPartitioner::on_batch`] with worker-panic propagation:
     /// the parallel ingest path. The default (and every sequential
     /// partitioner) just delegates to `on_batch` and cannot fail.

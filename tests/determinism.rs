@@ -66,30 +66,39 @@ fn assignments_are_identical_across_runs() {
     }
 }
 
-/// Worker count is a pure throughput knob: the per-vertex assignment
-/// of every system is bit-identical across `threads` ∈ {1, 2, 4}
-/// (the parallel ingest pipeline only fans out pure per-edge work —
-/// DESIGN.md §13 and `crates/loom-core/tests/parallel_equivalence.rs`).
+/// Worker and shard counts are pure throughput knobs: the per-vertex
+/// assignment of every system is bit-identical across shard counts
+/// {1, 2, 4} × threads {1, 4} (the parallel ingest pipeline only fans
+/// out pure per-edge work, and sharding only re-keys the state layout
+/// — DESIGN.md §13–§14, `crates/loom-core/tests/parallel_equivalence.rs`
+/// and `crates/loom-core/tests/shard_equivalence.rs`).
 #[test]
-fn assignments_are_identical_across_worker_counts() {
+fn assignments_are_identical_across_worker_and_shard_counts() {
     let base = tiny(DatasetKind::Dblp, StreamOrder::Random);
     let graph = datasets::generate(base.dataset, base.scale, base.seed);
     let workload = workload_for(base.dataset);
     let stream = GraphStream::from_graph(&graph, base.order, base.seed);
     for system in System::ALL {
         let (reference, _) = partition_timed(system, &base, &stream, &workload);
-        for threads in [2usize, 4] {
-            let mut cfg = base.clone();
-            cfg.threads = threads;
-            let (parallel, _) = partition_timed(system, &cfg, &stream, &workload);
-            assert_eq!(reference.k(), parallel.k());
-            for v in graph.vertices() {
-                assert_eq!(
-                    reference.partition_of(v),
-                    parallel.partition_of(v),
-                    "{}: vertex {v:?} moved between threads=1 and threads={threads}",
-                    system.name()
-                );
+        for shards in [1usize, 2, 4] {
+            for threads in [1usize, 4] {
+                if (shards, threads) == (1, 1) {
+                    continue; // that IS the reference
+                }
+                let mut cfg = base.clone();
+                cfg.shards = shards;
+                cfg.threads = threads;
+                let (parallel, _) = partition_timed(system, &cfg, &stream, &workload);
+                assert_eq!(reference.k(), parallel.k());
+                for v in graph.vertices() {
+                    assert_eq!(
+                        reference.partition_of(v),
+                        parallel.partition_of(v),
+                        "{}: vertex {v:?} moved between (shards 1, threads 1) and \
+                         (shards {shards}, threads {threads})",
+                        system.name()
+                    );
+                }
             }
         }
     }
