@@ -99,6 +99,18 @@ stage "shard-equivalence suite"
 # universe). DESIGN.md §14. Also in tier-1 above.
 cargo test -q --offline -p loom-core --test shard_equivalence
 
+stage "recovery suite (kill/resume matrix)"
+# The crash-recovery contract, by name: a run killed at any point —
+# mid-batch, exactly at a checkpoint, one past it — and resumed from
+# its WAL must be bit-identical to one uninterrupted run, across
+# shards x threads x batch sizes; torn journal tails and corrupt or
+# missing checkpoints must recover from the checksummed prefix or
+# fail loudly naming the record (DESIGN.md §15). Both suites are also
+# in tier-1 above; the second drives the real binary end to end
+# (--stop-after / --resume).
+cargo test -q --offline -p loom-core --test recovery_equivalence
+cargo test -q --offline -p loom-cli --test stop_after
+
 stage "format"
 cargo fmt --check
 
@@ -266,6 +278,40 @@ if [ "$MODE" = full ]; then
     exit 1
   fi
   echo "shard equivalence: t4s4 and t1 outputs identical (timing suffix aside)"
+
+  stage "recovery smoke (1M edges with --wal)"
+  # The 1M-edge smoke once more with a WAL attached: every digit of
+  # the snapshot stream must match the WAL-off t1 run once the wal
+  # bookkeeping segment is stripped (the journal and checkpoints are
+  # pure observation), and journaling + checkpointing may not cost
+  # more than 30% wall time on top of the WAL-off run.
+  WAL_DIR=target/ci-smoke-wal
+  rm -rf "$WAL_DIR"
+  WAL_T0=$SECONDS
+  ./target/release/loom stream --k 4 --system loom --source synthetic \
+      --max-edges "$SMOKE_EDGES" --window 1024 --snapshot-every "$SMOKE_EVERY" \
+      --batch "$SMOKE_BATCH" --threads 1 --shards 1 \
+      --workload "$WORKLOAD" --labels 4 \
+      --wal "$WAL_DIR" --checkpoint-every 250000 2>/dev/null > target/ci-smoke-wal.txt
+  WAL_SECS=$((SECONDS - WAL_T0))
+  sed 's/  wal .*$//' target/ci-smoke-wal.txt > target/ci-smoke-wal-stripped.txt
+  if ! diff -u target/ci-smoke-t1.txt target/ci-smoke-wal-stripped.txt; then
+    echo "recovery smoke: WAL-on output diverged from WAL-off" >&2
+    exit 1
+  fi
+  echo "recovery smoke: WAL-on and WAL-off outputs identical (wal segment aside)"
+  echo "recovery smoke timing: WAL-off ${T1_SECS}s, WAL-on ${WAL_SECS}s, $(du -sh "$WAL_DIR" | cut -f1) on disk"
+  if [ "$T1_SECS" -ge 10 ]; then
+    # <= 1.3x wall time (integer-second arithmetic: 10*wal <= 13*t1).
+    if [ $((10 * WAL_SECS)) -gt $((13 * T1_SECS)) ]; then
+      echo "recovery smoke: WAL overhead over 30% (WAL-off ${T1_SECS}s, WAL-on ${WAL_SECS}s)" >&2
+      exit 1
+    fi
+    echo "recovery smoke: overhead gate passed"
+  else
+    echo "recovery smoke: overhead gate skipped (WAL-off run took only ${T1_SECS}s)"
+  fi
+  rm -rf "$WAL_DIR"
 fi
 rm -f "$WORKLOAD"
 

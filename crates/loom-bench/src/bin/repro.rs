@@ -272,9 +272,24 @@ fn main() {
             eprintln!("perf gate note: {n}");
         }
         // Record the run in the perf-trajectory log (git-ignored, one
-        // JSON line per gate run) before any exit path.
+        // JSON line per gate run) before any exit path. The history
+        // hook also runs the in-process crash-recovery drill, so the
+        // trajectory tracks recovery outcomes (checkpoints written,
+        // edges replayed, journal size) alongside throughput — and a
+        // broken recovery fails the gate like any other regression.
         if let Some(hpath) = &args.history {
-            match append_history(hpath, &fresh, report.passed()) {
+            let drill = match recovery_drill() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("perf gate FAILURE: recovery drill: {e}");
+                    std::process::exit(1);
+                }
+            };
+            eprintln!(
+                "recovery drill: {} checkpoints, {} edges replayed, {:.3}MB journal",
+                drill.checkpoints, drill.replayed_edges, drill.wal_mb
+            );
+            match append_history(hpath, &fresh, report.passed(), &drill) {
                 Ok(()) => eprintln!("appended gate summary to {hpath}"),
                 Err(e) => eprintln!("warning: cannot append history to {hpath}: {e}"),
             }
@@ -293,14 +308,106 @@ fn main() {
     }
 }
 
+/// Outcome of the crash-recovery drill — the numbers `--history`
+/// records per gate run.
+struct RecoveryDrill {
+    /// Checkpoints written across the killed and the resumed process.
+    checkpoints: u64,
+    /// Journal edges replayed past the newest checkpoint on resume.
+    replayed_edges: u64,
+    /// Final journal size in MB.
+    wal_mb: f64,
+}
+
+/// The in-process kill/resume drill run under `--history`: ingest a
+/// synthetic stream with a WAL attached, "crash" by dropping the
+/// engine at an edge that is neither a snapshot nor a checkpoint
+/// boundary, resume into a fresh engine, run to the end, and require
+/// the recovered state digest to be byte-identical to one
+/// uninterrupted run. Any divergence is an `Err`, and the gate fails:
+/// recovery breaking is as much a regression as a slowdown.
+fn recovery_drill() -> Result<RecoveryDrill, String> {
+    use loom_core::prelude::*;
+    use loom_core::wal::MemBackend;
+
+    const TOTAL: u64 = 20_000;
+    const KILL: u64 = 13_000;
+    const CHECKPOINT_EVERY: u64 = 4_000;
+    const FP: &str = "repro recovery drill v1 ldg k=4 seed=42";
+
+    fn fresh() -> OnlineEngine {
+        OnlineEngine::new(
+            Box::new(LdgPartitioner::new(4, CapacityModel::Adaptive)),
+            EngineConfig {
+                snapshot_every: 5_000,
+                batch_size: 256,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    let mut reference = fresh();
+    reference
+        .run(&mut SyntheticEdgeSource::new(42, 4), Some(TOTAL), |_| {})
+        .map_err(|e| format!("reference run: {e}"))?;
+    let want = reference
+        .state_digest()
+        .map_err(|e| format!("reference digest: {e}"))?;
+
+    // The kill: the MemBackend clone shares the durable file map, so
+    // dropping the engine loses exactly what a crash would lose.
+    let backend = MemBackend::new();
+    let mut first = fresh();
+    first
+        .attach_wal(Box::new(backend.clone()), CHECKPOINT_EVERY, FP)
+        .map_err(|e| format!("attach: {e}"))?;
+    first
+        .run(&mut SyntheticEdgeSource::new(42, 4), Some(KILL), |_| {})
+        .map_err(|e| format!("killed run: {e}"))?;
+    let first_stats = first.recovery_stats().expect("wal attached");
+    drop(first);
+
+    let mut second = fresh();
+    let durable = second
+        .resume_from_wal(Box::new(backend), CHECKPOINT_EVERY, FP, |_| {})
+        .map_err(|e| format!("resume: {e}"))?;
+    if durable != KILL {
+        return Err(format!(
+            "expected {KILL} durable edges, recovered {durable}"
+        ));
+    }
+    let mut src = SyntheticEdgeSource::new(42, 4);
+    if src.skip_edges(durable) != durable {
+        return Err("source ended inside the durable prefix".into());
+    }
+    second
+        .run(&mut src, Some(TOTAL), |_| {})
+        .map_err(|e| format!("resumed run: {e}"))?;
+    if second
+        .state_digest()
+        .map_err(|e| format!("resumed digest: {e}"))?
+        != want
+    {
+        return Err("recovered state digest diverged from the uninterrupted run".into());
+    }
+    let stats = second.recovery_stats().expect("wal attached");
+    Ok(RecoveryDrill {
+        checkpoints: first_stats.checkpoints_written + stats.checkpoints_written,
+        replayed_edges: stats.replayed_edges,
+        wal_mb: stats.journal_bytes as f64 / 1e6,
+    })
+}
+
 /// Append one JSON line summarising a perf-gate run to `path` — the
 /// cross-PR perf trajectory (`BENCH_history.jsonl`, git-ignored): when
-/// it ran, on what machine shape, whether the gate passed, and every
-/// system's throughput/quality numbers.
+/// it ran, on what machine shape, whether the gate passed, every
+/// system's throughput/quality numbers, and the recovery-drill
+/// outcomes.
 fn append_history(
     path: &str,
     fresh: &loom_bench::BenchSummary,
     passed: bool,
+    drill: &RecoveryDrill,
 ) -> std::io::Result<()> {
     let ts = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -323,7 +430,10 @@ fn append_history(
             s.name, s.ms_per_10k_edges, s.weighted_ipt, s.imbalance, s.threads
         ));
     }
-    line.push_str("}}\n");
+    line.push_str(&format!(
+        "}}, \"recovery\": {{\"checkpoints\": {}, \"replayed_edges\": {}, \"wal_mb\": {:.3}}}}}\n",
+        drill.checkpoints, drill.replayed_edges, drill.wal_mb
+    ));
     use std::io::Write as _;
     let mut f = std::fs::OpenOptions::new()
         .create(true)

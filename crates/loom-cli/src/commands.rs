@@ -43,6 +43,18 @@ commands:
              [--threshold 0.4] [--seed N] [--labels N]
              [--probe-limit N (enables the exact mid-stream ipt probe;
               materialises the feed — avoid on unbounded streams)]
+             [--wal DIR (crash recovery: journal every ingested edge
+              and checkpoint engine state under DIR; quality output is
+              bit-identical to a WAL-off run)]
+             [--checkpoint-every N (edges between checkpoints; default
+              100000; 0 = journal only, recovery replays from edge 0;
+              needs --wal)]
+             [--resume true|false (recover from --wal DIR: load the
+              newest readable checkpoint, replay the journal tail,
+              skip the already-durable stream prefix; needs --wal)]
+             [--stop-after N (stop ingest after N total stream edges
+              and exit cleanly without draining the match window, so
+              the WAL stays resumable; needs --wal)]
              [--out FILE]
   help";
 
@@ -441,7 +453,46 @@ fn stream_cmd(args: &Args) -> Result<()> {
     let labels_flag = args.parsed_or("labels", 0usize)?;
     let workload_path = args.optional("workload");
     let out = args.optional("out");
+    // Crash recovery (DESIGN.md §15). --wal DIR attaches an edge
+    // journal plus periodic checkpoints; --resume recovers from them.
+    // All of it is quality-invisible: snapshots and assignments are
+    // bit-identical to a WAL-off run
+    // (loom-core/tests/recovery_equivalence.rs).
+    let wal_dir = args.optional("wal");
+    let checkpoint_every_flag = args.optional("checkpoint-every");
+    let resume_flag = args.optional("resume");
+    let stop_after = args.parsed_or("stop-after", 0u64)?;
     args.finish()?;
+
+    if wal_dir.is_none()
+        && (checkpoint_every_flag.is_some() || resume_flag.is_some() || stop_after > 0)
+    {
+        return Err(
+            "--checkpoint-every, --resume and --stop-after configure the write-ahead log; \
+             give --wal DIR"
+                .into(),
+        );
+    }
+    let checkpoint_every = match checkpoint_every_flag.as_deref() {
+        None => 100_000u64,
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|e| format!("bad value for --checkpoint-every: {e}"))?,
+    };
+    let resume = match resume_flag.as_deref() {
+        None => false,
+        Some("true") => true,
+        Some("false") => false,
+        Some(other) => return Err(format!("--resume takes true or false, got '{other}'").into()),
+    };
+    if wal_dir.is_some() && probe_limit.is_some() {
+        // The engine refuses this pairing too; say why up front. The
+        // probe materialises the whole feed, which no checkpoint
+        // covers — a resumed probe would silently measure a suffix.
+        return Err("--wal is incompatible with --probe-limit \
+                    (the probe materialises the feed; checkpoints do not cover it)"
+            .into());
+    }
 
     // Workload (needed for --system loom; enables the ipt probe
     // otherwise). The header names carry the full label alphabet — a
@@ -473,7 +524,7 @@ fn stream_cmd(args: &Args) -> Result<()> {
             }
         }
         "synthetic" => {
-            if max_edges == 0 {
+            if max_edges == 0 && stop_after == 0 {
                 return Err("--source synthetic is infinite; give --max-edges".into());
             }
             Box::new(SyntheticEdgeSource::new(seed, num_labels))
@@ -538,16 +589,81 @@ fn stream_cmd(args: &Args) -> Result<()> {
         engine = engine.with_ipt_probe(w, limit);
     }
 
-    let budget = if max_edges == 0 {
-        None
-    } else {
-        Some(max_edges)
-    };
     let mut last_printed: Option<(u64, usize, u64, u64)> = None;
+    // Attach or resume the WAL before the first edge flows. The
+    // fingerprint covers every quality-affecting knob, so a resume
+    // under a different stream definition refuses loudly; the pure
+    // throughput knobs (--batch, --threads, --shards) are deliberately
+    // absent — results are bit-identical for any value, so they may
+    // change across a crash.
+    let mut resumed_edges = 0u64;
+    if let Some(dir) = &wal_dir {
+        let backend = loom_core::wal::FileBackend::new(dir)?;
+        let fingerprint = format!(
+            "loom-stream v1 system={} k={k} seed={seed} window={window} threshold={threshold} \
+             adjacency={} labels={num_labels} snapshot-every={snapshot_every} \
+             checkpoint-every={checkpoint_every} source={source_kind}",
+            system.to_ascii_lowercase(),
+            match adjacency_horizon_flag.as_deref() {
+                None => "default".to_string(),
+                Some(v) => v.to_string(),
+            },
+        );
+        if resume {
+            let durable =
+                engine.resume_from_wal(Box::new(backend), checkpoint_every, &fingerprint, |s| {
+                    last_printed = Some((s.edges, s.vertices, s.cut_edges, s.resolved_edges));
+                    print_snapshot(s);
+                })?;
+            // Replay rebuilt state up to the durable boundary; place
+            // the live source one past it so ingest continues exactly
+            // where the crashed run stopped.
+            let skipped = source.skip_edges(durable);
+            if skipped < durable {
+                return Err(format!(
+                    "resume needs the same feed: the WAL holds {durable} durable edges \
+                     but the source ended after {skipped}"
+                )
+                .into());
+            }
+            resumed_edges = durable;
+            let stats = engine.recovery_stats().expect("wal attached by resume");
+            eprintln!(
+                "resumed from {dir}: {durable} edges durable, {} replayed from the journal \
+                 past checkpoint {}",
+                stats.replayed_edges, stats.checkpoint_seq,
+            );
+        } else {
+            engine.attach_wal(Box::new(backend), checkpoint_every, &fingerprint)?;
+        }
+    }
+
+    // --max-edges and --stop-after both count TOTAL stream edges;
+    // run() compares the cap against the engine's stream-global edge
+    // count, which already includes the resumed prefix, so a resumed
+    // run ingests exactly the remainder and matches an uninterrupted
+    // run edge for edge.
+    let budget = match (max_edges, stop_after) {
+        (0, 0) => None,
+        (m, 0) => Some(m),
+        (0, s) => Some(s),
+        (m, s) => Some(m.min(s)),
+    };
+    if let Some(cap) = budget {
+        if cap < resumed_edges {
+            return Err(format!(
+                "the WAL already holds {resumed_edges} durable edges, past the requested \
+                 cap of {cap}; raise --max-edges/--stop-after or start a fresh WAL"
+            )
+            .into());
+        }
+    }
     // A worker panic during a parallel batch surfaces as a clean
     // engine error naming the batch and the stream-global edge; the
     // partitioner's state is unspecified afterwards, so bail before
-    // finish() rather than drain a poisoned window.
+    // finish() rather than drain a poisoned window. With a WAL
+    // attached the failed batch is already durable — `--resume true`
+    // replays to the exact failure edge and continues.
     engine.run(source.as_mut(), budget, |s| {
         last_printed = Some((s.edges, s.vertices, s.cut_edges, s.resolved_edges));
         print_snapshot(s);
@@ -556,21 +672,43 @@ fn stream_cmd(args: &Args) -> Result<()> {
     // read failure) is not a feed that ended: report what was
     // partitioned, then exit non-zero so pipelines notice.
     let ingest_error = source.error().map(String::from);
-    let fin = engine.finish();
-    // When ingest ends exactly on the cadence, finish() can repeat the
-    // just-printed data point (unless the flush changed it, e.g. Loom
-    // draining its window) — don't print the same line twice.
+    let fin = if stop_after > 0 {
+        // Clean stop: flush the journal and leave the match window
+        // undrained. finish() would commit the window's pending edges
+        // — placements a resumed run re-derives itself — so the final
+        // line here reports the stopped state, not the drained one.
+        engine.flush_wal()?;
+        engine.snapshot()
+    } else {
+        engine.finish()
+    };
+    // When ingest ends exactly on the cadence, the final snapshot can
+    // repeat the just-printed data point (unless the flush changed it,
+    // e.g. Loom draining its window) — don't print the same line
+    // twice.
     if last_printed != Some((fin.edges, fin.vertices, fin.cut_edges, fin.resolved_edges)) {
         print_snapshot(&fin);
     }
-    eprintln!(
-        "{} over {} edges (online, adaptive capacity): {} vertices, cut {:.1}%, imbalance {:.1}%",
-        engine.partitioner_name(),
-        fin.edges,
-        fin.vertices,
-        fin.cut_fraction() * 100.0,
-        fin.imbalance * 100.0,
-    );
+    if stop_after > 0 {
+        eprintln!(
+            "{} stopped cleanly after {} edges (resumable with --resume true): \
+             {} vertices, cut {:.1}%, imbalance {:.1}%",
+            engine.partitioner_name(),
+            fin.edges,
+            fin.vertices,
+            fin.cut_fraction() * 100.0,
+            fin.imbalance * 100.0,
+        );
+    } else {
+        eprintln!(
+            "{} over {} edges (online, adaptive capacity): {} vertices, cut {:.1}%, imbalance {:.1}%",
+            engine.partitioner_name(),
+            fin.edges,
+            fin.vertices,
+            fin.cut_fraction() * 100.0,
+            fin.imbalance * 100.0,
+        );
+    }
 
     if let Some(path) = out {
         let assignment = engine.into_assignment();
@@ -622,8 +760,20 @@ fn print_snapshot(s: &loom_core::engine::Snapshot) {
         ),
         None => String::new(),
     };
+    // Recovery bookkeeping, present exactly when a WAL is attached —
+    // WAL-off output stays byte-identical, and ci.sh verifies a WAL-on
+    // run matches after stripping this one segment.
+    let wal = match &s.recovery {
+        Some(r) => format!(
+            "  wal ckpt {} replayed {} journal {:.1}MB",
+            r.checkpoint_seq,
+            r.replayed_edges,
+            r.journal_bytes as f64 / 1e6
+        ),
+        None => String::new(),
+    };
     println!(
-        "snapshot {:>4}  edges {:>10}  vertices {:>9}  capacity {:>12.1}  imbalance {:>5.1}%  cut {:>5.1}% ({}/{}){}{}{}{}",
+        "snapshot {:>4}  edges {:>10}  vertices {:>9}  capacity {:>12.1}  imbalance {:>5.1}%  cut {:>5.1}% ({}/{}){}{}{}{}{}",
         s.seq,
         s.edges,
         s.vertices,
@@ -636,6 +786,7 @@ fn print_snapshot(s: &loom_core::engine::Snapshot) {
         arena,
         adjacency,
         ingest,
+        wal,
     );
 }
 

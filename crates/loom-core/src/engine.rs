@@ -16,12 +16,17 @@
 //! through it in prescient mode reproduces every figure bit for bit
 //! (see `tests/determinism.rs` and the pipeline tests).
 
+use crate::persist::{decode_edges_record, encode_edges_record, RecoveryStats, WalState};
 use loom_graph::{EdgeSource, LabeledGraph, StreamEdge, Workload};
 use loom_matcher::ArenaOccupancy;
 use loom_partition::{
     AdjacencyOccupancy, Assignment, IngestPhases, PartitionState, StreamPartitioner,
 };
 use loom_query::count_ipt;
+use loom_wal::{
+    list_checkpoints, read_checkpoint, scan_journal, write_checkpoint, ByteReader, ByteWriter,
+    Checkpoint, JournalWriter, StorageBackend, WalError, JOURNAL_FILE,
+};
 use std::collections::VecDeque;
 
 /// A fatal ingest failure: a worker panicked while probing an edge of
@@ -130,6 +135,11 @@ pub struct Snapshot {
     /// every threads=1 consumer's output stays byte-identical to the
     /// sequential builds.
     pub ingest: Option<IngestPhases>,
+    /// WAL bookkeeping (checkpoints written, edges replayed, journal
+    /// bytes) when crash recovery is attached; `None` otherwise, so
+    /// WAL-off output carries no trace of the recovery machinery.
+    /// Observation only — never compared in bit-identity checks.
+    pub recovery: Option<RecoveryStats>,
 }
 
 impl Snapshot {
@@ -196,6 +206,10 @@ pub struct OnlineEngine {
     cut_edges: u64,
     resolved_edges: u64,
     probe: Option<IptProbe>,
+    /// Crash recovery, when attached: the edge journal + checkpoint
+    /// hooks of [`OnlineEngine::attach_wal`] /
+    /// [`OnlineEngine::resume_from_wal`].
+    wal: Option<WalState>,
 }
 
 impl OnlineEngine {
@@ -213,6 +227,7 @@ impl OnlineEngine {
             cut_edges: 0,
             resolved_edges: 0,
             probe: None,
+            wal: None,
         }
     }
 
@@ -244,7 +259,18 @@ impl OnlineEngine {
     }
 
     /// Feed one edge. Returns a snapshot when the cadence fires.
+    ///
+    /// With a WAL attached the edge is journaled and flushed before it
+    /// reaches the partitioner; a journal or checkpoint failure on
+    /// this infallible convenience path panics with the storage error.
+    /// Use [`OnlineEngine::ingest_batch`] / [`OnlineEngine::run`] to
+    /// get recoverable [`EngineError`]s instead (they also amortise
+    /// the per-edge flush).
     pub fn ingest(&mut self, e: &StreamEdge) -> Option<Snapshot> {
+        if self.wal.is_some() {
+            self.journal_edges(std::slice::from_ref(e))
+                .expect("journal append failed in per-edge ingest");
+        }
         self.partitioner.on_edge(e);
         self.edges += 1;
         if let Some(probe) = &mut self.probe {
@@ -270,13 +296,18 @@ impl OnlineEngine {
                 }
             }
         }
-        if self.config.snapshot_every > 0
+        let snap = if self.config.snapshot_every > 0
             && self.edges.is_multiple_of(self.config.snapshot_every as u64)
         {
             Some(self.snapshot())
         } else {
             None
+        };
+        if self.checkpoint_due() {
+            self.write_checkpoint_now()
+                .expect("checkpoint write failed in per-edge ingest");
         }
+        snap
     }
 
     /// Feed a batch of edges, in order, calling `on_snapshot` at each
@@ -299,14 +330,33 @@ impl OnlineEngine {
         edges: &[StreamEdge],
         mut on_snapshot: impl FnMut(&Snapshot),
     ) -> Result<(), EngineError> {
+        // WAL hook, FIRST: the whole incoming batch is journaled and
+        // flushed before any edge reaches the partitioner. An ingest
+        // failure mid-batch (a worker panic) therefore leaves every
+        // edge up to and including the failing one durable, so a
+        // post-mortem `--resume` replays the stream to exactly the
+        // failure point. Already-journaled edges (replay) are skipped
+        // by the stream-index guard inside.
+        if self.wal.is_some() {
+            self.journal_edges(edges)
+                .map_err(|e| self.wal_engine_error(e))?;
+        }
         let mut rest = edges;
         while !rest.is_empty() {
-            let until_cadence = if self.config.snapshot_every > 0 {
+            // Split at the snapshot AND checkpoint cadences, so each
+            // fires having observed exactly the edge count it would
+            // have edge-at-a-time (chunking is quality-invisible by
+            // the batch-equivalence contract).
+            let mut until_cadence = rest.len();
+            if self.config.snapshot_every > 0 {
                 let every = self.config.snapshot_every as u64;
-                (every - self.edges % every) as usize
-            } else {
-                rest.len()
-            };
+                until_cadence = until_cadence.min((every - self.edges % every) as usize);
+            }
+            if let Some(every) = self.wal.as_ref().map(|w| w.checkpoint_every) {
+                if every > 0 {
+                    until_cadence = until_cadence.min((every - self.edges % every) as usize);
+                }
+            }
             let (chunk, tail) = rest.split_at(until_cadence.min(rest.len()));
             rest = tail;
             self.batches += 1;
@@ -342,6 +392,13 @@ impl OnlineEngine {
             {
                 on_snapshot(&self.snapshot());
             }
+            // Checkpoint AFTER the snapshot at the same boundary, so
+            // the persisted `seq` includes it and replayed snapshots
+            // continue the sequence without a gap or repeat.
+            if self.checkpoint_due() {
+                self.write_checkpoint_now()
+                    .map_err(|e| self.wal_engine_error(e))?;
+            }
         }
         Ok(())
     }
@@ -361,8 +418,16 @@ impl OnlineEngine {
         max_edges: Option<u64>,
         mut on_snapshot: impl FnMut(&Snapshot),
     ) -> Result<(), EngineError> {
-        let batch = self.config.batch_size;
-        if batch <= 1 {
+        // With a WAL attached, route even batch_size <= 1 through the
+        // batched path (in pulls of one): journaling errors then
+        // surface as `Err` instead of the per-edge path's panic, and
+        // the batch-equivalence contract keeps the output bit-identical.
+        let batch = if self.wal.is_some() {
+            self.config.batch_size.max(1)
+        } else {
+            self.config.batch_size
+        };
+        if batch <= 1 && self.wal.is_none() {
             while max_edges.is_none_or(|m| self.edges < m) {
                 let Some(e) = source.next_edge() else { break };
                 if let Some(s) = self.ingest(&e) {
@@ -436,6 +501,337 @@ impl OnlineEngine {
             arena,
             adjacency,
             ingest,
+            recovery: self.wal.as_ref().map(|w| w.stats()),
+        }
+    }
+
+    // ------------------------------------------------ crash recovery
+
+    /// Attach a fresh write-ahead log: every ingested edge is appended
+    /// to `backend`'s journal (flushed at batch boundaries, before the
+    /// partitioner sees the edges), and a full engine checkpoint is
+    /// written every `checkpoint_every` edges (0 = journal only).
+    /// `fingerprint` names the run configuration; it is stamped into
+    /// every checkpoint and [`OnlineEngine::resume_from_wal`] refuses
+    /// on any mismatch.
+    ///
+    /// Refused over a backend that already holds a journal or
+    /// checkpoints (resume instead — a fresh WAL would shadow durable
+    /// state), after ingest has started (the journal would miss the
+    /// prefix), or with an ipt probe attached (the probe accumulates
+    /// the whole ingested subgraph and is not checkpointable).
+    pub fn attach_wal(
+        &mut self,
+        backend: Box<dyn StorageBackend>,
+        checkpoint_every: u64,
+        fingerprint: &str,
+    ) -> Result<(), WalError> {
+        self.wal_preconditions()?;
+        match backend.read(JOURNAL_FILE) {
+            Ok(bytes) if !bytes.is_empty() => {
+                return Err(WalError::Refused(
+                    "the WAL directory already holds a journal; resume to continue it, \
+                     or point the WAL at an empty directory"
+                        .to_string(),
+                ));
+            }
+            _ => {}
+        }
+        if !list_checkpoints(&*backend)?.is_empty() {
+            return Err(WalError::Refused(
+                "the WAL directory already holds checkpoints; resume to continue them, \
+                 or point the WAL at an empty directory"
+                    .to_string(),
+            ));
+        }
+        if checkpoint_every > 0 {
+            // Fail fast if the partitioner cannot checkpoint, instead
+            // of erroring thousands of edges in at the first boundary.
+            self.partitioner.save_state(&mut ByteWriter::new())?;
+        }
+        let journal = JournalWriter::open(&*backend, 0)?;
+        self.wal = Some(WalState {
+            backend,
+            journal,
+            checkpoint_every,
+            fingerprint: fingerprint.to_string(),
+            keep_checkpoints: 2,
+            journaled_edges: 0,
+            checkpoint_seq: 0,
+            checkpoints_written: 0,
+            replayed_edges: 0,
+        });
+        Ok(())
+    }
+
+    /// Recover from a WAL left by a crashed (or stopped) run and keep
+    /// logging to it. The engine must be freshly constructed with the
+    /// same configuration — partitioner, shards, threads, cadences —
+    /// as the one that wrote the WAL; `fingerprint` encodes that
+    /// configuration and is checked against the checkpoint before any
+    /// state is touched.
+    ///
+    /// Recovery: pick the newest readable checkpoint (a corrupt or
+    /// missing newest falls back to the one before it; none at all
+    /// means full replay from edge 0), load its engine + partitioner
+    /// state, scan the journal — truncating a torn tail after the last
+    /// checksummed record — and replay the durable edges past the
+    /// checkpoint through the normal ingest path, re-firing cadence
+    /// snapshots into `on_snapshot` as they are crossed. Because every
+    /// structure was serialized verbatim (dead entries and all), the
+    /// resumed engine is bit-identical to one that never stopped.
+    ///
+    /// Returns the number of durable edges recovered; the caller skips
+    /// that many edges of its source before continuing the stream.
+    pub fn resume_from_wal(
+        &mut self,
+        backend: Box<dyn StorageBackend>,
+        checkpoint_every: u64,
+        fingerprint: &str,
+        mut on_snapshot: impl FnMut(&Snapshot),
+    ) -> Result<u64, WalError> {
+        self.wal_preconditions()?;
+        // Newest readable checkpoint wins; Io/Corrupt fall back to the
+        // previous one (atomic writes mean at most the newest is torn,
+        // but degraded media can lose any of them).
+        let mut ckpt: Option<Checkpoint> = None;
+        for (_, name) in list_checkpoints(&*backend)?.iter().rev() {
+            match read_checkpoint(&*backend, name) {
+                Ok(c) => {
+                    ckpt = Some(c);
+                    break;
+                }
+                Err(WalError::Io(_)) | Err(WalError::Corrupt(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(c) = &ckpt {
+            if c.fingerprint != fingerprint {
+                return Err(WalError::ConfigMismatch {
+                    expected: fingerprint.to_string(),
+                    found: c.fingerprint.clone(),
+                });
+            }
+        }
+        let journal_bytes = match backend.read(JOURNAL_FILE) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if ckpt.is_some() {
+                    return Err(WalError::Corrupt(
+                        "checkpoints exist but the journal is missing".to_string(),
+                    ));
+                }
+                return Err(WalError::Refused(
+                    "nothing to resume: the WAL directory holds no journal".to_string(),
+                ));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let scan = scan_journal(&journal_bytes);
+        if scan.torn.is_some() {
+            // Drop the torn tail so this session's appends continue a
+            // clean checksummed prefix.
+            backend.truncate(JOURNAL_FILE, scan.valid_len)?;
+        }
+        let mut edges: Vec<StreamEdge> = Vec::new();
+        for (i, rec) in scan.records.iter().enumerate() {
+            decode_edges_record(rec, edges.len() as u64, i, &mut edges)?;
+        }
+        let durable = edges.len() as u64;
+        let start = ckpt.as_ref().map_or(0, |c| c.edges);
+        if durable < start {
+            return Err(WalError::Corrupt(format!(
+                "checkpoint claims {start} edges but the journal holds only {durable}: \
+                 the journal lost durable records the checkpoint depends on"
+            )));
+        }
+        if let Some(c) = &ckpt {
+            self.load_checkpoint_payload(&c.state)?;
+            self.edges = c.edges;
+        }
+        // Install the WAL *before* replay: `journaled_edges = durable`
+        // suppresses re-appending what is already on disk while the
+        // replayed edges flow through the normal ingest path.
+        let journal = JournalWriter::open(&*backend, scan.valid_len)?;
+        self.wal = Some(WalState {
+            backend,
+            journal,
+            checkpoint_every,
+            fingerprint: fingerprint.to_string(),
+            keep_checkpoints: 2,
+            journaled_edges: durable,
+            checkpoint_seq: ckpt.as_ref().map_or(0, |c| c.seq),
+            checkpoints_written: 0,
+            replayed_edges: durable - start,
+        });
+        self.ingest_batch(&edges[start as usize..], &mut on_snapshot)
+            .map_err(|e| WalError::Corrupt(format!("journal replay failed: {e}")))?;
+        Ok(durable)
+    }
+
+    /// Checks shared by attach and resume: both bind a WAL to a fresh
+    /// engine.
+    fn wal_preconditions(&self) -> Result<(), WalError> {
+        if self.wal.is_some() {
+            return Err(WalError::Refused("a WAL is already attached".to_string()));
+        }
+        if self.edges > 0 {
+            return Err(WalError::Refused(format!(
+                "cannot attach a WAL mid-stream: {} edges already ingested \
+                 would be missing from the journal",
+                self.edges
+            )));
+        }
+        if self.probe.is_some() {
+            return Err(WalError::Refused(
+                "the ipt probe accumulates the whole ingested subgraph and is not \
+                 checkpointable; run without the probe to use a WAL"
+                    .to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Force the journal to its durable point now (normally it is
+    /// flushed at every batch boundary). Call before a clean exit.
+    pub fn flush_wal(&mut self) -> Result<(), WalError> {
+        if let Some(wal) = &mut self.wal {
+            wal.journal.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Recovery observability, when a WAL is attached.
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.wal.as_ref().map(|w| w.stats())
+    }
+
+    /// Append the not-yet-journaled suffix of `edges` (a slice whose
+    /// first element is stream edge `self.edges`) and flush. Replayed
+    /// prefixes are skipped via `journaled_edges`; a slice that spans
+    /// the durable boundary appends exactly its fresh suffix.
+    fn journal_edges(&mut self, edges: &[StreamEdge]) -> Result<(), WalError> {
+        let wal = self.wal.as_mut().expect("caller checked wal.is_some()");
+        let first = self.edges;
+        let skip = wal.journaled_edges.saturating_sub(first) as usize;
+        if skip >= edges.len() {
+            return Ok(());
+        }
+        let record = encode_edges_record(first + skip as u64, &edges[skip..]);
+        wal.journal.append_record(&record)?;
+        wal.journal.flush()?;
+        wal.journaled_edges = first + edges.len() as u64;
+        Ok(())
+    }
+
+    fn checkpoint_due(&self) -> bool {
+        self.wal.as_ref().is_some_and(|w| {
+            w.checkpoint_every > 0
+                && self.edges > 0
+                && self.edges.is_multiple_of(w.checkpoint_every)
+        })
+    }
+
+    /// Write (and prune) a checkpoint at the current edge boundary.
+    /// The journal is flushed first so a checkpoint never claims edges
+    /// the journal does not durably hold.
+    fn write_checkpoint_now(&mut self) -> Result<(), WalError> {
+        let state = self.checkpoint_payload()?;
+        let wal = self.wal.as_mut().expect("checkpoint_due checked wal");
+        wal.journal.flush()?;
+        let seq = self.edges / wal.checkpoint_every;
+        write_checkpoint(
+            &*wal.backend,
+            &Checkpoint {
+                seq,
+                fingerprint: wal.fingerprint.clone(),
+                edges: self.edges,
+                state,
+            },
+        )?;
+        wal.checkpoint_seq = seq;
+        wal.checkpoints_written += 1;
+        let list = list_checkpoints(&*wal.backend)?;
+        if list.len() > wal.keep_checkpoints {
+            for (_, name) in &list[..list.len() - wal.keep_checkpoints] {
+                wal.backend.remove(name)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The engine's recoverable state: its own counters, the pending
+    /// cut-tracking deque, and the wrapped partitioner's full dump.
+    fn checkpoint_payload(&self) -> Result<Vec<u8>, WalError> {
+        let mut w = ByteWriter::new();
+        w.u64(self.seq as u64);
+        w.u64(self.batches);
+        w.u64(self.cut_edges);
+        w.u64(self.resolved_edges);
+        w.u64(self.pending.len() as u64);
+        for e in &self.pending {
+            e.wal_encode(&mut w);
+        }
+        w.str(self.partitioner.name());
+        self.partitioner.save_state(&mut w)?;
+        Ok(w.into_bytes())
+    }
+
+    /// Inverse of [`OnlineEngine::checkpoint_payload`], into a freshly
+    /// constructed engine. The stored partitioner name must match the
+    /// one this engine wraps — a Loom checkpoint loaded into an LDG
+    /// run is a config mismatch, not a decode attempt.
+    fn load_checkpoint_payload(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        let mut r = ByteReader::new(bytes);
+        self.seq = r.u64()? as usize;
+        self.batches = r.u64()?;
+        self.cut_edges = r.u64()?;
+        self.resolved_edges = r.u64()?;
+        let np = r.len_prefix(crate::persist::EDGE_WIRE_BYTES)?;
+        self.pending.clear();
+        for _ in 0..np {
+            self.pending.push_back(StreamEdge::wal_decode(&mut r)?);
+        }
+        let name = r.str()?;
+        if name != self.partitioner.name() {
+            return Err(WalError::ConfigMismatch {
+                expected: self.partitioner.name().to_string(),
+                found: name,
+            });
+        }
+        self.partitioner.load_state(&mut r)?;
+        r.expect_end()
+    }
+
+    /// Deep-equality digest of the recoverable state: the engine's
+    /// counters, pending cut-tracking deque, and the partitioner's
+    /// full `save_state` dump, as one byte string. Two engines whose
+    /// digests are equal are bit-identical in every recoverable
+    /// respect — the oracle the kill/resume suite and the bench's
+    /// recovery drill compare. Excludes the batch counter (a chunking
+    /// detail that legitimately differs across replay) and the WAL
+    /// bookkeeping itself (observability, not state). Works with or
+    /// without a WAL attached.
+    pub fn state_digest(&self) -> Result<Vec<u8>, WalError> {
+        let mut w = ByteWriter::new();
+        w.u64(self.seq as u64);
+        w.u64(self.edges);
+        w.u64(self.cut_edges);
+        w.u64(self.resolved_edges);
+        w.u64(self.pending.len() as u64);
+        for e in &self.pending {
+            e.wal_encode(&mut w);
+        }
+        w.str(self.partitioner.name());
+        self.partitioner.save_state(&mut w)?;
+        Ok(w.into_bytes())
+    }
+
+    fn wal_engine_error(&self, e: WalError) -> EngineError {
+        EngineError {
+            batch: self.batches,
+            edge_index: self.edges,
+            message: format!("wal: {e}"),
         }
     }
 

@@ -25,11 +25,13 @@
 
 pub mod config;
 pub mod engine;
+pub mod persist;
 pub mod pipeline;
 pub mod report;
 
 pub use config::{ExperimentConfig, System};
 pub use engine::{EngineConfig, EngineError, OnlineEngine, Snapshot};
+pub use persist::RecoveryStats;
 pub use pipeline::{
     make_partitioner, partition_timed, run_experiment, run_experiment_with, ExperimentResult,
     SystemResult,
@@ -41,6 +43,7 @@ pub use loom_motif as motif;
 pub use loom_partition as partition;
 pub use loom_query as query;
 pub use loom_runtime as runtime;
+pub use loom_wal as wal;
 
 /// Everything a typical caller needs, in one import.
 pub mod prelude {

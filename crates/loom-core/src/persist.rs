@@ -1,0 +1,167 @@
+//! Engine-side persistence glue (DESIGN.md §15).
+//!
+//! The storage primitives — record framing, checkpoint files, the
+//! backends — live in `loom-wal` and know nothing about graphs. This
+//! module owns what the *engine* persists on top of them: the edge
+//! payload of a journal record (with its stream-continuity check) and
+//! the running WAL bookkeeping that [`crate::Snapshot`]s report.
+
+use loom_graph::StreamEdge;
+use loom_wal::{ByteReader, ByteWriter, JournalWriter, StorageBackend, WalError};
+
+/// Wire bytes of one encoded [`StreamEdge`] inside a journal record
+/// (`u32` id/src/dst + `u16` labels, little-endian).
+pub(crate) const EDGE_WIRE_BYTES: usize = 16;
+
+/// Recovery observability, reported through
+/// [`crate::Snapshot::recovery`] and
+/// [`crate::OnlineEngine::recovery_stats`] whenever a WAL is attached.
+/// Pure observation: none of these numbers feed back into placement,
+/// so WAL-on and WAL-off runs stay bit-identical in every quality
+/// figure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Sequence number of the newest checkpoint this engine wrote, or
+    /// resumed from when it has not written one yet (0 before any
+    /// checkpoint exists).
+    pub checkpoint_seq: u64,
+    /// Checkpoints written by this process. Re-reaching a checkpoint
+    /// boundary during replay rewrites the (byte-identical) file and
+    /// counts here — they are real writes.
+    pub checkpoints_written: u64,
+    /// Edges replayed from the journal during resume; 0 on a fresh
+    /// run.
+    pub replayed_edges: u64,
+    /// Total journal bytes (pre-existing at open plus appended since).
+    pub journal_bytes: u64,
+}
+
+/// The engine's attached WAL: the backend, the open journal handle,
+/// and the bookkeeping the hooks in `OnlineEngine` maintain.
+pub(crate) struct WalState {
+    pub backend: Box<dyn StorageBackend>,
+    pub journal: JournalWriter,
+    /// Write a checkpoint every this many ingested edges (0 = journal
+    /// only; recovery then replays from edge 0).
+    pub checkpoint_every: u64,
+    /// The writing config's fingerprint, stamped into every
+    /// checkpoint; resume refuses on any mismatch.
+    pub fingerprint: String,
+    /// Checkpoints retained after pruning (the newest N survive).
+    pub keep_checkpoints: usize,
+    /// Stream index one past the last journaled edge — the suppression
+    /// guard: re-ingesting already-durable edges (replay) must not
+    /// re-append them.
+    pub journaled_edges: u64,
+    pub checkpoint_seq: u64,
+    pub checkpoints_written: u64,
+    pub replayed_edges: u64,
+}
+
+impl WalState {
+    pub fn stats(&self) -> RecoveryStats {
+        RecoveryStats {
+            checkpoint_seq: self.checkpoint_seq,
+            checkpoints_written: self.checkpoints_written,
+            replayed_edges: self.replayed_edges,
+            journal_bytes: self.journal.bytes_appended(),
+        }
+    }
+}
+
+/// Encode one journal record: `[u64 first_index][u32 count][count ×
+/// edge]`. `first_index` is the stream-global index of `edges[0]`, so
+/// replay can verify each record continues the stream exactly where
+/// the previous one ended — a reordered, duplicated or dropped record
+/// fails loudly instead of silently permuting the stream.
+pub(crate) fn encode_edges_record(first_index: u64, edges: &[StreamEdge]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u64(first_index);
+    w.u32(edges.len() as u32);
+    for e in edges {
+        e.wal_encode(&mut w);
+    }
+    w.into_bytes()
+}
+
+/// Decode one journal record into `out`, enforcing that it starts
+/// exactly at `expected_first` (the number of edges decoded from the
+/// records before it). `record_no` names the record in errors.
+pub(crate) fn decode_edges_record(
+    payload: &[u8],
+    expected_first: u64,
+    record_no: usize,
+    out: &mut Vec<StreamEdge>,
+) -> Result<(), WalError> {
+    let mut r = ByteReader::new(payload);
+    let first = r.u64()?;
+    if first != expected_first {
+        return Err(WalError::Corrupt(format!(
+            "journal record {record_no} starts at stream edge {first}, \
+             but the records before it hold {expected_first} edges — \
+             the journal is discontinuous"
+        )));
+    }
+    let count = r.u32()? as usize;
+    if r.remaining() != count * EDGE_WIRE_BYTES {
+        return Err(WalError::Corrupt(format!(
+            "journal record {record_no} claims {count} edges \
+             ({} bytes) but carries {} payload bytes",
+            count * EDGE_WIRE_BYTES,
+            r.remaining()
+        )));
+    }
+    out.reserve(count);
+    for _ in 0..count {
+        out.push(StreamEdge::wal_decode(&mut r)?);
+    }
+    r.expect_end()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::{EdgeId, Label, VertexId};
+
+    fn se(i: u32) -> StreamEdge {
+        StreamEdge {
+            id: EdgeId(i),
+            src: VertexId(2 * i),
+            dst: VertexId(2 * i + 1),
+            src_label: Label((i % 7) as u16),
+            dst_label: Label((i % 5) as u16),
+        }
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let edges: Vec<StreamEdge> = (0..17).map(se).collect();
+        let payload = encode_edges_record(40, &edges);
+        let mut out = Vec::new();
+        decode_edges_record(&payload, 40, 0, &mut out).unwrap();
+        assert_eq!(out, edges);
+    }
+
+    #[test]
+    fn discontinuity_is_loud() {
+        let payload = encode_edges_record(40, &[se(0)]);
+        let mut out = Vec::new();
+        let err = decode_edges_record(&payload, 41, 3, &mut out).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("record 3"), "names the record: {msg}");
+        assert!(msg.contains("discontinuous"), "names the failure: {msg}");
+    }
+
+    #[test]
+    fn short_payload_is_corrupt_not_panic() {
+        let payload = encode_edges_record(0, &[se(0), se(1)]);
+        let mut out = Vec::new();
+        for cut in 0..payload.len() {
+            out.clear();
+            assert!(
+                decode_edges_record(&payload[..cut], 0, 0, &mut out).is_err(),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+    }
+}

@@ -81,6 +81,24 @@ pub trait EdgeSource {
     fn num_labels(&self) -> usize {
         1
     }
+
+    /// Advance past the first `n` edges without delivering them,
+    /// returning how many were actually skipped (fewer means the
+    /// stream ended early). Used by crash recovery: a resumed engine
+    /// replays edges `[checkpoint..durable)` from its WAL, then needs
+    /// the live source positioned at edge `durable`. The default
+    /// drains via [`EdgeSource::next_edge`], which is exact for any
+    /// deterministic source.
+    fn skip_edges(&mut self, n: u64) -> u64 {
+        let mut skipped = 0u64;
+        while skipped < n {
+            if self.next_edge().is_none() {
+                break;
+            }
+            skipped += 1;
+        }
+        skipped
+    }
 }
 
 /// Replay cursor over a materialised [`GraphStream`] — the prescient

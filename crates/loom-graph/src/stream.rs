@@ -63,6 +63,28 @@ impl StreamEdge {
     pub fn touches(&self, v: VertexId) -> bool {
         v == self.src || v == self.dst
     }
+
+    /// Serialize for the WAL: the 16-byte wire form every journal
+    /// record and checkpoint uses (id, src, dst as `u32`; labels as
+    /// `u16`; little-endian).
+    pub fn wal_encode(&self, w: &mut loom_wal::ByteWriter) {
+        w.u32(self.id.0);
+        w.u32(self.src.0);
+        w.u32(self.dst.0);
+        w.u16(self.src_label.0);
+        w.u16(self.dst_label.0);
+    }
+
+    /// Inverse of [`StreamEdge::wal_encode`].
+    pub fn wal_decode(r: &mut loom_wal::ByteReader) -> Result<StreamEdge, loom_wal::WalError> {
+        Ok(StreamEdge {
+            id: EdgeId(r.u32()?),
+            src: VertexId(r.u32()?),
+            dst: VertexId(r.u32()?),
+            src_label: Label(r.u16()?),
+            dst_label: Label(r.u16()?),
+        })
+    }
 }
 
 /// Arrival order of a stream derived from a stored graph (§5.1).

@@ -839,6 +839,142 @@ impl MatchList {
         self.generation += 1;
     }
 
+    /// Serialize the arena and its indices for a crash-recovery
+    /// checkpoint (DESIGN.md §15). Everything resident is written
+    /// *verbatim* — dead matches, dead index entries, cell garbage —
+    /// because compaction and row pruning trigger off resident sizes
+    /// (arena dead count, power-of-two row lengths): a cleaned reload
+    /// would compact at different edges than the uninterrupted run.
+    /// The two hash collections are rewritten in sorted order (their
+    /// content is deterministic; iteration order is not). Scratch and
+    /// the list pool are capacity, not state.
+    pub(crate) fn wal_save(&self, w: &mut loom_wal::ByteWriter) {
+        w.u64(self.cells.len() as u64);
+        for c in &self.cells {
+            w.u32(c.parent);
+            c.edge.wal_encode(w);
+        }
+        w.u64(self.matches.len() as u64);
+        for m in &self.matches {
+            w.u32(m.cell);
+            w.u32(m.motif.0);
+            w.u16(m.len);
+            w.u128(m.edge_fp);
+        }
+        w.u64(self.by_vertex.len() as u64);
+        for row in &self.by_vertex {
+            w.u64(row.len() as u64);
+            for &(id, deg) in row {
+                w.u32(id.0);
+                w.u8(deg);
+            }
+        }
+        let mut by_edge: Vec<(EdgeId, &Vec<MatchId>)> =
+            self.by_edge.iter().map(|(&e, ids)| (e, ids)).collect();
+        by_edge.sort_unstable_by_key(|(e, _)| *e);
+        w.u64(by_edge.len() as u64);
+        for (e, ids) in by_edge {
+            w.u32(e.0);
+            w.u64(ids.len() as u64);
+            for id in ids {
+                w.u32(id.0);
+            }
+        }
+        let mut dedup: Vec<u128> = self.dedup.iter().copied().collect();
+        dedup.sort_unstable();
+        w.u64(dedup.len() as u64);
+        for key in dedup {
+            w.u128(key);
+        }
+        w.u64(self.live_info.len() as u64);
+        for &info in &self.live_info {
+            w.u32(info);
+        }
+        w.u64(self.live as u64);
+        w.u64(self.generation);
+    }
+
+    /// Inverse of [`MatchList::wal_save`], applied to a fresh list.
+    pub(crate) fn wal_load(
+        &mut self,
+        r: &mut loom_wal::ByteReader,
+    ) -> Result<(), loom_wal::WalError> {
+        use loom_wal::WalError;
+        let ncells = r.len_prefix(20)?;
+        self.cells = (0..ncells)
+            .map(|i| {
+                let parent = r.u32()?;
+                if parent != NO_CELL && parent as usize >= i {
+                    return Err(WalError::Corrupt(format!(
+                        "match arena: cell {i} points forward to parent {parent}"
+                    )));
+                }
+                let edge = StreamEdge::wal_decode(r)?;
+                Ok(Cell { parent, edge })
+            })
+            .collect::<Result<_, _>>()?;
+        let nmatches = r.len_prefix(30)?;
+        self.matches = (0..nmatches)
+            .map(|i| {
+                let cell = r.u32()?;
+                if cell as usize >= ncells {
+                    return Err(WalError::Corrupt(format!(
+                        "match arena: match {i} roots at cell {cell}, only {ncells} cells"
+                    )));
+                }
+                Ok(Meta {
+                    cell,
+                    motif: MotifId(r.u32()?),
+                    len: r.u16()?,
+                    edge_fp: r.u128()?,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let nrows = r.len_prefix(8)?;
+        self.by_vertex = (0..nrows)
+            .map(|_| {
+                let n = r.len_prefix(5)?;
+                (0..n)
+                    .map(|_| Ok((MatchId(r.u32()?), r.u8()?)))
+                    .collect::<Result<Vec<_>, WalError>>()
+            })
+            .collect::<Result<_, _>>()?;
+        let nedges = r.len_prefix(12)?;
+        self.by_edge = FxHashMap::default();
+        self.by_edge.reserve(nedges);
+        for _ in 0..nedges {
+            let e = EdgeId(r.u32()?);
+            let n = r.len_prefix(4)?;
+            let ids = (0..n)
+                .map(|_| r.u32().map(MatchId))
+                .collect::<Result<Vec<_>, _>>()?;
+            self.by_edge.insert(e, ids);
+        }
+        let ndedup = r.len_prefix(16)?;
+        self.dedup = FxHashSet::default();
+        self.dedup.reserve(ndedup);
+        for _ in 0..ndedup {
+            self.dedup.insert(r.u128()?);
+        }
+        let ninfo = r.len_prefix(4)?;
+        if ninfo != nmatches {
+            return Err(WalError::Corrupt(format!(
+                "match arena: {ninfo} liveness words for {nmatches} matches"
+            )));
+        }
+        self.live_info = (0..ninfo).map(|_| r.u32()).collect::<Result<_, _>>()?;
+        self.live = r.u64()? as usize;
+        let alive = self.live_info.iter().filter(|&&i| i != 0).count();
+        if alive != self.live {
+            return Err(WalError::Corrupt(format!(
+                "match arena: live count {} disagrees with {alive} live slots",
+                self.live
+            )));
+        }
+        self.generation = r.u64()?;
+        Ok(())
+    }
+
     /// Current arena occupancy (live-cell counting walks the live
     /// chains with a visited bitmap — O(total cells) bits + O(live
     /// cells) work, intended for snapshot cadence, not per edge).

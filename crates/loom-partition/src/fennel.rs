@@ -175,6 +175,20 @@ impl StreamPartitioner for FennelPartitioner {
         &self.state
     }
 
+    /// Fennel's mutable state is the partition columns plus the running
+    /// edge count (adaptive α reads it); γ/ν/fixed are config.
+    fn save_state(&self, w: &mut loom_wal::ByteWriter) -> Result<(), loom_wal::WalError> {
+        self.state.wal_save(w);
+        w.u64(self.edges_seen as u64);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut loom_wal::ByteReader) -> Result<(), loom_wal::WalError> {
+        self.state.wal_load(r)?;
+        self.edges_seen = r.u64()? as usize;
+        Ok(())
+    }
+
     fn into_assignment(self: Box<Self>) -> Assignment {
         self.state.into_assignment()
     }

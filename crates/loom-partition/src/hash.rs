@@ -233,6 +233,21 @@ impl StreamPartitioner for HashPartitioner {
         &self.state
     }
 
+    /// Hash placement is a pure per-vertex function of the seed, so
+    /// the partition columns are the whole recoverable state. Timing
+    /// counters restart at zero on load (observability, not state).
+    fn save_state(&self, w: &mut loom_wal::ByteWriter) -> Result<(), loom_wal::WalError> {
+        self.state.wal_save(w);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut loom_wal::ByteReader) -> Result<(), loom_wal::WalError> {
+        self.state.wal_load(r)?;
+        self.probe_ns = 0;
+        self.commit_ns = 0;
+        Ok(())
+    }
+
     fn into_assignment(self: Box<Self>) -> Assignment {
         self.state.into_assignment()
     }

@@ -131,6 +131,18 @@ impl StreamPartitioner for LdgPartitioner {
         &self.state
     }
 
+    /// LDG's only mutable state is the partition columns (the one-hot
+    /// scratch row is rebuilt per edge), so a checkpoint is just the
+    /// state dump.
+    fn save_state(&self, w: &mut loom_wal::ByteWriter) -> Result<(), loom_wal::WalError> {
+        self.state.wal_save(w);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut loom_wal::ByteReader) -> Result<(), loom_wal::WalError> {
+        self.state.wal_load(r)
+    }
+
     fn into_assignment(self: Box<Self>) -> Assignment {
         self.state.into_assignment()
     }

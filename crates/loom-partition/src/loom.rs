@@ -772,6 +772,48 @@ impl StreamPartitioner for LoomPartitioner {
         Some(self.adjacency.occupancy())
     }
 
+    /// Checkpoint everything a resumed Loom needs to continue
+    /// bit-identically: partition columns, streaming adjacency,
+    /// counter rows, the sliding window (tombstones included), the
+    /// match arena with its compaction watermark, and the stats the
+    /// evaluation reads back. Motif tables, the LUT, eo/allocation
+    /// parameters and the worker pool are config — the checkpoint
+    /// fingerprint guarantees they match on resume.
+    fn save_state(&self, w: &mut loom_wal::ByteWriter) -> Result<(), loom_wal::WalError> {
+        self.state.wal_save(w);
+        self.adjacency.wal_save(w);
+        self.counts.wal_save(w);
+        self.window.wal_save(w);
+        self.matcher.wal_save(w);
+        w.u64(self.stats.bypassed);
+        w.u64(self.stats.buffered);
+        w.u64(self.stats.auctions);
+        w.u64(self.stats.matches_assigned);
+        w.u64(self.stats.fallback_auctions);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut loom_wal::ByteReader) -> Result<(), loom_wal::WalError> {
+        self.state.wal_load(r)?;
+        self.adjacency.wal_load(r)?;
+        self.counts.wal_load(r)?;
+        self.window.wal_load(r)?;
+        self.matcher.wal_load(r)?;
+        self.stats = LoomStats {
+            bypassed: r.u64()?,
+            buffered: r.u64()?,
+            auctions: r.u64()?,
+            matches_assigned: r.u64()?,
+            fallback_auctions: r.u64()?,
+        };
+        // Timing counters and probe slots restart fresh: observability
+        // and scratch, never state.
+        self.probe_ns = 0;
+        self.commit_ns = 0;
+        self.probes.clear();
+        Ok(())
+    }
+
     fn into_assignment(self: Box<Self>) -> Assignment {
         self.state.into_assignment()
     }

@@ -141,6 +141,34 @@ pub trait StreamPartitioner {
         None
     }
 
+    /// Serialize the partitioner's full recoverable state into `w`
+    /// for a crash-recovery checkpoint (DESIGN.md §15). Everything a
+    /// fresh instance needs to continue bit-identically must be
+    /// written; config-derived structures (shard maps, motif tables,
+    /// score LUTs) are NOT written — the resuming process rebuilds
+    /// them from its own config, which the checkpoint fingerprint
+    /// guarantees matches. The default refuses: a partitioner without
+    /// checkpoint support cannot silently resume as an empty one.
+    fn save_state(&self, _w: &mut loom_wal::ByteWriter) -> Result<(), loom_wal::WalError> {
+        Err(loom_wal::WalError::Unsupported(format!(
+            "partitioner {} does not support checkpointing",
+            self.name()
+        )))
+    }
+
+    /// Inverse of [`StreamPartitioner::save_state`]: overwrite this
+    /// instance's mutable state with the checkpointed bytes. Must be
+    /// called on a freshly-constructed instance (same config, same
+    /// `set_shards`/`set_threads` already applied) before any edge is
+    /// ingested. Timing counters (`probe_ns`/`commit_ns`) restart at
+    /// zero — they are observability, not state.
+    fn load_state(&mut self, _r: &mut loom_wal::ByteReader) -> Result<(), loom_wal::WalError> {
+        Err(loom_wal::WalError::Unsupported(format!(
+            "partitioner {} does not support checkpointing",
+            self.name()
+        )))
+    }
+
     /// Consume the partitioner, returning the final assignment.
     fn into_assignment(self: Box<Self>) -> Assignment;
 }

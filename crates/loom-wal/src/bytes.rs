@@ -1,0 +1,309 @@
+//! Little-endian byte serialization plus the CRC32 every frame uses.
+//!
+//! Hand-rolled rather than a serde shim: every persisted structure in
+//! the workspace writes its fields explicitly, so the on-disk layout
+//! is an auditable sequence of integers, not derive output — and the
+//! decode side validates lengths against the constructing config
+//! instead of trusting the bytes.
+
+use std::fmt;
+
+/// Failure anywhere in the persistence layer.
+#[derive(Debug)]
+pub enum WalError {
+    /// The underlying storage failed.
+    Io(std::io::Error),
+    /// Stored bytes do not decode to a valid structure — a torn or
+    /// bit-flipped record, a truncated checkpoint, a length that
+    /// disagrees with the constructing config.
+    Corrupt(String),
+    /// The stored config fingerprint does not match the resuming
+    /// process's configuration: resume refuses rather than silently
+    /// producing a different partition.
+    ConfigMismatch { expected: String, found: String },
+    /// The operation is not supported by this component (e.g. a
+    /// partitioner without checkpoint support).
+    Unsupported(String),
+    /// The operation was refused up front (e.g. attaching a fresh WAL
+    /// over an existing journal, or resuming with an ipt probe).
+    Refused(String),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io: {e}"),
+            WalError::Corrupt(m) => write!(f, "wal corrupt: {m}"),
+            WalError::ConfigMismatch { expected, found } => write!(
+                f,
+                "wal config mismatch: this process is configured as\n  {expected}\nbut the checkpoint was written by\n  {found}"
+            ),
+            WalError::Unsupported(m) => write!(f, "wal unsupported: {m}"),
+            WalError::Refused(m) => write!(f, "wal refused: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE 802.3 polynomial), the checksum of every journal
+/// record and checkpoint payload.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Raw bytes, no length prefix (the caller frames them).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.raw(s.as_bytes());
+    }
+}
+
+/// Cursor over bytes written by [`ByteWriter`]; every read is
+/// bounds-checked and returns [`WalError::Corrupt`] on underrun.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WalError> {
+        if self.remaining() < n {
+            return Err(WalError::Corrupt(format!(
+                "short read at byte {}: wanted {n}, {} remaining",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, WalError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, WalError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, WalError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, WalError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn u128(&mut self) -> Result<u128, WalError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, WalError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn bool(&mut self) -> Result<bool, WalError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// A `u64` length prefix validated against what could possibly fit
+    /// in the remaining bytes (`min_elem_bytes` per element), so a
+    /// corrupt length fails here instead of as an OOM allocation.
+    pub fn len_prefix(&mut self, min_elem_bytes: usize) -> Result<usize, WalError> {
+        let n = self.u64()? as usize;
+        if min_elem_bytes > 0 && n > self.remaining() / min_elem_bytes {
+            return Err(WalError::Corrupt(format!(
+                "length prefix {n} at byte {} exceeds the {} remaining bytes",
+                self.pos - 8,
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// The string written by [`ByteWriter::str`].
+    pub fn str(&mut self) -> Result<String, WalError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| WalError::Corrupt(format!("invalid utf-8 string: {e}")))
+    }
+
+    /// Error unless every byte has been consumed — decode must account
+    /// for the whole payload, or the layout has drifted.
+    pub fn expect_end(&self) -> Result<(), WalError> {
+        if self.remaining() != 0 {
+            return Err(WalError::Corrupt(format!(
+                "{} undecoded trailing bytes at byte {}",
+                self.remaining(),
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u16(65_000);
+        w.u32(4_000_000_000);
+        w.u64(u64::MAX - 3);
+        w.u128(u128::MAX / 7);
+        w.f64(-1234.5678);
+        w.bool(true);
+        w.str("hello wal");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 65_000);
+        assert_eq!(r.u32().unwrap(), 4_000_000_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.u128().unwrap(), u128::MAX / 7);
+        assert_eq!(r.f64().unwrap(), -1234.5678);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "hello wal");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn short_read_is_corrupt_not_panic() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert!(matches!(r.u64(), Err(WalError::Corrupt(_))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.len_prefix(4), Err(WalError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = ByteWriter::new();
+        w.u32(1);
+        w.u8(9);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        r.u32().unwrap();
+        assert!(matches!(r.expect_end(), Err(WalError::Corrupt(_))));
+    }
+}
