@@ -157,6 +157,68 @@ if [ "$SNAPSHOTS" -lt 3 ]; then
 fi
 echo "stream smoke: $SNAPSHOTS snapshots"
 
+stage "serve smoke (live readers over paced ingest)"
+# The serving contract end to end (DESIGN.md §16): a `loom serve` run
+# answering four concurrent `loom query` readers over a paced
+# 200k-edge ingest must serve a nonzero number of queries, every
+# reader must get OK replies, and the serve run's ingest stdout must
+# be byte-identical to a `loom stream` twin once the serving-only
+# "queries" snapshot segment is stripped — reads never perturb the
+# partitioning stream. The linger flag is a cap: the server exits as
+# soon as the last reader disconnects.
+SERVE_ARGS=(--k 4 --system ldg --source synthetic --max-edges 200000
+  --snapshot-every 20000 --seed 13 --labels 4)
+./target/release/loom stream "${SERVE_ARGS[@]}" 2>/dev/null > target/ci-serve-twin.txt
+rm -f target/ci-serve-err.txt
+./target/release/loom serve "${SERVE_ARGS[@]}" --listen 127.0.0.1:0 \
+  --pace-ms 5 --linger-ms 30000 \
+  2> target/ci-serve-err.txt > target/ci-serve-out.txt &
+SERVE_PID=$!
+SERVE_ADDR=""
+for _ in $(seq 1 200); do
+  SERVE_ADDR=$(sed -n 's/^serve: listening on //p' target/ci-serve-err.txt 2>/dev/null | head -1)
+  [ -n "$SERVE_ADDR" ] && break
+  sleep 0.05
+done
+if [ -z "$SERVE_ADDR" ]; then
+  echo "serve smoke: server never printed its listen address" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+QUERY_PIDS=()
+for i in 1 2 3 4; do
+  ./target/release/loom query --connect "$SERVE_ADDR" \
+    --request 'STATS;EPOCH;KHOP 3 2 2000;MATCH 0-1 500;PART 7' --count 25 \
+    > "target/ci-serve-reader$i.txt" 2>/dev/null &
+  QUERY_PIDS+=($!)
+done
+READERS_OK=0
+for pid in "${QUERY_PIDS[@]}"; do
+  if wait "$pid"; then READERS_OK=$((READERS_OK + 1)); fi
+done
+wait "$SERVE_PID"
+if [ "$READERS_OK" -ne 4 ]; then
+  echo "serve smoke: only $READERS_OK of 4 readers got any reply" >&2
+  exit 1
+fi
+for i in 1 2 3 4; do
+  if ! grep -q '^OK ' "target/ci-serve-reader$i.txt"; then
+    echo "serve smoke: reader $i got no OK replies" >&2
+    exit 1
+  fi
+done
+SERVED=$(sed -n 's/^serve: \([0-9][0-9]*\) served.*/\1/p' target/ci-serve-err.txt | head -1)
+if [ -z "$SERVED" ] || [ "$SERVED" -eq 0 ]; then
+  echo "serve smoke: no queries served (stderr tail: $(tail -n 1 target/ci-serve-err.txt))" >&2
+  exit 1
+fi
+sed 's/  queries .*$//' target/ci-serve-out.txt > target/ci-serve-stripped.txt
+if ! diff -u target/ci-serve-twin.txt target/ci-serve-stripped.txt; then
+  echo "serve smoke: serve ingest output diverged from the stream twin" >&2
+  exit 1
+fi
+echo "serve smoke: $SERVED queries served across 4 live readers, outputs identical (queries segment aside)"
+
 stage "long stream smoke (bounded-memory plateaus)"
 # Synthetic edges through the full Loom partitioner with a bounded
 # window: BOTH stream-length-proportional stores must plateau, not
@@ -341,4 +403,12 @@ if [ "$MODE" = full ]; then
     *) echo "perf gate: regression against the committed baseline (exit $GATE_STATUS)" >&2
        exit "$GATE_STATUS" ;;
   esac
+  # The gate run also drives the serve QPS drill (real TCP readers
+  # against a built view) and records it in the history line; a
+  # missing block means the drill silently stopped running.
+  if ! tail -n 1 BENCH_history.jsonl | grep -q '"serve"'; then
+    echo "perf gate: history record is missing the serve drill block" >&2
+    exit 1
+  fi
+  echo "perf gate: serve drill recorded: $(tail -n 1 BENCH_history.jsonl | grep -o '"serve": {[^}]*}')"
 fi

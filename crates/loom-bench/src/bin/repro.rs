@@ -14,7 +14,10 @@
 //!
 //! `--history PATH` (with `--compare-bench`) appends one JSON line per
 //! gate run to PATH — the cross-PR perf trajectory log; CI points it
-//! at the git-ignored `BENCH_history.jsonl`.
+//! at the git-ignored `BENCH_history.jsonl`. The history hook also
+//! runs two in-process drills whose outcomes land in the same line:
+//! the crash-recovery kill/resume drill (`"recovery"`) and the
+//! `loom serve` loopback QPS/latency drill (`"serve"`).
 //!
 //! Prints paper-style markdown tables to stdout; with `--jsonl` also
 //! writes machine-readable result rows for the ipt experiments. Every
@@ -51,6 +54,15 @@ struct Args {
 /// may exceed the committed baseline by at most this fraction
 /// (wall-clock noise allowance; quality numbers get zero tolerance).
 const GATE_MS_TOLERANCE: f64 = 0.30;
+
+/// `--help` text. Tested against [`FLAGS`]: every long flag the
+/// parser matches must appear here and vice versa, so `repro --help`
+/// cannot drift from the implementation (the same guarantee the
+/// `loom` binary's USAGE carries).
+const HELP: &str =
+    "repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations|online]\n      \
+[--scale tiny|small|medium|large] [--seed N] [--threads N|auto] [--jsonl PATH]\n      \
+[--bench-json PATH|none] [--compare-bench PATH] [--history PATH] [--help]";
 
 /// The experiment names `--experiment` accepts.
 const EXPERIMENTS: [&str; 9] = [
@@ -116,9 +128,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
             "--compare-bench" => compare_bench = Some(take_value(&mut i)?),
             "--history" => history = Some(take_value(&mut i)?),
             "--help" | "-h" => {
-                println!(
-                    "repro [--experiment all|fig4|table1|fig7|fig8|table2|fig9|ablations|online]\n      [--scale tiny|small|medium|large] [--seed N] [--threads N|auto] [--jsonl PATH]\n      [--bench-json PATH|none] [--compare-bench PATH] [--history PATH]"
-                );
+                println!("{HELP}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other}")),
@@ -289,7 +299,27 @@ fn main() {
                 "recovery drill: {} checkpoints, {} edges replayed, {:.3}MB journal",
                 drill.checkpoints, drill.replayed_edges, drill.wal_mb
             );
-            match append_history(hpath, &fresh, report.passed(), &drill) {
+            // The serve drill rides the same hook: a broken or
+            // zero-reply read path fails the gate like any regression.
+            let serve = match loom_bench::serve_drill(&loom_bench::ServeBenchOptions::default()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("perf gate FAILURE: serve drill: {e}");
+                    std::process::exit(1);
+                }
+            };
+            eprintln!(
+                "serve drill: {} queries over {:.0}ms from {} readers — {:.0} qps, \
+                 p50 {}µs p99 {}µs, {} refused",
+                serve.queries,
+                serve.elapsed_ms,
+                loom_bench::ServeBenchOptions::default().readers,
+                serve.qps,
+                serve.p50_us,
+                serve.p99_us,
+                serve.refused,
+            );
+            match append_history(hpath, &fresh, report.passed(), &drill, &serve) {
                 Ok(()) => eprintln!("appended gate summary to {hpath}"),
                 Err(e) => eprintln!("warning: cannot append history to {hpath}: {e}"),
             }
@@ -408,6 +438,7 @@ fn append_history(
     fresh: &loom_bench::BenchSummary,
     passed: bool,
     drill: &RecoveryDrill,
+    serve: &loom_bench::ServeBenchResult,
 ) -> std::io::Result<()> {
     let ts = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -431,8 +462,16 @@ fn append_history(
         ));
     }
     line.push_str(&format!(
-        "}}, \"recovery\": {{\"checkpoints\": {}, \"replayed_edges\": {}, \"wal_mb\": {:.3}}}}}\n",
-        drill.checkpoints, drill.replayed_edges, drill.wal_mb
+        "}}, \"recovery\": {{\"checkpoints\": {}, \"replayed_edges\": {}, \"wal_mb\": {:.3}}}, \
+         \"serve\": {{\"qps\": {:.0}, \"queries\": {}, \"p50_us\": {}, \"p99_us\": {}, \"refused\": {}}}}}\n",
+        drill.checkpoints,
+        drill.replayed_edges,
+        drill.wal_mb,
+        serve.qps,
+        serve.queries,
+        serve.p50_us,
+        serve.p99_us,
+        serve.refused,
     ));
     use std::io::Write as _;
     let mut f = std::fs::OpenOptions::new()
@@ -449,6 +488,20 @@ mod tests {
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
     }
+
+    /// Every long flag `parse_args_from` matches (short aliases
+    /// aside) — the registry [`HELP`] is tested against.
+    const FLAGS: [&str; 9] = [
+        "experiment",
+        "scale",
+        "seed",
+        "threads",
+        "jsonl",
+        "bench-json",
+        "compare-bench",
+        "history",
+        "help",
+    ];
 
     #[test]
     fn unknown_experiment_is_rejected() {
@@ -478,5 +531,52 @@ mod tests {
     fn defaults_to_all() {
         let a = parse_args_from(&[]).unwrap();
         assert_eq!(a.experiment, "all");
+    }
+
+    /// The `repro --help` drift guard: the flag registry and the help
+    /// text must name exactly the same long flags.
+    #[test]
+    fn help_and_flag_registry_agree() {
+        use std::collections::BTreeSet;
+        let declared: BTreeSet<&str> = FLAGS.into_iter().collect();
+        let mut documented: BTreeSet<String> = BTreeSet::new();
+        for (i, _) in HELP.match_indices("--") {
+            let name: String = HELP[i + 2..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                .collect();
+            if !name.is_empty() {
+                documented.insert(name);
+            }
+        }
+        let declared: BTreeSet<String> = declared.iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            declared, documented,
+            "repro --help and the FLAGS registry drifted apart"
+        );
+    }
+
+    /// And the registry must match what the parser actually accepts:
+    /// every declared flag (with a dummy value) parses, and a flag the
+    /// parser would take but the registry omits cannot exist because
+    /// unknown flags are rejected.
+    #[test]
+    fn every_declared_flag_parses() {
+        for f in FLAGS {
+            if f == "help" {
+                continue; // exits the process by design
+            }
+            let value = match f {
+                "experiment" => "fig4",
+                "scale" => "tiny",
+                "seed" | "threads" => "1",
+                _ => "/tmp/x",
+            };
+            assert!(
+                parse_args_from(&args(&[&format!("--{f}"), value])).is_ok(),
+                "--{f} should parse"
+            );
+        }
+        assert!(parse_args_from(&args(&["--bogus", "x"])).is_err());
     }
 }

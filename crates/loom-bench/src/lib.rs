@@ -19,7 +19,9 @@
 //! ipt); the criterion benches measure the hot paths behind them.
 
 pub mod bench_compare;
+pub mod serve_bench;
 pub mod suites;
 
 pub use bench_compare::{compare, BenchSummary, GateReport};
+pub use serve_bench::{serve_drill, ServeBenchOptions, ServeBenchResult};
 pub use suites::{ablations, bench_summary, fig4, fig7, fig8, fig9, online, table1, table2};

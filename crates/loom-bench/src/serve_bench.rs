@@ -1,0 +1,204 @@
+//! Loopback QPS/latency driver for the `loom serve` read path.
+//!
+//! Shape: one in-process engine ingests a synthetic stream with
+//! serving enabled (so views publish at the real cadence), a
+//! [`loom_core::runtime::LineServer`] binds an ephemeral loopback
+//! port, and `readers` client threads hammer it over real TCP with a
+//! rotating request mix (STATS / EPOCH / KHOP / MATCH / PART) for a
+//! fixed measurement window. The result carries the reply count, the
+//! window QPS and the server-side latency quantiles from the shared
+//! [`loom_core::runtime::ServeMetrics`] histogram.
+//!
+//! `repro --history` runs this drill and appends a `"serve"` record to
+//! `BENCH_history.jsonl`, so read-path throughput is tracked PR over
+//! PR next to partitioning throughput and recovery outcomes.
+
+use loom_core::graph::SyntheticEdgeSource;
+use loom_core::partition::{CapacityModel, LdgPartitioner};
+use loom_core::runtime::{LineHandler, LineServer, LineServerConfig};
+use loom_core::{EngineConfig, OnlineEngine, ServeOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Knobs for [`serve_drill`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeBenchOptions {
+    /// Synthetic edges to ingest before the measurement window.
+    pub edges: u64,
+    /// Concurrent reader connections.
+    pub readers: usize,
+    /// Partition count for the underlying LDG engine.
+    pub k: usize,
+    /// Stream seed.
+    pub seed: u64,
+    /// View publication cadence (edges).
+    pub publish_every: u64,
+    /// Retained adjacency per view (edges).
+    pub horizon: usize,
+    /// Measurement window the readers hammer for.
+    pub duration_ms: u64,
+}
+
+impl Default for ServeBenchOptions {
+    fn default() -> Self {
+        ServeBenchOptions {
+            edges: 50_000,
+            readers: 4,
+            k: 4,
+            seed: 42,
+            publish_every: 1_024,
+            horizon: 65_536,
+            duration_ms: 400,
+        }
+    }
+}
+
+/// What [`serve_drill`] measures.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeBenchResult {
+    /// Replies received by the readers inside the window.
+    pub queries: u64,
+    /// Requests refused by the inflight admission cap.
+    pub refused: u64,
+    /// Measurement window length actually elapsed.
+    pub elapsed_ms: f64,
+    /// `queries / elapsed` — the headline read-path throughput.
+    pub qps: f64,
+    /// Server-side median service latency (histogram bucket floor).
+    pub p50_us: u64,
+    /// Server-side p99 service latency (histogram bucket floor).
+    pub p99_us: u64,
+}
+
+/// The request mix one reader cycles through. Mixed on purpose: STATS
+/// and EPOCH are O(1), PART is an array read, KHOP and MATCH actually
+/// traverse the retained adjacency — so the quantiles span the real
+/// spread, not one flavour.
+const REQUEST_MIX: [&str; 5] = [
+    "STATS",
+    "EPOCH",
+    "KHOP 0 2 5000",
+    "MATCH 0-1 500",
+    "PART 17",
+];
+
+fn client_loop(addr: SocketAddr, offset: usize, stop: Arc<AtomicBool>) -> Result<u64, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    let mut writer = stream;
+    let mut replies = 0u64;
+    let mut i = offset; // stagger the mix across readers
+    while !stop.load(Ordering::Relaxed) {
+        let req = REQUEST_MIX[i % REQUEST_MIX.len()];
+        i += 1;
+        writer
+            .write_all(format!("{req}\n").as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => replies += 1,
+            Err(e) => return Err(format!("recv: {e}")),
+        }
+    }
+    let _ = writer.write_all(b"QUIT\n");
+    Ok(replies)
+}
+
+/// Run the drill: ingest, publish, then measure `readers` concurrent
+/// loopback clients for `duration_ms`. Errors (bind failure, a reader
+/// dying, zero replies) come back as `Err` so the perf gate can fail
+/// loudly rather than log a hollow record.
+pub fn serve_drill(opts: &ServeBenchOptions) -> Result<ServeBenchResult, String> {
+    let mut engine = OnlineEngine::new(
+        Box::new(LdgPartitioner::new(opts.k, CapacityModel::Adaptive)),
+        EngineConfig {
+            batch_size: 256,
+            ..EngineConfig::default()
+        },
+    );
+    let handle = engine.enable_serving(ServeOptions {
+        horizon_edges: opts.horizon,
+        publish_every: opts.publish_every,
+    });
+    engine
+        .run(
+            &mut SyntheticEdgeSource::new(opts.seed, 4),
+            Some(opts.edges),
+            |_| {},
+        )
+        .map_err(|e| format!("ingest: {e}"))?;
+    engine.finish(); // publishes the final view
+
+    let cell = Arc::clone(&handle.view);
+    let handler: LineHandler = Arc::new(move |line: &str| {
+        let view = cell.load();
+        loom_core::query::handle_request(view.as_deref(), line)
+    });
+    let mut server = LineServer::start(
+        "127.0.0.1:0",
+        LineServerConfig::default(),
+        handler,
+        Arc::clone(&handle.metrics),
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..opts.readers.max(1))
+        .map(|r| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || client_loop(addr, r, stop))
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_millis(opts.duration_ms));
+    stop.store(true, Ordering::Relaxed);
+    let mut queries = 0u64;
+    for c in clients {
+        queries += c.join().map_err(|_| "reader thread panicked")??;
+    }
+    let elapsed = t0.elapsed();
+    let stats = handle.metrics.stats();
+    server.shutdown();
+
+    if queries == 0 {
+        return Err("measurement window produced zero replies".into());
+    }
+    Ok(ServeBenchResult {
+        queries,
+        refused: stats.refused,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        qps: queries as f64 / elapsed.as_secs_f64(),
+        p50_us: stats.p50_us,
+        p99_us: stats.p99_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drill_produces_replies_and_sane_quantiles() {
+        let result = serve_drill(&ServeBenchOptions {
+            edges: 5_000,
+            readers: 2,
+            duration_ms: 120,
+            ..ServeBenchOptions::default()
+        })
+        .expect("drill runs");
+        assert!(result.queries > 0);
+        assert!(result.qps > 0.0);
+        assert!(
+            result.p50_us <= result.p99_us,
+            "p50 {} > p99 {}",
+            result.p50_us,
+            result.p99_us
+        );
+    }
+}

@@ -11,6 +11,10 @@ use std::collections::HashMap;
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
+    /// `--help` or `-h` appeared anywhere after the command. Unlike
+    /// every other flag these take no value — `loom stream --help`
+    /// must print help, not die with "--help needs a value".
+    pub help: bool,
     flags: HashMap<String, String>,
     consumed: std::cell::RefCell<Vec<String>>,
 }
@@ -35,7 +39,12 @@ impl Args {
             .next()
             .ok_or_else(|| ArgError("missing command; try `loom help`".into()))?;
         let mut flags = HashMap::new();
+        let mut help = false;
         while let Some(tok) = it.next() {
+            if tok == "--help" || tok == "-h" {
+                help = true;
+                continue;
+            }
             let name = tok
                 .strip_prefix("--")
                 .ok_or_else(|| ArgError(format!("expected a --flag, got '{tok}'")))?;
@@ -48,6 +57,7 @@ impl Args {
         }
         Ok(Args {
             command,
+            help,
             flags,
             consumed: std::cell::RefCell::new(Vec::new()),
         })
@@ -81,13 +91,23 @@ impl Args {
         }
     }
 
-    /// Error out if any flag was supplied that no command consumed —
-    /// catches typos like `--window`.
-    pub fn finish(&self) -> Result<(), ArgError> {
-        let consumed = self.consumed.borrow();
+    /// Validate the whole line against a command's declared flag
+    /// registry (the same list the help text is unit-tested against):
+    /// every *supplied* flag must be declared (catches user typos),
+    /// and every flag the command *read* must be declared too (catches
+    /// implementation drift — a flag parsed but missing from the
+    /// registry, and therefore from `--help`, is a bug).
+    pub fn finish_against(&self, known: &[&str]) -> Result<(), ArgError> {
         for name in self.flags.keys() {
-            if !consumed.iter().any(|c| c == name) {
+            if !known.iter().any(|k| k == name) {
                 return Err(ArgError(format!("unknown flag --{name}")));
+            }
+        }
+        for name in self.consumed.borrow().iter() {
+            if !known.iter().any(|k| k == name) {
+                return Err(ArgError(format!(
+                    "internal: --{name} is parsed but undeclared in the command's flag registry"
+                )));
             }
         }
         Ok(())
@@ -106,10 +126,11 @@ mod tests {
     fn parses_command_and_flags() {
         let a = args("partition --graph g.lg --k 8").unwrap();
         assert_eq!(a.command, "partition");
+        assert!(!a.help);
         assert_eq!(a.required("graph").unwrap(), "g.lg");
         assert_eq!(a.parsed_or("k", 2usize).unwrap(), 8);
         assert_eq!(a.parsed_or("window", 100usize).unwrap(), 100);
-        a.finish().unwrap();
+        a.finish_against(&["graph", "k", "window"]).unwrap();
     }
 
     #[test]
@@ -122,7 +143,28 @@ mod tests {
     fn unknown_flag_detected() {
         let a = args("partition --graph g --bogus 1").unwrap();
         let _ = a.required("graph");
-        assert!(a.finish().is_err());
+        assert!(a.finish_against(&["graph"]).is_err());
+    }
+
+    #[test]
+    fn bare_help_takes_no_value() {
+        // The original bug: `loom stream --help` died with
+        // "--help needs a value".
+        let a = args("stream --help").unwrap();
+        assert_eq!(a.command, "stream");
+        assert!(a.help);
+        let a = args("stream -h --k 4").unwrap();
+        assert!(a.help);
+        assert_eq!(a.parsed_or("k", 0usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn undeclared_consumed_flag_is_drift() {
+        let a = args("x --k 1").unwrap();
+        let _ = a.optional("k");
+        let _ = a.optional("secret");
+        let err = a.finish_against(&["k"]).unwrap_err();
+        assert!(err.0.contains("secret"), "{err}");
     }
 
     #[test]

@@ -13,9 +13,12 @@ use std::error::Error;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 
-/// Top-level usage text.
+/// Top-level usage text. Every flag a command parses must appear here
+/// — `tests::usage_and_flag_registries_agree` diffs this text against
+/// the per-command flag registries below, so help cannot drift from
+/// the implementation again.
 pub const USAGE: &str = "\
-loom <command> [--flag value]...
+loom <command> [options]
 
 commands:
   generate   --dataset dblp|provgen|musicbrainz|lubm100|lubm4000
@@ -56,12 +59,103 @@ commands:
               and exit cleanly without draining the match window, so
               the WAL stays resumable; needs --wal)]
              [--out FILE]
-  help";
+  serve      everything `stream` takes, plus a query port: publish an
+             immutable read view at batch boundaries and answer
+             STATS / EPOCH / PART / KHOP / MATCH / HELP / QUIT over
+             newline-delimited TCP while ingest runs (DESIGN.md §16;
+             ingest output stays byte-identical to `stream` apart from
+             the trailing `queries ...` snapshot segment)
+             [--listen ADDR (default 127.0.0.1:0; the bound address is
+              printed to stderr as `serve: listening on HOST:PORT`)]
+             [--readers N (max concurrent connections, further
+              connects get one `ERR busy` line; default 64)]
+             [--max-inflight N (queries executing at once across all
+              connections; over the cap requests are refused with
+              `ERR busy`, never queued silently; default 128)]
+             [--publish-every N (ingested edges between view
+              publications; default 1024)]
+             [--serve-horizon N (recent edges retained as each view's
+              traversable adjacency; default 65536)]
+             [--query-log FILE (append one line per served request:
+              micros <TAB> request <TAB> reply)]
+             [--linger-ms N (keep serving up to this long after ingest
+              ends; exits early once all clients disconnect; default 0)]
+             [--pace-ms N (sleep N ms per 1024 source edges so a fast
+              feed stays live long enough for readers to overlap
+              ingest; timing-only, output unchanged; default 0)]
+  query      --connect HOST:PORT
+             [--request 'STATS;KHOP 0 2' (semicolon-separated request
+              lines; default STATS)]
+             [--count N (repeat the request list N times; default 1)]
+  help       (any command also accepts --help / -h)";
 
 type Result<T> = std::result::Result<T, Box<dyn Error>>;
 
+// Per-command flag registries. Each command validates its line with
+// `Args::finish_against(<registry>)`, and the unit test
+// `usage_and_flag_registries_agree` cross-checks every registry
+// against [`USAGE`] — the implementation, the registry and the help
+// text cannot drift apart silently.
+pub(crate) const GENERATE_FLAGS: &[&str] = &["dataset", "scale", "seed", "out"];
+pub(crate) const WORKLOAD_FLAGS: &[&str] = &["dataset", "out"];
+pub(crate) const MOTIFS_FLAGS: &[&str] = &["workload", "threshold", "prime", "seed"];
+pub(crate) const PARTITION_FLAGS: &[&str] = &[
+    "graph",
+    "k",
+    "system",
+    "workload",
+    "order",
+    "window",
+    "threshold",
+    "seed",
+    "restream",
+    "refine",
+    "out",
+];
+pub(crate) const EVALUATE_FLAGS: &[&str] = &["graph", "workload", "assignment", "limit"];
+pub(crate) const STREAM_FLAGS: &[&str] = &[
+    "k",
+    "input",
+    "source",
+    "system",
+    "workload",
+    "batch",
+    "threads",
+    "shards",
+    "snapshot-every",
+    "max-edges",
+    "window",
+    "adjacency-horizon",
+    "threshold",
+    "seed",
+    "labels",
+    "probe-limit",
+    "wal",
+    "checkpoint-every",
+    "resume",
+    "stop-after",
+    "out",
+];
+/// `serve` accepts everything in [`STREAM_FLAGS`] plus these.
+pub(crate) const SERVE_ONLY_FLAGS: &[&str] = &[
+    "listen",
+    "readers",
+    "max-inflight",
+    "publish-every",
+    "serve-horizon",
+    "query-log",
+    "linger-ms",
+    "pace-ms",
+];
+pub(crate) const QUERY_FLAGS: &[&str] = &["connect", "request", "count"];
+
 /// Dispatch a parsed command line.
 pub fn run(args: &Args) -> Result<()> {
+    if args.help {
+        // `loom <cmd> --help` / `-h`, any command, no value needed.
+        println!("{USAGE}");
+        return Ok(());
+    }
     match args.command.as_str() {
         "generate" => generate(args),
         "workload" => workload_cmd(args),
@@ -69,6 +163,8 @@ pub fn run(args: &Args) -> Result<()> {
         "partition" => partition(args),
         "evaluate" => evaluate(args),
         "stream" => stream_cmd(args),
+        "serve" => serve_cmd(args),
+        "query" => query_cmd(args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -151,7 +247,7 @@ fn generate(args: &Args) -> Result<()> {
     let scale = parse_scale(&args.optional("scale").unwrap_or_else(|| "small".into()))?;
     let seed = args.parsed_or("seed", 42u64)?;
     let out = args.optional("out");
-    args.finish()?;
+    args.finish_against(GENERATE_FLAGS)?;
     let g = datasets::generate(dataset, scale, seed);
     io::write_graph(&g, out_writer(out)?)?;
     eprintln!(
@@ -167,7 +263,7 @@ fn generate(args: &Args) -> Result<()> {
 fn workload_cmd(args: &Args) -> Result<()> {
     let dataset = parse_dataset(&args.required("dataset")?)?;
     let out = args.optional("out");
-    args.finish()?;
+    args.finish_against(WORKLOAD_FLAGS)?;
     let w = workload_for(dataset);
     // The generators' label names give the header.
     let g = datasets::generate(dataset, Scale::Tiny, 0);
@@ -185,7 +281,7 @@ fn motifs(args: &Args) -> Result<()> {
     let threshold = args.parsed_or("threshold", 0.4f64)?;
     let prime = args.parsed_or("prime", loom_core::motif::DEFAULT_PRIME)?;
     let seed = args.parsed_or("seed", 42u64)?;
-    args.finish()?;
+    args.finish_against(MOTIFS_FLAGS)?;
 
     let num_labels = workload
         .queries()
@@ -246,7 +342,7 @@ fn partition(args: &Args) -> Result<()> {
     let workload_path = args.optional("workload");
     let workload_path_for_refine = workload_path.clone();
     let out = args.optional("out");
-    args.finish()?;
+    args.finish_against(PARTITION_FLAGS)?;
 
     let stream = GraphStream::from_graph(&graph, order, seed);
     let mut assignment = match system.to_ascii_lowercase().as_str() {
@@ -371,9 +467,32 @@ fn read_assignment<R: BufRead>(r: R, num_vertices: usize) -> Result<Assignment> 
 
 /// `loom stream` — the truly online path: ingest a never-materialised
 /// edge feed (stdin/file text records, or the unbounded synthetic
-/// generator) through the [`OnlineEngine`] with adaptive capacity,
+/// generator) through the `OnlineEngine` with adaptive capacity,
 /// printing a snapshot line every `--snapshot-every` edges.
 fn stream_cmd(args: &Args) -> Result<()> {
+    execute_stream_run(build_stream_run(args, STREAM_FLAGS)?)
+}
+
+/// The engine/source/run-loop state `stream` and `serve` share. Both
+/// commands build it identically ([`build_stream_run`]) and drive it
+/// identically ([`execute_stream_run`]); `serve` additionally enables
+/// the epoch-publication read path in between — which is exactly why
+/// its ingest output is byte-identical to `stream`'s.
+struct StreamRun {
+    engine: loom_core::engine::OnlineEngine,
+    source: Box<dyn loom_core::graph::EdgeSource>,
+    budget: Option<u64>,
+    stop_after: u64,
+    out: Option<String>,
+    /// Snapshot data already printed during a WAL resume replay, so
+    /// the run loop never prints the same line twice.
+    last_printed: Option<(u64, usize, u64, u64)>,
+}
+
+/// Parse the `stream` flag set (validated against `flags`, which is
+/// [`STREAM_FLAGS`] or the serve superset) and build the engine wired
+/// to its source, with any WAL attached or resumed.
+fn build_stream_run(args: &Args, flags: &[&str]) -> Result<StreamRun> {
     use loom_core::engine::{EngineConfig, OnlineEngine};
     use loom_core::graph::{EdgeSource, SyntheticEdgeSource, TextEdgeSource};
 
@@ -462,7 +581,7 @@ fn stream_cmd(args: &Args) -> Result<()> {
     let checkpoint_every_flag = args.optional("checkpoint-every");
     let resume_flag = args.optional("resume");
     let stop_after = args.parsed_or("stop-after", 0u64)?;
-    args.finish()?;
+    args.finish_against(flags)?;
 
     if wal_dir.is_none()
         && (checkpoint_every_flag.is_some() || resume_flag.is_some() || stop_after > 0)
@@ -658,6 +777,27 @@ fn stream_cmd(args: &Args) -> Result<()> {
             .into());
         }
     }
+    Ok(StreamRun {
+        engine,
+        source,
+        budget,
+        stop_after,
+        out,
+        last_printed,
+    })
+}
+
+/// Drive a built [`StreamRun`] to completion: the ingest loop, the
+/// final snapshot and summary lines, and the `--out` assignment dump.
+fn execute_stream_run(run: StreamRun) -> Result<()> {
+    let StreamRun {
+        mut engine,
+        mut source,
+        budget,
+        stop_after,
+        out,
+        mut last_printed,
+    } = run;
     // A worker panic during a parallel batch surfaces as a clean
     // engine error naming the batch and the stream-global edge; the
     // partitioner's state is unspecified afterwards, so bail before
@@ -677,6 +817,9 @@ fn stream_cmd(args: &Args) -> Result<()> {
         // undrained. finish() would commit the window's pending edges
         // — placements a resumed run re-derives itself — so the final
         // line here reports the stopped state, not the drained one.
+        // Serving (if on) gets one last view of the stopped state;
+        // a no-op otherwise.
+        engine.publish_view_now();
         engine.flush_wal()?;
         engine.snapshot()
     } else {
@@ -719,6 +862,233 @@ fn stream_cmd(args: &Args) -> Result<()> {
         return Err(format!("ingest stopped after {} edges: {e}", fin.edges).into());
     }
     Ok(())
+}
+
+/// `loom serve` — `stream` plus the query port (DESIGN.md §16): the
+/// engine publishes an immutable read view at batch boundaries and a
+/// [`loom_core::runtime::LineServer`] answers the newline-delimited
+/// protocol from it. Readers only ever clone an `Arc` to a published
+/// view — the ingest thread is never blocked, and ingest output is
+/// byte-identical to `loom stream` apart from the `queries` snapshot
+/// segment.
+fn serve_cmd(args: &Args) -> Result<()> {
+    use loom_core::runtime::{LineHandler, LineServer, LineServerConfig};
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    let server_defaults = LineServerConfig::default();
+    let serve_defaults = loom_core::ServeOptions::default();
+    let listen = args
+        .optional("listen")
+        .unwrap_or_else(|| "127.0.0.1:0".into());
+    let readers = args.parsed_or("readers", server_defaults.max_connections)?;
+    let max_inflight = args.parsed_or("max-inflight", server_defaults.max_inflight)?;
+    let publish_every = args.parsed_or("publish-every", serve_defaults.publish_every)?;
+    let serve_horizon = args.parsed_or("serve-horizon", serve_defaults.horizon_edges)?;
+    let query_log = args.optional("query-log");
+    let linger_ms = args.parsed_or("linger-ms", 0u64)?;
+    let pace_ms = args.parsed_or("pace-ms", 0u64)?;
+    if readers == 0 {
+        return Err("--readers must be >= 1".into());
+    }
+    if max_inflight == 0 {
+        return Err("--max-inflight must be >= 1".into());
+    }
+    if publish_every == 0 {
+        return Err("--publish-every must be >= 1 (it is an edge cadence)".into());
+    }
+
+    let serve_flags: Vec<&str> = [STREAM_FLAGS, SERVE_ONLY_FLAGS].concat();
+    let mut run = build_stream_run(args, &serve_flags)?;
+    if pace_ms > 0 {
+        run.source = Box::new(PacedSource {
+            inner: run.source,
+            every: 1_024,
+            pause: Duration::from_millis(pace_ms),
+            seen: 0,
+        });
+    }
+
+    let handle = run.engine.enable_serving(loom_core::ServeOptions {
+        horizon_edges: serve_horizon,
+        publish_every,
+    });
+    // Publish an initial (possibly empty) view so readers that connect
+    // before the first cadence get real replies, not `ERR not ready`.
+    run.engine.publish_view_now();
+
+    let cell = Arc::clone(&handle.view);
+    let base: LineHandler = Arc::new(move |line: &str| {
+        let view = cell.load();
+        loom_core::query::handle_request(view.as_deref(), line)
+    });
+    let handler: LineHandler = match &query_log {
+        None => base,
+        Some(path) => {
+            let log = Mutex::new(BufWriter::new(File::create(path)?));
+            let inner = Arc::clone(&base);
+            Arc::new(move |line: &str| {
+                let t = Instant::now();
+                let reply = inner(line);
+                let us = t.elapsed().as_micros();
+                if let Ok(mut w) = log.lock() {
+                    // Single-line requests and replies by protocol, so
+                    // one TSV row per served request.
+                    let _ = writeln!(w, "{us}\t{line}\t{reply}");
+                    let _ = w.flush();
+                }
+                reply
+            })
+        }
+    };
+
+    let mut server = LineServer::start(
+        listen.as_str(),
+        LineServerConfig {
+            max_connections: readers,
+            max_inflight,
+            ..server_defaults
+        },
+        handler,
+        Arc::clone(&handle.metrics),
+    )?;
+    // Parseable: scripts bind to port 0 and scrape the real address.
+    eprintln!("serve: listening on {}", server.local_addr());
+
+    let result = execute_stream_run(run);
+
+    if result.is_ok() && linger_ms > 0 {
+        eprintln!("serve: ingest done, serving up to another {linger_ms}ms");
+        // Linger is a cap, not a fixed sleep: once at least one client
+        // has connected and every connection has drained, exit early so
+        // a generous cap costs nothing when clients finish fast.
+        let deadline = Instant::now() + Duration::from_millis(linger_ms);
+        while Instant::now() < deadline {
+            if server.connections_accepted() > 0 && server.active_connections() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+    let stats = handle.metrics.stats();
+    server.shutdown();
+    eprintln!(
+        "serve: {} served, {} refused, {} connections accepted, {} refused, p50 {}µs p99 {}µs",
+        stats.served,
+        stats.refused,
+        server.connections_accepted(),
+        server.connections_refused(),
+        stats.p50_us,
+        stats.p99_us,
+    );
+    result
+}
+
+/// `loom query` — a tiny line-protocol client for `loom serve`:
+/// connect, send the request list `--count` times, print each reply to
+/// stdout, summarise ok/err on stderr. Tolerates the server closing
+/// the connection mid-run (shutdown, `ERR busy` refusal) — whatever
+/// was answered still counts.
+fn query_cmd(args: &Args) -> Result<()> {
+    use std::net::TcpStream;
+
+    let connect = args.required("connect")?;
+    let request = args.optional("request").unwrap_or_else(|| "STATS".into());
+    let count = args.parsed_or("count", 1usize)?;
+    args.finish_against(QUERY_FLAGS)?;
+
+    let requests: Vec<&str> = request
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if requests.is_empty() {
+        return Err("--request holds no request lines".into());
+    }
+
+    let stream = TcpStream::connect(&connect)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    // Locked stdout with explicit error handling: a downstream
+    // `| head` closing the pipe must end the run quietly, not panic.
+    let mut out = std::io::stdout().lock();
+    let (mut ok, mut err) = (0u64, 0u64);
+    let mut closed = false;
+    'outer: for _ in 0..count {
+        for req in &requests {
+            if writer.write_all(format!("{req}\n").as_bytes()).is_err() {
+                closed = true;
+                break 'outer;
+            }
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => {
+                    closed = true;
+                    break 'outer;
+                }
+                Ok(_) => {
+                    let line = line.trim_end();
+                    if writeln!(out, "{line}").is_err() {
+                        break 'outer;
+                    }
+                    if line.starts_with("OK") {
+                        ok += 1;
+                    } else {
+                        err += 1;
+                    }
+                }
+            }
+        }
+    }
+    // Politeness; the server may already be gone.
+    let _ = writer.write_all(b"QUIT\n");
+    eprintln!(
+        "query: {ok} ok, {err} err{}",
+        if closed {
+            " (connection closed by server)"
+        } else {
+            ""
+        }
+    );
+    if ok == 0 && err == 0 {
+        return Err("no replies received".into());
+    }
+    Ok(())
+}
+
+/// Source adapter for `loom serve --pace-ms`: sleep a fixed pause
+/// every `every` edges, so a feed that would otherwise finish in
+/// milliseconds (synthetic, local file) stays live long enough for
+/// readers to overlap ingest. Pure timing — the edge sequence is
+/// untouched, so output stays bit-identical to the unpaced run.
+struct PacedSource {
+    inner: Box<dyn loom_core::graph::EdgeSource>,
+    every: u64,
+    pause: std::time::Duration,
+    seen: u64,
+}
+
+impl loom_core::graph::EdgeSource for PacedSource {
+    fn next_edge(&mut self) -> Option<loom_core::graph::StreamEdge> {
+        let e = self.inner.next_edge()?;
+        self.seen += 1;
+        if self.seen.is_multiple_of(self.every) {
+            std::thread::sleep(self.pause);
+        }
+        Some(e)
+    }
+
+    fn extent(&self) -> loom_core::graph::SourceExtent {
+        self.inner.extent()
+    }
+
+    fn error(&self) -> Option<&str> {
+        self.inner.error()
+    }
+
+    fn num_labels(&self) -> usize {
+        self.inner.num_labels()
+    }
 }
 
 /// One human-and-awk-friendly snapshot line on stdout.
@@ -772,8 +1142,20 @@ fn print_snapshot(s: &loom_core::engine::Snapshot) {
         ),
         None => String::new(),
     };
+    // Query-serving counters, present exactly when `loom serve`
+    // enabled the read path — `loom stream` output stays byte-
+    // identical, and ci.sh verifies a serve run matches a stream twin
+    // after stripping this one segment (its numbers depend on reader
+    // timing; nothing else on the line does).
+    let serving = match &s.serving {
+        Some(q) => format!(
+            "  queries {} p50 {}µs p99 {}µs",
+            q.served, q.p50_us, q.p99_us
+        ),
+        None => String::new(),
+    };
     println!(
-        "snapshot {:>4}  edges {:>10}  vertices {:>9}  capacity {:>12.1}  imbalance {:>5.1}%  cut {:>5.1}% ({}/{}){}{}{}{}{}",
+        "snapshot {:>4}  edges {:>10}  vertices {:>9}  capacity {:>12.1}  imbalance {:>5.1}%  cut {:>5.1}% ({}/{}){}{}{}{}{}{}",
         s.seq,
         s.edges,
         s.vertices,
@@ -787,6 +1169,7 @@ fn print_snapshot(s: &loom_core::engine::Snapshot) {
         adjacency,
         ingest,
         wal,
+        serving,
     );
 }
 
@@ -847,7 +1230,7 @@ fn evaluate(args: &Args) -> Result<()> {
     let (workload, _) = read_workload_file(&args.required("workload")?)?;
     let assignment_path = args.required("assignment")?;
     let limit = args.parsed_or("limit", 500_000usize)?;
-    args.finish()?;
+    args.finish_against(EVALUATE_FLAGS)?;
 
     let assignment = read_assignment(
         BufReader::new(File::open(assignment_path)?),
@@ -907,6 +1290,78 @@ mod tests {
         let back = read_assignment(&buf[..], 4).unwrap();
         for v in g.vertices() {
             assert_eq!(back.partition_of(v), a.partition_of(v));
+        }
+    }
+
+    /// The help-drift regression (`loom stream --help` once lied by
+    /// omission): the set of `--flags` named in [`USAGE`] must equal
+    /// the union of the per-command registries the implementation
+    /// validates against. A flag parsed but not documented, or
+    /// documented but not parsed, fails here.
+    #[test]
+    fn usage_and_flag_registries_agree() {
+        use std::collections::BTreeSet;
+        let registries: &[&[&str]] = &[
+            GENERATE_FLAGS,
+            WORKLOAD_FLAGS,
+            MOTIFS_FLAGS,
+            PARTITION_FLAGS,
+            EVALUATE_FLAGS,
+            STREAM_FLAGS,
+            SERVE_ONLY_FLAGS,
+            QUERY_FLAGS,
+        ];
+        let mut declared: BTreeSet<String> = BTreeSet::new();
+        for list in registries {
+            for f in *list {
+                declared.insert((*f).to_string());
+            }
+        }
+        // Parser-level, valid after every command (args.rs).
+        declared.insert("help".to_string());
+
+        let mut documented: BTreeSet<String> = BTreeSet::new();
+        for (i, _) in USAGE.match_indices("--") {
+            let name: String = USAGE[i + 2..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                .collect();
+            if !name.is_empty() {
+                documented.insert(name);
+            }
+        }
+
+        let undocumented: Vec<_> = declared.difference(&documented).collect();
+        assert!(
+            undocumented.is_empty(),
+            "flags parsed but missing from USAGE: {undocumented:?}"
+        );
+        let unparsed: Vec<_> = documented.difference(&declared).collect();
+        assert!(
+            unparsed.is_empty(),
+            "flags in USAGE no command parses: {unparsed:?}"
+        );
+    }
+
+    #[test]
+    fn flag_registries_have_no_duplicates() {
+        for (name, list) in [
+            ("stream", STREAM_FLAGS),
+            ("serve-only", SERVE_ONLY_FLAGS),
+            ("partition", PARTITION_FLAGS),
+        ] {
+            let mut seen = std::collections::BTreeSet::new();
+            for f in list {
+                assert!(seen.insert(f), "duplicate --{f} in the {name} registry");
+            }
+        }
+        // serve = stream ∪ serve-only must stay disjoint, or the one
+        // flag would silently mean two things.
+        for f in SERVE_ONLY_FLAGS {
+            assert!(
+                !STREAM_FLAGS.contains(f),
+                "--{f} is in both the stream and serve-only registries"
+            );
         }
     }
 

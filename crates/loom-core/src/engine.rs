@@ -17,12 +17,14 @@
 //! (see `tests/determinism.rs` and the pipeline tests).
 
 use crate::persist::{decode_edges_record, encode_edges_record, RecoveryStats, WalState};
+use crate::serve::{ServeHandle, ServeOptions, ServeState};
 use loom_graph::{EdgeSource, LabeledGraph, StreamEdge, Workload};
 use loom_matcher::ArenaOccupancy;
 use loom_partition::{
     AdjacencyOccupancy, Assignment, IngestPhases, PartitionState, StreamPartitioner,
 };
 use loom_query::count_ipt;
+use loom_runtime::ServeStats;
 use loom_wal::{
     list_checkpoints, read_checkpoint, scan_journal, write_checkpoint, ByteReader, ByteWriter,
     Checkpoint, JournalWriter, StorageBackend, WalError, JOURNAL_FILE,
@@ -140,6 +142,12 @@ pub struct Snapshot {
     /// WAL-off output carries no trace of the recovery machinery.
     /// Observation only — never compared in bit-identity checks.
     pub recovery: Option<RecoveryStats>,
+    /// Serving counters (queries served/refused, p50/p99 latency) when
+    /// epoch-snapshot serving is enabled; `None` otherwise, so
+    /// serving-off output carries no trace of the serving machinery
+    /// (DESIGN.md §16). Observation only — never compared in
+    /// bit-identity checks.
+    pub serving: Option<ServeStats>,
 }
 
 impl Snapshot {
@@ -210,6 +218,9 @@ pub struct OnlineEngine {
     /// hooks of [`OnlineEngine::attach_wal`] /
     /// [`OnlineEngine::resume_from_wal`].
     wal: Option<WalState>,
+    /// Epoch-snapshot serving, when enabled: the horizon ring and the
+    /// publication cell of [`OnlineEngine::enable_serving`].
+    serve: Option<ServeState>,
 }
 
 impl OnlineEngine {
@@ -228,6 +239,55 @@ impl OnlineEngine {
             resolved_edges: 0,
             probe: None,
             wal: None,
+            serve: None,
+        }
+    }
+
+    /// Enable epoch-snapshot serving (DESIGN.md §16): the engine keeps
+    /// a ring of the most recent [`ServeOptions::horizon_edges`] edges
+    /// and publishes an immutable [`loom_query::ReadView`] into the
+    /// returned handle's cell at batch-boundary commit points, every
+    /// [`ServeOptions::publish_every`] ingested edges (plus once at
+    /// [`OnlineEngine::finish`]). Readers load views via
+    /// `handle.view.load()` — an `Arc` clone, never a lock the ingest
+    /// path contends on.
+    ///
+    /// Serving is pure observation: enabling it changes no assignment,
+    /// counter, snapshot field (beyond [`Snapshot::serving`] becoming
+    /// `Some`), or RNG draw — enforced by the serving-equivalence
+    /// suite. Enabling mid-stream is allowed; the horizon then starts
+    /// from the current edge.
+    pub fn enable_serving(&mut self, opts: ServeOptions) -> ServeHandle {
+        let state = ServeState::new(opts);
+        let handle = state.handle();
+        self.serve = Some(state);
+        handle
+    }
+
+    /// Rebuild and publish a read view right now, regardless of the
+    /// publication cadence. No-op when serving is off. Called
+    /// internally at due batch boundaries and at `finish`; exposed so
+    /// a server can force an initial view before the first cadence.
+    pub fn publish_view_now(&mut self) {
+        let Some(srv) = &mut self.serve else { return };
+        let view = srv.build_view(
+            self.edges,
+            self.cut_edges,
+            self.resolved_edges,
+            self.partitioner.state(),
+            self.partitioner.arena(),
+            self.partitioner.adjacency(),
+        );
+        srv.cell.publish(view);
+    }
+
+    /// Serving hook at a commit point: record the committed chunk into
+    /// the horizon ring and publish when the cadence is due.
+    fn serve_commit(&mut self, chunk: &[StreamEdge]) {
+        let Some(srv) = &mut self.serve else { return };
+        srv.observe(chunk);
+        if srv.due(self.edges) {
+            self.publish_view_now();
         }
     }
 
@@ -295,6 +355,9 @@ impl OnlineEngine {
                     _ => break,
                 }
             }
+        }
+        if self.serve.is_some() {
+            self.serve_commit(std::slice::from_ref(e));
         }
         let snap = if self.config.snapshot_every > 0
             && self.edges.is_multiple_of(self.config.snapshot_every as u64)
@@ -386,6 +449,9 @@ impl OnlineEngine {
                         _ => break,
                     }
                 }
+            }
+            if self.serve.is_some() {
+                self.serve_commit(chunk);
             }
             if self.config.snapshot_every > 0
                 && self.edges.is_multiple_of(self.config.snapshot_every as u64)
@@ -502,6 +568,7 @@ impl OnlineEngine {
             adjacency,
             ingest,
             recovery: self.wal.as_ref().map(|w| w.stats()),
+            serving: self.serve.as_ref().map(|s| s.metrics.stats()),
         }
     }
 
@@ -836,9 +903,14 @@ impl OnlineEngine {
     }
 
     /// End of stream: flush the partitioner's buffers (Loom drains its
-    /// window) and return the final snapshot.
+    /// window) and return the final snapshot. With serving enabled the
+    /// drained end state is published as one last view, so readers
+    /// catch up with the final assignments.
     pub fn finish(&mut self) -> Snapshot {
         self.partitioner.finish();
+        if self.serve.is_some() {
+            self.publish_view_now();
+        }
         self.snapshot()
     }
 

@@ -28,6 +28,7 @@ pub mod engine;
 pub mod persist;
 pub mod pipeline;
 pub mod report;
+pub mod serve;
 
 pub use config::{ExperimentConfig, System};
 pub use engine::{EngineConfig, EngineError, OnlineEngine, Snapshot};
@@ -36,6 +37,7 @@ pub use pipeline::{
     make_partitioner, partition_timed, run_experiment, run_experiment_with, ExperimentResult,
     SystemResult,
 };
+pub use serve::{ServeHandle, ServeOptions};
 
 pub use loom_graph as graph;
 pub use loom_matcher as matcher;

@@ -1,0 +1,161 @@
+//! Engine-side epoch publication for `loom serve` (DESIGN.md §16).
+//!
+//! The engine owns a [`ServeState`]: a bounded ring of the most recent
+//! stream edges (the *serve horizon*) plus the `EpochCell` it
+//! publishes [`ReadView`]s into. Observation is engine-level — the
+//! ring is fed from the same chunks the partitioner commits, *after*
+//! they commit — so it works identically for every partitioner and,
+//! crucially, cannot perturb ingest: nothing in here touches the
+//! partitioner, the cut counters, the pending deque or the RNGs.
+//! Serving off means none of this code runs, which is the whole
+//! serving-off byte-identity argument.
+//!
+//! Publication cadence: a view is rebuilt and swapped in whenever at
+//! least [`ServeOptions::publish_every`] edges have been ingested
+//! since the last publication, checked only at batch-boundary commit
+//! points (the same boundaries snapshots and checkpoints use), plus
+//! once more at `finish`. Building a view is O(assigned vertices +
+//! retained edges); it happens on the ingest thread, bounded by the
+//! horizon, and its cost is the *entire* price of serving — readers
+//! pay only an `Arc` clone.
+
+use loom_graph::StreamEdge;
+use loom_matcher::ArenaOccupancy;
+use loom_partition::{AdjacencyOccupancy, PartitionState};
+use loom_query::{ReadView, ViewGraph};
+use loom_runtime::{EpochCell, ServeMetrics};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Serving knobs for [`crate::OnlineEngine::enable_serving`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Retained adjacency: how many of the most recent edges a
+    /// published view's graph holds. Bounds both view-build cost and
+    /// view memory.
+    pub horizon_edges: usize,
+    /// Publish a fresh view once at least this many edges have been
+    /// ingested since the last publication (checked at batch
+    /// boundaries, so the actual gap rounds up to the chunking).
+    pub publish_every: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            horizon_edges: 65_536,
+            publish_every: 1_024,
+        }
+    }
+}
+
+/// What `enable_serving` hands the caller: the cell readers load views
+/// from, and the shared metrics reader threads record into (and
+/// snapshots report from).
+#[derive(Clone, Debug)]
+pub struct ServeHandle {
+    /// The publication cell — `view.load()` is the reader entry point.
+    pub view: Arc<EpochCell<ReadView>>,
+    /// Served/refused counters + latency histogram.
+    pub metrics: Arc<ServeMetrics>,
+}
+
+/// The engine's serving side-state (one per engine, present only when
+/// serving was enabled).
+#[derive(Debug)]
+pub(crate) struct ServeState {
+    opts: ServeOptions,
+    /// The most recent `horizon_edges` committed edges, oldest first.
+    ring: VecDeque<StreamEdge>,
+    /// Widest label alphabet observed over the whole stream (not just
+    /// the ring), so label validation outlives horizon turnover.
+    labels_seen: usize,
+    pub(crate) cell: Arc<EpochCell<ReadView>>,
+    pub(crate) metrics: Arc<ServeMetrics>,
+    /// Edge count at the last publication (0 = none yet).
+    last_published: u64,
+    /// Views published so far (becomes the next view's epoch).
+    epochs: u64,
+}
+
+impl ServeState {
+    pub(crate) fn new(opts: ServeOptions) -> ServeState {
+        ServeState {
+            opts,
+            ring: VecDeque::with_capacity(opts.horizon_edges.min(65_536)),
+            labels_seen: 1,
+            cell: Arc::new(EpochCell::new()),
+            metrics: Arc::new(ServeMetrics::new()),
+            last_published: 0,
+            epochs: 0,
+        }
+    }
+
+    pub(crate) fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            view: Arc::clone(&self.cell),
+            metrics: Arc::clone(&self.metrics),
+        }
+    }
+
+    /// Record a committed chunk into the horizon ring.
+    pub(crate) fn observe(&mut self, chunk: &[StreamEdge]) {
+        for e in chunk {
+            self.labels_seen = self
+                .labels_seen
+                .max(e.src_label.index() + 1)
+                .max(e.dst_label.index() + 1);
+            if self.ring.len() == self.opts.horizon_edges {
+                self.ring.pop_front();
+            }
+            if self.opts.horizon_edges > 0 {
+                self.ring.push_back(*e);
+            }
+        }
+    }
+
+    /// Is a publication due at the `edges` boundary?
+    pub(crate) fn due(&self, edges: u64) -> bool {
+        edges.saturating_sub(self.last_published) >= self.opts.publish_every.max(1)
+    }
+
+    /// Build (and account) the next view from the engine's current
+    /// state. The caller publishes it into the cell.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build_view(
+        &mut self,
+        edges: u64,
+        cut_edges: u64,
+        resolved_edges: u64,
+        state: &PartitionState,
+        arena: Option<ArenaOccupancy>,
+        adjacency: Option<AdjacencyOccupancy>,
+    ) -> ReadView {
+        self.epochs += 1;
+        self.last_published = edges;
+        let assigned = state.assigned_count();
+        let mean = assigned as f64 / state.k() as f64;
+        let imbalance = if assigned == 0 {
+            0.0
+        } else {
+            state.max_size() as f64 / mean - 1.0
+        };
+        let graph = ViewGraph::from_edges(self.ring.make_contiguous(), self.labels_seen);
+        ReadView {
+            epoch: self.epochs,
+            edges,
+            vertices: assigned,
+            k: state.k(),
+            sizes: state.sizes().to_vec(),
+            capacity: state.capacity(),
+            imbalance,
+            cut_edges,
+            resolved_edges,
+            assignment: state.to_assignment(),
+            graph,
+            horizon: self.opts.horizon_edges,
+            arena,
+            adjacency,
+        }
+    }
+}

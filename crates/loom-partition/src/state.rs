@@ -620,6 +620,24 @@ pub struct Assignment {
 }
 
 impl Assignment {
+    /// An all-unassigned mapping over `n` vertices — the starting
+    /// point for building an assignment outside a partitioner (the
+    /// serving layer's frozen views, tests).
+    pub fn unassigned(k: usize, n: usize) -> Assignment {
+        Assignment {
+            k,
+            assignment: vec![UNASSIGNED; n],
+        }
+    }
+
+    /// Record `v → p`, growing the mapping if `v` is beyond its end.
+    pub fn assign(&mut self, v: VertexId, p: PartitionId) {
+        if v.index() >= self.assignment.len() {
+            self.assignment.resize(v.index() + 1, UNASSIGNED);
+        }
+        self.assignment[v.index()] = p.0;
+    }
+
     /// Number of partitions.
     #[inline]
     pub fn k(&self) -> usize {

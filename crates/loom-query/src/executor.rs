@@ -15,20 +15,82 @@
 //! by edge set, matching the paper's definition of the result set `R`
 //! as a set of sub-graphs of `G`.
 
-use loom_graph::{EdgeId, LabeledGraph, PatternGraph, VertexId};
+use loom_graph::{EdgeId, Label, LabeledGraph, PatternGraph, VertexId};
 use std::collections::HashSet;
 
+/// The read surface the executor needs from a data graph: labels,
+/// degrees and adjacency. Implemented by the materialised
+/// [`LabeledGraph`] and by the serving layer's immutable
+/// [`ViewGraph`](crate::view::ViewGraph), so the same backtracking
+/// search answers post-hoc experiment queries and live `loom serve`
+/// requests (DESIGN.md §16).
+pub trait GraphAccess {
+    /// Number of vertices; ids `0..num_vertices()` are valid.
+    fn num_vertices(&self) -> usize;
+    /// Size of the label alphabet.
+    fn num_labels(&self) -> usize;
+    /// Label of `v`.
+    fn label(&self, v: VertexId) -> Label;
+    /// Degree of `v` (parallel edges counted).
+    fn degree(&self, v: VertexId) -> usize;
+    /// Adjacency row of `v`: `(neighbor, connecting edge)` pairs.
+    fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)];
+}
+
+/// References delegate, so `QueryExecutor::new(&&graph)` keeps
+/// working where auto-deref used to apply before the trait existed.
+impl<G: GraphAccess + ?Sized> GraphAccess for &G {
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    fn num_labels(&self) -> usize {
+        (**self).num_labels()
+    }
+
+    fn label(&self, v: VertexId) -> Label {
+        (**self).label(v)
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        (**self).degree(v)
+    }
+
+    fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        (**self).neighbors(v)
+    }
+}
+
+impl GraphAccess for LabeledGraph {
+    fn num_vertices(&self) -> usize {
+        LabeledGraph::num_vertices(self)
+    }
+    fn num_labels(&self) -> usize {
+        LabeledGraph::num_labels(self)
+    }
+    fn label(&self, v: VertexId) -> Label {
+        LabeledGraph::label(self, v)
+    }
+    fn degree(&self, v: VertexId) -> usize {
+        LabeledGraph::degree(self, v)
+    }
+    fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        LabeledGraph::neighbors(self, v)
+    }
+}
+
 /// A reusable executor over one data graph (owns the label index).
-pub struct QueryExecutor<'g> {
-    graph: &'g LabeledGraph,
+pub struct QueryExecutor<'g, G: GraphAccess = LabeledGraph> {
+    graph: &'g G,
     by_label: Vec<Vec<VertexId>>,
 }
 
-impl<'g> QueryExecutor<'g> {
+impl<'g, G: GraphAccess> QueryExecutor<'g, G> {
     /// Build the executor and its label index.
-    pub fn new(graph: &'g LabeledGraph) -> Self {
+    pub fn new(graph: &'g G) -> Self {
         let mut by_label = vec![Vec::new(); graph.num_labels()];
-        for v in graph.vertices() {
+        for i in 0..graph.num_vertices() {
+            let v = VertexId(i as u32);
             by_label[graph.label(v).index()].push(v);
         }
         QueryExecutor { graph, by_label }

@@ -10,9 +10,11 @@
 pub mod executor;
 pub mod ipt;
 pub mod simulator;
+pub mod view;
 pub mod workloads;
 
-pub use executor::QueryExecutor;
+pub use executor::{GraphAccess, QueryExecutor};
 pub use ipt::{count_ipt, IptReport, QueryIpt};
 pub use simulator::{simulate, SimulationConfig, SimulationReport};
+pub use view::{handle_request, khop, match_path, KhopResult, ReadView, ViewGraph};
 pub use workloads::workload_for;

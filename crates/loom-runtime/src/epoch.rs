@@ -1,0 +1,147 @@
+//! Epoch-swapped publication cell for the serving read path
+//! (DESIGN.md §16).
+//!
+//! The ingest thread *publishes* immutable values; reader threads
+//! *load* the newest one. Publication replaces an `Arc` under a mutex
+//! and bumps a monotone epoch counter; loading clones the `Arc` under
+//! the same mutex. Both critical sections are O(1) — a pointer swap or
+//! a refcount increment — so readers can hammer `load` without ever
+//! making the publisher wait for anything proportional to the value
+//! size, and the publisher never waits for readers to finish with old
+//! views (they keep their own `Arc` alive for as long as they need it).
+//!
+//! Why a mutex and not a bare atomic pointer: `AtomicPtr<T>` juggling
+//! `Arc::into_raw`/`from_raw` needs manual refcount reasoning to avoid
+//! a use-after-free between load and clone, while a mutex held for a
+//! refcount bump is uncontended-path cheap (one CAS) and obviously
+//! correct. The ingest hot path never touches the cell per edge — only
+//! per published batch boundary — so the cell is not on the
+//! per-edge critical path at all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A single-slot publication cell: the publisher swaps in immutable
+/// values, readers clone out the newest `Arc`. Epochs are monotone and
+/// start at 0 (= nothing published yet).
+pub struct EpochCell<T> {
+    current: Mutex<Option<Arc<T>>>,
+    epoch: AtomicU64,
+}
+
+impl<T> EpochCell<T> {
+    /// An empty cell: `load` returns `None` until the first `publish`.
+    pub fn new() -> Self {
+        EpochCell {
+            current: Mutex::new(None),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Publish a new value, replacing the previous one, and return the
+    /// new epoch number (1 for the first publication). Readers holding
+    /// the previous `Arc` keep it alive; nothing blocks on them.
+    pub fn publish(&self, value: T) -> u64 {
+        let arc = Arc::new(value);
+        let mut slot = self.current.lock().unwrap();
+        *slot = Some(arc);
+        // Bumped while the lock is held so epoch() can never run ahead
+        // of what load() observes.
+        self.epoch.fetch_add(1, Ordering::Release) + 1
+    }
+
+    /// The newest published value, or `None` before the first
+    /// publication. O(1): an `Arc` clone under the cell lock.
+    pub fn load(&self) -> Option<Arc<T>> {
+        self.current.lock().unwrap().clone()
+    }
+
+    /// Number of publications so far (0 = empty cell). Monotone.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Default for EpochCell<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for EpochCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochCell")
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn empty_cell_loads_none_at_epoch_zero() {
+        let cell: EpochCell<u32> = EpochCell::new();
+        assert_eq!(cell.epoch(), 0);
+        assert!(cell.load().is_none());
+    }
+
+    #[test]
+    fn publish_replaces_and_bumps_epoch() {
+        let cell = EpochCell::new();
+        assert_eq!(cell.publish(10), 1);
+        assert_eq!(cell.publish(20), 2);
+        assert_eq!(cell.epoch(), 2);
+        assert_eq!(*cell.load().unwrap(), 20);
+    }
+
+    #[test]
+    fn old_readers_keep_their_view_alive() {
+        let cell = EpochCell::new();
+        cell.publish(vec![1, 2, 3]);
+        let old = cell.load().unwrap();
+        cell.publish(vec![4]);
+        assert_eq!(*old, vec![1, 2, 3], "reader's Arc survives replacement");
+        assert_eq!(*cell.load().unwrap(), vec![4]);
+    }
+
+    /// Reader-side monotonicity: concurrent readers never observe a
+    /// value older than one they already saw, even while the publisher
+    /// is actively swapping.
+    #[test]
+    fn concurrent_readers_observe_monotone_values() {
+        let cell = Arc::new(EpochCell::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        cell.publish(0u64);
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    let mut observed = 0u64;
+                    loop {
+                        let v = *cell.load().unwrap();
+                        assert!(v >= last, "went backwards: {v} after {last}");
+                        last = v;
+                        observed += 1;
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    observed
+                })
+            })
+            .collect();
+        for v in 1..=10_000u64 {
+            cell.publish(v);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "reader made progress");
+        }
+        assert_eq!(cell.epoch(), 10_001);
+    }
+}
